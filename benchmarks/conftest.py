@@ -1,0 +1,27 @@
+"""Shared benchmark fixtures: canned workloads, reused across benches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.parser import PacketParser
+from repro.traffic.scenarios import AucklandLaScenario
+
+NS_PER_S = 1_000_000_000
+
+
+@pytest.fixture(scope="session")
+def workload_10s():
+    """~10 s of flat-rate Auckland–LA traffic (generator, packets)."""
+    generator = AucklandLaScenario(
+        duration_ns=10 * NS_PER_S, mean_flows_per_s=60, seed=17, diurnal=False
+    ).build(keep_specs=True)
+    return generator, generator.packet_list()
+
+
+@pytest.fixture(scope="session")
+def parsed_10s(workload_10s):
+    """The same workload, pre-parsed (for stage-local benches)."""
+    _, packets = workload_10s
+    parser = PacketParser(extract_timestamps=True)
+    return [parser.parse(p.data, p.timestamp_ns) for p in packets]

@@ -1,0 +1,124 @@
+"""E9: Ruru's handshake method vs pping vs tcptrace on one trace.
+
+The implicit comparison behind the paper (and the novelty band's
+"passive RTT tools exist"): what does handshake-only measurement give
+up, and what does it save? Identical parsed streams feed all three;
+we report samples per flow, agreement with the generator's ground
+truth, per-packet cost, and state held.
+"""
+
+import statistics
+
+import pytest
+
+from repro.baselines.pping import PpingEstimator
+from repro.baselines.tcptrace import TcptraceAnalyzer
+from repro.core.config import PipelineConfig
+from repro.core.handshake import HandshakeTracker
+from repro.core.pipeline import RuruPipeline
+
+MS = 1_000_000
+
+
+class TestMeasurementDensity:
+    def test_samples_per_flow_shape(self, workload_10s, parsed_10s):
+        """Ruru: exactly one sample per completed flow. pping: several."""
+        generator, packets = workload_10s
+        pipeline = RuruPipeline(config=PipelineConfig(num_queues=4))
+        stats = pipeline.run_packets(packets)
+
+        pping = PpingEstimator()
+        pping.run(parsed_10s)
+        pping_flows = pping.samples_per_flow()
+
+        tcptrace = TcptraceAnalyzer()
+        tcptrace.run(parsed_10s)
+        summary = tcptrace.summary()
+
+        ruru_per_flow = stats.measurements / generator.flows_generated
+        pping_per_flow = len(pping.samples) / max(1, len(pping_flows))
+        print(f"\nE9: samples/flow — ruru {ruru_per_flow:.2f}, "
+              f"pping {pping_per_flow:.2f}, tcptrace 1.00 (offline)")
+        print(f"E9: totals — ruru {stats.measurements}, "
+              f"pping {len(pping.samples)}, "
+              f"tcptrace {summary['complete_handshakes']:.0f} of "
+              f"{summary['flows']:.0f} flows")
+        # Shape: pping is denser per covered flow; Ruru covers ~every flow once.
+        assert pping_per_flow > 1.5
+        assert 0.8 < ruru_per_flow <= 1.0
+        # tcptrace reconstructs the same completed handshakes Ruru measures.
+        assert abs(summary["complete_handshakes"] - stats.measurements) <= \
+            stats.measurements * 0.05
+
+    def test_accuracy_vs_ground_truth(self, workload_10s):
+        generator, packets = workload_10s
+        pipeline = RuruPipeline(config=PipelineConfig(num_queues=4))
+        pipeline.run_packets(packets)
+        truth = {(s.client_ip, s.client_port): s for s in generator.specs}
+        errors = []
+        for record in pipeline.measurements:
+            spec = truth.get((record.src_ip, record.src_port))
+            if spec:
+                errors.append(abs(record.total_ns - spec.expected_total_ns()))
+        median_error_ms = statistics.median(errors) / MS
+        print(f"\nE9: ruru median |error| vs ground truth: "
+              f"{median_error_ms:.4f} ms over {len(errors)} flows")
+        assert median_error_ms < 0.01
+
+
+class TestPerPacketCost:
+    def test_bench_ruru_tracker(self, benchmark, parsed_10s):
+        def run():
+            tracker = HandshakeTracker()
+            for packet in parsed_10s:
+                tracker.process(packet)
+            return tracker.stats.measurements
+
+        measured = benchmark(run)
+        rate = len(parsed_10s) / benchmark.stats["mean"]
+        print(f"\nE9: ruru tracker {rate:,.0f} pkt/s ({measured} samples)")
+
+    def test_bench_pping(self, benchmark, parsed_10s):
+        def run():
+            estimator = PpingEstimator()
+            for packet in parsed_10s:
+                estimator.on_packet(packet)
+            return len(estimator.samples)
+
+        samples = benchmark(run)
+        rate = len(parsed_10s) / benchmark.stats["mean"]
+        print(f"\nE9: pping {rate:,.0f} pkt/s ({samples} samples)")
+
+    def test_bench_tcptrace(self, benchmark, parsed_10s):
+        def run():
+            analyzer = TcptraceAnalyzer()
+            for packet in parsed_10s:
+                analyzer.on_packet(packet)
+            return len(analyzer.flows)
+
+        flows = benchmark(run)
+        rate = len(parsed_10s) / benchmark.stats["mean"]
+        print(f"\nE9: tcptrace {rate:,.0f} pkt/s ({flows} flows held)")
+
+
+class TestStateFootprint:
+    def test_state_held_shape(self, workload_10s, parsed_10s):
+        """Ruru's state is transient (in-flight handshakes only);
+        tcptrace's grows with every flow ever seen."""
+        generator, packets = workload_10s
+        pipeline = RuruPipeline(config=PipelineConfig(num_queues=4))
+        pipeline.run_packets(packets)
+        ruru_state = sum(pipeline.flow_table_occupancy())
+
+        tcptrace = TcptraceAnalyzer()
+        tcptrace.run(parsed_10s)
+        tcptrace_state = len(tcptrace.flows)
+
+        pping = PpingEstimator()
+        pping.run(parsed_10s)
+        pping_state = len(pping._first_seen)
+
+        print(f"\nE9: resident state after the trace — ruru {ruru_state} "
+              f"entries, pping {pping_state}, tcptrace {tcptrace_state}")
+        assert ruru_state < 0.1 * tcptrace_state
+        assert tcptrace_state == generator.flows_generated

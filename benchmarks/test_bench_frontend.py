@@ -1,0 +1,91 @@
+"""E7: "multiple thousands of connections per second on a live 3D map
+… with 30 fps".
+
+The browser's GPU does the drawing; what the server side must sustain
+is turning thousands of measurements/s into colour-coded arcs, framed
+at no more than 30 fps, serialized onto a real WebSocket. The bench
+sweeps the connection rate from 1k to 10k/s of virtual time and checks
+the frame pacing and the per-frame arc budget hold.
+"""
+
+import pytest
+
+from repro.analytics.enricher import EnrichedMeasurement
+from repro.frontend.map_view import LiveMapView
+from repro.frontend.websocket import WebSocketChannel
+
+NS_PER_S = 1_000_000_000
+
+
+def _measurements(rate_per_s, seconds=2):
+    out = []
+    for i in range(rate_per_s * seconds):
+        t = i * NS_PER_S // rate_per_s
+        total_ms = 120.0 + (i % 300)
+        total_ns = int(total_ms * 1e6)
+        out.append(EnrichedMeasurement(
+            timestamp_ns=t, internal_ns=total_ns // 10,
+            external_ns=total_ns - total_ns // 10,
+            src_country="NZ", src_city="Auckland",
+            src_lat=-36.85, src_lon=174.76, src_asn=1,
+            dst_country="US", dst_city="Los Angeles",
+            dst_lat=34.05, dst_lon=-118.24, dst_asn=2,
+        ))
+    return out
+
+
+class TestArcThroughput:
+    @pytest.mark.parametrize("rate", [1_000, 5_000, 10_000])
+    def test_bench_connections_per_second(self, benchmark, rate):
+        measurements = _measurements(rate)
+
+        def run():
+            channel = WebSocketChannel()
+            view = LiveMapView(channel=channel, fps=30,
+                               max_arcs_per_frame=1000)
+            for measurement in measurements:
+                view.add_measurement(measurement, measurement.timestamp_ns)
+                view.tick(measurement.timestamp_ns)
+            view.flush_frame(measurements[-1].timestamp_ns)
+            return view, channel
+
+        view, channel = benchmark(run)
+        virtual_seconds = 2
+        fps = view.frames_sent / virtual_seconds
+        assert fps <= 31, "frame pacing must cap at 30 fps"
+        processed = view.arcs_in / benchmark.stats["mean"]
+        print(f"\nE7: {rate:,}/s virtual -> {processed:,.0f} arcs/s real, "
+              f"{fps:.1f} fps, {channel.bytes_to_client / 1024:.0f} KiB feed, "
+              f"{view.arcs_dropped} dropped by budget")
+
+    def test_frame_budget_protects_renderer(self):
+        """A burst beyond the per-frame budget must drop, not balloon."""
+        view = LiveMapView(fps=30, max_arcs_per_frame=500)
+        burst = _measurements(50_000, seconds=1)[:5_000]
+        for measurement in burst:
+            view.add_measurement(measurement, 0)  # all in one frame interval
+        frame = view.flush_frame(0)
+        assert len(frame.arcs) == 500
+        assert view.arcs_dropped == 4_500
+        print(f"\nE7: burst of 5000 arcs in one frame -> "
+              f"{len(frame.arcs)} drawn, {view.arcs_dropped} shed")
+
+    def test_bench_websocket_serialization(self, benchmark):
+        """Raw feed serialization: frames/s through RFC 6455 encoding."""
+        measurements = _measurements(2_000, seconds=1)
+        view = LiveMapView(fps=30, max_arcs_per_frame=10_000)
+        for measurement in measurements:
+            view.add_measurement(measurement, measurement.timestamp_ns)
+        frame = view.flush_frame(NS_PER_S)
+        payload = frame.to_json()
+
+        def run():
+            channel = WebSocketChannel()
+            for _ in range(30):
+                channel.server_send_json(payload)
+            return channel.bytes_to_client
+
+        wire_bytes = benchmark(run)
+        rate = 30 / benchmark.stats["mean"]
+        print(f"\nE7: {rate:,.0f} full frames/s serialized "
+              f"({wire_bytes / 30 / 1024:.0f} KiB per 2000-arc frame)")

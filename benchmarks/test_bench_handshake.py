@@ -1,0 +1,90 @@
+"""E1 (Fig 1): the latency calculation — correctness sweep + tracker cost.
+
+Regenerates the paper's Figure 1 numerically: for handshakes with
+controlled internal/external splits, the tracker must recover both
+components exactly. The benchmark then measures the handshake
+tracker's per-packet cost on a realistic mixed stream — the heart of
+the "high-speed" claim, scaled to Python.
+"""
+
+import pytest
+
+from repro.core.handshake import HandshakeTracker
+from repro.net.parser import ParsedPacket
+
+MS = 1_000_000
+
+
+def _handshake(flow_id, t0, external_ns, internal_ns):
+    src, dst = 0x0A000000 + flow_id, 0x14000000 + flow_id
+    sport, dport = 1024 + (flow_id % 60000), 443
+    return [
+        ParsedPacket(src_ip=src, dst_ip=dst, src_port=sport, dst_port=dport,
+                     flags=0x02, seq=100, ack=0, payload_len=0, timestamp_ns=t0),
+        ParsedPacket(src_ip=dst, dst_ip=src, src_port=dport, dst_port=sport,
+                     flags=0x12, seq=500, ack=101, payload_len=0,
+                     timestamp_ns=t0 + external_ns),
+        ParsedPacket(src_ip=src, dst_ip=dst, src_port=sport, dst_port=dport,
+                     flags=0x10, seq=101, ack=501, payload_len=0,
+                     timestamp_ns=t0 + external_ns + internal_ns),
+    ]
+
+
+class TestFigure1Sweep:
+    """The latency-split table Fig 1 implies (printed for EXPERIMENTS.md)."""
+
+    SPLITS = [
+        (1 * MS, 1 * MS),
+        (10 * MS, 5 * MS),
+        (140 * MS, 10 * MS),    # the Auckland-LA shape
+        (280 * MS, 40 * MS),
+        (4000 * MS, 12 * MS),   # the firewall glitch magnitude
+    ]
+
+    def test_sweep_exact_recovery(self):
+        print("\nE1: internal/external recovery (expected == measured)")
+        print(f"{'external ms':>12} {'internal ms':>12} {'ok':>4}")
+        for external_ns, internal_ns in self.SPLITS:
+            tracker = HandshakeTracker()
+            record = None
+            for packet in _handshake(1, 0, external_ns, internal_ns):
+                record = tracker.process(packet) or record
+            assert record.external_ns == external_ns
+            assert record.internal_ns == internal_ns
+            assert record.total_ns == external_ns + internal_ns
+            print(f"{external_ns / MS:>12.1f} {internal_ns / MS:>12.1f} {'yes':>4}")
+
+
+class TestTrackerThroughput:
+    def test_bench_tracker_packets_per_second(self, benchmark, parsed_10s):
+        """Per-packet cost of the handshake state machine alone."""
+
+        def run():
+            tracker = HandshakeTracker()
+            for packet in parsed_10s:
+                tracker.process(packet)
+            return tracker
+
+        tracker = benchmark(run)
+        assert tracker.stats.measurements > 400
+        rate = len(parsed_10s) / benchmark.stats["mean"]
+        print(f"\nE1: tracker throughput {rate:,.0f} packets/s "
+              f"({tracker.stats.measurements} measurements from "
+              f"{len(parsed_10s)} packets)")
+
+    def test_bench_handshake_only_stream(self, benchmark):
+        """Pure-handshake stream: 3 packets per measurement."""
+        packets = []
+        for flow_id in range(2000):
+            packets.extend(_handshake(flow_id, flow_id * MS, 140 * MS, 10 * MS))
+
+        def run():
+            tracker = HandshakeTracker()
+            for packet in packets:
+                tracker.process(packet)
+            return tracker.stats.measurements
+
+        measured = benchmark(run)
+        assert measured == 2000
+        rate = measured / benchmark.stats["mean"]
+        print(f"\nE1: {rate:,.0f} handshakes measured/s")

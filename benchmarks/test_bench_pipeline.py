@@ -1,0 +1,60 @@
+"""E2 (Fig 2): the full pipeline, every stage wired.
+
+Measures end-to-end throughput of the complete deployment — NIC + RSS
+→ workers → ZeroMQ-style transport → enrichment → TSDB + frontend
+PUB — and checks each tier received exactly what it should. This is
+the software analogue of the paper's "analyzes all traffic going
+through the NIC" at 10 Gbit/s; we report packets/s and measurements/s
+for the Python substrate.
+"""
+
+from repro.analytics.service import AnalyticsService
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import RuruPipeline
+from repro.geo.builder import GeoDbBuilder
+from repro.mq.socket import Context
+from repro.tsdb.query import Query
+
+
+class TestFullPipeline:
+    def test_bench_measurement_fast_path(self, benchmark, workload_10s):
+        """DPDK stage only: NIC -> RSS -> workers -> records."""
+        _, packets = workload_10s
+
+        def run():
+            pipeline = RuruPipeline(config=PipelineConfig(num_queues=4))
+            return pipeline.run_packets(packets)
+
+        stats = benchmark(run)
+        assert stats.nic_drops == 0
+        rate = stats.packets_offered / benchmark.stats["mean"]
+        print(f"\nE2: fast path {rate:,.0f} packets/s, "
+              f"{stats.measurements / benchmark.stats['mean']:,.0f} measurements/s")
+
+    def test_bench_whole_deployment(self, benchmark, workload_10s):
+        """Everything in Fig 2, including analytics and fan-out."""
+        generator, packets = workload_10s
+
+        def run():
+            context = Context()
+            geo, asn = GeoDbBuilder(plan=generator.plan).build()
+            service = AnalyticsService(context, geo, asn)
+            frontend = service.subscribe_frontend()
+            pipeline = RuruPipeline(
+                config=PipelineConfig(num_queues=4), sink=service.make_sink()
+            )
+            stats = pipeline.run_packets(packets)
+            service.finish()
+            return stats, service, frontend
+
+        stats, service, frontend = benchmark(run)
+        # Every tier saw every measurement.
+        assert service.enriched_count == stats.measurements
+        tsdb_count = service.tsdb.query(
+            Query("latency", "total_ms", "count")
+        ).scalar()
+        assert tsdb_count == stats.measurements
+        assert len(frontend) == stats.measurements
+        rate = stats.packets_offered / benchmark.stats["mean"]
+        print(f"\nE2: whole deployment {rate:,.0f} packets/s end-to-end "
+              f"({stats.measurements} measurements to TSDB + frontend)")

@@ -1,0 +1,69 @@
+"""E3: RSS scaling and queue balance ("for scalability and performance,
+we configure symmetric RSS … multiple DPDK receiver queues").
+
+On real hardware each queue is a core, so throughput scales with queue
+count; the cooperative simulation cannot show wall-clock speedup, so
+this bench reports what *does* transfer: per-queue load balance (RSS
+spreads flows evenly), measurement completeness at every queue count,
+and the ablation the symmetric key exists for — with the standard
+asymmetric key, a flow's two directions land on different queues and
+handshake matching collapses.
+"""
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import RuruPipeline
+from repro.dpdk.rss import DEFAULT_RSS_KEY, SYMMETRIC_RSS_KEY
+
+
+class TestQueueScaling:
+    @pytest.mark.parametrize("num_queues", [1, 2, 4, 8])
+    def test_bench_queue_sweep(self, benchmark, workload_10s, num_queues):
+        _, packets = workload_10s
+
+        def run():
+            pipeline = RuruPipeline(
+                config=PipelineConfig(num_queues=num_queues)
+            )
+            stats = pipeline.run_packets(packets)
+            return pipeline, stats
+
+        pipeline, stats = benchmark(run)
+        balance = pipeline.queue_balance()
+        # RSS must spread flows roughly evenly across queues.
+        assert len(balance) == num_queues
+        expected = 1.0 / num_queues
+        for share in balance:
+            assert expected * 0.5 < share < expected * 1.8
+        # Measurement results must not depend on the queue count.
+        assert stats.measurements > 400
+        rate = stats.packets_offered / benchmark.stats["mean"]
+        shares = ", ".join(f"{share:.2f}" for share in balance)
+        print(f"\nE3: queues={num_queues} -> {rate:,.0f} pkt/s, "
+              f"balance [{shares}], measurements={stats.measurements}")
+
+
+class TestSymmetryAblation:
+    def test_asymmetric_key_breaks_measurement(self, workload_10s):
+        """The design-choice ablation: without the symmetric key the
+        per-queue tables stop seeing both flow directions."""
+        _, packets = workload_10s
+
+        def run_with(key):
+            pipeline = RuruPipeline(
+                config=PipelineConfig(num_queues=8, rss_key=key)
+            )
+            return pipeline.run_packets(packets)
+
+        symmetric = run_with(SYMMETRIC_RSS_KEY)
+        asymmetric = run_with(DEFAULT_RSS_KEY)
+        loss = 1 - asymmetric.measurements / symmetric.measurements
+        print(f"\nE3 ablation: symmetric={symmetric.measurements} vs "
+              f"asymmetric={asymmetric.measurements} measurements "
+              f"({loss:.0%} lost without key symmetry)")
+        assert symmetric.measurements > 400
+        # With 8 queues, ~7/8 of flows split across queues and are lost.
+        assert asymmetric.measurements < 0.45 * symmetric.measurements
+        # The orphan counters explain where they went.
+        assert asymmetric.tracker.orphan_synack > 0

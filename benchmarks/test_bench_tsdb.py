@@ -1,0 +1,121 @@
+"""E8: the Grafana statistics — min/max/median/mean "for a required
+time interval", indexed by geo-location and AS.
+
+Populates the TSDB from a real pipeline run, then benchmarks ingest
+rate, the four dashboard aggregations grouped by country pair, the tag
+index's selectivity, and retention/downsampling cost.
+"""
+
+import pytest
+
+from repro.analytics.service import AnalyticsService
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import RuruPipeline
+from repro.frontend.dashboard import build_ruru_dashboard
+from repro.geo.builder import GeoDbBuilder
+from repro.mq.socket import Context
+from repro.tsdb.database import TimeSeriesDatabase
+from repro.tsdb.point import Point
+from repro.tsdb.query import Query
+from repro.tsdb.retention import Downsampler, RetentionPolicy
+
+NS_PER_S = 1_000_000_000
+
+
+@pytest.fixture(scope="module")
+def populated_tsdb(workload_10s):
+    generator, packets = workload_10s
+    context = Context()
+    geo, asn = GeoDbBuilder(plan=generator.plan).build()
+    service = AnalyticsService(context, geo, asn)
+    pipeline = RuruPipeline(
+        config=PipelineConfig(num_queues=4), sink=service.make_sink()
+    )
+    pipeline.run_packets(packets)
+    service.finish()
+    return service.tsdb
+
+
+class TestIngest:
+    def test_bench_write_throughput(self, benchmark):
+        points = [
+            Point("latency", i * 1_000_000,
+                  tags={"src_country": "NZ", "dst_country": ["US", "AU", "JP"][i % 3]},
+                  fields={"total_ms": 100.0 + i % 50})
+            for i in range(20_000)
+        ]
+
+        def run():
+            db = TimeSeriesDatabase()
+            db.write_batch(points)
+            return db
+
+        db = benchmark(run)
+        assert db.total_points() == 20_000
+        rate = 20_000 / benchmark.stats["mean"]
+        print(f"\nE8: ingest {rate:,.0f} points/s")
+
+
+class TestDashboardQueries:
+    @pytest.mark.parametrize("aggregator", ["min", "max", "median", "mean"])
+    def test_bench_paper_statistics(self, benchmark, populated_tsdb, aggregator):
+        """The exact stats the paper names, grouped by country pair."""
+        query = Query(
+            "latency", "total_ms", aggregator,
+            group_by_tags=["src_country", "dst_country"],
+            group_by_time_ns=NS_PER_S,
+        )
+
+        result = benchmark(populated_tsdb.query, query)
+        assert not result.is_empty()
+        nz_us = result.groups.get(
+            (("dst_country", "US"), ("src_country", "NZ"))
+        )
+        assert nz_us, "the Auckland-LA pair must be present"
+        print(f"\nE8: {aggregator}(total_ms) NZ->US latest window: "
+              f"{nz_us[-1][1]:.1f} ms across {len(result.groups)} pairs")
+
+    def test_bench_full_dashboard_render(self, benchmark, populated_tsdb):
+        dashboard = build_ruru_dashboard(interval_ns=NS_PER_S)
+
+        results = benchmark(dashboard.render, populated_tsdb)
+        assert len(results) == len(dashboard.panels)
+        rate = 1 / benchmark.stats["mean"]
+        print(f"\nE8: full {len(results)}-panel dashboard renders {rate:,.1f}x/s")
+
+    def test_tag_index_selectivity(self, populated_tsdb):
+        """Filtered queries must touch only matching series."""
+        everything = populated_tsdb.query(
+            Query("latency", "total_ms", "count")
+        ).scalar()
+        one_pair = populated_tsdb.query(Query(
+            "latency", "total_ms", "count",
+            tag_filters={"src_country": ["NZ"], "dst_country": ["US"]},
+        )).scalar()
+        assert one_pair < everything
+        print(f"\nE8: {everything:.0f} total points, {one_pair:.0f} in the "
+              f"NZ->US slice via the tag index")
+
+
+class TestLifecycle:
+    def test_bench_downsample_and_retention(self, benchmark, populated_tsdb):
+        def run():
+            db = TimeSeriesDatabase()
+            db.load_lines(populated_tsdb.dump_lines("latency"))
+            db.add_downsampler(Downsampler(
+                source="latency", target="latency_1s", field="total_ms",
+                interval_ns=NS_PER_S,
+            ))
+            written = db.run_downsamplers(0, 15 * NS_PER_S)
+            db.add_retention_policy(
+                RetentionPolicy(duration_ns=5 * NS_PER_S, measurement="latency")
+            )
+            dropped = db.enforce_retention(now_ns=15 * NS_PER_S)
+            return db, written, dropped
+
+        db, written, dropped = benchmark(run)
+        assert written > 0
+        assert dropped > 0
+        assert "latency_1s" in db.measurements()
+        print(f"\nE8: rollup wrote {written} points, retention dropped "
+              f"{dropped} raw points; rollups survive for long-term storage")

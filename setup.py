@@ -1,0 +1,8 @@
+"""Legacy setup shim: lets ``pip install -e .`` work offline
+(no wheel package available for PEP 517 editable builds).
+Configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,32 @@
+"""Offline latency analysis — the paper's "for further analysis".
+
+Ruru "aggregates statistics by source and destination locations, and
+AS numbers for further analysis"; its reference for what that analysis
+looks like is Fontugne, Mazel and Fukuda's empirical mixture model for
+large-scale RTT measurements (the paper's [2]): RTT populations
+decompose into a few lognormal modes, and mode changes reveal path
+changes and congestion states.
+
+* :mod:`repro.analysis.mixture` — 1-D EM fitting of lognormal mixtures
+  with BIC model selection.
+* :mod:`repro.analysis.cdf` — empirical CDFs, quantiles, and the
+  Kolmogorov–Smirnov distance used to compare measurement populations.
+* :mod:`repro.analysis.report` — per-path analysis over a measurement
+  set: fitted modes, multimodality flags, and population drift between
+  time windows.
+"""
+
+from repro.analysis.mixture import FittedComponent, MixtureFit, fit_lognormal_mixture
+from repro.analysis.cdf import EmpiricalCdf, ks_distance
+from repro.analysis.report import PathModeReport, analyze_paths, compare_windows
+
+__all__ = [
+    "FittedComponent",
+    "MixtureFit",
+    "fit_lognormal_mixture",
+    "EmpiricalCdf",
+    "ks_distance",
+    "PathModeReport",
+    "analyze_paths",
+    "compare_windows",
+]

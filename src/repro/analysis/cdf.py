@@ -1,0 +1,75 @@
+"""Empirical CDFs and the Kolmogorov–Smirnov distance.
+
+The drift analysis compares a path's latency population between time
+windows: a large KS distance means the path's behaviour changed (new
+route, congestion onset, the firewall glitch) even when means barely
+move.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Sequence
+
+
+class EmpiricalCdf:
+    """The step CDF of a sample set."""
+
+    def __init__(self, samples: Sequence[float]):
+        if not samples:
+            raise ValueError("empty sample set")
+        self._sorted: List[float] = sorted(samples)
+        self._n = len(self._sorted)
+
+    def __len__(self) -> int:
+        return self._n
+
+    def evaluate(self, value: float) -> float:
+        """P(X <= value)."""
+        return bisect.bisect_right(self._sorted, value) / self._n
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile (q in [0, 1]), by inverted step function."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} out of [0, 1]")
+        if q == 0.0:
+            return self._sorted[0]
+        index = min(self._n - 1, max(0, int(q * self._n + 0.5) - 1))
+        return self._sorted[index]
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    @property
+    def values(self) -> List[float]:
+        """The sorted underlying samples (read-only copy)."""
+        return list(self._sorted)
+
+
+def ks_distance(a: Sequence[float], b: Sequence[float]) -> float:
+    """Two-sample Kolmogorov–Smirnov statistic: sup |F_a − F_b|."""
+    cdf_a = a if isinstance(a, EmpiricalCdf) else EmpiricalCdf(a)
+    cdf_b = b if isinstance(b, EmpiricalCdf) else EmpiricalCdf(b)
+    distance = 0.0
+    for value in set(cdf_a.values) | set(cdf_b.values):
+        gap = abs(cdf_a.evaluate(value) - cdf_b.evaluate(value))
+        if gap > distance:
+            distance = gap
+    return distance
+
+
+def ks_significant(a: Sequence[float], b: Sequence[float], alpha: float = 0.01) -> bool:
+    """Whether the two samples differ at level *alpha* (asymptotic).
+
+    Uses the standard critical-value approximation
+    ``c(α)·sqrt((n+m)/(n·m))`` with c(0.01)≈1.63, c(0.05)≈1.36.
+    """
+    critical = {0.10: 1.22, 0.05: 1.36, 0.01: 1.63, 0.001: 1.95}.get(alpha)
+    if critical is None:
+        raise ValueError(f"unsupported alpha {alpha}")
+    n, m = len(a), len(b)
+    if n == 0 or m == 0:
+        raise ValueError("empty sample set")
+    threshold = critical * ((n + m) / (n * m)) ** 0.5
+    return ks_distance(a, b) > threshold

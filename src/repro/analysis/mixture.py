@@ -1,0 +1,199 @@
+"""Lognormal mixture fitting by expectation-maximization.
+
+Following Fontugne et al., an RTT population is modelled as a mixture
+of lognormal modes: working in ``log(rtt)`` space this is a 1-D
+Gaussian mixture, fitted here with plain EM. :func:`fit_lognormal_mixture`
+fits a fixed component count; :func:`select_components` sweeps *k* and
+picks by BIC, which is how "how many paths does this pair actually
+use?" gets answered from data.
+
+Everything is deterministic given the seed and pure Python.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+_LOG_2PI = math.log(2 * math.pi)
+_MIN_SIGMA = 1e-3
+
+
+@dataclass(frozen=True)
+class FittedComponent:
+    """One lognormal mode.
+
+    Attributes:
+        weight: mixing proportion (sums to 1 across the fit).
+        mu / sigma: parameters in log-space.
+    """
+
+    weight: float
+    mu: float
+    sigma: float
+
+    @property
+    def median_ms(self) -> float:
+        """The mode's median in original (ms) units."""
+        return math.exp(self.mu)
+
+    def log_density(self, log_value: float) -> float:
+        z = (log_value - self.mu) / self.sigma
+        return -0.5 * (z * z + _LOG_2PI) - math.log(self.sigma)
+
+
+@dataclass
+class MixtureFit:
+    """A fitted mixture plus its quality metrics."""
+
+    components: List[FittedComponent]
+    log_likelihood: float
+    iterations: int
+    sample_count: int
+
+    @property
+    def k(self) -> int:
+        return len(self.components)
+
+    @property
+    def bic(self) -> float:
+        """Bayesian information criterion (lower is better).
+
+        A k-component 1-D mixture has 3k−1 free parameters.
+        """
+        parameters = 3 * self.k - 1
+        return parameters * math.log(self.sample_count) - 2 * self.log_likelihood
+
+    @property
+    def dominant(self) -> FittedComponent:
+        """The highest-weight mode."""
+        return max(self.components, key=lambda c: c.weight)
+
+    def significant_modes(self, min_weight: float = 0.05) -> List[FittedComponent]:
+        """Modes carrying at least *min_weight*, sorted by median."""
+        modes = [c for c in self.components if c.weight >= min_weight]
+        return sorted(modes, key=lambda c: c.mu)
+
+    def density_ms(self, value_ms: float) -> float:
+        """Mixture density at *value_ms* (in original units)."""
+        if value_ms <= 0:
+            return 0.0
+        log_value = math.log(value_ms)
+        total = sum(
+            c.weight * math.exp(c.log_density(log_value)) for c in self.components
+        )
+        return total / value_ms  # change of variables d(log x)/dx
+
+
+def _log_sum_exp(values: Sequence[float]) -> float:
+    peak = max(values)
+    if peak == -math.inf:
+        return -math.inf
+    return peak + math.log(sum(math.exp(v - peak) for v in values))
+
+
+def fit_lognormal_mixture(
+    samples_ms: Sequence[float],
+    k: int = 2,
+    max_iterations: int = 200,
+    tolerance: float = 1e-6,
+    seed: int = 0,
+) -> MixtureFit:
+    """Fit a *k*-component lognormal mixture to RTT samples (ms).
+
+    Initialization spreads component means across the sample quantiles
+    (deterministic), with a seeded jitter to break ties.
+
+    Raises:
+        ValueError: fewer samples than components, or non-positive
+            samples (RTTs cannot be ≤ 0).
+    """
+    if k < 1:
+        raise ValueError("need at least one component")
+    if len(samples_ms) < max(2 * k, 3):
+        raise ValueError(f"too few samples ({len(samples_ms)}) for k={k}")
+    if any(value <= 0 for value in samples_ms):
+        raise ValueError("RTT samples must be positive")
+
+    data = sorted(math.log(value) for value in samples_ms)
+    n = len(data)
+    rng = random.Random(seed)
+
+    # Quantile-spread initialization.
+    spread = max((data[-1] - data[0]) / (2 * k), _MIN_SIGMA)
+    mus = [
+        data[min(n - 1, int((i + 0.5) * n / k))] + rng.uniform(-0.01, 0.01)
+        for i in range(k)
+    ]
+    sigmas = [spread] * k
+    weights = [1.0 / k] * k
+
+    previous_ll = -math.inf
+    iterations = 0
+    responsibilities = [[0.0] * k for _ in range(n)]
+    for iterations in range(1, max_iterations + 1):
+        # E step.
+        log_likelihood = 0.0
+        for i, x in enumerate(data):
+            log_terms = [
+                math.log(weights[j]) + FittedComponent(
+                    weights[j], mus[j], sigmas[j]
+                ).log_density(x)
+                for j in range(k)
+            ]
+            norm = _log_sum_exp(log_terms)
+            log_likelihood += norm
+            for j in range(k):
+                responsibilities[i][j] = math.exp(log_terms[j] - norm)
+
+        # M step.
+        for j in range(k):
+            total = sum(responsibilities[i][j] for i in range(n))
+            if total < 1e-9:
+                # Dead component: re-seed it on a random sample.
+                mus[j] = data[rng.randrange(n)]
+                sigmas[j] = spread
+                weights[j] = 1.0 / n
+                continue
+            weights[j] = total / n
+            mus[j] = sum(responsibilities[i][j] * data[i] for i in range(n)) / total
+            variance = sum(
+                responsibilities[i][j] * (data[i] - mus[j]) ** 2 for i in range(n)
+            ) / total
+            sigmas[j] = max(math.sqrt(variance), _MIN_SIGMA)
+
+        if abs(log_likelihood - previous_ll) < tolerance * max(1.0, abs(previous_ll)):
+            previous_ll = log_likelihood
+            break
+        previous_ll = log_likelihood
+
+    components = sorted(
+        (FittedComponent(weights[j], mus[j], sigmas[j]) for j in range(k)),
+        key=lambda c: c.mu,
+    )
+    return MixtureFit(
+        components=list(components),
+        log_likelihood=previous_ll,
+        iterations=iterations,
+        sample_count=n,
+    )
+
+
+def select_components(
+    samples_ms: Sequence[float],
+    max_k: int = 4,
+    seed: int = 0,
+) -> MixtureFit:
+    """Fit k = 1..max_k and return the BIC-best mixture."""
+    best: Optional[MixtureFit] = None
+    for k in range(1, max_k + 1):
+        if len(samples_ms) < max(2 * k, 3):
+            break
+        fit = fit_lognormal_mixture(samples_ms, k=k, seed=seed)
+        if best is None or fit.bic < best.bic:
+            best = fit
+    if best is None:
+        raise ValueError("not enough samples to fit any mixture")
+    return best

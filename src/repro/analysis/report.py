@@ -1,0 +1,126 @@
+"""Per-path analysis over a measurement population.
+
+Applies the mixture methodology to Ruru's output: group enriched
+measurements by (src, dst) pair, fit each pair's latency population,
+flag multimodal paths (multiple route/congestion states), and compare
+time windows for drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.cdf import EmpiricalCdf, ks_distance, ks_significant
+from repro.analysis.mixture import FittedComponent, MixtureFit, select_components
+from repro.analytics.enricher import EnrichedMeasurement
+
+PairKey = Tuple[str, str]
+
+MIN_SAMPLES = 20
+
+
+@dataclass
+class PathModeReport:
+    """What the mixture fit says about one path."""
+
+    pair: PairKey
+    sample_count: int
+    fit: MixtureFit
+    median_ms: float
+    p95_ms: float
+
+    @property
+    def modes(self) -> List[FittedComponent]:
+        return self.fit.significant_modes()
+
+    @property
+    def is_multimodal(self) -> bool:
+        """More than one significant mode: the path has distinct
+        latency states (alternate routes, recurring congestion)."""
+        return len(self.modes) > 1
+
+    def mode_summary(self) -> str:
+        parts = [
+            f"{mode.median_ms:.1f}ms({mode.weight:.0%})" for mode in self.modes
+        ]
+        return " + ".join(parts)
+
+
+def _group_by_pair(
+    measurements: Iterable[EnrichedMeasurement],
+) -> Dict[PairKey, List[float]]:
+    groups: Dict[PairKey, List[float]] = {}
+    for measurement in measurements:
+        groups.setdefault(measurement.location_pair, []).append(
+            measurement.total_ms
+        )
+    return groups
+
+
+def analyze_paths(
+    measurements: Iterable[EnrichedMeasurement],
+    min_samples: int = MIN_SAMPLES,
+    max_components: int = 3,
+    seed: int = 0,
+) -> List[PathModeReport]:
+    """Fit every sufficiently-sampled path; reports sorted by volume."""
+    reports: List[PathModeReport] = []
+    for pair, samples in _group_by_pair(measurements).items():
+        if len(samples) < min_samples:
+            continue
+        fit = select_components(samples, max_k=max_components, seed=seed)
+        cdf = EmpiricalCdf(samples)
+        reports.append(PathModeReport(
+            pair=pair,
+            sample_count=len(samples),
+            fit=fit,
+            median_ms=cdf.median,
+            p95_ms=cdf.quantile(0.95),
+        ))
+    reports.sort(key=lambda r: r.sample_count, reverse=True)
+    return reports
+
+
+@dataclass
+class WindowDrift:
+    """Population change of one pair between two time windows."""
+
+    pair: PairKey
+    ks: float
+    significant: bool
+    before_median_ms: float
+    after_median_ms: float
+
+    @property
+    def median_shift_ms(self) -> float:
+        return self.after_median_ms - self.before_median_ms
+
+
+def compare_windows(
+    before: Iterable[EnrichedMeasurement],
+    after: Iterable[EnrichedMeasurement],
+    min_samples: int = MIN_SAMPLES,
+    alpha: float = 0.01,
+) -> List[WindowDrift]:
+    """KS-compare each pair's population across two windows.
+
+    Returns drifts for pairs sampled in both windows, most-drifted
+    first — the 'what changed overnight?' question an operator asks.
+    """
+    groups_before = _group_by_pair(before)
+    groups_after = _group_by_pair(after)
+    drifts: List[WindowDrift] = []
+    for pair in groups_before.keys() & groups_after.keys():
+        a, b = groups_before[pair], groups_after[pair]
+        if len(a) < min_samples or len(b) < min_samples:
+            continue
+        drifts.append(WindowDrift(
+            pair=pair,
+            ks=ks_distance(a, b),
+            significant=ks_significant(a, b, alpha=alpha),
+            before_median_ms=EmpiricalCdf(a).median,
+            after_median_ms=EmpiricalCdf(b).median,
+        ))
+    drifts.sort(key=lambda d: d.ks, reverse=True)
+    return drifts

@@ -1,0 +1,50 @@
+"""Ruru Analytics: enrichment, anonymization, aggregation, wiring.
+
+The paper's analytics tier subscribes to the DPDK stage's ZeroMQ
+stream, "retrieve[s] geographical locations … and AS information for
+the source and destination IPs using multiple threads", then removes
+"all original IP addresses … for privacy reasons" before anything is
+stored or displayed. This package is that tier:
+
+* :mod:`repro.analytics.enricher` — IP→geo/AS lookup producing
+  :class:`EnrichedMeasurement` (which structurally *cannot* carry an
+  IP address — anonymization by construction).
+* :mod:`repro.analytics.anonymize` — the privacy boundary utilities
+  and auditing helpers tests use to prove no address leaks downstream.
+* :mod:`repro.analytics.aggregator` — windowed statistics by location
+  pair and AS pair ("Ruru aggregates statistics by source and
+  destination locations, and AS numbers").
+* :mod:`repro.analytics.service` — the deployable service: PULL from
+  the pipeline, enrich with a worker pool, fan out to the TSDB writer
+  and the frontend publisher, with optional filter modules.
+"""
+
+from repro.analytics.enricher import EnrichedMeasurement, Enricher, EnricherStats
+from repro.analytics.anonymize import (
+    PrivacyViolation,
+    assert_no_addresses,
+    truncate_ipv4,
+    truncate_ipv6,
+)
+from repro.analytics.aggregator import PairAggregator, PairStats
+from repro.analytics.pseudonymize import PrefixPreservingAnonymizer
+from repro.analytics.quantile import P2Quantile
+from repro.analytics.topk import SpaceSaving, TopEntry
+from repro.analytics.service import AnalyticsService
+
+__all__ = [
+    "EnrichedMeasurement",
+    "Enricher",
+    "EnricherStats",
+    "PrivacyViolation",
+    "assert_no_addresses",
+    "truncate_ipv4",
+    "truncate_ipv6",
+    "PairAggregator",
+    "PairStats",
+    "PrefixPreservingAnonymizer",
+    "P2Quantile",
+    "SpaceSaving",
+    "TopEntry",
+    "AnalyticsService",
+]

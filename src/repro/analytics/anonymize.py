@@ -1,0 +1,93 @@
+"""The privacy boundary: helpers and auditors.
+
+Ruru's rule is simple — "all original IP addresses are removed for
+privacy reasons" after enrichment. The structural guarantee lives in
+:class:`~repro.analytics.enricher.EnrichedMeasurement` (no address
+fields); this module adds:
+
+* prefix-truncation helpers for deployments that must keep a coarse
+  network identifier (an optional, weaker mode);
+* :func:`assert_no_addresses`, an auditor that walks any object graph
+  and fails if something that looks like an IP address survived — the
+  tests run it over TSDB points and frontend frames.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterable
+
+from repro.net.addresses import is_ipv4, is_ipv6
+
+
+class PrivacyViolation(AssertionError):
+    """Raised by the auditor when an address reaches a forbidden tier."""
+
+
+def truncate_ipv4(address: int, keep_bits: int = 24) -> int:
+    """Zero the host bits of an IPv4 address, keeping a /keep_bits."""
+    if not 0 <= keep_bits <= 32:
+        raise ValueError("keep_bits must be within [0, 32]")
+    mask = ((1 << keep_bits) - 1) << (32 - keep_bits) if keep_bits else 0
+    return address & mask
+
+
+def truncate_ipv6(address: int, keep_bits: int = 48) -> int:
+    """Zero the host bits of an IPv6 address, keeping a /keep_bits."""
+    if not 0 <= keep_bits <= 128:
+        raise ValueError("keep_bits must be within [0, 128]")
+    mask = ((1 << keep_bits) - 1) << (128 - keep_bits) if keep_bits else 0
+    return address & mask
+
+
+_IPV4_PATTERN = re.compile(r"\b\d{1,3}(?:\.\d{1,3}){3}\b")
+# Loose candidate match (including '::' compression); every candidate
+# is validated with is_ipv6 before being reported.
+_IPV6_PATTERN = re.compile(r"(?:[0-9a-fA-F]{0,4}:){2,7}[0-9a-fA-F]{0,4}")
+
+
+def _strings_in(obj: Any, depth: int = 0) -> Iterable[str]:
+    """Yield every string reachable in a (bounded) object graph."""
+    if depth > 6:
+        return
+    if isinstance(obj, str):
+        yield obj
+        return
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            yield from _strings_in(key, depth + 1)
+            yield from _strings_in(value, depth + 1)
+        return
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        for item in obj:
+            yield from _strings_in(item, depth + 1)
+        return
+    if hasattr(obj, "__dataclass_fields__"):
+        for name in obj.__dataclass_fields__:
+            yield from _strings_in(getattr(obj, name), depth + 1)
+
+
+def find_addresses(obj: Any) -> list:
+    """All IP-address-looking strings reachable from *obj*."""
+    found = []
+    for text in _strings_in(obj):
+        for match in _IPV4_PATTERN.findall(text):
+            if is_ipv4(match):
+                found.append(match)
+        for match in _IPV6_PATTERN.findall(text):
+            if is_ipv6(match):
+                found.append(match)
+    return found
+
+
+def assert_no_addresses(obj: Any, context: str = "object") -> None:
+    """Fail loudly if an IP address string survives in *obj*.
+
+    Used by tests over everything downstream of the enricher: TSDB
+    points, dashboard results, frontend frames.
+    """
+    leaked = find_addresses(obj)
+    if leaked:
+        raise PrivacyViolation(
+            f"{context} leaked IP addresses past the privacy boundary: {leaked[:5]}"
+        )

@@ -1,0 +1,115 @@
+"""Streaming quantile estimation: the P² algorithm.
+
+The pair aggregator keeps count/mean/min/max/stddev in O(1) per
+sample, but operators watch p95/p99 — and storing every sample per
+pair per window defeats the point of streaming. Jain & Chlamtac's P²
+algorithm estimates a quantile with five markers and no stored
+samples; it is the standard trick in monitoring agents, and accurate
+to a few percent on unimodal latency populations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class P2Quantile:
+    """Single-quantile P² estimator.
+
+    Args:
+        q: the target quantile in (0, 1), e.g. 0.99.
+    """
+
+    def __init__(self, q: float):
+        if not 0.0 < q < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        self.q = q
+        self._initial: List[float] = []
+        # Marker heights, positions, and desired positions.
+        self._heights: List[float] = []
+        self._positions: List[float] = []
+        self._desired: List[float] = []
+        self._increments: List[float] = []
+        self.count = 0
+
+    def add(self, value: float) -> None:
+        """Fold in one observation."""
+        self.count += 1
+        if len(self._initial) < 5:
+            self._initial.append(value)
+            if len(self._initial) == 5:
+                self._initialize()
+            return
+        self._update(value)
+
+    def _initialize(self) -> None:
+        self._initial.sort()
+        self._heights = list(self._initial)
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        q = self.q
+        self._desired = [1.0, 1 + 2 * q, 1 + 4 * q, 3 + 2 * q, 5.0]
+        self._increments = [0.0, q / 2, q, (1 + q) / 2, 1.0]
+
+    def _update(self, value: float) -> None:
+        heights, positions = self._heights, self._positions
+        # Find the cell and clamp extremes.
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while cell < 3 and value >= heights[cell + 1]:
+                cell += 1
+        for i in range(cell + 1, 5):
+            positions[i] += 1
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+
+        # Adjust interior markers toward their desired positions.
+        for i in range(1, 4):
+            delta = self._desired[i] - positions[i]
+            if (delta >= 1 and positions[i + 1] - positions[i] > 1) or (
+                delta <= -1 and positions[i - 1] - positions[i] < -1
+            ):
+                direction = 1 if delta >= 0 else -1
+                candidate = self._parabolic(i, direction)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:
+                    heights[i] = self._linear(i, direction)
+                positions[i] += direction
+
+    def _parabolic(self, i: int, direction: int) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + direction / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + direction)
+            * (h[i + 1] - h[i])
+            / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - direction)
+            * (h[i] - h[i - 1])
+            / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, direction: int) -> float:
+        h, n = self._heights, self._positions
+        return h[i] + direction * (h[i + direction] - h[i]) / (
+            n[i + direction] - n[i]
+        )
+
+    @property
+    def value(self) -> Optional[float]:
+        """The current estimate; None before any samples.
+
+        Before five samples it falls back to the exact small-sample
+        quantile.
+        """
+        if self.count == 0:
+            return None
+        if len(self._initial) < 5:
+            ordered = sorted(self._initial)
+            index = min(len(ordered) - 1, int(self.q * len(ordered)))
+            return ordered[index]
+        return self._heights[2]

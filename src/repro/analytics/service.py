@@ -1,0 +1,191 @@
+"""The analytics service: ZeroMQ in → enrich → TSDB + frontend out.
+
+Topology (paper Fig 2): the DPDK stage PUSHes encoded latency records;
+a pool of enrichment workers PULLs them ("using multiple threads"),
+attaches geography and AS numbers, drops the addresses, and the
+results fan out to (a) the time-series database, as both raw per-flow
+points and windowed pair rollups, and (b) a PUB socket the WebSocket
+frontend subscribes to.
+
+Filter modules — the paper's extensibility example — are predicates
+over enriched measurements inserted before the fan-out.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.analytics.aggregator import PairAggregator
+from repro.analytics.enricher import EnrichedMeasurement, Enricher
+from repro.core.latency import Direction, LatencyRecord
+from repro.geo.asn import AsnDatabase
+from repro.geo.database import GeoDatabase
+from repro.mq.codec import decode_latency_record, encode_enriched, encode_latency_record
+from repro.mq.frames import Message
+from repro.mq.socket import Context, PubSocket, PushSocket
+from repro.tsdb.database import TimeSeriesDatabase
+from repro.tsdb.point import Point
+
+LATENCY_TOPIC = b"latency"
+ENRICHED_TOPIC = b"enriched"
+
+MeasurementFilter = Callable[[EnrichedMeasurement], bool]
+
+ANALYTICS_ENDPOINT = "inproc://analytics"
+
+
+def make_pipeline_sink(push: PushSocket) -> Callable[[LatencyRecord], None]:
+    """Adapter: a pipeline sink that publishes records over PUSH."""
+
+    def sink(record: LatencyRecord) -> None:
+        push.send(Message.with_topic(LATENCY_TOPIC, encode_latency_record(record)))
+
+    return sink
+
+
+class AnalyticsService:
+    """Enrichment workers plus the TSDB/frontend fan-out.
+
+    Args:
+        context: the message-bus context shared with the pipeline.
+        geo / asn: enrichment databases.
+        tsdb: destination database (a fresh one if omitted).
+        num_workers: enrichment worker pool size (the paper's
+            "multiple threads"); workers share one PULL socket and are
+            polled round-robin.
+        endpoint: where the PULL socket binds.
+        aggregation_window_ns: rollup window for pair statistics.
+        filters: keep-predicates applied after enrichment; a
+            measurement rejected by any filter is counted and dropped.
+    """
+
+    def __init__(
+        self,
+        context: Context,
+        geo: GeoDatabase,
+        asn: AsnDatabase,
+        geo6: Optional[GeoDatabase] = None,
+        asn6: Optional[AsnDatabase] = None,
+        tsdb: Optional[TimeSeriesDatabase] = None,
+        num_workers: int = 4,
+        endpoint: str = ANALYTICS_ENDPOINT,
+        aggregation_window_ns: int = 1_000_000_000,
+        filters: Optional[List[MeasurementFilter]] = None,
+        store_raw_points: bool = True,
+        home_country: str = "NZ",
+    ):
+        if num_workers <= 0:
+            raise ValueError("need at least one enrichment worker")
+        self.context = context
+        self.tsdb = tsdb or TimeSeriesDatabase()
+        self.pull = context.pull()
+        self.pull.bind(endpoint)
+        self.endpoint = endpoint
+        self.pub: PubSocket = context.pub()
+        self.enrichers = [
+            Enricher(geo, asn, geo6=geo6, asn6=asn6) for _ in range(num_workers)
+        ]
+        self._next_worker = 0
+        self.aggregator = PairAggregator(
+            window_ns=aggregation_window_ns,
+            emit=lambda points: self.tsdb.write_batch(points),
+        )
+        self.filters: List[MeasurementFilter] = list(filters or [])
+        self.store_raw_points = store_raw_points
+        self.home_country = home_country
+        self.records_in = 0
+        self.filtered_out = 0
+        self.decode_errors = 0
+
+    # -- wiring helpers -----------------------------------------------------
+
+    def connect_pipeline(self) -> PushSocket:
+        """Create a PUSH socket connected to this service's input."""
+        push = self.context.push()
+        push.connect(self.endpoint)
+        return push
+
+    def make_sink(self) -> Callable[[LatencyRecord], None]:
+        """A ready-made pipeline sink feeding this service."""
+        return make_pipeline_sink(self.connect_pipeline())
+
+    def subscribe_frontend(self, hwm: int = 10_000):
+        """Create a SUB socket receiving this service's enriched feed."""
+        sub = self.context.sub(hwm=hwm)
+        sub.subscribe(ENRICHED_TOPIC)
+        endpoint = f"{self.endpoint}/frontend/{id(sub)}"
+        sub.bind(endpoint)
+        self.pub.connect(endpoint)
+        return sub
+
+    # -- processing ------------------------------------------------------------
+
+    def poll(self, max_messages: int = 256) -> int:
+        """Drain up to *max_messages* from the input; Eal-compatible."""
+        handled = 0
+        for message in self.pull.recv_all(max_messages):
+            handled += 1
+            self._process_message(message)
+        return handled
+
+    def _process_message(self, message: Message) -> None:
+        self.records_in += 1
+        try:
+            record = decode_latency_record(message.payload[0])
+        except (IndexError, ValueError):
+            self.decode_errors += 1
+            return
+        enricher = self.enrichers[self._next_worker]
+        self._next_worker = (self._next_worker + 1) % len(self.enrichers)
+        measurement = enricher.enrich(record)
+        if measurement is None:
+            return
+        self.process_measurement(measurement)
+
+    def process_measurement(self, measurement: EnrichedMeasurement) -> None:
+        """Post-enrichment path: filters, TSDB, aggregation, frontend."""
+        for keep in self.filters:
+            if not keep(measurement):
+                self.filtered_out += 1
+                return
+        if self.store_raw_points:
+            self.tsdb.write(self._raw_point(measurement, self.home_country))
+        self.aggregator.add(measurement)
+        self.pub.send(
+            Message.with_topic(ENRICHED_TOPIC, encode_enriched(measurement))
+        )
+
+    def finish(self) -> None:
+        """Flush in-flight aggregation windows (end of a run)."""
+        self.poll(max_messages=1 << 30)
+        self.aggregator.flush()
+
+    @staticmethod
+    def _raw_point(measurement: EnrichedMeasurement, home_country: str) -> Point:
+        direction = Direction.classify(
+            measurement.src_country, measurement.dst_country, home_country
+        )
+        return Point(
+            measurement="latency",
+            timestamp_ns=measurement.timestamp_ns,
+            tags={
+                "src_country": measurement.src_country,
+                "dst_country": measurement.dst_country,
+                "src_city": measurement.src_city,
+                "dst_city": measurement.dst_city,
+                "src_asn": str(measurement.src_asn),
+                "dst_asn": str(measurement.dst_asn),
+                "direction": direction.value,
+            },
+            fields={
+                "internal_ms": measurement.internal_ms,
+                "external_ms": measurement.external_ms,
+                "total_ms": measurement.total_ms,
+            },
+        )
+
+    # -- reporting --------------------------------------------------------------
+
+    @property
+    def enriched_count(self) -> int:
+        return sum(worker.stats.enriched for worker in self.enrichers)

@@ -1,0 +1,43 @@
+"""Real-time anomaly detection on Ruru's measurement stream.
+
+The paper's operational findings drive this package: Ruru "has been
+used for anomaly detection and was able to find very fine-grained
+micro-glitches in latency that no other monitoring system had
+previously identified" (the nightly 4000 ms firewall glitch), and
+"other types of anomalies (e.g., unusual number of TCP connections
+between two locations or SYN floods) can also be identified in
+real-time with simple Ruru modules".
+
+* :mod:`repro.anomaly.events` — the event model.
+* :mod:`repro.anomaly.baseline` — streaming EWMA baselines and
+  windowed rate counters the detectors share.
+* :mod:`repro.anomaly.latency_spike` — flags measurements far above
+  the learned per-path baseline and groups them into events (E4).
+* :mod:`repro.anomaly.syn_flood` — watches the handshake packet
+  stream for high SYN rates with low completion fractions (E5).
+* :mod:`repro.anomaly.conn_count` — flags unusual connection counts
+  between location pairs (E5).
+* :mod:`repro.anomaly.manager` — fans one measurement stream into all
+  detectors and collects their events.
+"""
+
+from repro.anomaly.events import AnomalyEvent, Severity
+from repro.anomaly.baseline import EwmaBaseline, WindowedRate
+from repro.anomaly.latency_spike import LatencySpikeDetector
+from repro.anomaly.syn_flood import SynFloodDetector
+from repro.anomaly.conn_count import ConnectionCountDetector
+from repro.anomaly.path_drift import PathDriftDetector, Reservoir
+from repro.anomaly.manager import AnomalyManager
+
+__all__ = [
+    "AnomalyEvent",
+    "Severity",
+    "EwmaBaseline",
+    "WindowedRate",
+    "LatencySpikeDetector",
+    "SynFloodDetector",
+    "ConnectionCountDetector",
+    "PathDriftDetector",
+    "Reservoir",
+    "AnomalyManager",
+]

@@ -1,0 +1,114 @@
+"""Connection-count anomaly detection (E5).
+
+"Unusual number of TCP connections between two locations" — the
+detector counts completed handshakes per (src city, dst city) pair in
+tumbling windows and compares each window's count against the pair's
+EWMA baseline. Pairs too young (warmup) or too quiet (*min_count*)
+never fire.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.analytics.enricher import EnrichedMeasurement
+from repro.anomaly.baseline import EwmaBaseline, WindowedRate
+from repro.anomaly.events import AnomalyEvent, Severity
+
+NS_PER_S = 1_000_000_000
+
+PairKey = Tuple[str, str]
+
+
+class ConnectionCountDetector:
+    """Windowed per-pair connection counting with EWMA baselines."""
+
+    def __init__(
+        self,
+        window_ns: int = 10 * NS_PER_S,
+        z_threshold: float = 5.0,
+        ratio_threshold: float = 3.0,
+        min_count: int = 50,
+        alpha: float = 0.1,
+        warmup: int = 6,
+    ):
+        if min_count < 1:
+            raise ValueError("min_count must be at least 1")
+        self.window_ns = window_ns
+        self.z_threshold = z_threshold
+        self.ratio_threshold = ratio_threshold
+        self.min_count = min_count
+        self.baseline: EwmaBaseline[PairKey] = EwmaBaseline(alpha=alpha, warmup=warmup)
+        self._rate: WindowedRate[PairKey] = WindowedRate(window_ns)
+        self._open: Dict[PairKey, AnomalyEvent] = {}
+        self.events: List[AnomalyEvent] = []
+
+    def observe(self, measurement: EnrichedMeasurement) -> Optional[AnomalyEvent]:
+        """Feed one completed-handshake measurement."""
+        key: PairKey = (measurement.src_city, measurement.dst_city)
+        closed = self._rate.add(key, measurement.timestamp_ns)
+        if closed is None:
+            return None
+        return self._evaluate_window(closed)
+
+    def _evaluate_window(self, closed) -> Optional[AnomalyEvent]:
+        window_start, counts = closed
+        newest_event: Optional[AnomalyEvent] = None
+        hot_pairs = set()
+        for pair, count in counts.items():
+            zscore = self.baseline.zscore(pair, float(count))
+            mean = self.baseline.mean(pair)
+            hot = (
+                count >= self.min_count
+                and zscore is not None
+                and mean is not None
+                and zscore >= self.z_threshold
+                and count >= mean * self.ratio_threshold
+            )
+            if hot:
+                hot_pairs.add(pair)
+                if pair not in self._open:
+                    event = AnomalyEvent(
+                        kind="connection-surge",
+                        start_ns=window_start,
+                        severity=Severity.WARNING,
+                        description=(
+                            f"{count} connections/window vs baseline "
+                            f"{mean:.1f} (z={zscore:.1f})"
+                        ),
+                        subject=f"{pair[0]}->{pair[1]}",
+                        evidence={
+                            "count": float(count),
+                            "baseline": float(mean),
+                            "zscore": float(zscore),
+                        },
+                    )
+                    self._open[pair] = event
+                    self.events.append(event)
+                    newest_event = event
+                else:
+                    open_event = self._open[pair]
+                    open_event.evidence["count"] = max(
+                        open_event.evidence.get("count", 0.0), float(count)
+                    )
+            else:
+                # Anomalous windows are excluded from baseline learning.
+                self.baseline.observe(pair, float(count))
+
+        # Close events for pairs that have gone quiet.
+        for pair in list(self._open):
+            if pair not in hot_pairs:
+                self._open[pair].close(window_start + self.window_ns)
+                del self._open[pair]
+        return newest_event
+
+    def finish(self, now_ns: Optional[int] = None) -> List[AnomalyEvent]:
+        """End of stream: evaluate the final window, close open events."""
+        closed = self._rate.flush()
+        if closed is not None:
+            self._evaluate_window(closed)
+        for event in self._open.values():
+            if event.is_open and now_ns is not None:
+                event.close(now_ns)
+        self._open.clear()
+        return list(self.events)

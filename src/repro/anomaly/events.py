@@ -1,0 +1,62 @@
+"""The anomaly event model."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+class Severity(enum.IntEnum):
+    """Ordered severities; comparisons follow the int order."""
+
+    INFO = 1
+    WARNING = 2
+    CRITICAL = 3
+
+
+@dataclass
+class AnomalyEvent:
+    """One detected anomaly.
+
+    Attributes:
+        kind: stable detector token (``"latency-spike"``,
+            ``"syn-flood"``, ``"connection-surge"``).
+        start_ns: when the anomalous behaviour began.
+        end_ns: when it subsided (None while ongoing).
+        severity: operator-facing urgency.
+        description: one human-readable line.
+        subject: what the anomaly is about (a city pair, a target…).
+        evidence: detector-specific numbers backing the call.
+    """
+
+    kind: str
+    start_ns: int
+    severity: Severity
+    description: str
+    subject: str = ""
+    end_ns: Optional[int] = None
+    evidence: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def is_open(self) -> bool:
+        return self.end_ns is None
+
+    @property
+    def duration_ns(self) -> Optional[int]:
+        if self.end_ns is None:
+            return None
+        return self.end_ns - self.start_ns
+
+    def close(self, end_ns: int) -> None:
+        """Mark the event as over."""
+        if end_ns < self.start_ns:
+            raise ValueError("event cannot end before it starts")
+        self.end_ns = end_ns
+
+    def __str__(self) -> str:
+        state = "ongoing" if self.is_open else f"{(self.duration_ns or 0) / 1e9:.1f}s"
+        return (
+            f"[{self.severity.name}] {self.kind} {self.subject} "
+            f"@{self.start_ns / 1e9:.1f}s ({state}): {self.description}"
+        )

@@ -1,0 +1,143 @@
+"""SYN-flood detection from the handshake packet stream (E5).
+
+Runs as an in-pipeline observer (see
+:class:`~repro.core.worker.QueueWorker`'s ``observers``): for every
+parsed packet it counts SYNs and handshake completions per target
+network, in tumbling windows. A window whose SYN rate exceeds
+*min_syn_rate* **and** whose completion fraction falls below
+*max_completion_fraction* opens a flood event for that target;
+consecutive hot windows extend it, a cold window closes it.
+
+Targets are keyed by destination /24 (configurable), never full
+addresses — the detector's own output respects the privacy rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.anomaly.baseline import WindowedRate
+from repro.anomaly.events import AnomalyEvent, Severity
+from repro.net.addresses import int_to_ip
+from repro.net.parser import ParsedPacket
+
+NS_PER_S = 1_000_000_000
+
+TargetKey = Tuple[int, bool]  # truncated address, is_ipv6
+
+
+class SynFloodDetector:
+    """Windowed SYN-rate / completion-ratio detector."""
+
+    def __init__(
+        self,
+        window_ns: int = NS_PER_S,
+        min_syn_rate: float = 500.0,
+        max_completion_fraction: float = 0.3,
+        prefix_bits: int = 24,
+    ):
+        if not 0 < max_completion_fraction <= 1.0:
+            raise ValueError("completion fraction must be in (0, 1]")
+        if min_syn_rate <= 0:
+            raise ValueError("min_syn_rate must be positive")
+        if not 0 < prefix_bits <= 32:
+            raise ValueError("prefix_bits must be in (0, 32]")
+        self.window_ns = window_ns
+        self.min_syn_rate = min_syn_rate
+        self.max_completion_fraction = max_completion_fraction
+        self.prefix_bits = prefix_bits
+        self._syns: WindowedRate[TargetKey] = WindowedRate(window_ns)
+        self._acks: WindowedRate[TargetKey] = WindowedRate(window_ns)
+        # The most recently closed ACK window, kept until the matching
+        # SYN window closes (the two counters can close at different
+        # packets).
+        self._closed_ack_window: Optional[Tuple[int, Dict[TargetKey, int]]] = None
+        self._open: Dict[TargetKey, AnomalyEvent] = {}
+        self.events: List[AnomalyEvent] = []
+        self.packets_seen = 0
+
+    def _target_of(self, packet: ParsedPacket) -> TargetKey:
+        if packet.is_ipv6:
+            truncated = packet.dst_ip >> 80 << 80  # keep /48
+            return (truncated, True)
+        shift = 32 - self.prefix_bits
+        return ((packet.dst_ip >> shift) << shift, False)
+
+    def on_packet(self, packet: ParsedPacket) -> None:
+        """Observer entry point: feed every parsed TCP packet."""
+        self.packets_seen += 1
+        target = self._target_of(packet)
+        if packet.is_syn:
+            closed_acks = self._acks.add(target, packet.timestamp_ns, count=0)
+            if closed_acks is not None:
+                self._closed_ack_window = closed_acks
+            closed_syns = self._syns.add(target, packet.timestamp_ns)
+            if closed_syns is not None:
+                self._evaluate(closed_syns)
+        elif packet.is_ack:
+            # ACKs toward the flooded target approximate handshakes the
+            # target's clients actually completed; a flood of spoofed
+            # SYNs produces none.
+            closed_acks = self._acks.add(target, packet.timestamp_ns, count=1)
+            if closed_acks is not None:
+                self._closed_ack_window = closed_acks
+            closed_syns = self._syns.add(target, packet.timestamp_ns, count=0)
+            if closed_syns is not None:
+                self._evaluate(closed_syns)
+
+    def _evaluate(self, closed_syns) -> None:
+        window_start, syn_counts = closed_syns
+        ack_counts: Dict[TargetKey, int] = {}
+        if (
+            self._closed_ack_window is not None
+            and self._closed_ack_window[0] == window_start
+        ):
+            ack_counts = self._closed_ack_window[1]
+        window_s = self.window_ns / NS_PER_S
+        for target, syn_count in syn_counts.items():
+            rate = syn_count / window_s
+            completions = ack_counts.get(target, 0)
+            fraction = completions / syn_count if syn_count else 1.0
+            hot = rate >= self.min_syn_rate and fraction <= self.max_completion_fraction
+            open_event = self._open.get(target)
+            if hot and open_event is None:
+                address, is_ipv6 = target
+                label = "ipv6-net" if is_ipv6 else f"{int_to_ip(address)}/{self.prefix_bits}"
+                event = AnomalyEvent(
+                    kind="syn-flood",
+                    start_ns=window_start,
+                    severity=Severity.CRITICAL,
+                    description=(
+                        f"{rate:.0f} SYN/s toward {label}, "
+                        f"completion {fraction:.0%}"
+                    ),
+                    subject=label,
+                    evidence={
+                        "syn_rate": rate,
+                        "completion_fraction": fraction,
+                    },
+                )
+                self._open[target] = event
+                self.events.append(event)
+            elif hot and open_event is not None:
+                open_event.evidence["syn_rate"] = max(
+                    open_event.evidence.get("syn_rate", 0.0), rate
+                )
+            elif not hot and open_event is not None:
+                open_event.close(window_start + self.window_ns)
+                del self._open[target]
+
+    def finish(self, now_ns: Optional[int] = None) -> List[AnomalyEvent]:
+        """End of stream: evaluate the last window, close open events."""
+        closed_acks = self._acks.flush()
+        if closed_acks is not None:
+            self._closed_ack_window = closed_acks
+        closed_syns = self._syns.flush()
+        if closed_syns is not None:
+            self._evaluate(closed_syns)
+        for target, event in list(self._open.items()):
+            if event.is_open and now_ns is not None:
+                event.close(now_ns)
+        self._open.clear()
+        return list(self.events)

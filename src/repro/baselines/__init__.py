@@ -1,0 +1,32 @@
+"""Comparison baselines: the passive-RTT tools that predate Ruru.
+
+The reproduction bands note Ruru's novelty sits against existing
+passive RTT tooling — pping (TCP-timestamp matching) and tcptrace
+(offline per-flow analysis). Both are implemented here over the same
+parsed-packet stream Ruru consumes, so experiment E9 can compare, on
+identical traces: samples per flow, agreement with ground-truth RTT,
+and per-packet processing cost.
+"""
+
+from repro.baselines.pping import PpingEstimator, RttSample
+from repro.baselines.tcptrace import FlowReport, TcptraceAnalyzer
+from repro.baselines.netflow import NetflowExporter, NetflowRecord
+from repro.baselines.active_probe import (
+    ActiveProber,
+    ProbeSample,
+    detection_probability,
+    glitch_model,
+)
+
+__all__ = [
+    "PpingEstimator",
+    "RttSample",
+    "FlowReport",
+    "TcptraceAnalyzer",
+    "NetflowExporter",
+    "NetflowRecord",
+    "ActiveProber",
+    "ProbeSample",
+    "detection_probability",
+    "glitch_model",
+]

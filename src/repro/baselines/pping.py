@@ -1,0 +1,126 @@
+"""pping-style passive RTT estimation from TCP timestamps.
+
+Pollere's *pping* matches the RFC 7323 timestamp echo: when a packet
+carries TSval *v*, remember when it passed the tap; when a packet in
+the opposite direction echoes TSecr == *v*, the elapsed tap time is
+one RTT sample *for that direction's far side*. Unlike Ruru's
+handshake method (exactly one internal+external sample per flow, at
+connection start), pping keeps sampling for as long as a flow carries
+timestamps — at the price of tracking every packet and holding TSval
+state per flow.
+
+This implementation follows pping's core rules: only the first
+occurrence of a TSval is recorded (retransmits must not shrink RTT),
+pure ACKs do not create TSval entries (their echo would measure the
+application's think time, not the path), and state ages out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.flow_table import canonical_flow_key
+from repro.net.parser import ParsedPacket
+
+NS_PER_S = 1_000_000_000
+
+# (canonical flow key, direction flag, tsval)
+_TsKey = Tuple[tuple, bool, int]
+
+
+@dataclass(frozen=True)
+class RttSample:
+    """One passive RTT sample.
+
+    ``toward_src`` True means the RTT covers tap↔(the packet's
+    source side) — i.e. the echo came back from that side.
+    """
+
+    flow_key: tuple
+    timestamp_ns: int
+    rtt_ns: int
+    toward_src: bool
+
+    @property
+    def rtt_ms(self) -> float:
+        return self.rtt_ns / 1e6
+
+
+class PpingEstimator:
+    """Streaming TSval/TSecr matcher."""
+
+    def __init__(self, state_timeout_ns: int = 60 * NS_PER_S, max_entries: int = 1 << 20):
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.state_timeout_ns = state_timeout_ns
+        self.max_entries = max_entries
+        self._first_seen: Dict[_TsKey, int] = {}
+        self.samples: List[RttSample] = []
+        self.packets_seen = 0
+        self.entries_expired = 0
+
+    def on_packet(self, packet: ParsedPacket) -> Optional[RttSample]:
+        """Feed one parsed packet; returns a sample when an echo matches."""
+        self.packets_seen += 1
+        if packet.tsval is None:
+            return None
+        key = canonical_flow_key(
+            packet.src_ip, packet.src_port, packet.dst_ip, packet.dst_port,
+            packet.is_ipv6,
+        )
+        # Direction flag: True when the packet travels key-forward
+        # (its source is the key's first endpoint).
+        forward = (packet.src_ip, packet.src_port) == (key[0], key[1])
+
+        sample: Optional[RttSample] = None
+        if packet.tsecr:
+            # This packet echoes the *other* direction's TSval.
+            match_key = (key, not forward, packet.tsecr)
+            sent_ns = self._first_seen.pop(match_key, None)
+            if sent_ns is not None:
+                rtt_ns = packet.timestamp_ns - sent_ns
+                if rtt_ns >= 0:
+                    sample = RttSample(
+                        flow_key=key,
+                        timestamp_ns=packet.timestamp_ns,
+                        rtt_ns=rtt_ns,
+                        toward_src=True,
+                    )
+                    self.samples.append(sample)
+
+        # Record this packet's TSval (first occurrence only; pure ACKs
+        # excluded — their echo time includes receiver delay).
+        carries_data = packet.payload_len > 0 or (packet.flags & 0x02)  # data or SYN
+        if carries_data:
+            ts_key = (key, forward, packet.tsval)
+            if ts_key not in self._first_seen:
+                if len(self._first_seen) >= self.max_entries:
+                    self._expire(packet.timestamp_ns)
+                self._first_seen[ts_key] = packet.timestamp_ns
+        return sample
+
+    def _expire(self, now_ns: int) -> None:
+        cutoff = now_ns - self.state_timeout_ns
+        stale = [key for key, seen in self._first_seen.items() if seen < cutoff]
+        for key in stale:
+            del self._first_seen[key]
+        self.entries_expired += len(stale)
+        if not stale and self._first_seen:
+            # Nothing stale but table full: drop the oldest entry.
+            oldest = min(self._first_seen.items(), key=lambda item: item[1])[0]
+            del self._first_seen[oldest]
+            self.entries_expired += 1
+
+    def run(self, packets: Iterable[ParsedPacket]) -> List[RttSample]:
+        """Convenience: feed a whole stream, return all samples."""
+        for packet in packets:
+            self.on_packet(packet)
+        return self.samples
+
+    def samples_per_flow(self) -> Dict[tuple, int]:
+        """Sample counts keyed by flow (E9's density comparison)."""
+        counts: Dict[tuple, int] = {}
+        for sample in self.samples:
+            counts[sample.flow_key] = counts.get(sample.flow_key, 0) + 1
+        return counts

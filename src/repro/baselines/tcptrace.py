@@ -1,0 +1,162 @@
+"""tcptrace-style offline per-flow analysis.
+
+Where Ruru streams one measurement per handshake, tcptrace reads a
+whole capture and reconstructs every connection: packet and byte
+counts per direction, handshake RTTs, retransmissions, and how the
+connection ended. The E9 bench uses it as the "full offline truth"
+both Ruru and pping are compared against — and as the cost yardstick
+(it must hold per-flow state for the entire trace).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.flow_table import canonical_flow_key
+from repro.net.parser import ParsedPacket
+
+
+@dataclass
+class _DirectionState:
+    packets: int = 0
+    bytes: int = 0
+    seqs_seen: Set[int] = field(default_factory=set)
+    retransmissions: int = 0
+
+
+@dataclass
+class FlowReport:
+    """Everything tcptrace reconstructs about one connection."""
+
+    flow_key: tuple
+    first_ns: int = 0
+    last_ns: int = 0
+    syn_ns: Optional[int] = None
+    synack_ns: Optional[int] = None
+    ack_ns: Optional[int] = None
+    fwd: _DirectionState = field(default_factory=_DirectionState)
+    rev: _DirectionState = field(default_factory=_DirectionState)
+    saw_fin: bool = False
+    saw_rst: bool = False
+
+    @property
+    def duration_ns(self) -> int:
+        return self.last_ns - self.first_ns
+
+    @property
+    def handshake_complete(self) -> bool:
+        return (
+            self.syn_ns is not None
+            and self.synack_ns is not None
+            and self.ack_ns is not None
+        )
+
+    @property
+    def external_rtt_ns(self) -> Optional[int]:
+        """Tap↔server RTT from the handshake (Ruru's 'external')."""
+        if self.syn_ns is None or self.synack_ns is None:
+            return None
+        return self.synack_ns - self.syn_ns
+
+    @property
+    def internal_rtt_ns(self) -> Optional[int]:
+        """Tap↔client RTT from the handshake (Ruru's 'internal')."""
+        if self.synack_ns is None or self.ack_ns is None:
+            return None
+        return self.ack_ns - self.synack_ns
+
+    @property
+    def total_rtt_ns(self) -> Optional[int]:
+        if self.syn_ns is None or self.ack_ns is None:
+            return None
+        return self.ack_ns - self.syn_ns
+
+    @property
+    def total_packets(self) -> int:
+        return self.fwd.packets + self.rev.packets
+
+    @property
+    def total_bytes(self) -> int:
+        return self.fwd.bytes + self.rev.bytes
+
+    @property
+    def termination(self) -> str:
+        """``"fin"``, ``"rst"``, or ``"open"``."""
+        if self.saw_rst:
+            return "rst"
+        if self.saw_fin:
+            return "fin"
+        return "open"
+
+
+class TcptraceAnalyzer:
+    """Whole-capture connection reconstruction."""
+
+    def __init__(self):
+        self.flows: Dict[tuple, FlowReport] = {}
+        self.packets_seen = 0
+
+    def on_packet(self, packet: ParsedPacket) -> None:
+        """Account one parsed packet."""
+        self.packets_seen += 1
+        key = canonical_flow_key(
+            packet.src_ip, packet.src_port, packet.dst_ip, packet.dst_port,
+            packet.is_ipv6,
+        )
+        report = self.flows.get(key)
+        if report is None:
+            report = FlowReport(
+                flow_key=key, first_ns=packet.timestamp_ns, last_ns=packet.timestamp_ns
+            )
+            self.flows[key] = report
+        report.last_ns = max(report.last_ns, packet.timestamp_ns)
+
+        forward = (packet.src_ip, packet.src_port) == (key[0], key[1])
+        direction = report.fwd if forward else report.rev
+        direction.packets += 1
+        direction.bytes += packet.payload_len
+        if packet.payload_len:
+            if packet.seq in direction.seqs_seen:
+                direction.retransmissions += 1
+            else:
+                direction.seqs_seen.add(packet.seq)
+
+        if packet.is_syn and report.syn_ns is None:
+            report.syn_ns = packet.timestamp_ns
+        elif packet.is_synack and report.synack_ns is None:
+            report.synack_ns = packet.timestamp_ns
+        elif (
+            packet.is_ack
+            and report.synack_ns is not None
+            and report.ack_ns is None
+        ):
+            report.ack_ns = packet.timestamp_ns
+        if packet.is_fin:
+            report.saw_fin = True
+        if packet.is_rst:
+            report.saw_rst = True
+
+    def run(self, packets: Iterable[ParsedPacket]) -> List[FlowReport]:
+        """Analyze a whole stream; returns reports ordered by first packet."""
+        for packet in packets:
+            self.on_packet(packet)
+        return self.reports()
+
+    def reports(self) -> List[FlowReport]:
+        return sorted(self.flows.values(), key=lambda r: r.first_ns)
+
+    def summary(self) -> Dict[str, float]:
+        """Capture-level statistics (E9 reporting)."""
+        reports = list(self.flows.values())
+        complete = [r for r in reports if r.handshake_complete]
+        return {
+            "flows": len(reports),
+            "complete_handshakes": len(complete),
+            "packets": self.packets_seen,
+            "bytes": sum(r.total_bytes for r in reports),
+            "retransmissions": sum(
+                r.fwd.retransmissions + r.rev.retransmissions for r in reports
+            ),
+            "rst_flows": sum(1 for r in reports if r.saw_rst),
+        }

@@ -1,0 +1,371 @@
+"""Command-line interface: ``ruru <command>``.
+
+Subcommands mirror how the deployed system is operated:
+
+* ``ruru generate`` — synthesize a workload and write it to a pcap.
+* ``ruru measure`` — run the measurement pipeline over a pcap (or a
+  freshly generated workload) and print latency records / stats.
+* ``ruru demo`` — the paper's demo: full pipeline with analytics,
+  dashboards and the live-map feed, printed as text.
+* ``ruru detect`` — run the anomaly detectors over a scenario with an
+  injected firewall glitch / SYN flood and print the events.
+* ``ruru export`` — run a workload and export the measurement database
+  as Influx line protocol (plus the Grafana dashboard JSON).
+* ``ruru query`` — execute an InfluxQL-style query against an exported
+  line-protocol file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analytics.service import AnalyticsService
+from repro.anomaly.manager import AnomalyManager
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import RuruPipeline
+from repro.frontend.dashboard import build_ruru_dashboard
+from repro.frontend.map_view import LiveMapView
+from repro.frontend.websocket import WebSocketChannel
+from repro.geo.builder import GeoDbBuilder
+from repro.mq.codec import decode_enriched
+from repro.mq.socket import Context
+from repro.net.pcap import PcapWriter
+from repro.net.pcapng import PcapngWriter, open_capture
+from repro.traffic.scenarios import (
+    AucklandLaScenario,
+    FirewallGlitchInjector,
+    SynFloodInjector,
+)
+
+NS_PER_S = 1_000_000_000
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--duration", type=float, default=30.0, help="seconds of traffic")
+    parser.add_argument("--rate", type=float, default=50.0, help="mean flows per second")
+    parser.add_argument("--seed", type=int, default=7, help="workload seed")
+    parser.add_argument("--queues", type=int, default=4, help="RSS receive queues")
+
+
+def _build_generator(args, injectors=None):
+    scenario = AucklandLaScenario(
+        duration_ns=int(args.duration * NS_PER_S),
+        mean_flows_per_s=args.rate,
+        seed=args.seed,
+        diurnal=False,
+    )
+    return scenario.build(injectors=injectors)
+
+
+def cmd_generate(args) -> int:
+    generator = _build_generator(args)
+    count = 0
+    writer_cls = PcapngWriter if args.format == "pcapng" else PcapWriter
+    with writer_cls(args.output) as writer:
+        for packet in generator.packets():
+            writer.write(packet)
+            count += 1
+    print(f"wrote {count} packets from {generator.flows_generated} flows to {args.output}")
+    return 0
+
+
+def cmd_measure(args) -> int:
+    pipeline = RuruPipeline(config=PipelineConfig(num_queues=args.queues))
+    if args.pcap:
+        with open_capture(args.pcap) as reader:
+            stats = pipeline.run_packets(reader)
+    else:
+        generator = _build_generator(args)
+        stats = pipeline.run_packets(generator.packets())
+    for record in pipeline.measurements[: args.show]:
+        print(record)
+    if len(pipeline.measurements) > args.show:
+        print(f"... and {len(pipeline.measurements) - args.show} more")
+    print("--- pipeline stats ---")
+    for key, value in stats.summary().items():
+        print(f"{key:>20}: {value}")
+    print(f"{'queue balance':>20}: "
+          + ", ".join(f"{share:.2%}" for share in pipeline.queue_balance()))
+    return 0
+
+
+def cmd_demo(args) -> int:
+    generator = _build_generator(args)
+    context = Context()
+    geo, asn = GeoDbBuilder(plan=generator.plan).build()
+    service = AnalyticsService(context, geo, asn)
+    channel = WebSocketChannel()
+    map_view = LiveMapView(channel=channel)
+    frontend_sub = service.subscribe_frontend()
+
+    pipeline = RuruPipeline(
+        config=PipelineConfig(num_queues=args.queues), sink=service.make_sink()
+    )
+    stats = pipeline.run_packets(generator.packets())
+    service.finish()
+
+    last_ns = 0
+    for message in frontend_sub.recv_all():
+        measurement = decode_enriched(message.payload[0])
+        map_view.add_measurement(measurement, measurement.timestamp_ns)
+        map_view.tick(measurement.timestamp_ns)
+        last_ns = max(last_ns, measurement.timestamp_ns)
+    map_view.flush_frame(last_ns)
+
+    print(f"measurements: {stats.measurements}")
+    print(f"enriched:     {service.enriched_count}")
+    print(f"tsdb points:  {service.tsdb.total_points()}")
+    print(f"map frames:   {map_view.frames_sent} "
+          f"({channel.bytes_to_client} bytes over the WebSocket)")
+    print(f"arc colours:  {map_view.color_histogram()}")
+    print("--- dashboard (mean end-to-end latency by country pair) ---")
+    dashboard = build_ruru_dashboard(interval_ns=int(args.duration * NS_PER_S))
+    for panel in dashboard.render(service.tsdb):
+        if panel.title.startswith("mean"):
+            for label, value in sorted(panel.latest().items()):
+                print(f"  {label}: {value:.1f} {panel.unit}")
+    return 0
+
+
+def cmd_detect(args) -> int:
+    injectors = []
+    if args.glitch:
+        injectors.append(
+            FirewallGlitchInjector(
+                window_start_offset_ns=int(args.duration * NS_PER_S) // 2,
+                window_ns=min(10 * NS_PER_S, int(args.duration * NS_PER_S) // 4),
+            )
+        )
+    if args.flood:
+        injectors.append(
+            SynFloodInjector(
+                flood_start_ns=int(args.duration * NS_PER_S) // 3,
+                flood_duration_ns=5 * NS_PER_S,
+            )
+        )
+    generator = _build_generator(args, injectors=injectors)
+    context = Context()
+    geo, asn = GeoDbBuilder(plan=generator.plan).build()
+    service = AnalyticsService(context, geo, asn)
+    manager = AnomalyManager()
+    service.filters.append(lambda m: (manager.observe_measurement(m), True)[1])
+
+    pipeline = RuruPipeline(
+        config=PipelineConfig(num_queues=args.queues),
+        sink=service.make_sink(),
+        observers=[manager.observe_packet],
+    )
+    pipeline.run_packets(generator.packets())
+    service.finish()
+    events = manager.finish(now_ns=int(args.duration * NS_PER_S))
+    if not events:
+        print("no anomalies detected")
+        return 1
+    for event in events:
+        print(event)
+    return 0
+
+
+def cmd_export(args) -> int:
+    generator = _build_generator(args)
+    context = Context()
+    geo, asn = GeoDbBuilder(plan=generator.plan).build()
+    service = AnalyticsService(context, geo, asn)
+    pipeline = RuruPipeline(
+        config=PipelineConfig(num_queues=args.queues), sink=service.make_sink()
+    )
+    pipeline.run_packets(generator.packets())
+    service.finish()
+
+    count = 0
+    with open(args.output, "w", encoding="utf-8") as handle:
+        for line in service.tsdb.dump_lines():
+            handle.write(line + "\n")
+            count += 1
+    print(f"wrote {count} points to {args.output}")
+
+    if args.grafana:
+        from repro.frontend.grafana import export_grafana_json
+
+        dashboard = build_ruru_dashboard(
+            interval_ns=int(args.duration * NS_PER_S) // 10 or NS_PER_S
+        )
+        with open(args.grafana, "w", encoding="utf-8") as handle:
+            handle.write(export_grafana_json(dashboard, indent=2))
+        print(f"wrote Grafana dashboard model to {args.grafana}")
+    return 0
+
+
+def cmd_query(args) -> int:
+    from repro.tsdb.database import TimeSeriesDatabase
+    from repro.tsdb.ql import execute_statement
+
+    db = TimeSeriesDatabase()
+    with open(args.file, encoding="utf-8") as handle:
+        loaded = db.load_lines(handle)
+    result = execute_statement(db, args.query)
+    if isinstance(result, list):  # SHOW statements return name lists
+        for name in result:
+            print(name)
+        return 0 if result else 1
+    if result.is_empty():
+        print(f"(no rows; {loaded} points loaded)")
+        return 1
+    for key in result.group_keys():
+        label = ", ".join(f"{tag}={value}" for tag, value in key) or "all"
+        print(label)
+        for window, value in result.groups[key]:
+            print(f"  t={window / NS_PER_S:10.1f}s  {value:.3f}")
+    return 0
+
+
+def cmd_dump(args) -> int:
+    from repro.net.dump import dump
+
+    if args.pcap:
+        with open_capture(args.pcap) as reader:
+            for line in dump(reader, limit=args.count):
+                print(line)
+    else:
+        generator = _build_generator(args)
+        for line in dump(generator.packets(), limit=args.count):
+            print(line)
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    from repro.analysis.report import analyze_paths, compare_windows
+    from repro.frontend.heatmap import LatencyBuckets, render_heatmap
+    from repro.mq.codec import decode_enriched
+
+    injectors = []
+    if args.glitch:
+        injectors.append(FirewallGlitchInjector(
+            window_start_offset_ns=int(args.duration * NS_PER_S) * 2 // 3,
+            window_ns=max(NS_PER_S, int(args.duration * NS_PER_S) // 8),
+        ))
+    generator = _build_generator(args, injectors=injectors)
+    context = Context()
+    geo, asn = GeoDbBuilder(plan=generator.plan).build()
+    service = AnalyticsService(context, geo, asn)
+    capture = service.subscribe_frontend(hwm=1 << 20)
+    pipeline = RuruPipeline(
+        config=PipelineConfig(num_queues=args.queues), sink=service.make_sink()
+    )
+    pipeline.run_packets(generator.packets())
+    service.finish()
+    measurements = [
+        decode_enriched(message.payload[0]) for message in capture.recv_all()
+    ]
+    if not measurements:
+        print("no measurements to analyze")
+        return 1
+
+    print(f"analyzed {len(measurements)} measurements\n")
+    print("per-path mixture fits (top paths):")
+    for path in analyze_paths(measurements, min_samples=25)[: args.top]:
+        kind = "MULTIMODAL" if path.is_multimodal else "unimodal"
+        print(f"  {path.pair[0]:>16} -> {path.pair[1]:<16} n={path.sample_count:<5}"
+              f" median={path.median_ms:7.1f}ms [{kind}: {path.mode_summary()}]")
+
+    half_ns = int(args.duration * NS_PER_S) // 2
+    before = [m for m in measurements if m.timestamp_ns < half_ns]
+    after = [m for m in measurements if m.timestamp_ns >= half_ns]
+    drifts = compare_windows(before, after, min_samples=15)
+    if drifts:
+        print("\npopulation drift, first vs second half:")
+        for drift in drifts[: args.top]:
+            marker = "***" if drift.significant else "   "
+            print(f"  {marker} {drift.pair[0]:>16} -> {drift.pair[1]:<16} "
+                  f"KS={drift.ks:.2f} median {drift.before_median_ms:6.1f} -> "
+                  f"{drift.after_median_ms:6.1f} ms")
+
+    print("\nlatency heatmap:")
+    heatmap = render_heatmap(
+        service.tsdb,
+        window_ns=max(NS_PER_S, int(args.duration * NS_PER_S) // 12),
+        buckets=LatencyBuckets(minimum_ms=1, maximum_ms=10_000, count=10),
+    )
+    print(heatmap.ascii())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ruru",
+        description="Ruru reproduction: passive flow-level latency measurement",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    p_generate = subparsers.add_parser("generate", help="write a synthetic workload pcap")
+    _add_workload_args(p_generate)
+    p_generate.add_argument("--output", default="ruru-trace.pcap")
+    p_generate.add_argument(
+        "--format", choices=["pcap", "pcapng"], default="pcap",
+        help="capture file format",
+    )
+    p_generate.set_defaults(func=cmd_generate)
+
+    p_measure = subparsers.add_parser("measure", help="measure latency over a trace")
+    _add_workload_args(p_measure)
+    p_measure.add_argument("--pcap", help="trace to replay (generates one if omitted)")
+    p_measure.add_argument("--show", type=int, default=10, help="records to print")
+    p_measure.set_defaults(func=cmd_measure)
+
+    p_demo = subparsers.add_parser("demo", help="full pipeline with analytics + frontends")
+    _add_workload_args(p_demo)
+    p_demo.set_defaults(func=cmd_demo)
+
+    p_detect = subparsers.add_parser("detect", help="run anomaly detection scenarios")
+    _add_workload_args(p_detect)
+    p_detect.add_argument("--glitch", action="store_true", help="inject a firewall glitch")
+    p_detect.add_argument("--flood", action="store_true", help="inject a SYN flood")
+    p_detect.set_defaults(func=cmd_detect)
+
+    p_export = subparsers.add_parser(
+        "export", help="run a workload and export the TSDB as line protocol"
+    )
+    _add_workload_args(p_export)
+    p_export.add_argument("--output", default="ruru-measurements.lp")
+    p_export.add_argument(
+        "--grafana", help="also write the Grafana dashboard JSON here"
+    )
+    p_export.set_defaults(func=cmd_export)
+
+    p_dump = subparsers.add_parser(
+        "dump", help="print packets tcpdump-style"
+    )
+    _add_workload_args(p_dump)
+    p_dump.add_argument("--pcap", help="capture to read (generates if omitted)")
+    p_dump.add_argument("--count", type=int, default=20, help="lines to print")
+    p_dump.set_defaults(func=cmd_dump)
+
+    p_analyze = subparsers.add_parser(
+        "analyze", help="mixture fits, drift and heatmap over a workload"
+    )
+    _add_workload_args(p_analyze)
+    p_analyze.add_argument("--glitch", action="store_true",
+                           help="inject a firewall glitch to analyze")
+    p_analyze.add_argument("--top", type=int, default=8,
+                           help="paths to show per section")
+    p_analyze.set_defaults(func=cmd_analyze)
+
+    p_query = subparsers.add_parser(
+        "query", help="run an InfluxQL-style query against an export"
+    )
+    p_query.add_argument("--file", required=True, help="line-protocol file")
+    p_query.add_argument("query", help="e.g. \"SELECT mean(total_ms) FROM latency\"")
+    p_query.set_defaults(func=cmd_query)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Ruru's core: flow-level TCP handshake latency measurement.
+
+This package is the paper's primary contribution. From the three
+packets of every TCP three-way handshake crossing the tap — the first
+SYN, the following SYN-ACK, and the first ACK — it derives:
+
+* ``internal`` latency: RTT between the tap and the connection
+  *source* (the SYN sender), ``t(ACK) − t(SYN-ACK)``;
+* ``external`` latency: RTT between the tap and the *destination*,
+  ``t(SYN-ACK) − t(SYN)``;
+* ``total`` latency: their sum, the full source↔destination RTT.
+
+The measurement state lives in per-queue hash tables indexed by the
+symmetric RSS hash (:mod:`repro.core.flow_table`), driven by a state
+machine (:mod:`repro.core.handshake`), with one worker per receive
+queue (:mod:`repro.core.worker`) and an end-to-end pipeline
+orchestrator (:mod:`repro.core.pipeline`) matching the paper's Fig 2.
+"""
+
+from repro.core.config import PipelineConfig
+from repro.core.latency import Direction, LatencyRecord
+from repro.core.flow_table import FlowEntry, FlowState, HandshakeTable
+from repro.core.handshake import HandshakeTracker
+from repro.core.stats import PipelineStats, TrackerStats
+from repro.core.worker import QueueWorker
+from repro.core.pipeline import RuruPipeline
+
+__all__ = [
+    "PipelineConfig",
+    "Direction",
+    "LatencyRecord",
+    "FlowEntry",
+    "FlowState",
+    "HandshakeTable",
+    "HandshakeTracker",
+    "PipelineStats",
+    "TrackerStats",
+    "QueueWorker",
+    "RuruPipeline",
+]

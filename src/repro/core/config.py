@@ -1,0 +1,67 @@
+"""Pipeline configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dpdk.rss import SYMMETRIC_RSS_KEY
+
+
+@dataclass
+class PipelineConfig:
+    """Tunables for the measurement pipeline.
+
+    Attributes:
+        num_queues: RSS receive queues, one worker each (paper: "multiple
+            DPDK receiver queues … different DPDK processing threads …
+            on separate CPU cores").
+        rss_key: Toeplitz key; must be symmetric for both directions of
+            a flow to share a queue. The asymmetric-key ablation bench
+            overrides this deliberately.
+        burst_size: packets per ``rx_burst`` poll.
+        queue_capacity: rx ring slots per queue.
+        mbuf_pool_size: packet buffers shared by all queues.
+        flow_table_size: max in-flight handshakes tracked per queue.
+        handshake_timeout_ns: entries older than this are expired (the
+            SYN never got its SYN-ACK/ACK — e.g. scans, floods).
+        sweep_interval_ns: how often each worker sweeps its table for
+            expired entries.
+        strict_sequence_check: verify SYN-ACK/ACK sequence-number
+            arithmetic against the recorded SYN, rejecting stray
+            segments that merely match the 4-tuple.
+        flow_sample_modulus: measure only flows whose symmetric RSS
+            hash ≡ 0 (mod this). 1 = measure everything (the paper's
+            mode); N > 1 sheds (N−1)/N of tracking load under overload
+            while keeping an unbiased latency sample, because the
+            Toeplitz hash is independent of path latency.
+        max_latency_ns: sanity cap; a computed latency above this is
+            counted as invalid rather than published (guards against
+            timestamp glitches and 2^32 sequence wrap pathologies).
+    """
+
+    num_queues: int = 4
+    rss_key: bytes = SYMMETRIC_RSS_KEY
+    burst_size: int = 32
+    queue_capacity: int = 4096
+    mbuf_pool_size: int = 65536
+    flow_table_size: int = 1 << 16
+    handshake_timeout_ns: int = 60 * 1_000_000_000
+    sweep_interval_ns: int = 1_000_000_000
+    strict_sequence_check: bool = True
+    flow_sample_modulus: int = 1
+    max_latency_ns: int = 300 * 1_000_000_000
+
+    def validate(self) -> None:
+        """Raise ValueError on inconsistent settings."""
+        if self.num_queues <= 0:
+            raise ValueError("num_queues must be positive")
+        if self.burst_size <= 0:
+            raise ValueError("burst_size must be positive")
+        if self.flow_table_size <= 0:
+            raise ValueError("flow_table_size must be positive")
+        if self.handshake_timeout_ns <= 0:
+            raise ValueError("handshake_timeout_ns must be positive")
+        if self.flow_sample_modulus < 1:
+            raise ValueError("flow_sample_modulus must be at least 1")
+        if self.max_latency_ns <= 0:
+            raise ValueError("max_latency_ns must be positive")

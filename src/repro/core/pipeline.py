@@ -1,0 +1,136 @@
+"""End-to-end measurement pipeline — Fig 2 of the paper.
+
+Wiring: frames → :class:`~repro.dpdk.nic.NicPort` (symmetric RSS into
+``num_queues`` rx rings) → one :class:`~repro.core.worker.QueueWorker`
+per queue on an :class:`~repro.dpdk.eal.Eal` lcore → latency records
+out through a sink (in the full deployment, the ZeroMQ publisher that
+:mod:`repro.analytics` subscribes to).
+
+Feeding is batched: a burst of frames is offered to the NIC, then
+every worker lcore is polled until the rings drain, then the next
+burst — the software analogue of workers keeping up with line rate
+while bounded rings absorb bursts. Ring overflow and mbuf exhaustion
+surface as NIC drops in the stats, exactly as ``imissed`` would on
+hardware.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from repro.core.config import PipelineConfig
+from repro.core.handshake import MeasurementSink
+from repro.core.latency import LatencyRecord
+from repro.core.stats import PipelineStats
+from repro.core.worker import QueueWorker
+from repro.dpdk.clock import VirtualClock
+from repro.dpdk.eal import Eal
+from repro.dpdk.mbuf import MbufPool
+from repro.dpdk.nic import NicPort
+from repro.net.packet import Packet
+from repro.net.pcap import PcapReader
+
+
+class RuruPipeline:
+    """The assembled Ruru fast path.
+
+    Args:
+        config: pipeline tunables; validated on construction.
+        sink: receives every :class:`LatencyRecord`. When None,
+            records are collected in :attr:`measurements`.
+        feed_batch: frames offered to the NIC between worker polls.
+    """
+
+    def __init__(
+        self,
+        config: Optional[PipelineConfig] = None,
+        sink: Optional[MeasurementSink] = None,
+        feed_batch: int = 256,
+        observers=None,
+    ):
+        self.config = config or PipelineConfig()
+        self.config.validate()
+        if feed_batch <= 0:
+            raise ValueError("feed_batch must be positive")
+        self.feed_batch = feed_batch
+        self.clock = VirtualClock()
+        self.measurements: List[LatencyRecord] = []
+        self._sink: MeasurementSink = sink or self.measurements.append
+        self.stats = PipelineStats()
+
+        pool = MbufPool(size=self.config.mbuf_pool_size, name="rx_pool")
+        self.nic = NicPort(
+            num_queues=self.config.num_queues,
+            rss_key=self.config.rss_key,
+            mbuf_pool=pool,
+            queue_capacity=self.config.queue_capacity,
+        )
+        self.eal = Eal()
+        self.workers: List[QueueWorker] = []
+        for queue_id in range(self.config.num_queues):
+            worker = QueueWorker(
+                nic=self.nic,
+                queue_id=queue_id,
+                config=self.config,
+                sink=self._sink,
+                pipeline_stats=self.stats,
+                observers=list(observers or []),
+            )
+            self.workers.append(worker)
+            self.eal.launch(worker.poll, role=f"rx-worker-q{queue_id}")
+
+    # -- feeding -----------------------------------------------------------
+
+    def offer(self, packet: Packet) -> bool:
+        """Offer one frame to the NIC; False if the NIC dropped it."""
+        self.stats.packets_offered += 1
+        self.clock.advance_to(packet.timestamp_ns)
+        if self.nic.receive(packet):
+            self.stats.packets_queued += 1
+            return True
+        self.stats.nic_drops += 1
+        return False
+
+    def drain(self) -> None:
+        """Poll all workers until every rx ring is empty."""
+        while self.nic.pending():
+            self.stats.scheduling_rounds += 1
+            if self.eal.step_all() == 0:
+                # Rings non-empty but no worker made progress: a bug,
+                # not a condition to spin on.
+                raise RuntimeError("pipeline stalled with packets pending")
+
+    def run_packets(self, packets: Iterable[Packet]) -> PipelineStats:
+        """Run a packet stream through the full pipeline to completion."""
+        batch = 0
+        for packet in packets:
+            self.offer(packet)
+            batch += 1
+            if batch >= self.feed_batch:
+                self.drain()
+                batch = 0
+        self.drain()
+        self._merge_worker_stats()
+        return self.stats
+
+    def run_pcap(self, path: Union[str, Path]) -> PipelineStats:
+        """Replay a pcap trace through the pipeline."""
+        with PcapReader(path) as reader:
+            return self.run_packets(reader)
+
+    # -- reporting -----------------------------------------------------------
+
+    def _merge_worker_stats(self) -> None:
+        merged = type(self.stats.tracker)()
+        for worker in self.workers:
+            merged.merge(worker.stats)
+        self.stats.tracker = merged
+
+    def flow_table_occupancy(self) -> List[int]:
+        """In-flight handshake count per queue (flood diagnostics)."""
+        return [len(worker.tracker.table) for worker in self.workers]
+
+    def queue_balance(self) -> List[float]:
+        """Fraction of frames RSS sent to each queue."""
+        return self.nic.stats.queue_balance()

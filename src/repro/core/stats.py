@@ -1,0 +1,83 @@
+"""Counters for the tracker and the whole pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class TrackerStats:
+    """Per-worker handshake tracking counters.
+
+    Attributes:
+        packets: TCP packets examined.
+        syn / synack / ack_completed: handshake packets consumed.
+        measurements: latency records emitted.
+        syn_retransmits: SYNs for an already-tracked flow (first
+            timestamp kept, per the paper's "first SYN").
+        synack_retransmits: duplicate SYN-ACKs.
+        orphan_synack: SYN-ACK with no tracked SYN (flow began before
+            the tap started, or the SYN was dropped upstream).
+        stray_ack: ACK matching no tracked handshake (the overwhelmingly
+            common case — every data segment of an established flow).
+        seq_mismatch: segments rejected by strict sequence validation.
+        resets: handshakes aborted by RST.
+        invalid_latency: measurements over the sanity cap, discarded.
+    """
+
+    packets: int = 0
+    syn: int = 0
+    synack: int = 0
+    ack_completed: int = 0
+    measurements: int = 0
+    syn_retransmits: int = 0
+    synack_retransmits: int = 0
+    orphan_synack: int = 0
+    stray_ack: int = 0
+    seq_mismatch: int = 0
+    resets: int = 0
+    invalid_latency: int = 0
+
+    def merge(self, other: "TrackerStats") -> None:
+        """Accumulate *other* into self (for whole-pipeline totals)."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+
+@dataclass
+class PipelineStats:
+    """Whole-pipeline counters aggregated by :class:`RuruPipeline`."""
+
+    packets_offered: int = 0
+    packets_queued: int = 0
+    nic_drops: int = 0
+    parse_errors: int = 0
+    parse_error_reasons: Dict[str, int] = field(default_factory=dict)
+    tracker: TrackerStats = field(default_factory=TrackerStats)
+    scheduling_rounds: int = 0
+
+    def record_parse_error(self, reason: str) -> None:
+        """Count one drop at the parse stage, bucketed by reason."""
+        self.parse_errors += 1
+        self.parse_error_reasons[reason] = self.parse_error_reasons.get(reason, 0) + 1
+
+    @property
+    def measurements(self) -> int:
+        """Latency records emitted across all workers."""
+        return self.tracker.measurements
+
+    def summary(self) -> Dict[str, int]:
+        """Flat dict for printing in benches and the CLI."""
+        return {
+            "packets_offered": self.packets_offered,
+            "packets_queued": self.packets_queued,
+            "nic_drops": self.nic_drops,
+            "parse_errors": self.parse_errors,
+            "measurements": self.tracker.measurements,
+            "syn": self.tracker.syn,
+            "synack": self.tracker.synack,
+            "stray_ack": self.tracker.stray_ack,
+            "resets": self.tracker.resets,
+            "scheduling_rounds": self.scheduling_rounds,
+        }

@@ -1,0 +1,55 @@
+"""DPDK simulation: the substrate Ruru's fast path runs on.
+
+The real Ruru uses DPDK's poll-mode driver, symmetric Receive Side
+Scaling (RSS) into multiple hardware queues, and one processing thread
+per queue pinned to its own core. This package reproduces those
+semantics in-process:
+
+* :mod:`repro.dpdk.clock` — a virtual TSC-style nanosecond clock.
+* :mod:`repro.dpdk.mbuf` — a fixed-size packet-buffer pool with
+  alloc/free accounting (exhaustion == rx drops, as on real hardware).
+* :mod:`repro.dpdk.ring` — bounded single-producer/single-consumer
+  rings used for queue↔worker handoff.
+* :mod:`repro.dpdk.rss` — the Toeplitz RSS hash, including the
+  symmetric key trick that sends both directions of a flow to the
+  same queue (Ruru depends on this so SYN and SYN-ACK meet in one
+  hash table).
+* :mod:`repro.dpdk.nic` — a multi-queue NIC that classifies incoming
+  frames with RSS and exposes per-queue ``rx_burst``.
+* :mod:`repro.dpdk.eal` — an EAL-style lcore launcher for running one
+  worker per queue (cooperative, deterministic scheduling).
+"""
+
+from repro.dpdk.clock import VirtualClock
+from repro.dpdk.mbuf import Mbuf, MbufPool, MbufPoolExhausted
+from repro.dpdk.ring import Ring, RingEmpty, RingFull
+from repro.dpdk.rss import (
+    DEFAULT_RSS_KEY,
+    SYMMETRIC_RSS_KEY,
+    RssHasher,
+    make_symmetric_key,
+    toeplitz_hash,
+)
+from repro.dpdk.nic import NicPort, RxQueue
+from repro.dpdk.eal import Eal, LCore
+from repro.dpdk.port_stats import PortStats
+
+__all__ = [
+    "VirtualClock",
+    "Mbuf",
+    "MbufPool",
+    "MbufPoolExhausted",
+    "Ring",
+    "RingEmpty",
+    "RingFull",
+    "DEFAULT_RSS_KEY",
+    "SYMMETRIC_RSS_KEY",
+    "RssHasher",
+    "make_symmetric_key",
+    "toeplitz_hash",
+    "NicPort",
+    "RxQueue",
+    "Eal",
+    "LCore",
+    "PortStats",
+]

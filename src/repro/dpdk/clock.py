@@ -1,0 +1,59 @@
+"""Virtual TSC-style clock.
+
+DPDK applications timestamp packets with the CPU's TSC. The simulated
+pipeline uses this explicit nanosecond clock instead so that tests can
+assert exact latencies and whole runs are deterministic. Replayed
+traces advance the clock to each packet's capture time; live-style
+components (the frontend frame batcher, detector windows) read it the
+way they would read ``rte_rdtsc()``.
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """A monotonically non-decreasing nanosecond clock.
+
+    Attributes:
+        now_ns: current virtual time in nanoseconds.
+    """
+
+    def __init__(self, start_ns: int = 0):
+        if start_ns < 0:
+            raise ValueError("clock cannot start before zero")
+        self.now_ns = start_ns
+
+    def advance(self, delta_ns: int) -> int:
+        """Move the clock forward by *delta_ns*; returns the new time."""
+        if delta_ns < 0:
+            raise ValueError("clock cannot run backwards")
+        self.now_ns += delta_ns
+        return self.now_ns
+
+    def advance_to(self, timestamp_ns: int) -> int:
+        """Advance to *timestamp_ns* if it is in the future; never rewinds.
+
+        Replay uses this: packets carry capture timestamps and the
+        clock follows them, tolerating slight reordering in the trace.
+        """
+        if timestamp_ns > self.now_ns:
+            self.now_ns = timestamp_ns
+        return self.now_ns
+
+    @property
+    def now_us(self) -> float:
+        """Current time in microseconds."""
+        return self.now_ns / 1_000.0
+
+    @property
+    def now_ms(self) -> float:
+        """Current time in milliseconds."""
+        return self.now_ns / 1_000_000.0
+
+    @property
+    def now_s(self) -> float:
+        """Current time in seconds."""
+        return self.now_ns / 1_000_000_000.0
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now_ns={self.now_ns})"

@@ -1,0 +1,111 @@
+"""Bounded ring buffers for queue↔worker handoff.
+
+Models ``rte_ring``: fixed capacity, burst enqueue/dequeue, and
+watermark stats. Overflow behaviour is explicit — a full ring rejects
+the burst remainder and the producer counts drops, exactly the
+pressure signal the RSS-scaling bench measures.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, Iterable, List, TypeVar
+
+T = TypeVar("T")
+
+
+class RingFull(RuntimeError):
+    """Raised by :meth:`Ring.enqueue` when the ring is at capacity."""
+
+
+class RingEmpty(RuntimeError):
+    """Raised by :meth:`Ring.dequeue` when the ring is empty."""
+
+
+class Ring(Generic[T]):
+    """A bounded FIFO with burst operations and occupancy stats."""
+
+    def __init__(self, capacity: int = 1024, name: str = "ring"):
+        if capacity <= 0:
+            raise ValueError("ring capacity must be positive")
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[T] = deque()
+        self.enqueued = 0
+        self.dequeued = 0
+        self.drops = 0
+        self.high_watermark = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def free_space(self) -> int:
+        """Slots remaining."""
+        return self.capacity - len(self._items)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def enqueue(self, item: T) -> None:
+        """Add one item.
+
+        Raises:
+            RingFull: at capacity; the drop is counted.
+        """
+        if len(self._items) >= self.capacity:
+            self.drops += 1
+            raise RingFull(self.name)
+        self._items.append(item)
+        self.enqueued += 1
+        if len(self._items) > self.high_watermark:
+            self.high_watermark = len(self._items)
+
+    def enqueue_burst(self, items: Iterable[T]) -> int:
+        """Add as many items as fit; returns how many were accepted.
+
+        Items beyond capacity are dropped and counted, mirroring
+        ``rte_ring_enqueue_burst`` semantics.
+        """
+        accepted = 0
+        for item in items:
+            if len(self._items) >= self.capacity:
+                self.drops += 1
+                continue
+            self._items.append(item)
+            self.enqueued += 1
+            accepted += 1
+        if len(self._items) > self.high_watermark:
+            self.high_watermark = len(self._items)
+        return accepted
+
+    def dequeue(self) -> T:
+        """Remove and return one item.
+
+        Raises:
+            RingEmpty: nothing queued.
+        """
+        if not self._items:
+            raise RingEmpty(self.name)
+        self.dequeued += 1
+        return self._items.popleft()
+
+    def dequeue_burst(self, max_items: int) -> List[T]:
+        """Remove up to *max_items*; empty list when nothing is queued."""
+        if max_items < 0:
+            raise ValueError("burst size cannot be negative")
+        count = min(max_items, len(self._items))
+        burst = [self._items.popleft() for _ in range(count)]
+        self.dequeued += count
+        return burst
+
+    def __repr__(self) -> str:
+        return (
+            f"Ring(name={self.name!r}, capacity={self.capacity}, "
+            f"occupancy={len(self._items)}, drops={self.drops})"
+        )

@@ -1,0 +1,56 @@
+"""Frontends: the WebSocket feed, the 3D arc map, and dashboards.
+
+The paper's frontends are a browser: a WebGL/MapGL live map drawing
+"multiple thousands of 3D arcs … with 30 fps", fed over WebSockets,
+plus Grafana panels over InfluxDB. The *browser rendering* is out of
+scope for a Python reproduction; everything measurable about the
+frontends is in scope and implemented here:
+
+* :mod:`repro.frontend.websocket` — RFC 6455 frame encoding and an
+  in-memory server↔client channel, so "sent to the frontend" is real
+  serialization, not hand-waving.
+* :mod:`repro.frontend.arcs` — the arc data model: great-circle
+  geometry between endpoints and the latency→colour mapping the demo
+  describes ("red lines in areas where most lines are green show
+  increased latency").
+* :mod:`repro.frontend.map_view` — the live map state machine: arc
+  lifetimes, 30 fps frame batching, per-frame arc budgets.
+* :mod:`repro.frontend.dashboard` — Grafana-shaped panels compiled to
+  TSDB queries (min/max/median/mean over a required interval).
+"""
+
+from repro.frontend.websocket import (
+    CloseFrame,
+    WebSocketChannel,
+    WebSocketError,
+    decode_frame,
+    encode_frame,
+)
+from repro.frontend.arcs import Arc, LatencyColorScale, great_circle_points
+from repro.frontend.map_view import LiveMapView, MapFrame
+from repro.frontend.dashboard import Dashboard, Panel, PanelResult, build_ruru_dashboard
+from repro.frontend.heatmap import Heatmap, LatencyBuckets, render_heatmap
+from repro.frontend.alerts import AlertChannel
+from repro.frontend.grafana import export_grafana_json
+
+__all__ = [
+    "CloseFrame",
+    "WebSocketChannel",
+    "WebSocketError",
+    "decode_frame",
+    "encode_frame",
+    "Arc",
+    "LatencyColorScale",
+    "great_circle_points",
+    "LiveMapView",
+    "MapFrame",
+    "Dashboard",
+    "Panel",
+    "PanelResult",
+    "build_ruru_dashboard",
+    "Heatmap",
+    "LatencyBuckets",
+    "render_heatmap",
+    "AlertChannel",
+    "export_grafana_json",
+]

@@ -1,0 +1,98 @@
+"""Operator alerting: anomaly events pushed to the browser.
+
+"Ruru can also be used to visually alert operators to latency
+anomalies" — beyond arc colours, the deployment pushes detector
+events to the UI the moment they fire. :class:`AlertChannel` is the
+sink: plug :meth:`publish` into
+:class:`~repro.anomaly.manager.AnomalyManager`'s ``alert_sink`` and
+every confirmed event goes out as a JSON message over the WebSocket,
+tagged with a severity the UI maps to toast colours.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.anomaly.events import AnomalyEvent, Severity
+from repro.frontend.websocket import WebSocketChannel
+
+_SEVERITY_COLORS = {
+    Severity.INFO: "#3498db",
+    Severity.WARNING: "#f1c40f",
+    Severity.CRITICAL: "#e74c3c",
+}
+
+
+class AlertChannel:
+    """Streams anomaly events to the frontend as JSON messages.
+
+    Args:
+        channel: the WebSocket to the browser.
+        burst / refill_per_s: token-bucket rate limit on pushed alerts
+            (an alert storm — a flood flagging dozens of /24s — must
+            not itself melt the UI). Suppressed alerts stay in
+            :attr:`history`; only the push is skipped.
+    """
+
+    def __init__(
+        self,
+        channel: Optional[WebSocketChannel] = None,
+        burst: int = 20,
+        refill_per_s: float = 1.0,
+    ):
+        if burst < 1 or refill_per_s <= 0:
+            raise ValueError("burst must be >= 1 and refill positive")
+        self.channel = channel or WebSocketChannel(name="alerts")
+        self.published = 0
+        self.suppressed = 0
+        self.history: List[AnomalyEvent] = []
+        self._burst = float(burst)
+        self._refill_per_s = refill_per_s
+        self._tokens = float(burst)
+        self._last_refill_ns: Optional[int] = None
+
+    def _take_token(self, now_ns: int) -> bool:
+        if self._last_refill_ns is not None and now_ns > self._last_refill_ns:
+            elapsed_s = (now_ns - self._last_refill_ns) / 1e9
+            self._tokens = min(
+                self._burst, self._tokens + elapsed_s * self._refill_per_s
+            )
+        self._last_refill_ns = now_ns
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def publish(self, event: AnomalyEvent) -> None:
+        """Send one event (the AnomalyManager ``alert_sink`` shape)."""
+        self.history.append(event)
+        if not self._take_token(event.start_ns):
+            self.suppressed += 1
+            return
+        self.published += 1
+        self.channel.server_send_json(self._to_json(event))
+
+    @staticmethod
+    def _to_json(event: AnomalyEvent) -> dict:
+        return {
+            "type": "alert",
+            "kind": event.kind,
+            "severity": event.severity.name.lower(),
+            "color": _SEVERITY_COLORS[event.severity],
+            "subject": event.subject,
+            "description": event.description,
+            "start_ms": event.start_ns // 1_000_000,
+            "ongoing": event.is_open,
+            "evidence": {k: round(v, 3) for k, v in event.evidence.items()},
+        }
+
+    def unacknowledged(self) -> List[dict]:
+        """Drain the client side (what the browser has not yet read)."""
+        return self.channel.client_recv_all_json()
+
+    def worst_active(self) -> Optional[AnomalyEvent]:
+        """The most severe still-open event, for a status header."""
+        open_events = [event for event in self.history if event.is_open]
+        if not open_events:
+            return None
+        return max(open_events, key=lambda e: (int(e.severity), e.start_ns))

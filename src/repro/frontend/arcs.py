@@ -1,0 +1,149 @@
+"""3D arc model: geometry and the latency colour scale.
+
+Each completed measurement becomes an arc from source to destination
+coordinates. The demo's visual signal is the colour: "red lines in
+areas where most lines are green show increased latency for some
+connections" — so the colour scale is the load-bearing part, and it
+is computed here, testably, rather than in a shader.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.analytics.enricher import EnrichedMeasurement
+from repro.geo.distance import haversine_km
+
+
+@dataclass(frozen=True)
+class LatencyColorScale:
+    """Maps total latency to the map's traffic-light colours.
+
+    Thresholds default to values sensible for the Auckland–LA link
+    (~130 ms baseline): green below *warn_ms*, yellow below
+    *alarm_ms*, red above.
+    """
+
+    warn_ms: float = 200.0
+    alarm_ms: float = 400.0
+
+    def __post_init__(self):
+        if self.warn_ms <= 0 or self.alarm_ms <= self.warn_ms:
+            raise ValueError("thresholds must satisfy 0 < warn < alarm")
+
+    def color_for(self, total_ms: float) -> str:
+        """``"green"``, ``"yellow"`` or ``"red"`` for *total_ms*."""
+        if total_ms < self.warn_ms:
+            return "green"
+        if total_ms < self.alarm_ms:
+            return "yellow"
+        return "red"
+
+    def rgba_for(self, total_ms: float) -> Tuple[int, int, int, float]:
+        """The render colour with a continuous red ramp inside bands."""
+        name = self.color_for(total_ms)
+        if name == "green":
+            return (46, 204, 113, 0.8)
+        if name == "yellow":
+            return (241, 196, 15, 0.85)
+        return (231, 76, 60, 0.9)
+
+
+def great_circle_points(
+    lat1: float, lon1: float, lat2: float, lon2: float, segments: int = 16
+) -> List[Tuple[float, float]]:
+    """Sample the great circle between two points (inclusive endpoints).
+
+    This is the polyline a WebGL arc would be extruded from; the tests
+    check it stays on the sphere and hits both endpoints.
+    """
+    if segments < 1:
+        raise ValueError("need at least one segment")
+    phi1, lam1 = math.radians(lat1), math.radians(lon1)
+    phi2, lam2 = math.radians(lat2), math.radians(lon2)
+    # Angular distance via the spherical law of cosines (stable enough
+    # for rendering; haversine is used for distances).
+    cos_delta = (
+        math.sin(phi1) * math.sin(phi2)
+        + math.cos(phi1) * math.cos(phi2) * math.cos(lam2 - lam1)
+    )
+    delta = math.acos(max(-1.0, min(1.0, cos_delta)))
+    # acos noise near identical points can reach ~1e-8 rad; anything
+    # below a metre of separation renders as a point anyway.
+    if delta < 1e-7:
+        return [(lat1, lon1)] * (segments + 1)
+    points: List[Tuple[float, float]] = []
+    sin_delta = math.sin(delta)
+    for i in range(segments + 1):
+        fraction = i / segments
+        a = math.sin((1 - fraction) * delta) / sin_delta
+        b = math.sin(fraction * delta) / sin_delta
+        x = a * math.cos(phi1) * math.cos(lam1) + b * math.cos(phi2) * math.cos(lam2)
+        y = a * math.cos(phi1) * math.sin(lam1) + b * math.cos(phi2) * math.sin(lam2)
+        z = a * math.sin(phi1) + b * math.sin(phi2)
+        points.append(
+            (math.degrees(math.atan2(z, math.hypot(x, y))), math.degrees(math.atan2(y, x)))
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class Arc:
+    """One rendered connection.
+
+    Attributes:
+        src / dst: (lat, lon) endpoints.
+        color: traffic-light colour from the scale.
+        total_ms: the measurement behind the arc.
+        height_km: apex height — proportional to span, as MapGL-style
+            arcs are drawn.
+        born_ns: when the arc appeared (drives expiry).
+    """
+
+    src: Tuple[float, float]
+    dst: Tuple[float, float]
+    color: str
+    total_ms: float
+    height_km: float
+    born_ns: int
+    src_label: str = ""
+    dst_label: str = ""
+
+    @classmethod
+    def from_measurement(
+        cls,
+        measurement: EnrichedMeasurement,
+        scale: LatencyColorScale,
+        born_ns: int,
+    ) -> "Arc":
+        """Build the arc for one enriched measurement."""
+        distance = haversine_km(
+            measurement.src_lat,
+            measurement.src_lon,
+            measurement.dst_lat,
+            measurement.dst_lon,
+        )
+        return cls(
+            src=(measurement.src_lat, measurement.src_lon),
+            dst=(measurement.dst_lat, measurement.dst_lon),
+            color=scale.color_for(measurement.total_ms),
+            total_ms=measurement.total_ms,
+            height_km=distance * 0.15,
+            born_ns=born_ns,
+            src_label=measurement.src_city,
+            dst_label=measurement.dst_city,
+        )
+
+    def to_json(self) -> dict:
+        """The wire shape sent over the WebSocket feed."""
+        return {
+            "src": [round(self.src[0], 4), round(self.src[1], 4)],
+            "dst": [round(self.dst[0], 4), round(self.dst[1], 4)],
+            "color": self.color,
+            "ms": round(self.total_ms, 2),
+            "h": round(self.height_km, 1),
+            "from": self.src_label,
+            "to": self.dst_label,
+        }

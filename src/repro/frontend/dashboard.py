@@ -1,0 +1,147 @@
+"""Grafana-shaped dashboards compiled to TSDB queries.
+
+"The Grafana UI also shows statistics and graphs of the measured
+end-to-end latency (e.g., min, max, median, mean) for a required time
+interval." A :class:`Panel` is one such graph: a query template plus
+presentation hints; a :class:`Dashboard` renders all panels against a
+:class:`~repro.tsdb.database.TimeSeriesDatabase` for a time range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.tsdb.database import TimeSeriesDatabase
+from repro.tsdb.query import GroupKey, Query
+
+
+@dataclass
+class Panel:
+    """One dashboard panel: a titled query."""
+
+    title: str
+    query: Query
+    unit: str = "ms"
+
+    def render(
+        self,
+        tsdb: TimeSeriesDatabase,
+        start_ns: Optional[int] = None,
+        end_ns: Optional[int] = None,
+    ) -> "PanelResult":
+        """Execute this panel's query over [start, end)."""
+        query = replace(self.query)
+        if start_ns is not None:
+            query.start_ns = start_ns
+        if end_ns is not None:
+            query.end_ns = end_ns
+        result = tsdb.query(query)
+        return PanelResult(title=self.title, unit=self.unit, groups=dict(result.groups))
+
+
+@dataclass
+class PanelResult:
+    """Rendered panel data: rows per group."""
+
+    title: str
+    unit: str
+    groups: Dict[GroupKey, List[Tuple[int, float]]] = field(default_factory=dict)
+
+    def series_labels(self) -> List[str]:
+        """Human labels for the groups, e.g. ``"src_country=NZ"``."""
+        labels = []
+        for key in sorted(self.groups):
+            labels.append(
+                ", ".join(f"{tag}={value}" for tag, value in key) or "all"
+            )
+        return labels
+
+    def latest(self) -> Dict[str, float]:
+        """The newest value per group (singlestat-style)."""
+        out = {}
+        for key, rows in self.groups.items():
+            if rows:
+                label = ", ".join(f"{t}={v}" for t, v in key) or "all"
+                out[label] = rows[-1][1]
+        return out
+
+
+@dataclass
+class Dashboard:
+    """A set of panels rendered together."""
+
+    title: str
+    panels: List[Panel] = field(default_factory=list)
+
+    def add_panel(self, panel: Panel) -> None:
+        self.panels.append(panel)
+
+    def render(
+        self,
+        tsdb: TimeSeriesDatabase,
+        start_ns: Optional[int] = None,
+        end_ns: Optional[int] = None,
+    ) -> List[PanelResult]:
+        """Render every panel over the same interval."""
+        return [panel.render(tsdb, start_ns, end_ns) for panel in self.panels]
+
+
+def build_ruru_dashboard(
+    interval_ns: int = 60 * 1_000_000_000,
+    src_country: Optional[str] = None,
+    dst_country: Optional[str] = None,
+) -> Dashboard:
+    """The default Ruru dashboard: the four statistics the paper lists
+    (min, max, median, mean of end-to-end latency) as time-series
+    panels grouped by country pair, plus a connections-per-window
+    panel from the pair rollups.
+    """
+    tag_filters: Dict[str, List[str]] = {}
+    if src_country:
+        tag_filters["src_country"] = [src_country]
+    if dst_country:
+        tag_filters["dst_country"] = [dst_country]
+
+    dashboard = Dashboard(title="Ruru end-to-end latency")
+    for aggregator in ("min", "max", "median", "mean"):
+        dashboard.add_panel(
+            Panel(
+                title=f"{aggregator} end-to-end latency",
+                query=Query(
+                    measurement="latency",
+                    field="total_ms",
+                    aggregator=aggregator,
+                    tag_filters=dict(tag_filters),
+                    group_by_tags=["src_country", "dst_country"],
+                    group_by_time_ns=interval_ns,
+                ),
+            )
+        )
+    dashboard.add_panel(
+        Panel(
+            title="connections per window",
+            query=Query(
+                measurement="latency_by_location",
+                field="connections",
+                aggregator="sum",
+                group_by_tags=["src_city", "dst_city"],
+                group_by_time_ns=interval_ns,
+            ),
+            unit="conn",
+        )
+    )
+    dashboard.add_panel(
+        Panel(
+            title="mean latency by direction",
+            query=Query(
+                measurement="latency",
+                field="total_ms",
+                aggregator="mean",
+                tag_filters=dict(tag_filters),
+                group_by_tags=["direction"],
+                group_by_time_ns=interval_ns,
+            ),
+        )
+    )
+    return dashboard

@@ -1,0 +1,72 @@
+"""Grafana dashboard-model export.
+
+The paper's statistics UI *is* Grafana; a reproduction's dashboards
+should therefore be loadable by one. This module renders a
+:class:`~repro.frontend.dashboard.Dashboard` into the Grafana JSON
+dashboard model (schema v16-ish, the stable core fields), with each
+panel's query expressed in InfluxQL via
+:func:`repro.tsdb.ql.format_query` — so the export is also an exact
+textual record of what each panel computes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional
+
+from repro.frontend.dashboard import Dashboard, Panel
+from repro.tsdb.ql import format_query
+
+_PANEL_WIDTH = 12
+_PANEL_HEIGHT = 8
+
+
+def panel_to_grafana(panel: Panel, panel_id: int, x: int, y: int) -> dict:
+    """One Grafana graph panel with an InfluxQL target."""
+    return {
+        "id": panel_id,
+        "title": panel.title,
+        "type": "graph",
+        "datasource": "ruru-influxdb",
+        "gridPos": {"h": _PANEL_HEIGHT, "w": _PANEL_WIDTH, "x": x, "y": y},
+        "targets": [
+            {
+                "refId": "A",
+                "rawQuery": True,
+                "query": format_query(panel.query),
+            }
+        ],
+        "yaxes": [
+            {"format": "ms" if panel.unit == "ms" else "short", "label": panel.unit},
+            {"format": "short"},
+        ],
+        "lines": True,
+        "fill": 1,
+        "legend": {"show": True, "values": False},
+    }
+
+
+def export_grafana_json(
+    dashboard: Dashboard,
+    uid: str = "ruru-latency",
+    refresh: str = "5s",
+    indent: Optional[int] = None,
+) -> str:
+    """Serialize *dashboard* to a Grafana dashboard JSON document."""
+    panels: List[dict] = []
+    for index, panel in enumerate(dashboard.panels):
+        x = (index % 2) * _PANEL_WIDTH
+        y = (index // 2) * _PANEL_HEIGHT
+        panels.append(panel_to_grafana(panel, panel_id=index + 1, x=x, y=y))
+    model = {
+        "uid": uid,
+        "title": dashboard.title,
+        "schemaVersion": 16,
+        "version": 1,
+        "refresh": refresh,
+        "time": {"from": "now-15m", "to": "now"},
+        "panels": panels,
+        "templating": {"list": []},
+        "annotations": {"list": []},
+    }
+    return json.dumps(model, indent=indent, sort_keys=True)

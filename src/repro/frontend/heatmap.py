@@ -1,0 +1,124 @@
+"""Latency heatmaps: time × latency-bucket densities.
+
+Grafana's heatmap panel is the natural way to look at a latency
+*population* over time — the firewall glitch appears as a detached
+band at 4000 ms while the mean barely moves. Buckets are log-spaced
+(latency spans four orders of magnitude); rendering reads raw series
+rows straight from storage, bypassing the scalar aggregators.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.tsdb.database import TimeSeriesDatabase
+
+
+@dataclass(frozen=True)
+class LatencyBuckets:
+    """Log-spaced bucket edges, in ms.
+
+    Attributes:
+        minimum_ms / maximum_ms: range covered; values outside clamp
+            to the first/last bucket.
+        count: number of buckets.
+    """
+
+    minimum_ms: float = 1.0
+    maximum_ms: float = 10_000.0
+    count: int = 20
+
+    def __post_init__(self):
+        if self.minimum_ms <= 0 or self.maximum_ms <= self.minimum_ms:
+            raise ValueError("need 0 < minimum < maximum")
+        if self.count < 2:
+            raise ValueError("need at least two buckets")
+
+    def index_of(self, value_ms: float) -> int:
+        """Bucket index for *value_ms*, clamped to the range."""
+        if value_ms <= self.minimum_ms:
+            return 0
+        if value_ms >= self.maximum_ms:
+            return self.count - 1
+        span = math.log(self.maximum_ms / self.minimum_ms)
+        position = math.log(value_ms / self.minimum_ms) / span
+        return min(self.count - 1, int(position * self.count))
+
+    def edges(self) -> List[float]:
+        """The count+1 bucket edges in ms."""
+        ratio = (self.maximum_ms / self.minimum_ms) ** (1.0 / self.count)
+        return [self.minimum_ms * ratio**i for i in range(self.count + 1)]
+
+    def label(self, index: int) -> str:
+        edges = self.edges()
+        return f"{edges[index]:.0f}-{edges[index + 1]:.0f}ms"
+
+
+@dataclass
+class Heatmap:
+    """The rendered grid: ``cells[window_start_ns][bucket] = count``."""
+
+    buckets: LatencyBuckets
+    window_ns: int
+    cells: Dict[int, List[int]] = field(default_factory=dict)
+    total: int = 0
+
+    def add(self, timestamp_ns: int, value_ms: float) -> None:
+        window = (timestamp_ns // self.window_ns) * self.window_ns
+        row = self.cells.get(window)
+        if row is None:
+            row = [0] * self.buckets.count
+            self.cells[window] = row
+        row[self.buckets.index_of(value_ms)] += 1
+        self.total += 1
+
+    def windows(self) -> List[int]:
+        return sorted(self.cells)
+
+    def column(self, bucket_index: int) -> List[int]:
+        """Counts of one latency band across time (band-tracking)."""
+        return [self.cells[w][bucket_index] for w in self.windows()]
+
+    def hottest_bucket(self, window_start_ns: int) -> Optional[int]:
+        row = self.cells.get(window_start_ns)
+        if not row or not any(row):
+            return None
+        return max(range(len(row)), key=lambda i: row[i])
+
+    def ascii(self, shades: str = " .:-=+*#%@") -> str:
+        """Terminal rendering: time left→right, latency bottom→top."""
+        windows = self.windows()
+        if not windows:
+            return "(empty heatmap)"
+        peak = max(max(row) for row in self.cells.values()) or 1
+        lines = []
+        for bucket in range(self.buckets.count - 1, -1, -1):
+            cells = []
+            for window in windows:
+                count = self.cells[window][bucket]
+                shade = shades[min(len(shades) - 1,
+                                   int(count / peak * (len(shades) - 1) + 0.5))]
+                cells.append(shade)
+            lines.append(f"{self.buckets.label(bucket):>14} |{''.join(cells)}|")
+        return "\n".join(lines)
+
+
+def render_heatmap(
+    tsdb: TimeSeriesDatabase,
+    measurement: str = "latency",
+    field_name: str = "total_ms",
+    window_ns: int = 10 * 1_000_000_000,
+    buckets: Optional[LatencyBuckets] = None,
+    tag_filters: Optional[Dict[str, Sequence[str]]] = None,
+    start_ns: Optional[int] = None,
+    end_ns: Optional[int] = None,
+) -> Heatmap:
+    """Build a heatmap from raw series rows in *tsdb*."""
+    heatmap = Heatmap(buckets=buckets or LatencyBuckets(), window_ns=window_ns)
+    filters = {k: list(v) for k, v in (tag_filters or {}).items()}
+    for series in tsdb.storage.select_series(measurement, filters or None):
+        for timestamp, value in series.values(field_name, start_ns, end_ns):
+            heatmap.add(timestamp, value)
+    return heatmap

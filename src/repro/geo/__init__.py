@@ -1,0 +1,41 @@
+"""Geo-location and AS databases — the IP2Location substitute.
+
+Ruru "maps the source and destination IP addresses of each flow to
+geographical locations as well as to AS numbers" using IP2Location
+databases with "98% country-level accuracy". We reproduce the lookup
+surface with two structures a real enrichment path would use:
+
+* a sorted **range index** for IP→(country, city, lat, lon), the shape
+  IP2Location ships (:mod:`repro.geo.database`);
+* a binary **radix trie** doing longest-prefix match for IP→ASN, the
+  shape BGP-derived AS databases ship (:mod:`repro.geo.asn`,
+  :mod:`repro.geo.trie`).
+
+:mod:`repro.geo.builder` constructs deterministic synthetic databases
+aligned with the traffic generator's address plan, including a
+configurable country-accuracy knob (default 0.98) so the paper's
+accuracy figure becomes a measurable property (experiment E6).
+"""
+
+from repro.geo.locations import City, WORLD_CITIES, city_by_name
+from repro.geo.trie import RadixTrie
+from repro.geo.database import GeoDatabase, GeoRecord, RangeOverlapError
+from repro.geo.asn import AsnDatabase, AsRecord
+from repro.geo.builder import GeoDbBuilder, SyntheticGeoPlan
+from repro.geo.distance import haversine_km, propagation_delay_ms
+
+__all__ = [
+    "City",
+    "WORLD_CITIES",
+    "city_by_name",
+    "RadixTrie",
+    "GeoDatabase",
+    "GeoRecord",
+    "RangeOverlapError",
+    "AsnDatabase",
+    "AsRecord",
+    "GeoDbBuilder",
+    "SyntheticGeoPlan",
+    "haversine_km",
+    "propagation_delay_ms",
+]

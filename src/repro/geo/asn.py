@@ -1,0 +1,52 @@
+"""AS-number database: IP → origin AS, via longest-prefix match.
+
+BGP-derived AS data is prefix-shaped (a /24 carve-out must beat the
+covering /16), so this database sits on the radix trie rather than
+the geo database's flat ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.geo.trie import RadixTrie
+
+
+@dataclass(frozen=True)
+class AsRecord:
+    """One origin AS: number and holder name."""
+
+    asn: int
+    name: str
+
+
+class AsnDatabase:
+    """LPM IP→AS lookup (one instance per address family)."""
+
+    def __init__(self, width: int = 32):
+        self._trie: RadixTrie[AsRecord] = RadixTrie(width=width)
+        self.lookups = 0
+        self.misses = 0
+
+    def add_prefix(self, prefix: int, prefix_len: int, record: AsRecord) -> None:
+        """Announce *prefix*/*prefix_len* as originated by *record*."""
+        self._trie.insert(prefix, prefix_len, record)
+
+    def lookup(self, address: int) -> Optional[AsRecord]:
+        """Most-specific covering announcement; None if unannounced."""
+        self.lookups += 1
+        record = self._trie.lookup(address)
+        if record is None:
+            self.misses += 1
+        return record
+
+    def __len__(self) -> int:
+        return len(self._trie)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that matched an announcement."""
+        if not self.lookups:
+            return 0.0
+        return 1.0 - self.misses / self.lookups

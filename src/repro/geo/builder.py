@@ -1,0 +1,269 @@
+"""Deterministic synthetic geo/AS databases — the IP2Location stand-in.
+
+The builder owns the **address plan** shared by the whole
+reproduction: every catalog city gets its own IPv4 /16, carved into
+geo rows and AS announcements. The traffic generator draws host
+addresses from the same plan, so enrichment in the analytics tier
+resolves generated traffic exactly the way IP2Location resolved
+REANNZ's real traffic.
+
+The paper quotes "98% country-level accuracy" for IP2Location. That
+becomes a knob here: ``country_accuracy`` controls the fraction of geo
+rows whose country is deliberately mislabelled (deterministically, by
+seed), and experiment E6 measures the achieved accuracy against the
+plan's ground truth.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.geo.asn import AsnDatabase, AsRecord
+from repro.geo.database import GeoDatabase, GeoRecord
+from repro.geo.locations import City, WORLD_CITIES
+from repro.net.addresses import ip_to_int
+
+DEFAULT_BASE_NETWORK = "20.0.0.0"
+DEFAULT_RANGES_PER_CITY = 8
+
+
+@dataclass
+class SyntheticGeoPlan:
+    """The address plan: city *i* owns the /16 at ``base + (i << 16)``.
+
+    Each city also gets two provider ASes: the "incumbent" announcing
+    the whole /16 and a "carve-out" provider announcing the top /18 —
+    which doubles as an LPM-specificity test in the AS database.
+
+    IPv6: city *i* additionally owns the /48 at
+    ``ipv6_base | (i << 80)``; hosts are drawn from its low 64 bits.
+    """
+
+    cities: Sequence[City] = field(default_factory=lambda: list(WORLD_CITIES))
+    base_network: str = DEFAULT_BASE_NETWORK
+    asn_base: int = 64500
+    ipv6_base: int = 0x20010DB8 << 96  # 2001:db8::/32, carved into /48s
+
+    def __post_init__(self):
+        if not self.cities:
+            raise ValueError("plan needs at least one city")
+        self._base_int = ip_to_int(self.base_network)
+        if self._base_int & 0xFFFF:
+            raise ValueError("base network must be /16-aligned")
+        if self._base_int + (len(self.cities) << 16) > 1 << 32:
+            raise ValueError("address plan overflows IPv4 space")
+        if self.ipv6_base & ((1 << 96) - 1):
+            raise ValueError("ipv6 base must be /32-aligned")
+
+    def city_index(self, city_name: str) -> int:
+        """Plan index of *city_name* (exact match)."""
+        for index, city in enumerate(self.cities):
+            if city.name == city_name:
+                return index
+        raise KeyError(f"city not in plan: {city_name}")
+
+    def block_start(self, city_index: int) -> int:
+        """First address of the city's /16."""
+        if not 0 <= city_index < len(self.cities):
+            raise IndexError(f"city index {city_index} out of range")
+        return self._base_int + (city_index << 16)
+
+    def block_end(self, city_index: int) -> int:
+        """Last address of the city's /16."""
+        return self.block_start(city_index) + 0xFFFF
+
+    def incumbent_asn(self, city_index: int) -> int:
+        """The AS announcing the city's whole /16."""
+        return self.asn_base + city_index * 2
+
+    def carveout_asn(self, city_index: int) -> int:
+        """The AS announcing the more-specific top /18."""
+        return self.asn_base + city_index * 2 + 1
+
+    def random_host(self, city_index: int, rng: random.Random) -> int:
+        """Draw a host address inside the city's block (never .0)."""
+        return self.block_start(city_index) + rng.randint(1, 0xFFFE)
+
+    def city_of(self, address: int) -> Optional[City]:
+        """Ground-truth city for *address*; None if outside the plan."""
+        offset = address - self._base_int
+        if offset < 0:
+            return None
+        index = offset >> 16
+        if index >= len(self.cities):
+            return None
+        return self.cities[index]
+
+    def asn_of(self, address: int) -> Optional[int]:
+        """Ground-truth origin AS (respecting the /18 carve-out)."""
+        city = self.city_of(address)
+        if city is None:
+            return None
+        index = (address - self._base_int) >> 16
+        # The top /18 of each /16 (host bits 0xC000..0xFFFF) belongs to
+        # the carve-out provider.
+        if (address & 0xFFFF) >= 0xC000:
+            return self.carveout_asn(index)
+        return self.incumbent_asn(index)
+
+    # -- IPv6 side of the plan ---------------------------------------------
+
+    def block6_start(self, city_index: int) -> int:
+        """First address of the city's /48."""
+        if not 0 <= city_index < len(self.cities):
+            raise IndexError(f"city index {city_index} out of range")
+        return self.ipv6_base | (city_index << 80)
+
+    def block6_end(self, city_index: int) -> int:
+        """Last address of the city's /48."""
+        return self.block6_start(city_index) | ((1 << 80) - 1)
+
+    def random_host6(self, city_index: int, rng: random.Random) -> int:
+        """A host inside the city's /48 (random low 64 bits, never 0)."""
+        return self.block6_start(city_index) | rng.randint(1, (1 << 64) - 1)
+
+    def city_of6(self, address: int) -> Optional[City]:
+        """Ground-truth city for an IPv6 *address*."""
+        if address >> 96 != self.ipv6_base >> 96:
+            return None
+        index = (address >> 80) & 0xFFFF
+        if index >= len(self.cities):
+            return None
+        return self.cities[index]
+
+    def asn_of6(self, address: int) -> Optional[int]:
+        """Ground-truth origin AS for IPv6 (incumbent owns the /48)."""
+        city = self.city_of6(address)
+        if city is None:
+            return None
+        return self.incumbent_asn((address >> 80) & 0xFFFF)
+
+
+class GeoDbBuilder:
+    """Builds (GeoDatabase, AsnDatabase) pairs from a plan.
+
+    Args:
+        plan: address plan (a default world plan if omitted).
+        country_accuracy: fraction of geo rows with the *correct*
+            country; the remainder are mislabelled with another plan
+            city's record, modelling IP2Location's 98 % figure.
+        ranges_per_city: geo rows per city /16 (real databases split
+            blocks finely; more rows also stresses the range index).
+        seed: drives which rows get mislabelled.
+    """
+
+    def __init__(
+        self,
+        plan: Optional[SyntheticGeoPlan] = None,
+        country_accuracy: float = 0.98,
+        ranges_per_city: int = DEFAULT_RANGES_PER_CITY,
+        seed: int = 42,
+    ):
+        if not 0.0 <= country_accuracy <= 1.0:
+            raise ValueError("country_accuracy must be within [0, 1]")
+        if ranges_per_city <= 0 or 0x10000 % ranges_per_city:
+            raise ValueError("ranges_per_city must divide 65536")
+        self.plan = plan or SyntheticGeoPlan()
+        self.country_accuracy = country_accuracy
+        self.ranges_per_city = ranges_per_city
+        self.seed = seed
+        self.mislabelled_rows = 0
+
+    @staticmethod
+    def _record_for(city: City) -> GeoRecord:
+        return GeoRecord(
+            country_code=city.country_code,
+            country=city.country,
+            city=city.name,
+            lat=city.lat,
+            lon=city.lon,
+        )
+
+    def build_geo(self) -> GeoDatabase:
+        """Construct the range-based geo database."""
+        rng = random.Random(self.seed)
+        cities = list(self.plan.cities)
+        database = GeoDatabase(name="synthetic-geo")
+        range_size = 0x10000 // self.ranges_per_city
+        self.mislabelled_rows = 0
+        for index, city in enumerate(cities):
+            start = self.plan.block_start(index)
+            for row in range(self.ranges_per_city):
+                first = start + row * range_size
+                last = first + range_size - 1
+                if rng.random() < self.country_accuracy or len(cities) == 1:
+                    record = self._record_for(city)
+                else:
+                    # Mislabel with a different city — crucially one in
+                    # a different country where possible, so the error
+                    # is visible at country granularity.
+                    others = [
+                        c for c in cities if c.country_code != city.country_code
+                    ] or [c for c in cities if c is not city]
+                    record = self._record_for(rng.choice(others))
+                    self.mislabelled_rows += 1
+                database.add_range(first, last, record)
+        database.freeze()
+        return database
+
+    def build_asn(self) -> AsnDatabase:
+        """Construct the prefix-based AS database."""
+        database = AsnDatabase(width=32)
+        for index, city in enumerate(self.plan.cities):
+            start = self.plan.block_start(index)
+            incumbent = AsRecord(
+                asn=self.plan.incumbent_asn(index),
+                name=f"{city.name} Broadband (AS{self.plan.incumbent_asn(index)})",
+            )
+            carveout = AsRecord(
+                asn=self.plan.carveout_asn(index),
+                name=f"{city.name} Research (AS{self.plan.carveout_asn(index)})",
+            )
+            database.add_prefix(start, 16, incumbent)
+            # Top /18 of the block: more specific, must win LPM.
+            database.add_prefix(start + 0xC000, 18, carveout)
+        return database
+
+    def build(self):
+        """Build both IPv4 databases; returns (geo, asn)."""
+        return self.build_geo(), self.build_asn()
+
+    def build_geo6(self) -> GeoDatabase:
+        """The IPv6 geo database: one range row per city /48.
+
+        The mislabelling knob applies per /48 (coarser than IPv4's
+        per-row perturbation, as real v6 geo data also is).
+        """
+        rng = random.Random(self.seed ^ 0x6666)
+        cities = list(self.plan.cities)
+        database = GeoDatabase(name="synthetic-geo6")
+        for index, city in enumerate(cities):
+            if rng.random() < self.country_accuracy or len(cities) == 1:
+                record = self._record_for(city)
+            else:
+                others = [
+                    c for c in cities if c.country_code != city.country_code
+                ] or [c for c in cities if c is not city]
+                record = self._record_for(rng.choice(others))
+            database.add_range(
+                self.plan.block6_start(index), self.plan.block6_end(index), record
+            )
+        database.freeze()
+        return database
+
+    def build_asn6(self) -> AsnDatabase:
+        """The IPv6 AS database: the incumbent announces each /48."""
+        database = AsnDatabase(width=128)
+        for index, city in enumerate(self.plan.cities):
+            record = AsRecord(
+                asn=self.plan.incumbent_asn(index),
+                name=f"{city.name} Broadband (AS{self.plan.incumbent_asn(index)})",
+            )
+            database.add_prefix(self.plan.block6_start(index), 48, record)
+        return database
+
+    def build6(self):
+        """Build both IPv6 databases; returns (geo6, asn6)."""
+        return self.build_geo6(), self.build_asn6()

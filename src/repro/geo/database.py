@@ -1,0 +1,92 @@
+"""Range-based geo database: IP → (country, city, coordinates).
+
+IP2Location ships contiguous, non-overlapping ``[first, last]`` rows;
+lookups are a binary search on the sorted range starts. The database
+is append-then-freeze: :meth:`GeoDatabase.add_range` collects rows,
+the first lookup sorts and validates them.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class GeoRecord:
+    """One geo row: where an address range is located."""
+
+    country_code: str
+    country: str
+    city: str
+    lat: float
+    lon: float
+
+
+class RangeOverlapError(ValueError):
+    """Raised at freeze time when two ranges overlap."""
+
+
+class GeoDatabase:
+    """Sorted-range IP→geo lookup (one instance per address family).
+
+    >>> db = GeoDatabase()
+    >>> db.add_range(ip_to_int("1.0.0.0"), ip_to_int("1.0.0.255"), record)
+    >>> db.lookup(ip_to_int("1.0.0.7")) is record
+    True
+    """
+
+    def __init__(self, name: str = "geo"):
+        self.name = name
+        self._rows: List[Tuple[int, int, GeoRecord]] = []
+        self._starts: List[int] = []
+        self._frozen = False
+        self.lookups = 0
+        self.misses = 0
+
+    def add_range(self, first: int, last: int, record: GeoRecord) -> None:
+        """Register ``[first, last]`` (inclusive) as *record*."""
+        if self._frozen:
+            raise RuntimeError("database is frozen; ranges can no longer be added")
+        if last < first:
+            raise ValueError(f"range end {last} before start {first}")
+        self._rows.append((first, last, record))
+
+    def freeze(self) -> None:
+        """Sort and validate; called implicitly by the first lookup."""
+        if self._frozen:
+            return
+        self._rows.sort(key=lambda row: row[0])
+        previous_end = -1
+        for first, last, _record in self._rows:
+            if first <= previous_end:
+                raise RangeOverlapError(
+                    f"{self.name}: range starting at {first} overlaps previous"
+                )
+            previous_end = last
+        self._starts = [row[0] for row in self._rows]
+        self._frozen = True
+
+    def lookup(self, address: int) -> Optional[GeoRecord]:
+        """Find the record covering *address*; None when uncovered."""
+        if not self._frozen:
+            self.freeze()
+        self.lookups += 1
+        index = bisect.bisect_right(self._starts, address) - 1
+        if index >= 0:
+            first, last, record = self._rows[index]
+            if first <= address <= last:
+                return record
+        self.misses += 1
+        return None
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that found a covering range."""
+        if not self.lookups:
+            return 0.0
+        return 1.0 - self.misses / self.lookups

@@ -1,0 +1,54 @@
+"""Great-circle geometry: distances and propagation-delay floors.
+
+Used in two places: the traffic generator derives realistic base RTTs
+from endpoint geography, and the network-planning example compares
+measured latency against the speed-of-light-in-fibre floor — the
+analysis an operator would run from Ruru's data.
+"""
+
+from __future__ import annotations
+
+import math
+
+EARTH_RADIUS_KM = 6371.0
+
+# Light in fibre travels at roughly 2/3 c ≈ 200 km/ms, and real paths
+# are longer than great circles; 1.3 is a conventional path-stretch
+# factor for back-of-envelope planning.
+FIBRE_KM_PER_MS = 200.0
+DEFAULT_PATH_STRETCH = 1.3
+
+
+def haversine_km(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Great-circle distance between two (lat, lon) points, in km."""
+    phi1, phi2 = math.radians(lat1), math.radians(lat2)
+    dphi = math.radians(lat2 - lat1)
+    dlambda = math.radians(lon2 - lon1)
+    a = (
+        math.sin(dphi / 2) ** 2
+        + math.cos(phi1) * math.cos(phi2) * math.sin(dlambda / 2) ** 2
+    )
+    return 2 * EARTH_RADIUS_KM * math.asin(math.sqrt(a))
+
+
+def propagation_delay_ms(
+    distance_km: float, path_stretch: float = DEFAULT_PATH_STRETCH
+) -> float:
+    """One-way fibre propagation delay for *distance_km*, in ms."""
+    if distance_km < 0:
+        raise ValueError("distance cannot be negative")
+    if path_stretch < 1.0:
+        raise ValueError("path stretch cannot shorten the path")
+    return distance_km * path_stretch / FIBRE_KM_PER_MS
+
+
+def rtt_floor_ms(
+    lat1: float,
+    lon1: float,
+    lat2: float,
+    lon2: float,
+    path_stretch: float = DEFAULT_PATH_STRETCH,
+) -> float:
+    """Round-trip fibre floor between two coordinates, in ms."""
+    distance = haversine_km(lat1, lon1, lat2, lon2)
+    return 2 * propagation_delay_ms(distance, path_stretch)

@@ -1,0 +1,95 @@
+"""City catalog: the coordinate ground truth for geo databases and
+traffic endpoints.
+
+The list is weighted toward the paper's deployment — New Zealand
+(REANNZ's users) and the US west coast (the far end of the
+Auckland–Los Angeles link) — plus enough world cities for the live
+map to look like the demo's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class City:
+    """A named place with coordinates.
+
+    Attributes:
+        name: city name ("Auckland").
+        country_code: ISO 3166-1 alpha-2 ("NZ").
+        country: full country name.
+        lat / lon: decimal degrees.
+    """
+
+    name: str
+    country_code: str
+    country: str
+    lat: float
+    lon: float
+
+
+WORLD_CITIES: List[City] = [
+    # New Zealand — the internal side of the REANNZ tap.
+    City("Auckland", "NZ", "New Zealand", -36.8485, 174.7633),
+    City("Wellington", "NZ", "New Zealand", -41.2866, 174.7756),
+    City("Christchurch", "NZ", "New Zealand", -43.5321, 172.6362),
+    City("Hamilton", "NZ", "New Zealand", -37.7870, 175.2793),
+    City("Dunedin", "NZ", "New Zealand", -45.8788, 170.5028),
+    City("Palmerston North", "NZ", "New Zealand", -40.3523, 175.6082),
+    # United States — the external side (LA is the link's far end).
+    City("Los Angeles", "US", "United States", 34.0522, -118.2437),
+    City("San Francisco", "US", "United States", 37.7749, -122.4194),
+    City("Seattle", "US", "United States", 47.6062, -122.3321),
+    City("Denver", "US", "United States", 39.7392, -104.9903),
+    City("Chicago", "US", "United States", 41.8781, -87.6298),
+    City("Dallas", "US", "United States", 32.7767, -96.7970),
+    City("New York", "US", "United States", 40.7128, -74.0060),
+    City("Washington", "US", "United States", 38.9072, -77.0369),
+    City("Ashburn", "US", "United States", 39.0438, -77.4874),
+    City("Miami", "US", "United States", 25.7617, -80.1918),
+    # Asia-Pacific transit and peers.
+    City("Sydney", "AU", "Australia", -33.8688, 151.2093),
+    City("Melbourne", "AU", "Australia", -37.8136, 144.9631),
+    City("Brisbane", "AU", "Australia", -27.4698, 153.0251),
+    City("Tokyo", "JP", "Japan", 35.6762, 139.6503),
+    City("Osaka", "JP", "Japan", 34.6937, 135.5023),
+    City("Singapore", "SG", "Singapore", 1.3521, 103.8198),
+    City("Hong Kong", "HK", "Hong Kong", 22.3193, 114.1694),
+    City("Seoul", "KR", "South Korea", 37.5665, 126.9780),
+    City("Taipei", "TW", "Taiwan", 25.0330, 121.5654),
+    City("Mumbai", "IN", "India", 19.0760, 72.8777),
+    City("Beijing", "CN", "China", 39.9042, 116.4074),
+    City("Shanghai", "CN", "China", 31.2304, 121.4737),
+    # Europe.
+    City("London", "GB", "United Kingdom", 51.5074, -0.1278),
+    City("Glasgow", "GB", "United Kingdom", 55.8642, -4.2518),
+    City("Amsterdam", "NL", "Netherlands", 52.3676, 4.9041),
+    City("Frankfurt", "DE", "Germany", 50.1109, 8.6821),
+    City("Paris", "FR", "France", 48.8566, 2.3522),
+    City("Stockholm", "SE", "Sweden", 59.3293, 18.0686),
+    City("Madrid", "ES", "Spain", 40.4168, -3.7038),
+    City("Dublin", "IE", "Ireland", 53.3498, -6.2603),
+    # Americas and rest of world.
+    City("Toronto", "CA", "Canada", 43.6532, -79.3832),
+    City("Vancouver", "CA", "Canada", 49.2827, -123.1207),
+    City("Sao Paulo", "BR", "Brazil", -23.5505, -46.6333),
+    City("Santiago", "CL", "Chile", -33.4489, -70.6693),
+    City("Johannesburg", "ZA", "South Africa", -26.2041, 28.0473),
+    City("Suva", "FJ", "Fiji", -18.1248, 178.4501),
+]
+
+_BY_NAME: Dict[str, City] = {city.name.lower(): city for city in WORLD_CITIES}
+
+
+def city_by_name(name: str) -> Optional[City]:
+    """Case-insensitive catalog lookup; None when unknown."""
+    return _BY_NAME.get(name.lower())
+
+
+def cities_in_country(country_code: str) -> List[City]:
+    """All catalog cities in *country_code*."""
+    code = country_code.upper()
+    return [city for city in WORLD_CITIES if city.country_code == code]

@@ -1,0 +1,51 @@
+"""In-process message bus — the ZeroMQ substitute.
+
+Ruru's stages are decoupled by "zero-copy ZeroMQ sockets", which is
+what makes the pipeline modular ("one could add a filter module …").
+This package reproduces the ZeroMQ patterns the paper uses, in a
+single process with deterministic delivery:
+
+* :mod:`repro.mq.frames` — multipart message framing.
+* :mod:`repro.mq.socket` — PUSH/PULL (work distribution from the DPDK
+  stage to analytics workers) and PUB/SUB (fan-out to the TSDB writer
+  and the WebSocket frontend), with high-water marks and ZeroMQ's
+  drop semantics for slow consumers.
+* :mod:`repro.mq.codec` — the compact binary wire encoding of latency
+  records crossing socket boundaries.
+* :mod:`repro.mq.broker` — a forwarder device for late-joining
+  subscribers and in-pipeline filter modules.
+"""
+
+from repro.mq.frames import Message
+from repro.mq.socket import (
+    Context,
+    MqError,
+    PubSocket,
+    PullSocket,
+    PushSocket,
+    SubSocket,
+)
+from repro.mq.codec import (
+    CodecError,
+    decode_enriched,
+    decode_latency_record,
+    encode_enriched,
+    encode_latency_record,
+)
+from repro.mq.broker import Forwarder
+
+__all__ = [
+    "Message",
+    "Context",
+    "MqError",
+    "PubSocket",
+    "PullSocket",
+    "PushSocket",
+    "SubSocket",
+    "CodecError",
+    "decode_enriched",
+    "decode_latency_record",
+    "encode_enriched",
+    "encode_latency_record",
+    "Forwarder",
+]

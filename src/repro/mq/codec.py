@@ -1,0 +1,192 @@
+"""Binary wire codec for records crossing socket boundaries.
+
+Two encodings:
+
+* **latency records** — the DPDK stage's output (addresses + the two
+  latency components + handshake timestamps), a fixed layout per
+  address family;
+* **enriched measurements** — the analytics stage's output after geo/AS
+  lookup and anonymization (no addresses, variable-length strings).
+
+Both carry a version byte so the formats can evolve; decoders reject
+unknown versions loudly.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import TYPE_CHECKING
+
+from repro.core.latency import LatencyRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.analytics.enricher import EnrichedMeasurement
+
+LATENCY_VERSION = 1
+ENRICHED_VERSION = 1
+
+_FLAG_IPV6 = 0x01
+
+# After the 2-byte preamble (version, flags) and the two addresses:
+# ports, latencies, timestamps, queue id, rss hash.
+_FIXED_TAIL = struct.Struct("!HHQQQQQHI")
+
+
+class CodecError(ValueError):
+    """Raised on malformed or version-mismatched payloads."""
+
+
+def encode_latency_record(record: LatencyRecord) -> bytes:
+    """Serialize a :class:`LatencyRecord` to wire bytes."""
+    flags = _FLAG_IPV6 if record.is_ipv6 else 0
+    addr_len = 16 if record.is_ipv6 else 4
+    parts = [
+        bytes([LATENCY_VERSION, flags]),
+        record.src_ip.to_bytes(addr_len, "big"),
+        record.dst_ip.to_bytes(addr_len, "big"),
+        _FIXED_TAIL.pack(
+            record.src_port,
+            record.dst_port,
+            record.internal_ns,
+            record.external_ns,
+            record.syn_ns,
+            record.synack_ns,
+            record.ack_ns,
+            record.queue_id,
+            record.rss_hash,
+        ),
+    ]
+    return b"".join(parts)
+
+
+def decode_latency_record(data: bytes) -> LatencyRecord:
+    """Parse wire bytes back into a :class:`LatencyRecord`."""
+    if len(data) < 2:
+        raise CodecError("latency record too short")
+    version, flags = data[0], data[1]
+    if version != LATENCY_VERSION:
+        raise CodecError(f"unknown latency record version {version}")
+    is_ipv6 = bool(flags & _FLAG_IPV6)
+    addr_len = 16 if is_ipv6 else 4
+    expected = 2 + 2 * addr_len + _FIXED_TAIL.size
+    if len(data) != expected:
+        raise CodecError(f"latency record length {len(data)} != {expected}")
+    offset = 2
+    src_ip = int.from_bytes(data[offset:offset + addr_len], "big")
+    offset += addr_len
+    dst_ip = int.from_bytes(data[offset:offset + addr_len], "big")
+    offset += addr_len
+    (
+        src_port,
+        dst_port,
+        internal_ns,
+        external_ns,
+        syn_ns,
+        synack_ns,
+        ack_ns,
+        queue_id,
+        rss_hash,
+    ) = _FIXED_TAIL.unpack_from(data, offset)
+    return LatencyRecord(
+        src_ip=src_ip,
+        dst_ip=dst_ip,
+        src_port=src_port,
+        dst_port=dst_port,
+        internal_ns=internal_ns,
+        external_ns=external_ns,
+        syn_ns=syn_ns,
+        synack_ns=synack_ns,
+        ack_ns=ack_ns,
+        is_ipv6=is_ipv6,
+        queue_id=queue_id,
+        rss_hash=rss_hash,
+    )
+
+
+def _pack_str(text: str) -> bytes:
+    raw = text.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise CodecError("string field too long")
+    return struct.pack("!H", len(raw)) + raw
+
+
+def _unpack_str(data: bytes, offset: int):
+    if offset + 2 > len(data):
+        raise CodecError("truncated string length")
+    (length,) = struct.unpack_from("!H", data, offset)
+    offset += 2
+    if offset + length > len(data):
+        raise CodecError("truncated string body")
+    return data[offset:offset + length].decode("utf-8"), offset + length
+
+
+_ENRICHED_FIXED = struct.Struct("!QQQddddII")
+
+
+def encode_enriched(measurement: "EnrichedMeasurement") -> bytes:
+    """Serialize an anonymized, geo-enriched measurement."""
+    parts = [
+        bytes([ENRICHED_VERSION]),
+        _ENRICHED_FIXED.pack(
+            measurement.timestamp_ns,
+            measurement.internal_ns,
+            measurement.external_ns,
+            measurement.src_lat,
+            measurement.src_lon,
+            measurement.dst_lat,
+            measurement.dst_lon,
+            measurement.src_asn,
+            measurement.dst_asn,
+        ),
+        _pack_str(measurement.src_country),
+        _pack_str(measurement.src_city),
+        _pack_str(measurement.dst_country),
+        _pack_str(measurement.dst_city),
+    ]
+    return b"".join(parts)
+
+
+def decode_enriched(data: bytes) -> "EnrichedMeasurement":
+    """Parse wire bytes back into an EnrichedMeasurement."""
+    from repro.analytics.enricher import EnrichedMeasurement
+
+    if not data:
+        raise CodecError("empty enriched payload")
+    if data[0] != ENRICHED_VERSION:
+        raise CodecError(f"unknown enriched version {data[0]}")
+    offset = 1
+    if offset + _ENRICHED_FIXED.size > len(data):
+        raise CodecError("truncated enriched fixed fields")
+    (
+        timestamp_ns,
+        internal_ns,
+        external_ns,
+        src_lat,
+        src_lon,
+        dst_lat,
+        dst_lon,
+        src_asn,
+        dst_asn,
+    ) = _ENRICHED_FIXED.unpack_from(data, offset)
+    offset += _ENRICHED_FIXED.size
+    src_country, offset = _unpack_str(data, offset)
+    src_city, offset = _unpack_str(data, offset)
+    dst_country, offset = _unpack_str(data, offset)
+    dst_city, offset = _unpack_str(data, offset)
+    if offset != len(data):
+        raise CodecError("trailing bytes after enriched record")
+    return EnrichedMeasurement(
+        timestamp_ns=timestamp_ns,
+        internal_ns=internal_ns,
+        external_ns=external_ns,
+        src_country=src_country,
+        src_city=src_city,
+        src_lat=src_lat,
+        src_lon=src_lon,
+        src_asn=src_asn,
+        dst_country=dst_country,
+        dst_city=dst_city,
+        dst_lat=dst_lat,
+        dst_lon=dst_lon,
+        dst_asn=dst_asn,
+    )

@@ -1,0 +1,84 @@
+"""Multipart message framing, ZeroMQ style.
+
+A :class:`Message` is an ordered list of byte frames. PUB/SUB topic
+matching operates on the first frame, as in ZeroMQ's prefix
+subscription model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+
+class Message:
+    """An immutable multipart message.
+
+    >>> msg = Message([b"latency", b"payload"])
+    >>> msg.topic
+    b'latency'
+    >>> len(msg)
+    2
+    """
+
+    __slots__ = ("_frames",)
+
+    def __init__(self, frames: Iterable[bytes]):
+        frames_tuple: Tuple[bytes, ...] = tuple(frames)
+        if not frames_tuple:
+            raise ValueError("a message needs at least one frame")
+        for frame in frames_tuple:
+            if not isinstance(frame, (bytes, bytearray, memoryview)):
+                raise TypeError(f"frame must be bytes-like, got {type(frame).__name__}")
+        self._frames = tuple(bytes(frame) for frame in frames_tuple)
+
+    @classmethod
+    def single(cls, data: bytes) -> "Message":
+        """A one-frame message."""
+        return cls([data])
+
+    @classmethod
+    def with_topic(cls, topic: bytes, *payload: bytes) -> "Message":
+        """A topic frame followed by payload frames."""
+        return cls([topic, *payload])
+
+    @property
+    def frames(self) -> Tuple[bytes, ...]:
+        return self._frames
+
+    @property
+    def topic(self) -> bytes:
+        """The first frame (what SUB sockets prefix-match against)."""
+        return self._frames[0]
+
+    @property
+    def payload(self) -> Tuple[bytes, ...]:
+        """All frames after the topic."""
+        return self._frames[1:]
+
+    def matches(self, prefix: bytes) -> bool:
+        """ZeroMQ prefix subscription: empty prefix matches everything."""
+        return self._frames[0].startswith(prefix)
+
+    def total_bytes(self) -> int:
+        """Sum of frame lengths (stats/HWM accounting)."""
+        return sum(len(frame) for frame in self._frames)
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def __getitem__(self, index: int) -> bytes:
+        return self._frames[index]
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Message) and self._frames == other._frames
+
+    def __hash__(self) -> int:
+        return hash(self._frames)
+
+    def __repr__(self) -> str:
+        preview: List[str] = []
+        for frame in self._frames[:3]:
+            text = frame[:16].hex()
+            preview.append(f"{len(frame)}B:{text}")
+        suffix = "..." if len(self._frames) > 3 else ""
+        return f"Message([{', '.join(preview)}{suffix}])"

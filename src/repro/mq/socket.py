@@ -1,0 +1,210 @@
+"""PUSH/PULL and PUB/SUB sockets over in-process endpoints.
+
+Semantics follow ZeroMQ where it matters to the pipeline:
+
+* PUSH round-robins messages across connected PULL peers (work
+  distribution to the analytics worker pool).
+* PUB fans out to every matching SUB; a SUB whose receive queue is at
+  its high-water mark silently drops new messages for that subscriber
+  (ZeroMQ's slow-subscriber behaviour) — the frontend bench leans on
+  this.
+* Sockets bind/connect to string endpoints (``inproc://name``)
+  registered in a :class:`Context`.
+
+Everything is single-threaded and deterministic; "zero-copy" survives
+as Python reference passing — frames are never copied on delivery.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.mq.frames import Message
+
+DEFAULT_HWM = 10_000
+
+
+class MqError(RuntimeError):
+    """Endpoint and socket-state errors."""
+
+
+class Context:
+    """Registry of in-process endpoints, analogous to ``zmq.Context``."""
+
+    def __init__(self):
+        self._bindings: Dict[str, object] = {}
+
+    def _bind(self, endpoint: str, socket: object) -> None:
+        if endpoint in self._bindings:
+            raise MqError(f"endpoint already bound: {endpoint}")
+        self._bindings[endpoint] = socket
+
+    def _lookup(self, endpoint: str) -> object:
+        socket = self._bindings.get(endpoint)
+        if socket is None:
+            raise MqError(f"no socket bound at {endpoint}")
+        return socket
+
+    def _unbind(self, endpoint: str) -> None:
+        self._bindings.pop(endpoint, None)
+
+    # -- socket factories ---------------------------------------------------
+
+    def push(self) -> "PushSocket":
+        return PushSocket(self)
+
+    def pull(self, hwm: int = DEFAULT_HWM) -> "PullSocket":
+        return PullSocket(self, hwm=hwm)
+
+    def pub(self) -> "PubSocket":
+        return PubSocket(self)
+
+    def sub(self, hwm: int = DEFAULT_HWM) -> "SubSocket":
+        return SubSocket(self, hwm=hwm)
+
+
+class _ReceivingSocket:
+    """Shared queue mechanics for PULL and SUB."""
+
+    def __init__(self, context: Context, hwm: int):
+        if hwm <= 0:
+            raise ValueError("high-water mark must be positive")
+        self._context = context
+        self.hwm = hwm
+        self._queue: Deque[Message] = deque()
+        self._endpoint: Optional[str] = None
+        self.received = 0
+        self.dropped = 0
+
+    def bind(self, endpoint: str) -> None:
+        """Claim *endpoint* for this socket."""
+        self._context._bind(endpoint, self)
+        self._endpoint = endpoint
+
+    def close(self) -> None:
+        if self._endpoint is not None:
+            self._context._unbind(self._endpoint)
+            self._endpoint = None
+
+    def _deliver(self, message: Message) -> bool:
+        if len(self._queue) >= self.hwm:
+            self.dropped += 1
+            return False
+        self._queue.append(message)
+        self.received += 1
+        return True
+
+    def recv(self) -> Optional[Message]:
+        """Non-blocking receive; None when the queue is empty."""
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def recv_all(self, max_messages: Optional[int] = None) -> List[Message]:
+        """Drain up to *max_messages* (all, when None)."""
+        limit = len(self._queue) if max_messages is None else min(
+            max_messages, len(self._queue)
+        )
+        return [self._queue.popleft() for _ in range(limit)]
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class PullSocket(_ReceivingSocket):
+    """The receiving end of a PUSH/PULL pipe."""
+
+
+class SubSocket(_ReceivingSocket):
+    """The receiving end of PUB/SUB, with prefix subscriptions."""
+
+    def __init__(self, context: Context, hwm: int = DEFAULT_HWM):
+        super().__init__(context, hwm)
+        self._subscriptions: List[bytes] = []
+
+    def subscribe(self, prefix: bytes = b"") -> None:
+        """Subscribe to topics starting with *prefix* (empty = all)."""
+        if prefix not in self._subscriptions:
+            self._subscriptions.append(prefix)
+
+    def unsubscribe(self, prefix: bytes) -> None:
+        """Drop a subscription; unknown prefixes are ignored."""
+        try:
+            self._subscriptions.remove(prefix)
+        except ValueError:
+            pass
+
+    def wants(self, message: Message) -> bool:
+        """True if any subscription prefix matches the message topic."""
+        return any(message.matches(prefix) for prefix in self._subscriptions)
+
+
+class PushSocket:
+    """Round-robin work distributor."""
+
+    def __init__(self, context: Context):
+        self._context = context
+        self._peers: List[PullSocket] = []
+        self._next = 0
+        self.sent = 0
+        self.dropped = 0
+
+    def connect(self, endpoint: str) -> None:
+        """Attach to a bound PULL socket."""
+        peer = self._context._lookup(endpoint)
+        if not isinstance(peer, PullSocket):
+            raise MqError(f"{endpoint} is not a PULL socket")
+        self._peers.append(peer)
+
+    def send(self, message: Message) -> bool:
+        """Send to the next peer in rotation.
+
+        A peer at its HWM is skipped; if every peer is full the message
+        is dropped and counted (the non-blocking analogue of a PUSH
+        blocking at HWM — the pipeline benches read this as
+        back-pressure).
+
+        Raises:
+            MqError: no peer is connected.
+        """
+        if not self._peers:
+            raise MqError("PUSH socket has no connected peers")
+        for attempt in range(len(self._peers)):
+            peer = self._peers[(self._next + attempt) % len(self._peers)]
+            if peer._deliver(message):
+                self._next = (self._next + attempt + 1) % len(self._peers)
+                self.sent += 1
+                return True
+        self.dropped += 1
+        return False
+
+
+class PubSocket:
+    """Fan-out publisher."""
+
+    def __init__(self, context: Context):
+        self._context = context
+        self._subscribers: List[SubSocket] = []
+        self.sent = 0
+
+    def connect(self, endpoint: str) -> None:
+        """Attach to a bound SUB socket."""
+        peer = self._context._lookup(endpoint)
+        if not isinstance(peer, SubSocket):
+            raise MqError(f"{endpoint} is not a SUB socket")
+        self._subscribers.append(peer)
+
+    def send(self, message: Message) -> int:
+        """Deliver to every subscriber whose filter matches.
+
+        Returns the number of subscribers that accepted the message.
+        With no (matching) subscribers the message vanishes, as in
+        ZeroMQ.
+        """
+        delivered = 0
+        for subscriber in self._subscribers:
+            if subscriber.wants(message) and subscriber._deliver(message):
+                delivered += 1
+        self.sent += 1
+        return delivered

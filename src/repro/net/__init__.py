@@ -1,0 +1,90 @@
+"""Packet substrate: wire formats, parsing, and pcap I/O.
+
+This package implements the on-the-wire encodings Ruru's DPDK stage
+consumes — Ethernet (with 802.1Q VLAN), IPv4, IPv6, and TCP — plus a
+fast pre-parser (:mod:`repro.net.parser`) that extracts exactly the
+fields the latency pipeline needs, and a libpcap-compatible trace
+reader/writer (:mod:`repro.net.pcap`).
+
+Everything here is pure Python operating on :class:`bytes`; packets
+built by :mod:`repro.traffic` are real wire-format frames, so the
+parsing path exercised in tests and benchmarks is the same one a
+capture file from a real tap would exercise.
+"""
+
+from repro.net.addresses import (
+    IPAddressError,
+    ip_to_int,
+    int_to_ip,
+    ipv6_to_int,
+    int_to_ipv6,
+    is_ipv4,
+    is_ipv6,
+    mac_to_bytes,
+    bytes_to_mac,
+)
+from repro.net.checksum import internet_checksum, tcp_checksum_ipv4, tcp_checksum_ipv6
+from repro.net.ethernet import (
+    ETHERTYPE_IPV4,
+    ETHERTYPE_IPV6,
+    ETHERTYPE_VLAN,
+    EthernetFrame,
+)
+from repro.net.ipv4 import IPv4Header, PROTO_TCP, PROTO_UDP
+from repro.net.ipv6 import IPv6Header
+from repro.net.tcp import (
+    TCP_FLAG_ACK,
+    TCP_FLAG_FIN,
+    TCP_FLAG_PSH,
+    TCP_FLAG_RST,
+    TCP_FLAG_SYN,
+    TCP_FLAG_URG,
+    TcpHeader,
+    TcpOption,
+)
+from repro.net.packet import Packet, build_tcp_packet
+from repro.net.parser import ParsedPacket, PacketParser, ParseError
+from repro.net.pcap import PcapReader, PcapWriter, PcapError
+from repro.net.pcapng import PcapngReader, PcapngWriter, open_capture
+
+__all__ = [
+    "IPAddressError",
+    "ip_to_int",
+    "int_to_ip",
+    "ipv6_to_int",
+    "int_to_ipv6",
+    "is_ipv4",
+    "is_ipv6",
+    "mac_to_bytes",
+    "bytes_to_mac",
+    "internet_checksum",
+    "tcp_checksum_ipv4",
+    "tcp_checksum_ipv6",
+    "ETHERTYPE_IPV4",
+    "ETHERTYPE_IPV6",
+    "ETHERTYPE_VLAN",
+    "EthernetFrame",
+    "IPv4Header",
+    "IPv6Header",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "TCP_FLAG_ACK",
+    "TCP_FLAG_FIN",
+    "TCP_FLAG_PSH",
+    "TCP_FLAG_RST",
+    "TCP_FLAG_SYN",
+    "TCP_FLAG_URG",
+    "TcpHeader",
+    "TcpOption",
+    "Packet",
+    "build_tcp_packet",
+    "ParsedPacket",
+    "PacketParser",
+    "ParseError",
+    "PcapReader",
+    "PcapWriter",
+    "PcapError",
+    "PcapngReader",
+    "PcapngWriter",
+    "open_capture",
+]

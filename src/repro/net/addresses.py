@@ -1,0 +1,142 @@
+"""Address helpers: IPv4/IPv6 text and integer forms, MAC addresses.
+
+The latency pipeline keys flow tables on integer addresses (cheap to
+hash and compare); the analytics tier and examples use dotted-quad /
+colon-hex text. These converters are the single point of truth for
+both representations.
+"""
+
+from __future__ import annotations
+
+
+class IPAddressError(ValueError):
+    """Raised when an address string or integer is malformed."""
+
+
+_IPV4_MAX = (1 << 32) - 1
+_IPV6_MAX = (1 << 128) - 1
+
+
+def ip_to_int(text: str) -> int:
+    """Convert dotted-quad IPv4 text to a 32-bit integer.
+
+    >>> ip_to_int("10.0.0.1")
+    167772161
+    """
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise IPAddressError(f"not an IPv4 address: {text!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit() or (len(part) > 1 and part[0] == "0"):
+            raise IPAddressError(f"bad IPv4 octet {part!r} in {text!r}")
+        octet = int(part)
+        if octet > 255:
+            raise IPAddressError(f"IPv4 octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Convert a 32-bit integer to dotted-quad IPv4 text.
+
+    >>> int_to_ip(167772161)
+    '10.0.0.1'
+    """
+    if not 0 <= value <= _IPV4_MAX:
+        raise IPAddressError(f"IPv4 integer out of range: {value}")
+    return ".".join(
+        str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0)
+    )
+
+
+def ipv6_to_int(text: str) -> int:
+    """Convert colon-hex IPv6 text (with ``::`` compression) to a 128-bit int."""
+    if text.count("::") > 1:
+        raise IPAddressError(f"multiple '::' in {text!r}")
+    if "::" in text:
+        head, _, tail = text.partition("::")
+        head_groups = head.split(":") if head else []
+        tail_groups = tail.split(":") if tail else []
+        missing = 8 - len(head_groups) - len(tail_groups)
+        if missing < 1:
+            raise IPAddressError(f"'::' expands to nothing in {text!r}")
+        groups = head_groups + ["0"] * missing + tail_groups
+    else:
+        groups = text.split(":")
+    if len(groups) != 8:
+        raise IPAddressError(f"IPv6 address needs 8 groups: {text!r}")
+    value = 0
+    for group in groups:
+        if not group or len(group) > 4:
+            raise IPAddressError(f"bad IPv6 group {group!r} in {text!r}")
+        try:
+            word = int(group, 16)
+        except ValueError as exc:
+            raise IPAddressError(f"bad IPv6 group {group!r} in {text!r}") from exc
+        value = (value << 16) | word
+    return value
+
+
+def int_to_ipv6(value: int) -> str:
+    """Convert a 128-bit integer to canonical (RFC 5952) IPv6 text."""
+    if not 0 <= value <= _IPV6_MAX:
+        raise IPAddressError(f"IPv6 integer out of range: {value}")
+    groups = [(value >> (112 - 16 * i)) & 0xFFFF for i in range(8)]
+    # Find the longest run of zero groups (length >= 2) for '::' compression.
+    best_start, best_len = -1, 0
+    run_start, run_len = -1, 0
+    for i, group in enumerate(groups):
+        if group == 0:
+            if run_start < 0:
+                run_start, run_len = i, 1
+            else:
+                run_len += 1
+            if run_len > best_len:
+                best_start, best_len = run_start, run_len
+        else:
+            run_start, run_len = -1, 0
+    if best_len < 2:
+        return ":".join(f"{g:x}" for g in groups)
+    head = ":".join(f"{g:x}" for g in groups[:best_start])
+    tail = ":".join(f"{g:x}" for g in groups[best_start + best_len:])
+    return f"{head}::{tail}"
+
+
+def is_ipv4(text: str) -> bool:
+    """Return True if *text* parses as an IPv4 address."""
+    try:
+        ip_to_int(text)
+    except IPAddressError:
+        return False
+    return True
+
+
+def is_ipv6(text: str) -> bool:
+    """Return True if *text* parses as an IPv6 address."""
+    try:
+        ipv6_to_int(text)
+    except IPAddressError:
+        return False
+    return True
+
+
+def mac_to_bytes(text: str) -> bytes:
+    """Convert ``aa:bb:cc:dd:ee:ff`` MAC text to 6 raw bytes."""
+    parts = text.split(":")
+    if len(parts) != 6:
+        raise IPAddressError(f"not a MAC address: {text!r}")
+    try:
+        raw = bytes(int(part, 16) for part in parts)
+    except ValueError as exc:
+        raise IPAddressError(f"bad MAC byte in {text!r}") from exc
+    if any(len(part) != 2 for part in parts):
+        raise IPAddressError(f"MAC bytes must be two hex digits: {text!r}")
+    return raw
+
+
+def bytes_to_mac(raw: bytes) -> str:
+    """Convert 6 raw bytes to ``aa:bb:cc:dd:ee:ff`` MAC text."""
+    if len(raw) != 6:
+        raise IPAddressError(f"MAC needs 6 bytes, got {len(raw)}")
+    return ":".join(f"{b:02x}" for b in raw)

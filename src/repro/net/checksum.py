@@ -1,0 +1,52 @@
+"""RFC 1071 Internet checksum and TCP pseudo-header checksums.
+
+Ruru's DPDK stage does not verify checksums (the NIC does), but the
+traffic generator must emit frames that a strict parser — or a real
+tool reading our pcap output — would accept, so we compute them
+properly here.
+"""
+
+from __future__ import annotations
+
+import struct
+
+
+def internet_checksum(data: bytes) -> int:
+    """Compute the 16-bit one's-complement checksum of *data* (RFC 1071)."""
+    if len(data) % 2:
+        data = data + b"\x00"
+    total = 0
+    for (word,) in struct.iter_unpack("!H", data):
+        total += word
+    # Fold carries back into the low 16 bits.
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def _pseudo_header_v4(src: int, dst: int, proto: int, length: int) -> bytes:
+    return struct.pack("!IIBBH", src, dst, 0, proto, length)
+
+
+def _pseudo_header_v6(src: int, dst: int, proto: int, length: int) -> bytes:
+    return (
+        src.to_bytes(16, "big")
+        + dst.to_bytes(16, "big")
+        + struct.pack("!IBBBB", length, 0, 0, 0, proto)
+    )
+
+
+def tcp_checksum_ipv4(src: int, dst: int, segment: bytes) -> int:
+    """TCP checksum over the IPv4 pseudo-header and *segment*.
+
+    *segment* is the full TCP header+payload with its checksum field
+    zeroed; *src*/*dst* are integer IPv4 addresses.
+    """
+    pseudo = _pseudo_header_v4(src, dst, 6, len(segment))
+    return internet_checksum(pseudo + segment)
+
+
+def tcp_checksum_ipv6(src: int, dst: int, segment: bytes) -> int:
+    """TCP checksum over the IPv6 pseudo-header and *segment*."""
+    pseudo = _pseudo_header_v6(src, dst, 6, len(segment))
+    return internet_checksum(pseudo + segment)

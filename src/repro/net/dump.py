@@ -1,0 +1,88 @@
+"""tcpdump-style one-line packet rendering.
+
+Debugging a measurement pipeline starts with looking at packets; this
+gives the familiar one-line-per-packet view for any capture the tools
+here produce or ingest::
+
+    0.000000 IP 20.0.158.136.7144 > 20.16.85.207.443: Flags [S], seq 1092489313, length 0
+
+Formatting follows tcpdump's TCP output closely enough to be read by
+muscle memory; non-TCP frames fall back to a short classification.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from repro.net.addresses import int_to_ip, int_to_ipv6
+from repro.net.packet import Packet
+from repro.net.parser import PacketParser, ParseError
+
+_FLAG_LETTERS = [
+    (0x02, "S"),
+    (0x01, "F"),
+    (0x04, "R"),
+    (0x08, "P"),
+    (0x20, "U"),
+    (0x40, "E"),
+    (0x80, "W"),
+]
+
+
+def flags_letters(flags: int) -> str:
+    """tcpdump's flag string: ``[S]``, ``[S.]``, ``[P.]``, ``[.]``…"""
+    letters = "".join(letter for bit, letter in _FLAG_LETTERS if flags & bit)
+    if flags & 0x10:  # ACK renders as a trailing dot
+        letters += "."
+    return letters or "none"
+
+
+def format_packet(
+    packet: Packet,
+    parser: Optional[PacketParser] = None,
+    reference_ns: int = 0,
+) -> str:
+    """One line for one packet; *reference_ns* anchors the timestamp."""
+    parser = parser or PacketParser(extract_timestamps=True)
+    elapsed_s = (packet.timestamp_ns - reference_ns) / 1e9
+    prefix = f"{elapsed_s:.6f}"
+    try:
+        parsed = parser.parse(packet.data, packet.timestamp_ns)
+    except ParseError as error:
+        return f"{prefix} [{error.reason}] {len(packet.data)} bytes"
+
+    if parsed.is_ipv6:
+        src = f"{int_to_ipv6(parsed.src_ip)}.{parsed.src_port}"
+        dst = f"{int_to_ipv6(parsed.dst_ip)}.{parsed.dst_port}"
+        family = "IP6"
+    else:
+        src = f"{int_to_ip(parsed.src_ip)}.{parsed.src_port}"
+        dst = f"{int_to_ip(parsed.dst_ip)}.{parsed.dst_port}"
+        family = "IP"
+    parts = [
+        f"{prefix} {family} {src} > {dst}:",
+        f"Flags [{flags_letters(parsed.flags)}],",
+        f"seq {parsed.seq},",
+    ]
+    if parsed.flags & 0x10:
+        parts.append(f"ack {parsed.ack},")
+    if parsed.tsval is not None:
+        parts.append(f"TS val {parsed.tsval} ecr {parsed.tsecr},")
+    parts.append(f"length {parsed.payload_len}")
+    return " ".join(parts)
+
+
+def dump(
+    packets: Iterable[Packet],
+    limit: Optional[int] = None,
+    relative_time: bool = True,
+) -> Iterator[str]:
+    """Render a stream of packets to lines (generator)."""
+    parser = PacketParser(extract_timestamps=True)
+    reference: Optional[int] = None
+    for index, packet in enumerate(packets):
+        if limit is not None and index >= limit:
+            return
+        if reference is None:
+            reference = packet.timestamp_ns if relative_time else 0
+        yield format_packet(packet, parser=parser, reference_ns=reference)

@@ -1,0 +1,80 @@
+"""Ethernet II framing with optional 802.1Q VLAN tags."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Optional
+
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_IPV6 = 0x86DD
+ETHERTYPE_VLAN = 0x8100
+
+_HEADER = struct.Struct("!6s6sH")
+_VLAN_TAG = struct.Struct("!HH")
+
+HEADER_LEN = _HEADER.size  # 14
+VLAN_TAG_LEN = _VLAN_TAG.size  # 4
+
+
+@dataclass
+class EthernetFrame:
+    """An Ethernet II frame, optionally 802.1Q tagged.
+
+    Attributes:
+        dst_mac: destination MAC, 6 raw bytes.
+        src_mac: source MAC, 6 raw bytes.
+        ethertype: the ethertype of the *payload* (after any VLAN tag).
+        vlan_id: 12-bit VLAN id, or None when untagged.
+        vlan_pcp: 3-bit priority code point (only meaningful when tagged).
+        payload: the L3 packet bytes.
+    """
+
+    dst_mac: bytes = b"\x00" * 6
+    src_mac: bytes = b"\x00" * 6
+    ethertype: int = ETHERTYPE_IPV4
+    vlan_id: Optional[int] = None
+    vlan_pcp: int = 0
+    payload: bytes = field(default=b"", repr=False)
+
+    def pack(self) -> bytes:
+        """Serialize to wire bytes."""
+        if self.vlan_id is None:
+            header = _HEADER.pack(self.dst_mac, self.src_mac, self.ethertype)
+            return header + self.payload
+        if not 0 <= self.vlan_id < 4096:
+            raise ValueError(f"VLAN id out of range: {self.vlan_id}")
+        tci = ((self.vlan_pcp & 0x7) << 13) | (self.vlan_id & 0x0FFF)
+        header = _HEADER.pack(self.dst_mac, self.src_mac, ETHERTYPE_VLAN)
+        tag = _VLAN_TAG.pack(tci, self.ethertype)
+        return header + tag + self.payload
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "EthernetFrame":
+        """Parse wire bytes into a frame, following one VLAN tag if present."""
+        if len(data) < HEADER_LEN:
+            raise ValueError(f"truncated Ethernet header: {len(data)} bytes")
+        dst, src, ethertype = _HEADER.unpack_from(data)
+        offset = HEADER_LEN
+        vlan_id: Optional[int] = None
+        vlan_pcp = 0
+        if ethertype == ETHERTYPE_VLAN:
+            if len(data) < offset + VLAN_TAG_LEN:
+                raise ValueError("truncated 802.1Q tag")
+            tci, ethertype = _VLAN_TAG.unpack_from(data, offset)
+            vlan_id = tci & 0x0FFF
+            vlan_pcp = (tci >> 13) & 0x7
+            offset += VLAN_TAG_LEN
+        return cls(
+            dst_mac=dst,
+            src_mac=src,
+            ethertype=ethertype,
+            vlan_id=vlan_id,
+            vlan_pcp=vlan_pcp,
+            payload=data[offset:],
+        )
+
+    @property
+    def header_len(self) -> int:
+        """Length of the L2 header (14 or 18 with a VLAN tag)."""
+        return HEADER_LEN + (VLAN_TAG_LEN if self.vlan_id is not None else 0)

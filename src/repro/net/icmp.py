@@ -1,0 +1,81 @@
+"""ICMP message encoding and decoding (RFC 792), echo-centric.
+
+Another drop path for the pre-parse filter: pings and unreachables
+cross the tap constantly. Echo request/reply carry id/seq; other
+types are preserved as raw rest-of-header plus payload.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.net.checksum import internet_checksum
+
+TYPE_ECHO_REPLY = 0
+TYPE_DEST_UNREACHABLE = 3
+TYPE_ECHO_REQUEST = 8
+TYPE_TIME_EXCEEDED = 11
+
+_HEADER = struct.Struct("!BBH")
+HEADER_LEN = 8  # type, code, checksum, rest-of-header
+
+
+@dataclass
+class IcmpMessage:
+    """One ICMP message.
+
+    For echo types, ``rest`` holds packed (identifier, sequence);
+    use :meth:`echo` to build and :attr:`identifier`/:attr:`sequence`
+    to read.
+    """
+
+    icmp_type: int = TYPE_ECHO_REQUEST
+    code: int = 0
+    checksum: int = 0
+    rest: bytes = b"\x00" * 4
+    payload: bytes = field(default=b"", repr=False)
+
+    @classmethod
+    def echo(
+        cls, identifier: int, sequence: int, payload: bytes = b"", reply: bool = False
+    ) -> "IcmpMessage":
+        """Build an echo request (or reply)."""
+        return cls(
+            icmp_type=TYPE_ECHO_REPLY if reply else TYPE_ECHO_REQUEST,
+            rest=struct.pack("!HH", identifier, sequence),
+            payload=payload,
+        )
+
+    @property
+    def identifier(self) -> int:
+        return struct.unpack("!H", self.rest[:2])[0]
+
+    @property
+    def sequence(self) -> int:
+        return struct.unpack("!H", self.rest[2:4])[0]
+
+    def pack(self) -> bytes:
+        """Serialize with a computed checksum."""
+        rest = (self.rest + b"\x00" * 4)[:4]
+        body = _HEADER.pack(self.icmp_type, self.code, 0) + rest + self.payload
+        checksum = internet_checksum(body)
+        return body[:2] + struct.pack("!H", checksum) + body[4:]
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "IcmpMessage":
+        """Parse wire bytes."""
+        if len(data) < HEADER_LEN:
+            raise ValueError(f"truncated ICMP message: {len(data)} bytes")
+        icmp_type, code, checksum = _HEADER.unpack_from(data)
+        return cls(
+            icmp_type=icmp_type,
+            code=code,
+            checksum=checksum,
+            rest=bytes(data[4:8]),
+            payload=bytes(data[8:]),
+        )
+
+    def verify_checksum(self, raw: bytes) -> bool:
+        """True if the raw message checksums to zero."""
+        return internet_checksum(raw) == 0

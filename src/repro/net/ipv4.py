@@ -1,0 +1,125 @@
+"""IPv4 header encoding and decoding (RFC 791)."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.net.checksum import internet_checksum
+
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+_HEADER = struct.Struct("!BBHHHBBHII")
+MIN_HEADER_LEN = _HEADER.size  # 20
+
+
+@dataclass
+class IPv4Header:
+    """An IPv4 header plus payload.
+
+    Addresses are stored as integers — the form the flow table hashes.
+    ``total_length`` and ``checksum`` are computed on :meth:`pack` when
+    left at zero, and preserved verbatim when parsing.
+    """
+
+    src: int = 0
+    dst: int = 0
+    protocol: int = PROTO_TCP
+    ttl: int = 64
+    identification: int = 0
+    dscp: int = 0
+    ecn: int = 0
+    dont_fragment: bool = True
+    more_fragments: bool = False
+    fragment_offset: int = 0
+    total_length: int = 0
+    checksum: int = 0
+    options: bytes = b""
+    payload: bytes = field(default=b"", repr=False)
+
+    @property
+    def header_len(self) -> int:
+        """Header length in bytes, including options padded to 4 bytes."""
+        opt_len = (len(self.options) + 3) & ~3
+        return MIN_HEADER_LEN + opt_len
+
+    def pack(self) -> bytes:
+        """Serialize to wire bytes, filling in length and checksum."""
+        opt = self.options
+        if len(opt) % 4:
+            opt = opt + b"\x00" * (4 - len(opt) % 4)
+        ihl = (MIN_HEADER_LEN + len(opt)) // 4
+        if ihl > 15:
+            raise ValueError("IPv4 options too long")
+        version_ihl = (4 << 4) | ihl
+        tos = ((self.dscp & 0x3F) << 2) | (self.ecn & 0x3)
+        total_length = self.total_length or (ihl * 4 + len(self.payload))
+        flags = (0x2 if self.dont_fragment else 0) | (0x1 if self.more_fragments else 0)
+        flags_frag = (flags << 13) | (self.fragment_offset & 0x1FFF)
+        header = _HEADER.pack(
+            version_ihl,
+            tos,
+            total_length,
+            self.identification,
+            flags_frag,
+            self.ttl,
+            self.protocol,
+            0,
+            self.src,
+            self.dst,
+        ) + opt
+        checksum = self.checksum or internet_checksum(header)
+        header = header[:10] + struct.pack("!H", checksum) + header[12:]
+        return header + self.payload
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "IPv4Header":
+        """Parse wire bytes; payload is sliced using total_length."""
+        if len(data) < MIN_HEADER_LEN:
+            raise ValueError(f"truncated IPv4 header: {len(data)} bytes")
+        (
+            version_ihl,
+            tos,
+            total_length,
+            identification,
+            flags_frag,
+            ttl,
+            protocol,
+            checksum,
+            src,
+            dst,
+        ) = _HEADER.unpack_from(data)
+        version = version_ihl >> 4
+        if version != 4:
+            raise ValueError(f"not IPv4 (version={version})")
+        ihl = (version_ihl & 0xF) * 4
+        if ihl < MIN_HEADER_LEN or len(data) < ihl:
+            raise ValueError(f"bad IPv4 IHL: {ihl}")
+        end = min(total_length, len(data)) if total_length >= ihl else len(data)
+        flags = flags_frag >> 13
+        return cls(
+            src=src,
+            dst=dst,
+            protocol=protocol,
+            ttl=ttl,
+            identification=identification,
+            dscp=tos >> 2,
+            ecn=tos & 0x3,
+            dont_fragment=bool(flags & 0x2),
+            more_fragments=bool(flags & 0x1),
+            fragment_offset=flags_frag & 0x1FFF,
+            total_length=total_length,
+            checksum=checksum,
+            options=bytes(data[MIN_HEADER_LEN:ihl]),
+            payload=bytes(data[ihl:end]),
+        )
+
+    def verify_checksum(self, raw_header: bytes) -> bool:
+        """Return True if *raw_header* (header bytes only) checksums to zero."""
+        return internet_checksum(raw_header) == 0
+
+    @property
+    def is_fragment(self) -> bool:
+        """True for any fragment other than a complete datagram."""
+        return self.more_fragments or self.fragment_offset != 0

@@ -1,0 +1,73 @@
+"""IPv6 header encoding and decoding (RFC 8200), fixed header only.
+
+Extension headers other than the ones the pipeline can skip are
+reported via :attr:`IPv6Header.next_header`; the pre-parser in
+:mod:`repro.net.parser` walks hop-by-hop/routing/destination options
+to find TCP.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+_HEADER = struct.Struct("!IHBB")
+HEADER_LEN = 40
+
+# Extension header "next header" values the parser knows how to skip.
+EXT_HOP_BY_HOP = 0
+EXT_ROUTING = 43
+EXT_FRAGMENT = 44
+EXT_DEST_OPTS = 60
+SKIPPABLE_EXTENSIONS = frozenset({EXT_HOP_BY_HOP, EXT_ROUTING, EXT_DEST_OPTS})
+
+
+@dataclass
+class IPv6Header:
+    """An IPv6 fixed header plus payload; addresses are 128-bit ints."""
+
+    src: int = 0
+    dst: int = 0
+    next_header: int = 6
+    hop_limit: int = 64
+    traffic_class: int = 0
+    flow_label: int = 0
+    payload_length: int = 0
+    payload: bytes = field(default=b"", repr=False)
+
+    def pack(self) -> bytes:
+        """Serialize to wire bytes, filling in payload_length."""
+        if not 0 <= self.flow_label < (1 << 20):
+            raise ValueError(f"flow label out of range: {self.flow_label}")
+        first_word = (6 << 28) | ((self.traffic_class & 0xFF) << 20) | self.flow_label
+        payload_length = self.payload_length or len(self.payload)
+        header = _HEADER.pack(first_word, payload_length, self.next_header, self.hop_limit)
+        return (
+            header
+            + self.src.to_bytes(16, "big")
+            + self.dst.to_bytes(16, "big")
+            + self.payload
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "IPv6Header":
+        """Parse wire bytes; payload is sliced using payload_length."""
+        if len(data) < HEADER_LEN:
+            raise ValueError(f"truncated IPv6 header: {len(data)} bytes")
+        first_word, payload_length, next_header, hop_limit = _HEADER.unpack_from(data)
+        version = first_word >> 28
+        if version != 6:
+            raise ValueError(f"not IPv6 (version={version})")
+        src = int.from_bytes(data[8:24], "big")
+        dst = int.from_bytes(data[24:40], "big")
+        end = min(HEADER_LEN + payload_length, len(data))
+        return cls(
+            src=src,
+            dst=dst,
+            next_header=next_header,
+            hop_limit=hop_limit,
+            traffic_class=(first_word >> 20) & 0xFF,
+            flow_label=first_word & 0xFFFFF,
+            payload_length=payload_length,
+            payload=bytes(data[HEADER_LEN:end]),
+        )

@@ -1,0 +1,103 @@
+"""Whole-packet model: raw wire bytes plus capture metadata.
+
+A :class:`Packet` is what the simulated NIC receives and what pcap
+files store: the frame bytes and a capture timestamp in nanoseconds
+(Ruru records "sub-microsecond timestamps", so nanosecond resolution
+is the native unit throughout the pipeline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.net.checksum import tcp_checksum_ipv4, tcp_checksum_ipv6
+from repro.net.ethernet import ETHERTYPE_IPV4, ETHERTYPE_IPV6, EthernetFrame
+from repro.net.ipv4 import IPv4Header, PROTO_TCP
+from repro.net.ipv6 import IPv6Header
+from repro.net.tcp import TcpHeader
+
+
+@dataclass
+class Packet:
+    """Raw frame bytes plus the tap's capture timestamp (ns)."""
+
+    data: bytes = field(repr=False, default=b"")
+    timestamp_ns: int = 0
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    @property
+    def timestamp_s(self) -> float:
+        """Capture timestamp in floating seconds (pcap convention)."""
+        return self.timestamp_ns / 1e9
+
+    def ethernet(self) -> EthernetFrame:
+        """Decode the L2 header (full parse; the hot path uses net.parser)."""
+        return EthernetFrame.unpack(self.data)
+
+
+def build_tcp_packet(
+    src_ip: int,
+    dst_ip: int,
+    src_port: int,
+    dst_port: int,
+    flags: int,
+    *,
+    seq: int = 0,
+    ack: int = 0,
+    payload: bytes = b"",
+    options: Optional[list] = None,
+    timestamp_ns: int = 0,
+    ipv6: bool = False,
+    ttl: int = 64,
+    window: int = 65535,
+    vlan_id: Optional[int] = None,
+    src_mac: bytes = b"\x02\x00\x00\x00\x00\x01",
+    dst_mac: bytes = b"\x02\x00\x00\x00\x00\x02",
+    compute_checksum: bool = True,
+) -> Packet:
+    """Build a complete Ethernet/IP/TCP frame ready for the pipeline.
+
+    This is the traffic generator's workhorse: it produces genuine
+    wire-format bytes so the parsing path in tests and benchmarks is
+    identical to parsing a real capture.
+    """
+    tcp = TcpHeader(
+        src_port=src_port,
+        dst_port=dst_port,
+        seq=seq,
+        ack=ack,
+        flags=flags,
+        window=window,
+        options=list(options) if options else [],
+        payload=payload,
+    )
+    segment = tcp.pack()
+    if compute_checksum:
+        if ipv6:
+            checksum = tcp_checksum_ipv6(src_ip, dst_ip, segment)
+        else:
+            checksum = tcp_checksum_ipv4(src_ip, dst_ip, segment)
+        segment = segment[:16] + checksum.to_bytes(2, "big") + segment[18:]
+
+    if ipv6:
+        ip_bytes = IPv6Header(
+            src=src_ip, dst=dst_ip, next_header=PROTO_TCP, hop_limit=ttl, payload=segment
+        ).pack()
+        ethertype = ETHERTYPE_IPV6
+    else:
+        ip_bytes = IPv4Header(
+            src=src_ip, dst=dst_ip, protocol=PROTO_TCP, ttl=ttl, payload=segment
+        ).pack()
+        ethertype = ETHERTYPE_IPV4
+
+    frame = EthernetFrame(
+        dst_mac=dst_mac,
+        src_mac=src_mac,
+        ethertype=ethertype,
+        vlan_id=vlan_id,
+        payload=ip_bytes,
+    )
+    return Packet(data=frame.pack(), timestamp_ns=timestamp_ns)

@@ -1,0 +1,147 @@
+"""libpcap-format trace reader and writer.
+
+Supports both the classic microsecond format (magic ``0xa1b2c3d4``)
+and the nanosecond variant (``0xa1b23c4d``) in either byte order.
+Ruru records sub-microsecond timestamps, so the writer defaults to
+the nanosecond magic.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import BinaryIO, Iterator, Optional, Union
+
+from repro.net.packet import Packet
+
+MAGIC_MICROS = 0xA1B2C3D4
+MAGIC_NANOS = 0xA1B23C4D
+LINKTYPE_ETHERNET = 1
+
+_GLOBAL_HEADER = struct.Struct("IHHiIII")
+_RECORD_HEADER = struct.Struct("IIII")
+
+
+class PcapError(IOError):
+    """Raised for malformed pcap files."""
+
+
+class PcapWriter:
+    """Streams :class:`Packet` objects to a pcap file.
+
+    Usable as a context manager::
+
+        with PcapWriter("trace.pcap") as writer:
+            writer.write(packet)
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path, BinaryIO],
+        nanosecond: bool = True,
+        snaplen: int = 65535,
+        linktype: int = LINKTYPE_ETHERNET,
+    ):
+        if hasattr(path, "write"):
+            self._file: BinaryIO = path  # type: ignore[assignment]
+            self._owns_file = False
+        else:
+            self._file = open(path, "wb")
+            self._owns_file = True
+        self.nanosecond = nanosecond
+        self.snaplen = snaplen
+        magic = MAGIC_NANOS if nanosecond else MAGIC_MICROS
+        self._file.write(
+            _GLOBAL_HEADER.pack(magic, 2, 4, 0, 0, snaplen, linktype)
+        )
+        self.packets_written = 0
+
+    def write(self, packet: Packet) -> None:
+        """Append one packet record."""
+        seconds, remainder_ns = divmod(packet.timestamp_ns, 1_000_000_000)
+        subsecond = remainder_ns if self.nanosecond else remainder_ns // 1000
+        captured = packet.data[: self.snaplen]
+        self._file.write(
+            _RECORD_HEADER.pack(seconds, subsecond, len(captured), len(packet.data))
+        )
+        self._file.write(captured)
+        self.packets_written += 1
+
+    def close(self) -> None:
+        if self._owns_file and not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "PcapWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class PcapReader:
+    """Iterates :class:`Packet` objects out of a pcap file.
+
+    Handles both endiannesses and both timestamp resolutions; yields
+    timestamps normalized to nanoseconds.
+    """
+
+    def __init__(self, path: Union[str, Path, BinaryIO]):
+        if hasattr(path, "read"):
+            self._file: BinaryIO = path  # type: ignore[assignment]
+            self._owns_file = False
+        else:
+            self._file = open(path, "rb")
+            self._owns_file = True
+        header = self._file.read(_GLOBAL_HEADER.size)
+        if len(header) < _GLOBAL_HEADER.size:
+            raise PcapError("truncated pcap global header")
+        magic_le = struct.unpack("<I", header[:4])[0]
+        magic_be = struct.unpack(">I", header[:4])[0]
+        if magic_le in (MAGIC_MICROS, MAGIC_NANOS):
+            self._endian = "<"
+            magic = magic_le
+        elif magic_be in (MAGIC_MICROS, MAGIC_NANOS):
+            self._endian = ">"
+            magic = magic_be
+        else:
+            raise PcapError(f"bad pcap magic: {header[:4].hex()}")
+        self.nanosecond = magic == MAGIC_NANOS
+        fields = struct.unpack(self._endian + "HHiIII", header[4:])
+        self.version = (fields[0], fields[1])
+        self.snaplen = fields[4]
+        self.linktype = fields[5]
+        self._record = struct.Struct(self._endian + "IIII")
+
+    def __iter__(self) -> Iterator[Packet]:
+        return self
+
+    def __next__(self) -> Packet:
+        packet = self.read_packet()
+        if packet is None:
+            raise StopIteration
+        return packet
+
+    def read_packet(self) -> Optional[Packet]:
+        """Read one record, or None at EOF."""
+        header = self._file.read(self._record.size)
+        if not header:
+            return None
+        if len(header) < self._record.size:
+            raise PcapError("truncated pcap record header")
+        seconds, subsecond, captured_len, _original_len = self._record.unpack(header)
+        data = self._file.read(captured_len)
+        if len(data) < captured_len:
+            raise PcapError("truncated pcap record body")
+        scale = 1 if self.nanosecond else 1000
+        timestamp_ns = seconds * 1_000_000_000 + subsecond * scale
+        return Packet(data=data, timestamp_ns=timestamp_ns)
+
+    def close(self) -> None:
+        if self._owns_file and not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "PcapReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,46 @@
+"""UDP header encoding and decoding (RFC 768).
+
+Ruru itself ignores UDP — it measures TCP handshakes — but the tap
+carries plenty of it (DNS, QUIC, NTP), and the pipeline's pre-parse
+filter must classify and drop it cheaply. The generator's noise
+module builds real UDP datagrams with this header.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+_HEADER = struct.Struct("!HHHH")
+HEADER_LEN = _HEADER.size  # 8
+
+
+@dataclass
+class UdpHeader:
+    """A UDP header plus payload."""
+
+    src_port: int = 0
+    dst_port: int = 0
+    checksum: int = 0
+    payload: bytes = field(default=b"", repr=False)
+
+    def pack(self) -> bytes:
+        """Serialize to wire bytes (length computed)."""
+        length = HEADER_LEN + len(self.payload)
+        return _HEADER.pack(self.src_port, self.dst_port, length, self.checksum) + self.payload
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "UdpHeader":
+        """Parse wire bytes; payload sliced by the length field."""
+        if len(data) < HEADER_LEN:
+            raise ValueError(f"truncated UDP header: {len(data)} bytes")
+        src_port, dst_port, length, checksum = _HEADER.unpack_from(data)
+        if length < HEADER_LEN:
+            raise ValueError(f"bad UDP length {length}")
+        end = min(length, len(data))
+        return cls(
+            src_port=src_port,
+            dst_port=dst_port,
+            checksum=checksum,
+            payload=bytes(data[HEADER_LEN:end]),
+        )

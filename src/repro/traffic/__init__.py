@@ -1,0 +1,56 @@
+"""Synthetic traffic generation — the live-link substitute.
+
+The paper's evaluation substrate is a tapped 10 Gbit/s production link
+between Auckland and Los Angeles. We cannot replay REANNZ's traffic,
+so this package synthesizes the closest deterministic equivalent at
+the packet level:
+
+* :mod:`repro.traffic.distributions` — per-path RTT drawn from a
+  lognormal mixture (after Fontugne et al., the paper's reference [2]
+  for RTT modelling), anchored on great-circle propagation floors.
+* :mod:`repro.traffic.diurnal` — time-of-day load profiles so a
+  synthetic "day" has a night trough and evening peak.
+* :mod:`repro.traffic.endpoints` — weighted city populations on each
+  side of the tap, drawing hosts from the shared
+  :class:`~repro.geo.builder.SyntheticGeoPlan` address plan.
+* :mod:`repro.traffic.flows` — flow specs and the packet-level
+  synthesizer: real wire-format SYN / SYN-ACK / ACK (plus data and
+  FIN segments with TCP timestamp options), with the tap's vantage
+  point and per-hop delays modelled explicitly.
+* :mod:`repro.traffic.generator` — merges thousands of flows into one
+  timestamp-ordered packet stream.
+* :mod:`repro.traffic.scenarios` — the paper's episodes: the
+  Auckland–LA background load, the nightly firewall glitch that adds
+  ~4000 ms to connections opened in a short window, SYN floods, and
+  connection-count surges.
+"""
+
+from repro.traffic.distributions import LognormalMixture, rtt_model_for_path
+from repro.traffic.diurnal import DiurnalProfile
+from repro.traffic.endpoints import EndpointPopulation, TapSide
+from repro.traffic.flows import FlowSpec, FlowSynthesizer
+from repro.traffic.generator import GeneratorConfig, TrafficGenerator
+from repro.traffic.scenarios import (
+    AucklandLaScenario,
+    ConnectionSurgeInjector,
+    FirewallGlitchInjector,
+    SynFloodInjector,
+)
+from repro.traffic.tap import TapImpairments
+
+__all__ = [
+    "LognormalMixture",
+    "rtt_model_for_path",
+    "DiurnalProfile",
+    "EndpointPopulation",
+    "TapSide",
+    "FlowSpec",
+    "FlowSynthesizer",
+    "GeneratorConfig",
+    "TrafficGenerator",
+    "AucklandLaScenario",
+    "ConnectionSurgeInjector",
+    "FirewallGlitchInjector",
+    "SynFloodInjector",
+    "TapImpairments",
+]

@@ -1,0 +1,114 @@
+"""RTT distributions: lognormal mixtures anchored on geography.
+
+Fontugne, Mazel and Fukuda (the paper's reference [2]) model
+large-scale RTT populations as mixtures of a few lognormal modes —
+the dominant path plus alternates (detours, queueing states). Each
+synthetic path here gets such a mixture: the main mode sits just
+above the great-circle fibre floor, a secondary mode models the
+occasional longer path, and everything is truncated below the floor
+because nothing beats the speed of light.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.geo.distance import rtt_floor_ms
+
+
+@dataclass(frozen=True)
+class LognormalMixture:
+    """A mixture of lognormal components with a hard lower bound.
+
+    Attributes:
+        components: (weight, mu, sigma) per mode; ``exp(mu)`` is the
+            mode's median in ms. Weights need not be normalized.
+        floor_ms: samples never fall below this (propagation floor).
+    """
+
+    components: Tuple[Tuple[float, float, float], ...]
+    floor_ms: float = 0.0
+
+    def __post_init__(self):
+        if not self.components:
+            raise ValueError("mixture needs at least one component")
+        for weight, _mu, sigma in self.components:
+            if weight <= 0:
+                raise ValueError("component weights must be positive")
+            if sigma <= 0:
+                raise ValueError("component sigmas must be positive")
+        if self.floor_ms < 0:
+            raise ValueError("floor cannot be negative")
+
+    def sample(self, rng: random.Random) -> float:
+        """Draw one RTT in ms."""
+        total = sum(weight for weight, _mu, _sigma in self.components)
+        pick = rng.random() * total
+        for weight, mu, sigma in self.components:
+            pick -= weight
+            if pick <= 0:
+                value = rng.lognormvariate(mu, sigma)
+                return max(value, self.floor_ms)
+        # Floating-point slack: fall back to the last component.
+        _weight, mu, sigma = self.components[-1]
+        return max(rng.lognormvariate(mu, sigma), self.floor_ms)
+
+    def median_ms(self) -> float:
+        """Median of the dominant (highest-weight) component."""
+        weight_max = max(self.components, key=lambda c: c[0])
+        return max(math.exp(weight_max[1]), self.floor_ms)
+
+    @classmethod
+    def single(cls, median_ms: float, sigma: float = 0.15, floor_ms: float = 0.0):
+        """A one-mode mixture with the given median."""
+        if median_ms <= 0:
+            raise ValueError("median must be positive")
+        return cls(components=((1.0, math.log(median_ms), sigma),), floor_ms=floor_ms)
+
+
+def rtt_model_for_path(
+    lat1: float,
+    lon1: float,
+    lat2: float,
+    lon2: float,
+    local_floor_ms: float = 0.35,
+    detour_factor: float = 1.6,
+    detour_weight: float = 0.08,
+    sigma: float = 0.12,
+) -> LognormalMixture:
+    """Build the mixture for a path between two coordinates.
+
+    The dominant mode's median sits ~15 % above the fibre floor
+    (routing, serialization, queueing); a light secondary mode at
+    ``detour_factor``× models alternate paths. *local_floor_ms* keeps
+    same-city paths from collapsing to zero.
+    """
+    floor = max(rtt_floor_ms(lat1, lon1, lat2, lon2), local_floor_ms)
+    main_median = floor * 1.15
+    detour_median = floor * detour_factor
+    return LognormalMixture(
+        components=(
+            (1.0 - detour_weight, math.log(main_median), sigma),
+            (detour_weight, math.log(detour_median), sigma * 1.5),
+        ),
+        floor_ms=floor,
+    )
+
+
+def empirical_summary(samples: Sequence[float]) -> dict:
+    """min/median/mean/p95/max of a sample list (bench reporting)."""
+    if not samples:
+        raise ValueError("no samples")
+    ordered = sorted(samples)
+    n = len(ordered)
+    return {
+        "min": ordered[0],
+        "median": ordered[n // 2],
+        "mean": sum(ordered) / n,
+        "p95": ordered[min(n - 1, int(0.95 * n))],
+        "max": ordered[-1],
+        "count": n,
+    }

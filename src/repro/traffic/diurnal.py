@@ -1,0 +1,106 @@
+"""Diurnal load profiles and non-homogeneous Poisson arrivals.
+
+A research network's flow rate is far from flat: a deep trough around
+04:00, a daytime plateau, an evening peak. The generator samples flow
+start times from a Poisson process whose rate follows such a profile,
+via thinning — so the firewall-glitch experiment's "very short time
+period each night" sits in realistically quiet hours.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Tuple
+
+NS_PER_S = 1_000_000_000
+NS_PER_HOUR = 3600 * NS_PER_S
+NS_PER_DAY = 24 * NS_PER_HOUR
+
+
+@dataclass(frozen=True)
+class DiurnalProfile:
+    """Relative load by hour of day.
+
+    Attributes:
+        hourly: 24 non-negative multipliers; 1.0 = the mean level.
+            Linearly interpolated between hour marks.
+    """
+
+    hourly: Tuple[float, ...] = (
+        0.35, 0.25, 0.20, 0.18, 0.18, 0.25,  # 00-05: night trough
+        0.45, 0.70, 0.95, 1.10, 1.20, 1.25,  # 06-11: morning ramp
+        1.25, 1.25, 1.20, 1.15, 1.20, 1.30,  # 12-17: daytime plateau
+        1.45, 1.55, 1.50, 1.30, 0.90, 0.55,  # 18-23: evening peak
+    )
+
+    def __post_init__(self):
+        if len(self.hourly) != 24:
+            raise ValueError("profile needs exactly 24 hourly values")
+        if any(value < 0 for value in self.hourly):
+            raise ValueError("profile values cannot be negative")
+        if max(self.hourly) == 0:
+            raise ValueError("profile cannot be all-zero")
+
+    @classmethod
+    def flat(cls) -> "DiurnalProfile":
+        """A constant-rate profile (useful in unit tests)."""
+        return cls(hourly=(1.0,) * 24)
+
+    def multiplier(self, time_ns: int) -> float:
+        """Interpolated load multiplier at *time_ns* (wraps daily)."""
+        time_of_day = time_ns % NS_PER_DAY
+        hour_float = time_of_day / NS_PER_HOUR
+        hour = int(hour_float)
+        fraction = hour_float - hour
+        current = self.hourly[hour % 24]
+        following = self.hourly[(hour + 1) % 24]
+        return current * (1 - fraction) + following * fraction
+
+    @property
+    def peak(self) -> float:
+        return max(self.hourly)
+
+
+def poisson_arrivals(
+    rng: random.Random,
+    mean_rate_per_s: float,
+    start_ns: int,
+    end_ns: int,
+    profile: DiurnalProfile,
+) -> Iterator[int]:
+    """Flow start times from a thinned non-homogeneous Poisson process.
+
+    The candidate process runs at ``mean_rate × profile.peak``;
+    candidates are kept with probability ``multiplier(t) / peak``,
+    yielding exactly the profile's shape.
+    """
+    if mean_rate_per_s <= 0:
+        raise ValueError("rate must be positive")
+    if end_ns < start_ns:
+        raise ValueError("window ends before it starts")
+    peak_rate = mean_rate_per_s * profile.peak
+    t = start_ns
+    while True:
+        # Exponential inter-arrival at the peak rate.
+        gap_s = rng.expovariate(peak_rate)
+        t += int(gap_s * NS_PER_S) + 1
+        if t >= end_ns:
+            return
+        if rng.random() <= profile.multiplier(t) / profile.peak:
+            yield t
+
+
+def expected_count(
+    mean_rate_per_s: float, start_ns: int, end_ns: int, profile: DiurnalProfile
+) -> float:
+    """Expected number of arrivals in the window (for test bounds)."""
+    total = 0.0
+    step = NS_PER_HOUR // 4
+    t = start_ns
+    while t < end_ns:
+        width = min(step, end_ns - t)
+        total += mean_rate_per_s * profile.multiplier(t) * (width / NS_PER_S)
+        t += width
+    return total

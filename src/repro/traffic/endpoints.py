@@ -1,0 +1,125 @@
+"""Endpoint populations on the two sides of the tap.
+
+The tap sits on REANNZ's Auckland–Los Angeles link: the *internal*
+side is New Zealand, the *external* side is the rest of the world,
+weighted toward the US west coast. Hosts are drawn from the shared
+:class:`~repro.geo.builder.SyntheticGeoPlan`, so every generated
+address later geo-resolves to exactly the city that produced it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.geo.builder import SyntheticGeoPlan
+from repro.geo.locations import City
+
+# Default population weights. Internal: NZ cities by rough user count.
+DEFAULT_INTERNAL_WEIGHTS = {
+    "Auckland": 0.45,
+    "Wellington": 0.22,
+    "Christchurch": 0.15,
+    "Hamilton": 0.08,
+    "Dunedin": 0.06,
+    "Palmerston North": 0.04,
+}
+
+# External: US-heavy (the LA link), plus trans-Pacific and Europe.
+DEFAULT_EXTERNAL_WEIGHTS = {
+    "Los Angeles": 0.18,
+    "San Francisco": 0.12,
+    "Seattle": 0.09,
+    "Ashburn": 0.08,
+    "Chicago": 0.05,
+    "New York": 0.06,
+    "Dallas": 0.04,
+    "Sydney": 0.07,
+    "Tokyo": 0.06,
+    "Singapore": 0.05,
+    "London": 0.06,
+    "Amsterdam": 0.04,
+    "Frankfurt": 0.04,
+    "Hong Kong": 0.03,
+    "Toronto": 0.02,
+    "Sao Paulo": 0.01,
+}
+
+
+@dataclass(frozen=True)
+class TapSide:
+    """A weighted set of cities on one side of the tap."""
+
+    cities: Tuple[City, ...]
+    weights: Tuple[float, ...]
+
+    def __post_init__(self):
+        if len(self.cities) != len(self.weights) or not self.cities:
+            raise ValueError("cities and weights must be equal-length and non-empty")
+        if any(weight <= 0 for weight in self.weights):
+            raise ValueError("weights must be positive")
+
+    def draw_city(self, rng: random.Random) -> City:
+        """Pick a city proportionally to its weight."""
+        return rng.choices(self.cities, weights=self.weights, k=1)[0]
+
+
+class EndpointPopulation:
+    """Draws (client, server) endpoint pairs across the tap.
+
+    Args:
+        plan: the shared address plan.
+        internal_weights / external_weights: ``{city name: weight}``;
+            cities must exist in the plan.
+        outbound_fraction: probability a connection is initiated from
+            the internal side (NZ users reaching out — the dominant
+            direction on a research network).
+    """
+
+    def __init__(
+        self,
+        plan: Optional[SyntheticGeoPlan] = None,
+        internal_weights: Optional[Dict[str, float]] = None,
+        external_weights: Optional[Dict[str, float]] = None,
+        outbound_fraction: float = 0.8,
+    ):
+        if not 0.0 <= outbound_fraction <= 1.0:
+            raise ValueError("outbound_fraction must be within [0, 1]")
+        self.plan = plan or SyntheticGeoPlan()
+        self.outbound_fraction = outbound_fraction
+        self.internal = self._build_side(internal_weights or DEFAULT_INTERNAL_WEIGHTS)
+        self.external = self._build_side(external_weights or DEFAULT_EXTERNAL_WEIGHTS)
+        self._city_index: Dict[str, int] = {
+            city.name: index for index, city in enumerate(self.plan.cities)
+        }
+
+    def _build_side(self, weights: Dict[str, float]) -> TapSide:
+        cities: List[City] = []
+        weight_list: List[float] = []
+        plan_cities = {city.name: city for city in self.plan.cities}
+        for name, weight in weights.items():
+            city = plan_cities.get(name)
+            if city is None:
+                raise ValueError(f"city {name!r} is not in the address plan")
+            cities.append(city)
+            weight_list.append(weight)
+        return TapSide(cities=tuple(cities), weights=tuple(weight_list))
+
+    def draw_pair(self, rng: random.Random) -> Tuple[City, City, bool]:
+        """Draw (client_city, server_city, outbound).
+
+        *outbound* True means the client is on the internal (NZ) side.
+        """
+        outbound = rng.random() < self.outbound_fraction
+        if outbound:
+            return self.internal.draw_city(rng), self.external.draw_city(rng), True
+        return self.external.draw_city(rng), self.internal.draw_city(rng), False
+
+    def host_in(self, city: City, rng: random.Random) -> int:
+        """An IPv4 host address inside *city*'s block."""
+        return self.plan.random_host(self._city_index[city.name], rng)
+
+    def host6_in(self, city: City, rng: random.Random) -> int:
+        """An IPv6 host address inside *city*'s /48."""
+        return self.plan.random_host6(self._city_index[city.name], rng)

@@ -1,0 +1,221 @@
+"""The traffic generator: thousands of flows, one ordered packet stream.
+
+Flow start times come from the diurnal Poisson process; each flow gets
+endpoints from the population, RTTs from per-path lognormal mixtures
+anchored at the tap city (Auckland), and behavioural variety (scans
+that never complete, RST aborts, SYN loss beyond the tap). Scenario
+injectors mutate flows in time windows (the firewall glitch) or add
+their own (SYN floods).
+
+Packets are yielded in global tap-timestamp order by merging per-flow
+packet lists through a heap, which works because a flow never emits a
+packet earlier than its own start time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.geo.builder import SyntheticGeoPlan
+from repro.geo.locations import City, city_by_name
+from repro.net.packet import Packet
+from repro.traffic.distributions import LognormalMixture, rtt_model_for_path
+from repro.traffic.diurnal import DiurnalProfile, poisson_arrivals
+from repro.traffic.endpoints import EndpointPopulation
+from repro.traffic.flows import FlowSpec, FlowSynthesizer
+
+NS_PER_MS = 1_000_000
+NS_PER_S = 1_000_000_000
+
+# Server ports weighted the way a research network's traffic skews.
+_SERVER_PORTS = [443, 80, 22, 993, 8443, 3128]
+_SERVER_PORT_WEIGHTS = [0.62, 0.18, 0.08, 0.04, 0.05, 0.03]
+
+
+class FlowInjector:
+    """Base scenario hook; subclasses override either method."""
+
+    def adjust(self, spec: FlowSpec, rng: random.Random) -> Optional[FlowSpec]:
+        """Mutate or replace a background flow; None drops it."""
+        return spec
+
+    def extra_flows(self, rng: random.Random) -> Iterable[FlowSpec]:
+        """Additional flows this scenario contributes."""
+        return ()
+
+
+@dataclass
+class GeneratorConfig:
+    """Workload parameters.
+
+    Attributes:
+        duration_ns: length of the generated capture.
+        start_ns: virtual time of the first possible flow (defaults to
+            midnight so diurnal hours are meaningful).
+        mean_flows_per_s: average connection rate before the diurnal
+            multiplier.
+        seed: master seed; everything derives from it.
+        tap_city: where the measurement point sits.
+        profile: diurnal load shape (flat for unit tests).
+        handshake_only_fraction: flows that never complete (scans).
+        rst_fraction: flows aborted by RST after the SYN-ACK.
+        syn_loss_fraction: flows whose SYN is lost beyond the tap.
+        ipv6_fraction: flows carried over IPv6 (addresses drawn from
+            the plan's per-city /48s).
+        max_data_exchanges: request/response rounds per flow (uniform
+            between 0 and this).
+    """
+
+    duration_ns: int = 60 * NS_PER_S
+    start_ns: int = 0
+    mean_flows_per_s: float = 50.0
+    seed: int = 7
+    tap_city: str = "Auckland"
+    profile: DiurnalProfile = field(default_factory=DiurnalProfile.flat)
+    handshake_only_fraction: float = 0.02
+    rst_fraction: float = 0.01
+    syn_loss_fraction: float = 0.005
+    ipv6_fraction: float = 0.0
+    max_data_exchanges: int = 3
+
+    def validate(self) -> None:
+        if self.duration_ns <= 0:
+            raise ValueError("duration must be positive")
+        if self.mean_flows_per_s <= 0:
+            raise ValueError("flow rate must be positive")
+        fractions = (
+            self.handshake_only_fraction,
+            self.rst_fraction,
+            self.syn_loss_fraction,
+            self.ipv6_fraction,
+        )
+        if any(not 0.0 <= fraction <= 1.0 for fraction in fractions):
+            raise ValueError("behaviour fractions must be within [0, 1]")
+        if city_by_name(self.tap_city) is None:
+            raise ValueError(f"unknown tap city {self.tap_city!r}")
+
+
+class TrafficGenerator:
+    """Generates the tap's packet stream for one scenario run."""
+
+    def __init__(
+        self,
+        config: Optional[GeneratorConfig] = None,
+        population: Optional[EndpointPopulation] = None,
+        injectors: Optional[List[FlowInjector]] = None,
+        keep_specs: bool = False,
+    ):
+        self.config = config or GeneratorConfig()
+        self.config.validate()
+        self.population = population or EndpointPopulation()
+        self.injectors = list(injectors or [])
+        self.keep_specs = keep_specs
+        self.specs: List[FlowSpec] = []
+        self._tap = city_by_name(self.config.tap_city)
+        assert self._tap is not None
+        self._rtt_cache: Dict[Tuple[str, str], LognormalMixture] = {}
+        self.flows_generated = 0
+
+    @property
+    def plan(self) -> SyntheticGeoPlan:
+        """The shared address plan (build geo DBs from this)."""
+        return self.population.plan
+
+    # -- flow construction ---------------------------------------------------
+
+    def _rtt_model(self, city: City) -> LognormalMixture:
+        """RTT mixture between *city* and the tap (cached per city)."""
+        model = self._rtt_cache.get(city.name)
+        if model is None:
+            model = rtt_model_for_path(
+                city.lat, city.lon, self._tap.lat, self._tap.lon
+            )
+            self._rtt_cache[city.name] = model
+        return model
+
+    def _make_spec(self, start_ns: int, rng: random.Random) -> FlowSpec:
+        client_city, server_city, _outbound = self.population.draw_pair(rng)
+        internal_city, external_city = client_city, server_city
+        is_ipv6 = rng.random() < self.config.ipv6_fraction
+        if is_ipv6:
+            client_ip = self.population.host6_in(client_city, rng)
+            server_ip = self.population.host6_in(server_city, rng)
+        else:
+            client_ip = self.population.host_in(client_city, rng)
+            server_ip = self.population.host_in(server_city, rng)
+        spec = FlowSpec(
+            start_ns=start_ns,
+            client_ip=client_ip,
+            server_ip=server_ip,
+            is_ipv6=is_ipv6,
+            client_port=rng.randint(1024, 65535),
+            server_port=rng.choices(_SERVER_PORTS, weights=_SERVER_PORT_WEIGHTS, k=1)[0],
+            internal_rtt_ms=self._rtt_model(internal_city).sample(rng),
+            external_rtt_ms=self._rtt_model(external_city).sample(rng),
+            server_delay_ms=rng.uniform(0.1, 1.5),
+            client_delay_ms=rng.uniform(0.05, 0.5),
+            data_exchanges=rng.randint(0, self.config.max_data_exchanges),
+            completes=rng.random() >= self.config.handshake_only_fraction,
+            rst_after_synack=rng.random() < self.config.rst_fraction,
+            syn_lost_beyond_tap=rng.random() < self.config.syn_loss_fraction,
+        )
+        return spec
+
+    def flow_specs(self) -> Iterator[FlowSpec]:
+        """Background plus injected flows, ordered by start time."""
+        rng = random.Random(self.config.seed)
+        end_ns = self.config.start_ns + self.config.duration_ns
+        background: List[FlowSpec] = []
+        for start_ns in poisson_arrivals(
+            rng,
+            self.config.mean_flows_per_s,
+            self.config.start_ns,
+            end_ns,
+            self.config.profile,
+        ):
+            spec = self._make_spec(start_ns, rng)
+            for injector in self.injectors:
+                adjusted = injector.adjust(spec, rng)
+                if adjusted is None:
+                    spec = None
+                    break
+                spec = adjusted
+            if spec is not None:
+                background.append(spec)
+
+        injected: List[FlowSpec] = []
+        injector_rng = random.Random(self.config.seed ^ 0x5EED)
+        for injector in self.injectors:
+            injected.extend(injector.extra_flows(injector_rng))
+
+        for spec in sorted(background + injected, key=lambda s: s.start_ns):
+            self.flows_generated += 1
+            if self.keep_specs:
+                self.specs.append(spec)
+            yield spec
+
+    # -- packet stream ----------------------------------------------------------
+
+    def packets(self) -> Iterator[Packet]:
+        """The merged, timestamp-ordered packet stream."""
+        synth_rng = random.Random(self.config.seed ^ 0xFACADE)
+        synthesizer = FlowSynthesizer(rng=synth_rng)
+        heap: List[Tuple[int, int, Packet]] = []
+        sequence = 0
+        for spec in self.flow_specs():
+            # Everything already in the heap with ts <= this flow's
+            # start can never be preceded by a later flow's packet.
+            while heap and heap[0][0] <= spec.start_ns:
+                yield heapq.heappop(heap)[2]
+            for packet in synthesizer.synthesize(spec):
+                heapq.heappush(heap, (packet.timestamp_ns, sequence, packet))
+                sequence += 1
+        while heap:
+            yield heapq.heappop(heap)[2]
+
+    def packet_list(self) -> List[Packet]:
+        """Materialized packet stream (benches reuse it)."""
+        return list(self.packets())

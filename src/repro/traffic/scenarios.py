@@ -1,0 +1,178 @@
+"""The paper's deployment episodes as reusable scenarios.
+
+* :class:`AucklandLaScenario` — the background: REANNZ users behind an
+  Auckland tap talking to the world, diurnal load, realistic RTTs.
+* :class:`FirewallGlitchInjector` — §3's anomaly: "a periodic firewall
+  update was causing a 4000 ms latency increase on all connections
+  that were started within a specific, very short time period each
+  night". Flows starting inside the nightly window get the extra
+  delay on the handshake's server side.
+* :class:`SynFloodInjector` — "SYN floods … identified in real-time":
+  a burst of handshake-only flows from spoofed sources at one target.
+* :class:`ConnectionSurgeInjector` — "unusual number of TCP
+  connections between two locations": a surge of ordinary flows
+  between one city pair.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from repro.geo.locations import city_by_name
+from repro.traffic.diurnal import NS_PER_DAY, DiurnalProfile
+from repro.traffic.endpoints import EndpointPopulation
+from repro.traffic.flows import FlowSpec
+from repro.traffic.generator import FlowInjector, GeneratorConfig, TrafficGenerator
+
+NS_PER_MS = 1_000_000
+NS_PER_S = 1_000_000_000
+NS_PER_HOUR = 3600 * NS_PER_S
+
+
+@dataclass
+class AucklandLaScenario:
+    """Factory for the deployment's background workload."""
+
+    duration_ns: int = 3600 * NS_PER_S
+    start_ns: int = 0
+    mean_flows_per_s: float = 50.0
+    seed: int = 7
+    diurnal: bool = True
+
+    def build(
+        self,
+        injectors: Optional[List[FlowInjector]] = None,
+        keep_specs: bool = False,
+    ) -> TrafficGenerator:
+        """Construct the configured generator."""
+        profile = DiurnalProfile() if self.diurnal else DiurnalProfile.flat()
+        config = GeneratorConfig(
+            duration_ns=self.duration_ns,
+            start_ns=self.start_ns,
+            mean_flows_per_s=self.mean_flows_per_s,
+            seed=self.seed,
+            tap_city="Auckland",
+            profile=profile,
+        )
+        return TrafficGenerator(
+            config=config,
+            population=EndpointPopulation(),
+            injectors=injectors,
+            keep_specs=keep_specs,
+        )
+
+
+@dataclass
+class FirewallGlitchInjector(FlowInjector):
+    """Nightly firewall update holding new connections for ~4 s.
+
+    Attributes:
+        window_start_offset_ns: offset of the window from midnight
+            (default 03:00 — deep in the diurnal trough, which is why
+            5-minute SNMP averages missed it).
+        window_ns: the "very short time period" (default 60 s).
+        extra_delay_ms: added latency (paper: 4000 ms).
+    """
+
+    window_start_offset_ns: int = 3 * NS_PER_HOUR
+    window_ns: int = 60 * NS_PER_S
+    extra_delay_ms: float = 4000.0
+    affected_flows: int = 0
+
+    def in_window(self, start_ns: int) -> bool:
+        """Whether a flow starting at *start_ns* hits the nightly window."""
+        time_of_day = start_ns % NS_PER_DAY
+        return (
+            self.window_start_offset_ns
+            <= time_of_day
+            < self.window_start_offset_ns + self.window_ns
+        )
+
+    def adjust(self, spec: FlowSpec, rng: random.Random) -> FlowSpec:
+        if self.in_window(spec.start_ns):
+            spec.server_delay_ms += self.extra_delay_ms
+            self.affected_flows += 1
+        return spec
+
+
+@dataclass
+class SynFloodInjector(FlowInjector):
+    """A SYN flood: handshake-only flows from spoofed sources.
+
+    The spoofed addresses are drawn from the whole IPv4 space, so most
+    fall outside the geo plan — floods also look distinctive in the
+    enrichment-miss counters.
+    """
+
+    target_city: str = "Auckland"
+    target_port: int = 443
+    flood_start_ns: int = 0
+    flood_duration_ns: int = 10 * NS_PER_S
+    rate_per_s: float = 2000.0
+    population: EndpointPopulation = field(default_factory=EndpointPopulation)
+    flows_injected: int = 0
+
+    def extra_flows(self, rng: random.Random) -> Iterable[FlowSpec]:
+        city = city_by_name(self.target_city)
+        if city is None:
+            raise ValueError(f"unknown flood target {self.target_city!r}")
+        target_ip = self.population.host_in(city, rng)
+        count = int(self.rate_per_s * self.flood_duration_ns / NS_PER_S)
+        flows: List[FlowSpec] = []
+        for _ in range(count):
+            start = self.flood_start_ns + rng.randint(0, self.flood_duration_ns - 1)
+            flows.append(
+                FlowSpec(
+                    start_ns=start,
+                    client_ip=rng.randint(1, (1 << 32) - 2),
+                    server_ip=target_ip,
+                    client_port=rng.randint(1024, 65535),
+                    server_port=self.target_port,
+                    internal_rtt_ms=rng.uniform(1.0, 30.0),
+                    external_rtt_ms=rng.uniform(50.0, 250.0),
+                    data_exchanges=0,
+                    completes=False,
+                    fin_close=False,
+                )
+            )
+        self.flows_injected = len(flows)
+        return flows
+
+
+@dataclass
+class ConnectionSurgeInjector(FlowInjector):
+    """A surge of *completed* connections between one city pair."""
+
+    src_city: str = "Wellington"
+    dst_city: str = "Los Angeles"
+    surge_start_ns: int = 0
+    surge_duration_ns: int = 30 * NS_PER_S
+    rate_per_s: float = 300.0
+    population: EndpointPopulation = field(default_factory=EndpointPopulation)
+    flows_injected: int = 0
+
+    def extra_flows(self, rng: random.Random) -> Iterable[FlowSpec]:
+        src = city_by_name(self.src_city)
+        dst = city_by_name(self.dst_city)
+        if src is None or dst is None:
+            raise ValueError("surge cities must exist in the catalog")
+        count = int(self.rate_per_s * self.surge_duration_ns / NS_PER_S)
+        flows: List[FlowSpec] = []
+        for _ in range(count):
+            start = self.surge_start_ns + rng.randint(0, self.surge_duration_ns - 1)
+            flows.append(
+                FlowSpec(
+                    start_ns=start,
+                    client_ip=self.population.host_in(src, rng),
+                    server_ip=self.population.host_in(dst, rng),
+                    client_port=rng.randint(1024, 65535),
+                    server_port=443,
+                    internal_rtt_ms=rng.uniform(1.0, 10.0),
+                    external_rtt_ms=rng.uniform(120.0, 160.0),
+                    data_exchanges=1,
+                )
+            )
+        self.flows_injected = len(flows)
+        return flows

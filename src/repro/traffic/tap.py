@@ -1,0 +1,86 @@
+"""Tap imperfections: what a real optical tap + capture card do to a
+perfect packet stream.
+
+Production captures are not pristine: the capture path drops frames
+under burst (distinct from in-network loss — the packet *did* cross
+the wire), duplicates frames (span ports), and delivers slightly out
+of order (multi-queue capture cards merging by batch). Ruru must
+degrade gracefully under all three; :class:`TapImpairments` applies
+them deterministically so tests and benches can quantify exactly how
+measurement coverage and accuracy degrade.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Tuple
+
+from repro.net.packet import Packet
+
+
+@dataclass
+class TapImpairments:
+    """Deterministic stream impairments.
+
+    Attributes:
+        loss_rate: i.i.d. probability a frame is missing from the
+            capture.
+        duplicate_rate: probability a frame appears twice.
+        reorder_rate: probability a frame's capture timestamp is
+            jittered by up to *reorder_jitter_ns*, letting later
+            frames overtake it (the stream is re-sorted afterwards,
+            as capture files are time-ordered by the jittered stamps).
+        reorder_jitter_ns: maximum timestamp perturbation.
+        seed: drives all three processes.
+    """
+
+    loss_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    reorder_rate: float = 0.0
+    reorder_jitter_ns: int = 200_000  # 200 us: realistic NIC-merge jitter
+    seed: int = 0
+
+    def __post_init__(self):
+        for name in ("loss_rate", "duplicate_rate", "reorder_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1]")
+        if self.reorder_jitter_ns < 0:
+            raise ValueError("jitter cannot be negative")
+
+    def apply(self, packets: Iterable[Packet]) -> Iterator[Packet]:
+        """Yield the impaired stream, time-ordered by (jittered) stamps.
+
+        Reordering is windowed: a bounded heap holds frames until no
+        future frame can precede them, so the generator stays
+        streaming.
+        """
+        rng = random.Random(self.seed)
+        horizon = 4 * self.reorder_jitter_ns + 1
+        heap: List[Tuple[int, int, Packet]] = []
+        sequence = 0
+
+        for packet in packets:
+            if self.loss_rate and rng.random() < self.loss_rate:
+                continue
+            emit_at = packet.timestamp_ns
+            if self.reorder_rate and rng.random() < self.reorder_rate:
+                emit_at += rng.randint(-self.reorder_jitter_ns, self.reorder_jitter_ns)
+                emit_at = max(0, emit_at)
+            copies = 2 if (
+                self.duplicate_rate and rng.random() < self.duplicate_rate
+            ) else 1
+            for _ in range(copies):
+                heapq.heappush(
+                    heap,
+                    (emit_at, sequence, Packet(data=packet.data, timestamp_ns=emit_at)),
+                )
+                sequence += 1
+            # Everything older than the jitter window is safe to emit.
+            while heap and heap[0][0] + horizon < packet.timestamp_ns:
+                yield heapq.heappop(heap)[2]
+
+        while heap:
+            yield heapq.heappop(heap)[2]

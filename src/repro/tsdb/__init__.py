@@ -1,0 +1,56 @@
+"""In-memory time-series database — the InfluxDB substitute.
+
+Ruru stores geo-enriched measurements in InfluxDB "for long-term
+storage", with the Grafana UI issuing aggregation queries (min, max,
+median, mean over a required time interval) and "InfluxDB tak[ing]
+care of indexing data on geo-location and AS information". This
+package reproduces that surface:
+
+* :mod:`repro.tsdb.point` — tagged, timestamped points.
+* :mod:`repro.tsdb.line_protocol` — the Influx text wire format.
+* :mod:`repro.tsdb.series` — columnar per-series storage with
+  time-indexed slicing.
+* :mod:`repro.tsdb.storage` — the series map plus an inverted tag
+  index (the "indexing on geo-location and AS information").
+* :mod:`repro.tsdb.functions` — aggregation functions.
+* :mod:`repro.tsdb.query` — a query builder/executor with tag
+  filters, group-by-tag, and group-by-time windows.
+* :mod:`repro.tsdb.retention` — retention policies and downsampling.
+* :mod:`repro.tsdb.database` — the facade the analytics tier writes
+  to and dashboards read from.
+"""
+
+from repro.tsdb.point import Point
+from repro.tsdb.line_protocol import (
+    LineProtocolError,
+    format_point,
+    parse_line,
+    parse_lines,
+)
+from repro.tsdb.series import Series
+from repro.tsdb.storage import SeriesStorage
+from repro.tsdb.functions import AGGREGATORS, percentile
+from repro.tsdb.query import Query, QueryError, QueryResult
+from repro.tsdb.ql import QLError, parse_query
+from repro.tsdb.retention import RetentionPolicy, Downsampler
+from repro.tsdb.database import TimeSeriesDatabase
+
+__all__ = [
+    "Point",
+    "LineProtocolError",
+    "format_point",
+    "parse_line",
+    "parse_lines",
+    "Series",
+    "SeriesStorage",
+    "AGGREGATORS",
+    "percentile",
+    "Query",
+    "QueryError",
+    "QueryResult",
+    "QLError",
+    "parse_query",
+    "RetentionPolicy",
+    "Downsampler",
+    "TimeSeriesDatabase",
+]

@@ -1,0 +1,122 @@
+"""Aggregation functions for query windows.
+
+The Grafana panels in the paper show "min, max, median, mean … for a
+required time interval"; these are those reducers, plus the extras a
+dashboard inevitably grows (count, stddev, percentiles, spread).
+Every function takes a non-empty list of numbers; empty windows are
+the query layer's concern and never reach here.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Sequence
+
+Aggregator = Callable[[Sequence[float]], float]
+
+
+def agg_count(values: Sequence[float]) -> float:
+    return float(len(values))
+
+
+def agg_sum(values: Sequence[float]) -> float:
+    return float(sum(values))
+
+
+def agg_min(values: Sequence[float]) -> float:
+    return float(min(values))
+
+
+def agg_max(values: Sequence[float]) -> float:
+    return float(max(values))
+
+
+def agg_mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values)
+
+
+def agg_median(values: Sequence[float]) -> float:
+    return percentile(values, 50.0)
+
+
+def agg_stddev(values: Sequence[float]) -> float:
+    """Population standard deviation (0.0 for a single sample)."""
+    if len(values) < 2:
+        return 0.0
+    mean = sum(values) / len(values)
+    return math.sqrt(sum((v - mean) ** 2 for v in values) / len(values))
+
+
+def agg_first(values: Sequence[float]) -> float:
+    return float(values[0])
+
+
+def agg_last(values: Sequence[float]) -> float:
+    return float(values[-1])
+
+
+def agg_spread(values: Sequence[float]) -> float:
+    """max − min; Influx's SPREAD()."""
+    return float(max(values) - min(values))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, q in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile {q} out of [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lower = int(math.floor(rank))
+    upper = int(math.ceil(rank))
+    if lower == upper:
+        return float(ordered[lower])
+    fraction = rank - lower
+    # The low + (high-low)*f form is exact when both neighbours are
+    # equal, keeping results within [min, max] under floating point.
+    return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
+
+
+def make_percentile(q: float) -> Aggregator:
+    """An aggregator computing the q-th percentile."""
+    def agg(values: Sequence[float]) -> float:
+        return percentile(values, q)
+    agg.__name__ = f"p{q:g}"
+    return agg
+
+
+AGGREGATORS: Dict[str, Aggregator] = {
+    "count": agg_count,
+    "sum": agg_sum,
+    "min": agg_min,
+    "max": agg_max,
+    "mean": agg_mean,
+    "median": agg_median,
+    "stddev": agg_stddev,
+    "first": agg_first,
+    "last": agg_last,
+    "spread": agg_spread,
+    "p95": make_percentile(95.0),
+    "p99": make_percentile(99.0),
+}
+
+
+def resolve(name: str) -> Aggregator:
+    """Look up an aggregator by name.
+
+    Accepts ``"pNN"`` / ``"pNN.N"`` for arbitrary percentiles.
+    """
+    aggregator = AGGREGATORS.get(name)
+    if aggregator is not None:
+        return aggregator
+    if name.startswith("p"):
+        try:
+            q = float(name[1:])
+        except ValueError:
+            pass
+        else:
+            return make_percentile(q)
+    raise KeyError(f"unknown aggregator {name!r}")

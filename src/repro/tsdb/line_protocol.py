@@ -1,0 +1,145 @@
+"""Influx line protocol: ``measurement,tag=v field=1.5 1465839830100400200``.
+
+Implemented for interoperability (dumping a run to a file a real
+Influx instance could ingest) and as the TSDB's text serialization in
+the CLI. Escaping rules follow the Influx reference: commas, spaces
+and equals signs are backslash-escaped in measurement names, tag keys,
+tag values, and field keys; integers carry an ``i`` suffix.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+from repro.tsdb.point import Point
+
+
+class LineProtocolError(ValueError):
+    """Raised when a line fails to parse."""
+
+
+_ESCAPES = [("\\", "\\\\"), (",", "\\,"), (" ", "\\ "), ("=", "\\=")]
+
+
+def _escape(text: str) -> str:
+    for raw, escaped in _ESCAPES:
+        text = text.replace(raw, escaped)
+    return text
+
+
+def _unescape_split(text: str, separators: str) -> List[str]:
+    """Split on unescaped separators, then strip the backslashes."""
+    parts: List[str] = []
+    current: List[str] = []
+    i = 0
+    while i < len(text):
+        char = text[i]
+        if char == "\\" and i + 1 < len(text):
+            current.append(text[i + 1])
+            i += 2
+            continue
+        if char in separators:
+            parts.append("".join(current))
+            current = []
+            i += 1
+            continue
+        current.append(char)
+        i += 1
+    parts.append("".join(current))
+    return parts
+
+
+def _split_top(text: str, separator: str) -> List[str]:
+    """Split on unescaped *separator*, keeping escapes intact."""
+    parts: List[str] = []
+    current: List[str] = []
+    i = 0
+    while i < len(text):
+        char = text[i]
+        if char == "\\" and i + 1 < len(text):
+            current.append(char)
+            current.append(text[i + 1])
+            i += 2
+            continue
+        if char == separator:
+            parts.append("".join(current))
+            current = []
+            i += 1
+            continue
+        current.append(char)
+        i += 1
+    parts.append("".join(current))
+    return parts
+
+
+def format_point(point: Point) -> str:
+    """Serialize one point to a line."""
+    head = _escape(point.measurement)
+    for key in sorted(point.tags):
+        head += f",{_escape(key)}={_escape(point.tags[key])}"
+    field_parts = []
+    for key in sorted(point.fields):
+        value = point.fields[key]
+        if isinstance(value, int):
+            field_parts.append(f"{_escape(key)}={value}i")
+        else:
+            field_parts.append(f"{_escape(key)}={value!r}")
+    return f"{head} {','.join(field_parts)} {point.timestamp_ns}"
+
+
+def parse_line(line: str) -> Point:
+    """Parse one line back into a :class:`Point`."""
+    line = line.strip()
+    if not line or line.startswith("#"):
+        raise LineProtocolError("empty or comment line")
+    sections = _split_top(line, " ")
+    sections = [s for s in sections if s]
+    if len(sections) < 2:
+        raise LineProtocolError(f"need measurement and fields: {line!r}")
+    if len(sections) > 3:
+        raise LineProtocolError(f"too many sections: {line!r}")
+
+    head_parts = _split_top(sections[0], ",")
+    measurement = _unescape_split(head_parts[0], "")[0]
+    tags = {}
+    for tag_text in head_parts[1:]:
+        pieces = _unescape_split(tag_text, "=")
+        if len(pieces) != 2:
+            raise LineProtocolError(f"bad tag {tag_text!r}")
+        tags[pieces[0]] = pieces[1]
+
+    fields = {}
+    for field_text in _split_top(sections[1], ","):
+        pieces = _split_top(field_text, "=")
+        if len(pieces) != 2:
+            raise LineProtocolError(f"bad field {field_text!r}")
+        key = _unescape_split(pieces[0], "")[0]
+        raw_value = pieces[1]
+        try:
+            if raw_value.endswith("i"):
+                fields[key] = int(raw_value[:-1])
+            else:
+                fields[key] = float(raw_value)
+        except ValueError as exc:
+            raise LineProtocolError(f"bad field value {raw_value!r}") from exc
+
+    if len(sections) == 3:
+        try:
+            timestamp_ns = int(sections[2])
+        except ValueError as exc:
+            raise LineProtocolError(f"bad timestamp {sections[2]!r}") from exc
+    else:
+        timestamp_ns = 0
+
+    return Point(
+        measurement=measurement, timestamp_ns=timestamp_ns, tags=tags, fields=fields
+    )
+
+
+def parse_lines(lines: Iterable[str]) -> Iterator[Point]:
+    """Parse many lines, skipping blanks and ``#`` comments."""
+    for line in lines:
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        yield parse_line(stripped)

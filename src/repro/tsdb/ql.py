@@ -1,0 +1,287 @@
+"""A text query language — the InfluxQL subset Grafana panels emit.
+
+Grafana talks to InfluxDB in InfluxQL; reproducing that surface makes
+the dashboard layer scriptable the way the paper's was::
+
+    SELECT mean(total_ms) FROM latency
+    WHERE src_country = 'NZ' AND time >= 0s AND time < 15m
+    GROUP BY dst_country, time(10s) FILL(zero)
+
+:func:`parse_query` compiles such text into a
+:class:`repro.tsdb.query.Query`. Supported grammar:
+
+* ``SELECT <agg>(<field>) FROM <measurement>`` — any aggregator
+  :func:`repro.tsdb.functions.resolve` accepts (including ``pNN``).
+* ``WHERE`` conjunctions of: ``tag = 'value'``,
+  ``tag IN ('a', 'b')``, ``time >= <t>``, ``time < <t>`` where
+  ``<t>`` is a bare integer (nanoseconds) or a duration literal
+  (``10s``, ``5m``, ``2h``, ``250ms``, ``100us``, ``7ns``).
+* ``GROUP BY`` a comma list of tag names and/or ``time(<dur>)``.
+* ``FILL(none|zero|previous)``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.tsdb.query import Query, QueryError
+
+_DURATION_UNITS = {
+    "ns": 1,
+    "us": 1_000,
+    "ms": 1_000_000,
+    "s": 1_000_000_000,
+    "m": 60 * 1_000_000_000,
+    "h": 3600 * 1_000_000_000,
+    "d": 24 * 3600 * 1_000_000_000,
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(
+        '(?:[^']*)'            # single-quoted string
+      | [A-Za-z_][A-Za-z0-9_.]*  # identifier / keyword
+      | \d+[a-z]*              # number with optional unit suffix
+      | !=|>=|<=|=|<|>|\(|\)|,|\*
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+class QLError(QueryError):
+    """Raised when the query text cannot be parsed."""
+
+
+def tokenize(text: str) -> List[str]:
+    """Split query text into tokens; raises QLError on junk."""
+    tokens: List[str] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            remainder = text[position:].lstrip()
+            if not remainder:
+                break
+            raise QLError(f"cannot tokenize at: {remainder[:20]!r}")
+        tokens.append(match.group(1))
+        position = match.end()
+    return tokens
+
+
+def parse_duration(token: str) -> int:
+    """``10s`` / ``5m`` / ``250ms`` / bare-int nanoseconds → ns."""
+    if token.isdigit():
+        return int(token)
+    match = re.fullmatch(r"(\d+)([a-z]+)", token)
+    if match is None:
+        raise QLError(f"bad duration {token!r}")
+    value, unit = match.groups()
+    scale = _DURATION_UNITS.get(unit)
+    if scale is None:
+        raise QLError(f"unknown time unit {unit!r} in {token!r}")
+    return int(value) * scale
+
+
+class _Parser:
+    def __init__(self, tokens: List[str]):
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token plumbing --------------------------------------------------
+
+    def peek(self) -> Optional[str]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def next(self, expected: Optional[str] = None) -> str:
+        token = self.peek()
+        if token is None:
+            raise QLError(
+                f"unexpected end of query (wanted {expected or 'more input'})"
+            )
+        if expected is not None and token.lower() != expected.lower():
+            raise QLError(f"expected {expected!r}, got {token!r}")
+        self.position += 1
+        return token
+
+    def accept(self, keyword: str) -> bool:
+        token = self.peek()
+        if token is not None and token.lower() == keyword.lower():
+            self.position += 1
+            return True
+        return False
+
+    @staticmethod
+    def _string(token: str) -> str:
+        if len(token) >= 2 and token.startswith("'") and token.endswith("'"):
+            return token[1:-1]
+        raise QLError(f"expected quoted string, got {token!r}")
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse(self) -> Query:
+        self.next("SELECT")
+        aggregator = self.next()
+        self.next("(")
+        field = self.next()
+        self.next(")")
+        self.next("FROM")
+        measurement = self.next()
+
+        query = Query(measurement=measurement, field=field, aggregator=aggregator)
+
+        if self.accept("WHERE"):
+            self._parse_where(query)
+        if self.accept("GROUP"):
+            self.next("BY")
+            self._parse_group_by(query)
+        if self.accept("FILL"):
+            self.next("(")
+            query.fill = self.next().lower()
+            self.next(")")
+        if self.peek() is not None:
+            raise QLError(f"trailing input from {self.peek()!r}")
+        query.validate()
+        return query
+
+    def _parse_where(self, query: Query) -> None:
+        while True:
+            self._parse_condition(query)
+            if not self.accept("AND"):
+                break
+
+    def _parse_condition(self, query: Query) -> None:
+        name = self.next()
+        if name.lower() == "time":
+            operator = self.next()
+            value = parse_duration(self.next())
+            if operator == ">=":
+                query.start_ns = value
+            elif operator == "<":
+                query.end_ns = value
+            elif operator == ">":
+                query.start_ns = value + 1
+            elif operator == "<=":
+                query.end_ns = value + 1
+            else:
+                raise QLError(f"unsupported time operator {operator!r}")
+            return
+        operator = self.next()
+        if operator == "=":
+            value = self._string(self.next())
+            query.tag_filters.setdefault(name, []).append(value)
+        elif operator.lower() == "in":
+            self.next("(")
+            values = [self._string(self.next())]
+            while self.accept(","):
+                values.append(self._string(self.next()))
+            self.next(")")
+            query.tag_filters.setdefault(name, []).extend(values)
+        else:
+            raise QLError(f"unsupported operator {operator!r} on tag {name!r}")
+
+    def _parse_group_by(self, query: Query) -> None:
+        while True:
+            term = self.next()
+            if term.lower() == "time":
+                self.next("(")
+                query.group_by_time_ns = parse_duration(self.next())
+                self.next(")")
+            elif term == "*":
+                raise QLError("GROUP BY * is not supported; name the tags")
+            else:
+                query.group_by_tags.append(term)
+            if not self.accept(","):
+                break
+
+
+def parse_query(text: str) -> Query:
+    """Compile InfluxQL-subset *text* into a validated :class:`Query`."""
+    tokens = tokenize(text)
+    if not tokens:
+        raise QLError("empty query")
+    return _Parser(tokens).parse()
+
+
+def execute_statement(database, text: str):
+    """Execute a statement against a TimeSeriesDatabase.
+
+    Supports the Grafana-facing statement set:
+
+    * ``SELECT ...`` — returns a :class:`~repro.tsdb.query.QueryResult`;
+    * ``SHOW MEASUREMENTS`` — returns a list of names;
+    * ``SHOW TAG VALUES FROM <m> WITH KEY = <k>`` — returns a list of
+      values (what populates dashboard template dropdowns).
+    """
+    tokens = tokenize(text)
+    if not tokens:
+        raise QLError("empty statement")
+    head = tokens[0].lower()
+    if head == "select":
+        return database.query(_Parser(tokens).parse())
+    if head == "show":
+        parser = _Parser(tokens)
+        parser.next("SHOW")
+        what = parser.next().lower()
+        if what == "measurements":
+            if parser.peek() is not None:
+                raise QLError("SHOW MEASUREMENTS takes no arguments")
+            return database.measurements()
+        if what == "tag":
+            parser.next("VALUES")
+            parser.next("FROM")
+            measurement = parser.next()
+            parser.next("WITH")
+            parser.next("KEY")
+            parser.next("=")
+            key = parser.next()
+            if parser.peek() is not None:
+                raise QLError(f"trailing input from {parser.peek()!r}")
+            return database.tag_values(measurement, key)
+        raise QLError(f"unsupported SHOW {what!r}")
+    raise QLError(f"unsupported statement {tokens[0]!r}")
+
+
+def format_duration(ns: int) -> str:
+    """Render *ns* with the largest exact unit (``600000000000`` → ``10m``)."""
+    if ns == 0:
+        return "0"
+    for unit in ("d", "h", "m", "s", "ms", "us", "ns"):
+        scale = _DURATION_UNITS[unit]
+        if ns % scale == 0:
+            return f"{ns // scale}{unit}"
+    return str(ns)
+
+
+def format_query(query: Query) -> str:
+    """Render a :class:`Query` back to text; inverse of :func:`parse_query`.
+
+    ``parse_query(format_query(q))`` reproduces *q* for any valid
+    query (the property tests assert this).
+    """
+    parts = [f"SELECT {query.aggregator}({query.field}) FROM {query.measurement}"]
+    conditions = []
+    for tag in sorted(query.tag_filters):
+        values = query.tag_filters[tag]
+        if len(values) == 1:
+            conditions.append(f"{tag} = '{values[0]}'")
+        else:
+            joined = ", ".join(f"'{value}'" for value in values)
+            conditions.append(f"{tag} IN ({joined})")
+    if query.start_ns is not None:
+        conditions.append(f"time >= {format_duration(query.start_ns)}")
+    if query.end_ns is not None:
+        conditions.append(f"time < {format_duration(query.end_ns)}")
+    if conditions:
+        parts.append("WHERE " + " AND ".join(conditions))
+    group_terms = list(query.group_by_tags)
+    if query.group_by_time_ns is not None:
+        group_terms.append(f"time({format_duration(query.group_by_time_ns)})")
+    if group_terms:
+        parts.append("GROUP BY " + ", ".join(group_terms))
+    if query.fill != "none":
+        parts.append(f"FILL({query.fill})")
+    return " ".join(parts)

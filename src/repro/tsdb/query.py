@@ -1,0 +1,170 @@
+"""Query model and executor.
+
+The shape mirrors the InfluxQL subset the paper's dashboards need::
+
+    SELECT mean(total_ms) FROM latency
+    WHERE src_country = 'NZ' AND time >= t0 AND time < t1
+    GROUP BY dst_country, time(5m)
+
+expressed as a :class:`Query` and executed against a
+:class:`~repro.tsdb.storage.SeriesStorage`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.tsdb.functions import resolve
+from repro.tsdb.storage import SeriesStorage
+
+GroupKey = Tuple[Tuple[str, str], ...]
+
+
+class QueryError(ValueError):
+    """Raised for malformed queries."""
+
+
+@dataclass
+class Query:
+    """A declarative aggregation query.
+
+    Attributes:
+        measurement: series family to read.
+        field: which field to aggregate.
+        aggregator: name resolved via :func:`repro.tsdb.functions.resolve`.
+        start_ns / end_ns: half-open time range [start, end); None = open.
+        tag_filters: ``{tag_key: [accepted values...]}`` — series must
+            match every key (OR within a key, AND across keys).
+        group_by_tags: split results by these tag values.
+        group_by_time_ns: window width; None aggregates the whole range.
+        fill: for empty time windows — ``"none"`` drops them (default),
+            ``"zero"`` emits 0.0, ``"previous"`` carries forward.
+    """
+
+    measurement: str
+    field: str
+    aggregator: str = "mean"
+    start_ns: Optional[int] = None
+    end_ns: Optional[int] = None
+    tag_filters: Dict[str, List[str]] = field(default_factory=dict)
+    group_by_tags: List[str] = field(default_factory=list)
+    group_by_time_ns: Optional[int] = None
+    fill: str = "none"
+
+    def validate(self) -> None:
+        if not self.measurement or not self.field:
+            raise QueryError("measurement and field are required")
+        if self.group_by_time_ns is not None and self.group_by_time_ns <= 0:
+            raise QueryError("group_by_time_ns must be positive")
+        if self.fill not in ("none", "zero", "previous"):
+            raise QueryError(f"unknown fill mode {self.fill!r}")
+        if (
+            self.start_ns is not None
+            and self.end_ns is not None
+            and self.end_ns < self.start_ns
+        ):
+            raise QueryError("query range ends before it starts")
+        resolve(self.aggregator)  # raises KeyError for unknown names
+
+
+@dataclass
+class QueryResult:
+    """Aggregates per group: ``{group_key: [(window_start_ns, value)]}``.
+
+    For ungrouped/unwindowed queries the single group key is ``()`` and
+    the single window start is the query start (or 0).
+    """
+
+    query: Query
+    groups: Dict[GroupKey, List[Tuple[int, float]]] = field(default_factory=dict)
+
+    def scalar(self) -> Optional[float]:
+        """The single value of an ungrouped, unwindowed query."""
+        if len(self.groups) != 1:
+            return None
+        rows = next(iter(self.groups.values()))
+        if len(rows) != 1:
+            return None
+        return rows[0][1]
+
+    def group(self, **tags: str) -> List[Tuple[int, float]]:
+        """Rows for the group with exactly these tag values."""
+        key = tuple(sorted(tags.items()))
+        return self.groups.get(key, [])
+
+    def group_keys(self) -> List[GroupKey]:
+        return sorted(self.groups)
+
+    def is_empty(self) -> bool:
+        return not self.groups
+
+
+def execute(storage: SeriesStorage, query: Query) -> QueryResult:
+    """Run *query* against *storage*."""
+    query.validate()
+    aggregator = resolve(query.aggregator)
+    series_list = storage.select_series(query.measurement, query.tag_filters)
+
+    # Collect (timestamp, value) samples per group.
+    samples: Dict[GroupKey, List[Tuple[int, float]]] = {}
+    for series in series_list:
+        group_key: GroupKey = tuple(
+            (tag, series.tags.get(tag, "")) for tag in sorted(query.group_by_tags)
+        )
+        rows = series.values(query.field, query.start_ns, query.end_ns)
+        if rows:
+            samples.setdefault(group_key, []).extend(rows)
+
+    result = QueryResult(query=query)
+    for group_key, rows in samples.items():
+        rows.sort(key=lambda r: r[0])
+        if query.group_by_time_ns is None:
+            values = [value for _, value in rows]
+            window_start = query.start_ns if query.start_ns is not None else rows[0][0]
+            result.groups[group_key] = [(window_start, aggregator(values))]
+            continue
+        result.groups[group_key] = _windowed(
+            rows,
+            query.group_by_time_ns,
+            query.start_ns,
+            query.end_ns,
+            aggregator,
+            query.fill,
+        )
+    return result
+
+
+def _windowed(
+    rows: List[Tuple[int, float]],
+    interval_ns: int,
+    start_ns: Optional[int],
+    end_ns: Optional[int],
+    aggregator,
+    fill: str,
+) -> List[Tuple[int, float]]:
+    """Aggregate rows into aligned time windows."""
+    origin = start_ns if start_ns is not None else (rows[0][0] // interval_ns) * interval_ns
+    last_ts = rows[-1][0]
+    horizon = end_ns if end_ns is not None else last_ts + 1
+
+    buckets: Dict[int, List[float]] = {}
+    for timestamp, value in rows:
+        window = origin + ((timestamp - origin) // interval_ns) * interval_ns
+        buckets.setdefault(window, []).append(value)
+
+    out: List[Tuple[int, float]] = []
+    previous: Optional[float] = None
+    window = origin
+    while window < horizon:
+        values = buckets.get(window)
+        if values:
+            aggregate = aggregator(values)
+            out.append((window, aggregate))
+            previous = aggregate
+        elif fill == "zero":
+            out.append((window, 0.0))
+        elif fill == "previous" and previous is not None:
+            out.append((window, previous))
+        window += interval_ns
+    return out

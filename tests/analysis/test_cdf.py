@@ -1,0 +1,76 @@
+"""Empirical CDF and KS tests."""
+
+import random
+
+import pytest
+
+from repro.analysis.cdf import EmpiricalCdf, ks_distance, ks_significant
+
+
+class TestEmpiricalCdf:
+    def test_step_values(self):
+        cdf = EmpiricalCdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf.evaluate(0.5) == 0.0
+        assert cdf.evaluate(1.0) == 0.25
+        assert cdf.evaluate(2.5) == 0.5
+        assert cdf.evaluate(10.0) == 1.0
+
+    def test_quantiles(self):
+        cdf = EmpiricalCdf(list(range(1, 101)))
+        assert cdf.quantile(0.0) == 1
+        assert cdf.quantile(1.0) == 100
+        assert cdf.median == 50
+
+    def test_quantile_validation(self):
+        cdf = EmpiricalCdf([1.0])
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCdf([])
+
+    def test_unsorted_input_handled(self):
+        cdf = EmpiricalCdf([3.0, 1.0, 2.0])
+        assert cdf.values == [1.0, 2.0, 3.0]
+
+
+class TestKsDistance:
+    def test_identical_samples_zero(self):
+        samples = [1.0, 2.0, 3.0]
+        assert ks_distance(samples, samples) == 0.0
+
+    def test_disjoint_samples_one(self):
+        assert ks_distance([1.0, 2.0], [10.0, 11.0]) == 1.0
+
+    def test_symmetric(self):
+        rng = random.Random(1)
+        a = [rng.gauss(0, 1) for _ in range(100)]
+        b = [rng.gauss(0.5, 1) for _ in range(100)]
+        assert ks_distance(a, b) == pytest.approx(ks_distance(b, a))
+
+    def test_accepts_prebuilt_cdfs(self):
+        a, b = EmpiricalCdf([1.0, 2.0]), EmpiricalCdf([1.5, 2.5])
+        assert 0.0 < ks_distance(a, b) <= 1.0
+
+
+class TestKsSignificance:
+    def test_same_distribution_not_significant(self):
+        rng = random.Random(2)
+        a = [rng.gauss(100, 10) for _ in range(400)]
+        b = [rng.gauss(100, 10) for _ in range(400)]
+        assert not ks_significant(a, b, alpha=0.01)
+
+    def test_shifted_distribution_significant(self):
+        rng = random.Random(3)
+        a = [rng.gauss(100, 10) for _ in range(400)]
+        b = [rng.gauss(130, 10) for _ in range(400)]
+        assert ks_significant(a, b, alpha=0.01)
+
+    def test_bad_alpha(self):
+        with pytest.raises(ValueError):
+            ks_significant([1.0], [2.0], alpha=0.2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ks_significant([], [1.0])

@@ -1,0 +1,125 @@
+"""Mixture fitting tests."""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.mixture import (
+    MixtureFit,
+    fit_lognormal_mixture,
+    select_components,
+)
+
+
+def _lognormal_samples(rng, mu, sigma, count):
+    return [rng.lognormvariate(mu, sigma) for _ in range(count)]
+
+
+class TestSingleMode:
+    def test_recovers_parameters(self):
+        rng = random.Random(1)
+        true_mu, true_sigma = math.log(140.0), 0.12
+        samples = _lognormal_samples(rng, true_mu, true_sigma, 2000)
+        fit = fit_lognormal_mixture(samples, k=1)
+        component = fit.components[0]
+        assert abs(component.mu - true_mu) < 0.02
+        assert abs(component.sigma - true_sigma) < 0.02
+        assert component.weight == pytest.approx(1.0)
+        assert abs(component.median_ms - 140.0) < 5.0
+
+
+class TestTwoModes:
+    def test_separates_well_spaced_modes(self):
+        rng = random.Random(2)
+        samples = (
+            _lognormal_samples(rng, math.log(30.0), 0.08, 1500)
+            + _lognormal_samples(rng, math.log(200.0), 0.08, 500)
+        )
+        rng.shuffle(samples)
+        fit = fit_lognormal_mixture(samples, k=2, seed=3)
+        low, high = fit.components
+        assert abs(low.median_ms - 30.0) < 4.0
+        assert abs(high.median_ms - 200.0) < 25.0
+        assert abs(low.weight - 0.75) < 0.05
+        assert abs(high.weight - 0.25) < 0.05
+
+    def test_dominant_mode(self):
+        rng = random.Random(3)
+        samples = (
+            _lognormal_samples(rng, math.log(50.0), 0.1, 900)
+            + _lognormal_samples(rng, math.log(400.0), 0.1, 100)
+        )
+        fit = fit_lognormal_mixture(samples, k=2, seed=1)
+        assert abs(fit.dominant.median_ms - 50.0) < 8.0
+
+
+class TestModelSelection:
+    def test_bic_picks_one_for_unimodal(self):
+        rng = random.Random(4)
+        samples = _lognormal_samples(rng, math.log(100.0), 0.1, 800)
+        best = select_components(samples, max_k=3, seed=2)
+        assert best.k == 1
+
+    def test_bic_picks_two_for_bimodal(self):
+        rng = random.Random(5)
+        samples = (
+            _lognormal_samples(rng, math.log(20.0), 0.06, 600)
+            + _lognormal_samples(rng, math.log(300.0), 0.06, 600)
+        )
+        best = select_components(samples, max_k=4, seed=2)
+        assert best.k == 2
+
+    def test_weights_sum_to_one(self):
+        rng = random.Random(6)
+        samples = _lognormal_samples(rng, math.log(80.0), 0.3, 300)
+        for k in (1, 2, 3):
+            fit = fit_lognormal_mixture(samples, k=k, seed=1)
+            assert sum(c.weight for c in fit.components) == pytest.approx(1.0)
+
+
+class TestQuality:
+    def test_log_likelihood_nondecreasing_in_k(self):
+        rng = random.Random(7)
+        samples = (
+            _lognormal_samples(rng, math.log(20.0), 0.1, 300)
+            + _lognormal_samples(rng, math.log(200.0), 0.1, 300)
+        )
+        ll_1 = fit_lognormal_mixture(samples, k=1).log_likelihood
+        ll_2 = fit_lognormal_mixture(samples, k=2, seed=1).log_likelihood
+        assert ll_2 > ll_1
+
+    def test_density_positive_and_peaked_near_mode(self):
+        rng = random.Random(8)
+        samples = _lognormal_samples(rng, math.log(100.0), 0.1, 500)
+        fit = fit_lognormal_mixture(samples, k=1)
+        assert fit.density_ms(100.0) > fit.density_ms(500.0)
+        assert fit.density_ms(-5.0) == 0.0
+
+    def test_deterministic_with_seed(self):
+        rng = random.Random(9)
+        samples = _lognormal_samples(rng, math.log(60.0), 0.2, 200)
+        a = fit_lognormal_mixture(samples, k=2, seed=5)
+        b = fit_lognormal_mixture(samples, k=2, seed=5)
+        assert a.components == b.components
+
+    def test_significant_modes_filters_tiny(self):
+        fit = fit_lognormal_mixture(
+            [10.0] * 50 + [10.5] * 50, k=2, seed=1
+        )
+        modes = fit.significant_modes(min_weight=0.05)
+        assert 1 <= len(modes) <= 2
+
+
+class TestValidation:
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            fit_lognormal_mixture([1.0, 2.0], k=2)
+
+    def test_nonpositive_samples(self):
+        with pytest.raises(ValueError):
+            fit_lognormal_mixture([1.0, -2.0, 3.0, 4.0], k=1)
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            fit_lognormal_mixture([1.0, 2.0, 3.0], k=0)

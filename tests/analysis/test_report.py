@@ -1,0 +1,103 @@
+"""Per-path analysis report tests."""
+
+import math
+import random
+
+from repro.analysis.report import analyze_paths, compare_windows
+from repro.analytics.enricher import EnrichedMeasurement
+
+MS = 1_000_000
+
+
+def _measurement(total_ms, t_ns=0, src_city="Auckland", dst_city="Los Angeles"):
+    total_ns = int(total_ms * MS)
+    return EnrichedMeasurement(
+        timestamp_ns=t_ns, internal_ns=total_ns // 10,
+        external_ns=total_ns - total_ns // 10,
+        src_country="NZ", src_city=src_city, src_lat=0, src_lon=0, src_asn=1,
+        dst_country="US", dst_city=dst_city, dst_lat=0, dst_lon=0, dst_asn=2,
+    )
+
+
+def _population(rng, median, sigma, count, **kwargs):
+    return [
+        _measurement(rng.lognormvariate(math.log(median), sigma), **kwargs)
+        for _ in range(count)
+    ]
+
+
+class TestAnalyzePaths:
+    def test_unimodal_path(self):
+        rng = random.Random(1)
+        reports = analyze_paths(_population(rng, 140.0, 0.1, 300))
+        assert len(reports) == 1
+        report = reports[0]
+        assert report.pair == ("Auckland", "Los Angeles")
+        assert not report.is_multimodal
+        assert abs(report.median_ms - 140.0) < 10.0
+        assert report.p95_ms > report.median_ms
+
+    def test_multimodal_path_flagged(self):
+        rng = random.Random(2)
+        measurements = (
+            _population(rng, 30.0, 0.05, 300)
+            + _population(rng, 240.0, 0.05, 150)
+        )
+        reports = analyze_paths(measurements)
+        assert reports[0].is_multimodal
+        assert "+" in reports[0].mode_summary()
+
+    def test_small_pairs_skipped(self):
+        rng = random.Random(3)
+        measurements = (
+            _population(rng, 100.0, 0.1, 100, dst_city="Seattle")
+            + _population(rng, 100.0, 0.1, 5, dst_city="Miami")
+        )
+        reports = analyze_paths(measurements, min_samples=20)
+        assert {r.pair[1] for r in reports} == {"Seattle"}
+
+    def test_sorted_by_volume(self):
+        rng = random.Random(4)
+        measurements = (
+            _population(rng, 100.0, 0.1, 50, dst_city="Seattle")
+            + _population(rng, 100.0, 0.1, 200, dst_city="Chicago")
+        )
+        reports = analyze_paths(measurements)
+        assert reports[0].pair[1] == "Chicago"
+
+
+class TestCompareWindows:
+    def test_stable_path_no_drift(self):
+        rng = random.Random(5)
+        before = _population(rng, 140.0, 0.1, 300)
+        after = _population(rng, 140.0, 0.1, 300)
+        drifts = compare_windows(before, after)
+        assert len(drifts) == 1
+        assert not drifts[0].significant
+
+    def test_shifted_path_detected(self):
+        rng = random.Random(6)
+        before = _population(rng, 140.0, 0.08, 300)
+        after = _population(rng, 190.0, 0.08, 300)
+        drifts = compare_windows(before, after)
+        assert drifts[0].significant
+        assert drifts[0].median_shift_ms > 30
+
+    def test_pairs_missing_from_one_window_skipped(self):
+        rng = random.Random(7)
+        before = _population(rng, 100.0, 0.1, 100, dst_city="Seattle")
+        after = _population(rng, 100.0, 0.1, 100, dst_city="Chicago")
+        assert compare_windows(before, after) == []
+
+    def test_most_drifted_first(self):
+        rng = random.Random(8)
+        before = (
+            _population(rng, 100.0, 0.05, 200, dst_city="Seattle")
+            + _population(rng, 100.0, 0.05, 200, dst_city="Chicago")
+        )
+        after = (
+            _population(rng, 101.0, 0.05, 200, dst_city="Seattle")   # tiny
+            + _population(rng, 300.0, 0.05, 200, dst_city="Chicago")  # huge
+        )
+        drifts = compare_windows(before, after)
+        assert drifts[0].pair[1] == "Chicago"

@@ -1,0 +1,126 @@
+"""Pair aggregation tests."""
+
+import math
+
+import pytest
+
+from repro.analytics.aggregator import PairAggregator, PairStats
+from repro.analytics.enricher import EnrichedMeasurement
+
+S = 1_000_000_000
+MS = 1_000_000
+
+
+def _measurement(t_ns, total_ms=100.0, src_city="Auckland", dst_city="Los Angeles",
+                 src_asn=1, dst_asn=2):
+    total_ns = int(total_ms * MS)
+    return EnrichedMeasurement(
+        timestamp_ns=t_ns, internal_ns=total_ns // 10,
+        external_ns=total_ns - total_ns // 10,
+        src_country="NZ", src_city=src_city, src_lat=-36.8, src_lon=174.7,
+        src_asn=src_asn, dst_country="US", dst_city=dst_city,
+        dst_lat=34.0, dst_lon=-118.2, dst_asn=dst_asn,
+    )
+
+
+class TestPairStats:
+    def test_welford_matches_direct(self):
+        stats = PairStats()
+        values = [3.0, 7.0, 7.0, 19.0]
+        for value in values:
+            stats.add(value)
+        mean = sum(values) / len(values)
+        variance = sum((v - mean) ** 2 for v in values) / len(values)
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(mean)
+        assert stats.stddev == pytest.approx(math.sqrt(variance))
+        assert stats.min_value == 3.0
+        assert stats.max_value == 19.0
+
+    def test_single_sample(self):
+        stats = PairStats()
+        stats.add(5.0)
+        assert stats.stddev == 0.0
+
+
+class TestPairAggregator:
+    def test_window_flush_on_boundary(self):
+        aggregator = PairAggregator(window_ns=S)
+        aggregator.add(_measurement(int(0.2 * S), total_ms=100))
+        aggregator.add(_measurement(int(0.8 * S), total_ms=200))
+        assert aggregator.flushed == []  # window still open
+        aggregator.add(_measurement(int(1.1 * S), total_ms=300))
+        # First window flushed with the two samples.
+        location_points = [
+            p for p in aggregator.flushed if p.measurement == "latency_by_location"
+        ]
+        assert len(location_points) == 1
+        point = location_points[0]
+        assert point.timestamp_ns == 0
+        assert point.fields["connections"] == 2
+        assert point.fields["mean_ms"] == 150.0
+        assert point.fields["min_ms"] == 100.0
+        assert point.fields["max_ms"] == 200.0
+
+    def test_both_rollup_measurements_emitted(self):
+        aggregator = PairAggregator(window_ns=S)
+        aggregator.add(_measurement(0))
+        points = aggregator.flush()
+        names = {point.measurement for point in points}
+        assert names == {"latency_by_location", "latency_by_asn"}
+
+    def test_asn_tags_are_strings(self):
+        aggregator = PairAggregator(window_ns=S)
+        aggregator.add(_measurement(0, src_asn=64500, dst_asn=64511))
+        asn_point = [
+            p for p in aggregator.flush() if p.measurement == "latency_by_asn"
+        ][0]
+        assert asn_point.tags == {"src_asn": "64500", "dst_asn": "64511"}
+
+    def test_separate_pairs_separate_cells(self):
+        aggregator = PairAggregator(window_ns=S)
+        aggregator.add(_measurement(0, dst_city="Los Angeles"))
+        aggregator.add(_measurement(0, dst_city="Seattle"))
+        location_points = [
+            p for p in aggregator.flush()
+            if p.measurement == "latency_by_location"
+        ]
+        assert len(location_points) == 2
+
+    def test_emit_callback(self):
+        batches = []
+        aggregator = PairAggregator(window_ns=S, emit=batches.append)
+        aggregator.add(_measurement(0))
+        aggregator.flush()
+        assert len(batches) == 1
+        assert aggregator.flushed == []
+
+    def test_late_arrival_folds_into_current_window(self):
+        aggregator = PairAggregator(window_ns=S)
+        aggregator.add(_measurement(2 * S))
+        aggregator.add(_measurement(int(0.5 * S)))  # late
+        points = aggregator.flush()
+        connections = [
+            p.fields["connections"] for p in points
+            if p.measurement == "latency_by_location"
+        ]
+        assert connections == [2]
+
+    def test_flush_empty_is_noop(self):
+        assert PairAggregator().flush() == []
+
+    def test_p99_tracking_optional(self):
+        plain = PairAggregator(window_ns=S)
+        plain.add(_measurement(0))
+        assert "p99_ms" not in plain.flush()[0].fields
+
+        tracking = PairAggregator(window_ns=S, track_p99=True)
+        for i in range(100):
+            tracking.add(_measurement(0, total_ms=100.0 + i))
+        point = tracking.flush()[0]
+        # p99 of 100..199 sits near the top of the range.
+        assert 185.0 < point.fields["p99_ms"] <= 199.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PairAggregator(window_ns=0)

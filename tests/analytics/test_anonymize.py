@@ -1,0 +1,68 @@
+"""Privacy boundary tests."""
+
+import pytest
+
+from repro.analytics.anonymize import (
+    PrivacyViolation,
+    assert_no_addresses,
+    find_addresses,
+    truncate_ipv4,
+    truncate_ipv6,
+)
+from repro.net.addresses import ip_to_int
+
+
+class TestTruncation:
+    def test_ipv4_keep_24(self):
+        address = ip_to_int("192.168.45.200")
+        assert truncate_ipv4(address, 24) == ip_to_int("192.168.45.0")
+
+    def test_ipv4_keep_zero_bits(self):
+        assert truncate_ipv4(ip_to_int("1.2.3.4"), 0) == 0
+
+    def test_ipv4_keep_all(self):
+        address = ip_to_int("9.9.9.9")
+        assert truncate_ipv4(address, 32) == address
+
+    def test_ipv6_keep_48(self):
+        address = (0x20010DB8ABCD << 80) | 0xFFFF
+        assert truncate_ipv6(address, 48) == 0x20010DB8ABCD << 80
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            truncate_ipv4(0, 33)
+        with pytest.raises(ValueError):
+            truncate_ipv6(0, 129)
+
+
+class TestAuditor:
+    def test_finds_ipv4_in_string(self):
+        assert find_addresses("latency from 10.0.0.1 high") == ["10.0.0.1"]
+
+    def test_finds_ipv6(self):
+        found = find_addresses("src 2001:db8::1 dst ::")
+        assert "2001:db8::1" in found
+
+    def test_ignores_version_numbers(self):
+        # Dotted strings that are not valid IPs must not trip the audit.
+        assert find_addresses("release 1.2.3, build 999.1.2.3") == []
+
+    def test_walks_nested_structures(self):
+        nested = {"a": ["clean", ("also clean", {"deep": "10.1.2.3"})]}
+        assert find_addresses(nested) == ["10.1.2.3"]
+
+    def test_walks_dataclasses(self):
+        from dataclasses import dataclass
+
+        @dataclass
+        class Holder:
+            note: str
+
+        assert find_addresses(Holder(note="leak 8.8.8.8")) == ["8.8.8.8"]
+
+    def test_assert_raises_on_leak(self):
+        with pytest.raises(PrivacyViolation):
+            assert_no_addresses({"msg": "from 10.0.0.1"}, context="tsdb point")
+
+    def test_assert_passes_clean(self):
+        assert_no_addresses({"city": "Auckland", "ms": 130.5})

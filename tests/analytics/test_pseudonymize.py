@@ -1,0 +1,106 @@
+"""Prefix-preserving pseudonymization tests."""
+
+import random
+
+import pytest
+
+from repro.analytics.pseudonymize import PrefixPreservingAnonymizer
+from repro.net.addresses import ip_to_int
+
+
+@pytest.fixture()
+def anonymizer():
+    return PrefixPreservingAnonymizer(key=b"test-key-0123456789")
+
+
+class TestBasicProperties:
+    def test_deterministic_same_key(self):
+        a = PrefixPreservingAnonymizer(key=b"k1")
+        b = PrefixPreservingAnonymizer(key=b"k1")
+        address = ip_to_int("192.168.1.77")
+        assert a.anonymize(address) == b.anonymize(address)
+
+    def test_different_keys_differ(self):
+        a = PrefixPreservingAnonymizer(key=b"k1")
+        b = PrefixPreservingAnonymizer(key=b"k2")
+        address = ip_to_int("192.168.1.77")
+        assert a.anonymize(address) != b.anonymize(address)
+
+    def test_injective_on_sample(self, anonymizer):
+        rng = random.Random(1)
+        addresses = {rng.getrandbits(32) for _ in range(2000)}
+        pseudonyms = {anonymizer.anonymize(a) for a in addresses}
+        assert len(pseudonyms) == len(addresses)
+
+    def test_output_in_range(self, anonymizer):
+        rng = random.Random(2)
+        for _ in range(200):
+            assert 0 <= anonymizer.anonymize(rng.getrandbits(32)) < (1 << 32)
+
+    def test_address_usually_changes(self, anonymizer):
+        rng = random.Random(3)
+        unchanged = sum(
+            1 for _ in range(500)
+            if (a := rng.getrandbits(32)) == anonymizer.anonymize(a)
+        )
+        assert unchanged == 0  # probability ~2^-32 each
+
+
+class TestPrefixPreservation:
+    def test_exact_shared_prefix_preserved(self, anonymizer):
+        rng = random.Random(4)
+        for _ in range(300):
+            a = rng.getrandbits(32)
+            # Flip one bit at a random depth: shared prefix = depth.
+            depth = rng.randrange(32)
+            b = a ^ (1 << (31 - depth))
+            assert anonymizer.verify_prefix_preservation(a, b)
+
+    def test_same_subnet_stays_same_subnet(self, anonymizer):
+        base = ip_to_int("10.20.30.0")
+        pseudo_net = anonymizer.anonymize(base) >> 8
+        for host in range(1, 50):
+            assert anonymizer.anonymize(base + host) >> 8 == pseudo_net
+
+    def test_unrelated_addresses_unrelated(self, anonymizer):
+        a = ip_to_int("10.0.0.1")       # leading bit 0
+        b = ip_to_int("192.168.0.1")    # leading bit 1
+        shared = anonymizer.shared_prefix_len(
+            anonymizer.anonymize(a), anonymizer.anonymize(b), 32
+        )
+        assert shared == 0
+
+
+class TestIpv6Width:
+    def test_128_bit(self):
+        anonymizer = PrefixPreservingAnonymizer(key=b"v6", width=128)
+        rng = random.Random(5)
+        a = rng.getrandbits(128)
+        b = a ^ (1 << 60)  # shared /67 prefix
+        assert anonymizer.verify_prefix_preservation(a, b)
+
+    def test_width_guard(self):
+        anonymizer = PrefixPreservingAnonymizer(key=b"k", width=32)
+        with pytest.raises(ValueError):
+            anonymizer.anonymize(1 << 32)
+
+    def test_alias_guard(self):
+        anonymizer = PrefixPreservingAnonymizer(key=b"k", width=128)
+        with pytest.raises(ValueError):
+            anonymizer.anonymize_ipv4(1)
+
+
+class TestValidation:
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            PrefixPreservingAnonymizer(key=b"")
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            PrefixPreservingAnonymizer(key=b"k", width=0)
+
+    def test_shared_prefix_len(self):
+        f = PrefixPreservingAnonymizer.shared_prefix_len
+        assert f(0b1100, 0b1100, 4) == 4
+        assert f(0b1100, 0b1101, 4) == 3
+        assert f(0b1100, 0b0100, 4) == 0

@@ -1,0 +1,68 @@
+"""P² streaming quantile tests."""
+
+import math
+import random
+
+import pytest
+
+from repro.analytics.quantile import P2Quantile
+from repro.tsdb.functions import percentile
+
+
+class TestP2Quantile:
+    def test_empty(self):
+        assert P2Quantile(0.99).value is None
+
+    def test_small_sample_exact(self):
+        estimator = P2Quantile(0.5)
+        for value in (3.0, 1.0, 2.0):
+            estimator.add(value)
+        assert estimator.value == 2.0
+
+    @pytest.mark.parametrize("q", [0.5, 0.9, 0.95, 0.99])
+    def test_uniform_accuracy(self, q):
+        rng = random.Random(1)
+        estimator = P2Quantile(q)
+        samples = [rng.uniform(0, 1000) for _ in range(10_000)]
+        for value in samples:
+            estimator.add(value)
+        exact = percentile(samples, q * 100)
+        assert abs(estimator.value - exact) < 25  # within 2.5% of range
+
+    def test_lognormal_latency_accuracy(self):
+        """The actual use case: p99 of a latency population."""
+        rng = random.Random(2)
+        estimator = P2Quantile(0.99)
+        samples = [rng.lognormvariate(math.log(150.0), 0.25) for _ in range(20_000)]
+        for value in samples:
+            estimator.add(value)
+        exact = percentile(samples, 99)
+        assert abs(estimator.value - exact) / exact < 0.08
+
+    def test_monotone_stream(self):
+        estimator = P2Quantile(0.9)
+        for value in range(1, 1001):
+            estimator.add(float(value))
+        assert abs(estimator.value - 900) < 30
+
+    def test_constant_stream(self):
+        estimator = P2Quantile(0.95)
+        for _ in range(100):
+            estimator.add(42.0)
+        assert estimator.value == pytest.approx(42.0)
+
+    def test_estimate_within_observed_range(self):
+        rng = random.Random(3)
+        estimator = P2Quantile(0.75)
+        low, high = math.inf, -math.inf
+        for _ in range(500):
+            value = rng.gauss(100, 15)
+            low, high = min(low, value), max(high, value)
+            estimator.add(value)
+        assert low <= estimator.value <= high
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)

@@ -1,0 +1,107 @@
+"""Analytics service wiring tests (ZMQ in -> TSDB + frontend out)."""
+
+import pytest
+
+from repro.analytics.anonymize import assert_no_addresses
+from repro.analytics.service import AnalyticsService
+from repro.core.pipeline import RuruPipeline
+from repro.mq.codec import decode_enriched
+from repro.mq.frames import Message
+from repro.mq.socket import Context
+from repro.tsdb.query import Query
+
+
+@pytest.fixture()
+def service(geo_asn):
+    geo, asn = geo_asn
+    return AnalyticsService(Context(), geo, asn, num_workers=3)
+
+
+def _run_workload(service, packets):
+    pipeline = RuruPipeline(sink=service.make_sink())
+    stats = pipeline.run_packets(packets)
+    service.finish()
+    return stats
+
+
+class TestEndToEnd:
+    def test_measurements_reach_tsdb(self, service, small_workload):
+        _, packets = small_workload
+        stats = _run_workload(service, packets)
+        assert stats.measurements > 0
+        assert service.enriched_count == stats.measurements
+        raw = service.tsdb.query(Query("latency", "total_ms", "count"))
+        assert raw.scalar() == stats.measurements
+
+    def test_rollups_written(self, service, small_workload):
+        _, packets = small_workload
+        _run_workload(service, packets)
+        assert "latency_by_location" in service.tsdb.measurements()
+        assert "latency_by_asn" in service.tsdb.measurements()
+
+    def test_frontend_receives_enriched(self, service, small_workload):
+        _, packets = small_workload
+        sub = service.subscribe_frontend()
+        stats = _run_workload(service, packets)
+        messages = sub.recv_all()
+        assert len(messages) == stats.measurements
+        measurement = decode_enriched(messages[0].payload[0])
+        assert measurement.total_ns > 0
+
+    def test_no_addresses_downstream(self, service, small_workload):
+        """The paper's privacy rule: no IP past the enricher."""
+        _, packets = small_workload
+        sub = service.subscribe_frontend()
+        _run_workload(service, packets)
+        for message in sub.recv_all():
+            assert_no_addresses(decode_enriched(message.payload[0]), "frontend")
+        for name in service.tsdb.measurements():
+            for series in service.tsdb.storage.series_for(name):
+                assert_no_addresses(series.tags, f"tsdb tags ({name})")
+
+    def test_tsdb_tagged_by_geography(self, service, small_workload):
+        _, packets = small_workload
+        _run_workload(service, packets)
+        countries = service.tsdb.tag_values("latency", "src_country")
+        assert "NZ" in countries
+
+
+class TestFilters:
+    def test_filter_drops_measurements(self, geo_asn, small_workload):
+        geo, asn = geo_asn
+        _, packets = small_workload
+        keep_nz_sources = lambda m: m.src_country == "NZ"
+        service = AnalyticsService(
+            Context(), geo, asn, filters=[keep_nz_sources]
+        )
+        _run_workload(service, packets)
+        assert service.filtered_out > 0
+        sources = service.tsdb.tag_values("latency", "src_country")
+        assert sources == ["NZ"]
+
+
+class TestRobustness:
+    def test_decode_errors_counted(self, service):
+        push = service.connect_pipeline()
+        push.send(Message.with_topic(b"latency", b"\xff\xffgarbage"))
+        service.poll()
+        assert service.decode_errors == 1
+
+    def test_workers_round_robin(self, service, small_workload):
+        _, packets = small_workload
+        _run_workload(service, packets)
+        counts = [worker.stats.enriched for worker in service.enrichers]
+        assert max(counts) - min(counts) <= 1
+
+    def test_store_raw_points_can_be_disabled(self, geo_asn, small_workload):
+        geo, asn = geo_asn
+        _, packets = small_workload
+        service = AnalyticsService(Context(), geo, asn, store_raw_points=False)
+        _run_workload(service, packets)
+        assert "latency" not in service.tsdb.measurements()
+        assert "latency_by_location" in service.tsdb.measurements()
+
+    def test_validation(self, geo_asn):
+        geo, asn = geo_asn
+        with pytest.raises(ValueError):
+            AnalyticsService(Context(), geo, asn, num_workers=0)

@@ -1,0 +1,104 @@
+"""Space-Saving top-K tests."""
+
+import random
+
+import pytest
+
+from repro.analytics.topk import SpaceSaving
+
+
+class TestSpaceSaving:
+    def test_exact_under_capacity(self):
+        tracker = SpaceSaving(capacity=10)
+        for key, count in (("a", 5), ("b", 3), ("c", 1)):
+            tracker.add(key, count)
+        top = tracker.top(3)
+        assert [(e.key, e.count, e.error) for e in top] == [
+            ("a", 5, 0), ("b", 3, 0), ("c", 1, 0)
+        ]
+
+    def test_memory_bounded(self):
+        tracker = SpaceSaving(capacity=20)
+        rng = random.Random(1)
+        for _ in range(10_000):
+            tracker.add(rng.randrange(1000))
+        assert len(tracker) <= 20
+
+    def test_heavy_hitters_survive_noise(self):
+        """Items above the N/m guarantee must be reported."""
+        tracker = SpaceSaving(capacity=50)
+        rng = random.Random(2)
+        # Three genuinely heavy keys among a sea of one-off noise.
+        for _ in range(2000):
+            tracker.add("heavy-1")
+        for _ in range(1500):
+            tracker.add("heavy-2")
+        for _ in range(1000):
+            tracker.add("heavy-3")
+        for i in range(3000):
+            tracker.add(f"noise-{i}")
+        top_keys = [entry.key for entry in tracker.top(3)]
+        assert set(top_keys) == {"heavy-1", "heavy-2", "heavy-3"}
+
+    def test_error_bound_holds(self):
+        tracker = SpaceSaving(capacity=10)
+        rng = random.Random(3)
+        truth = {}
+        for _ in range(5000):
+            key = rng.randrange(100)
+            truth[key] = truth.get(key, 0) + 1
+            tracker.add(key)
+        bound = tracker.error_bound
+        for entry in tracker.top(10):
+            true_count = truth.get(entry.key, 0)
+            assert entry.count >= true_count  # never underestimates
+            assert entry.count - true_count <= bound + 1e-9
+            assert entry.error <= bound
+
+    def test_guaranteed_top(self):
+        tracker = SpaceSaving(capacity=100)
+        for _ in range(1000):
+            tracker.add("dominant")
+        for i in range(50):
+            tracker.add(f"minor-{i}")
+        guaranteed = tracker.guaranteed_top(1)
+        assert guaranteed and guaranteed[0].key == "dominant"
+
+    def test_interleaved_increments(self):
+        tracker = SpaceSaving(capacity=4)
+        for _ in range(3):
+            for key in ("a", "b", "c", "d"):
+                tracker.add(key)
+        tracker.add("e")  # evicts one of the minimum counters
+        assert len(tracker) == 4
+        entry = next(x for x in tracker.top(4) if x.key == "e")
+        assert entry.error == 3  # inherited the evicted floor
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpaceSaving(capacity=0)
+        tracker = SpaceSaving(capacity=1)
+        with pytest.raises(ValueError):
+            tracker.add("x", count=0)
+        with pytest.raises(ValueError):
+            tracker.top(0)
+
+    def test_pair_tracking_use_case(self, small_workload):
+        """Busiest city pairs from a real measurement stream."""
+        from repro.core.pipeline import RuruPipeline
+        from repro.geo.builder import GeoDbBuilder
+
+        generator, packets = small_workload
+        geo, _ = GeoDbBuilder(plan=generator.plan, country_accuracy=1.0).build()
+        pipeline = RuruPipeline()
+        pipeline.run_packets(packets)
+        tracker = SpaceSaving(capacity=32)
+        for record in pipeline.measurements:
+            src = geo.lookup(record.src_ip)
+            dst = geo.lookup(record.dst_ip)
+            if src and dst:
+                tracker.add((src.city, dst.city))
+        top = tracker.top(5)
+        assert top
+        # The default population makes Auckland the dominant source.
+        assert any(entry.key[0] == "Auckland" for entry in top)

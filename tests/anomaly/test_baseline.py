@@ -1,0 +1,101 @@
+"""EWMA baseline and windowed rate tests."""
+
+import pytest
+
+from repro.anomaly.baseline import EwmaBaseline, WindowedRate
+
+
+class TestEwmaBaseline:
+    def test_mean_converges(self):
+        baseline = EwmaBaseline(alpha=0.2, warmup=1)
+        for _ in range(100):
+            baseline.observe("k", 50.0)
+        assert baseline.mean("k") == pytest.approx(50.0)
+        assert baseline.stddev("k") == pytest.approx(0.0, abs=1e-6)
+
+    def test_warmup_gates_zscore(self):
+        baseline = EwmaBaseline(alpha=0.1, warmup=10)
+        for _ in range(9):
+            baseline.observe("k", 10.0)
+        assert baseline.zscore("k", 100.0) is None
+        baseline.observe("k", 10.0)
+        assert baseline.zscore("k", 100.0) is not None
+
+    def test_zscore_scales_with_deviation(self):
+        baseline = EwmaBaseline(alpha=0.1, warmup=5)
+        for value in [10.0, 11.0, 9.0, 10.5, 9.5, 10.0, 10.2, 9.8]:
+            baseline.observe("k", value)
+        small = baseline.zscore("k", 11.0)
+        large = baseline.zscore("k", 100.0)
+        assert large > small
+        assert large > 10
+
+    def test_constant_stream_variance_floor(self):
+        baseline = EwmaBaseline(alpha=0.1, warmup=3)
+        for _ in range(10):
+            baseline.observe("k", 5.0)
+        # Variance floor must prevent division blowups.
+        assert baseline.zscore("k", 5.0) == pytest.approx(0.0, abs=1e-3)
+
+    def test_keys_independent(self):
+        baseline = EwmaBaseline(warmup=1)
+        baseline.observe("a", 1.0)
+        baseline.observe("b", 100.0)
+        assert baseline.mean("a") == 1.0
+        assert baseline.mean("b") == 100.0
+        assert baseline.mean("c") is None
+
+    def test_is_warm(self):
+        baseline = EwmaBaseline(warmup=2)
+        baseline.observe("k", 1.0)
+        assert not baseline.is_warm("k")
+        baseline.observe("k", 1.0)
+        assert baseline.is_warm("k")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EwmaBaseline(alpha=0.0)
+        with pytest.raises(ValueError):
+            EwmaBaseline(alpha=1.5)
+        with pytest.raises(ValueError):
+            EwmaBaseline(warmup=0)
+
+
+class TestWindowedRate:
+    def test_counts_within_window(self):
+        rate = WindowedRate(window_ns=1000)
+        assert rate.add("k", 100) is None
+        assert rate.add("k", 200) is None
+        closed = rate.add("k", 1100)  # new window closes the old one
+        assert closed == (0, {"k": 2})
+
+    def test_multiple_keys(self):
+        rate = WindowedRate(window_ns=1000)
+        rate.add("a", 0)
+        rate.add("b", 1)
+        rate.add("b", 2)
+        closed = rate.add("a", 1500)
+        assert closed[1] == {"a": 1, "b": 2}
+
+    def test_count_argument(self):
+        rate = WindowedRate(window_ns=1000)
+        rate.add("k", 0, count=5)
+        rate.add("k", 10, count=0)  # clock tick without counting
+        closed = rate.add("k", 2000)
+        assert closed[1]["k"] == 5
+
+    def test_flush(self):
+        rate = WindowedRate(window_ns=1000)
+        rate.add("k", 500)
+        assert rate.flush() == (0, {"k": 1})
+        assert rate.flush() is None
+
+    def test_window_alignment(self):
+        rate = WindowedRate(window_ns=1000)
+        rate.add("k", 2500)
+        closed = rate.add("k", 3100)
+        assert closed[0] == 2000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowedRate(window_ns=0)

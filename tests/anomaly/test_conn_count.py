@@ -1,0 +1,60 @@
+"""Connection-count surge detector tests."""
+
+import random
+
+from repro.anomaly.conn_count import ConnectionCountDetector
+from tests.anomaly.test_latency_spike import _measurement
+
+S = 1_000_000_000
+
+
+def _steady(detector, start_s, duration_s, per_window, window_s=10, rng=None):
+    """per_window connections per detector window, spread evenly."""
+    rng = rng or random.Random(0)
+    total_seconds = duration_s
+    rate_per_s = per_window / window_s
+    count = int(total_seconds * rate_per_s)
+    for i in range(count):
+        t = int((start_s + i / rate_per_s) * S)
+        detector.observe(_measurement(t, 150.0))
+
+
+class TestConnectionCountDetector:
+    def test_surge_detected(self):
+        detector = ConnectionCountDetector(
+            window_ns=10 * S, min_count=50, warmup=5
+        )
+        _steady(detector, 0, 120, per_window=20)       # baseline ~20/window
+        _steady(detector, 120, 30, per_window=400)     # surge
+        events = detector.finish(now_ns=160 * S)
+        assert len(events) >= 1
+        event = events[0]
+        assert event.kind == "connection-surge"
+        assert event.subject == "Auckland->Los Angeles"
+        assert event.evidence["count"] >= 50
+
+    def test_steady_traffic_never_flags(self):
+        detector = ConnectionCountDetector(window_ns=10 * S, min_count=50, warmup=5)
+        _steady(detector, 0, 300, per_window=100)
+        assert detector.finish(now_ns=301 * S) == []
+
+    def test_min_count_suppresses_quiet_pairs(self):
+        # 2/window jumping to 20/window is a big ratio but tiny volume.
+        detector = ConnectionCountDetector(window_ns=10 * S, min_count=50, warmup=5)
+        _steady(detector, 0, 120, per_window=2)
+        _steady(detector, 120, 30, per_window=20)
+        assert detector.finish(now_ns=160 * S) == []
+
+    def test_warmup_gates_detection(self):
+        detector = ConnectionCountDetector(window_ns=10 * S, min_count=10, warmup=6)
+        _steady(detector, 0, 30, per_window=500)  # only 3 windows: still warming
+        assert detector.finish(now_ns=31 * S) == []
+
+    def test_event_closes_when_surge_ends(self):
+        detector = ConnectionCountDetector(window_ns=10 * S, min_count=50, warmup=5)
+        _steady(detector, 0, 120, per_window=20)
+        _steady(detector, 120, 30, per_window=400)
+        _steady(detector, 150, 60, per_window=20)
+        events = detector.finish(now_ns=211 * S)
+        assert len(events) == 1
+        assert not events[0].is_open

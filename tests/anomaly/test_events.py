@@ -1,0 +1,43 @@
+"""Anomaly event model tests."""
+
+import pytest
+
+from repro.anomaly.events import AnomalyEvent, Severity
+
+
+def _event(**overrides):
+    fields = dict(
+        kind="latency-spike",
+        start_ns=5_000_000_000,
+        severity=Severity.WARNING,
+        description="test",
+        subject="NZ->US",
+    )
+    fields.update(overrides)
+    return AnomalyEvent(**fields)
+
+
+class TestAnomalyEvent:
+    def test_open_until_closed(self):
+        event = _event()
+        assert event.is_open
+        assert event.duration_ns is None
+        event.close(8_000_000_000)
+        assert not event.is_open
+        assert event.duration_ns == 3_000_000_000
+
+    def test_close_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            _event().close(1)
+
+    def test_severity_ordering(self):
+        assert Severity.CRITICAL > Severity.WARNING > Severity.INFO
+
+    def test_str_rendering(self):
+        event = _event()
+        text = str(event)
+        assert "WARNING" in text
+        assert "latency-spike" in text
+        assert "ongoing" in text
+        event.close(6_000_000_000)
+        assert "1.0s" in str(event)

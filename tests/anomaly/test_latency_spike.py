@@ -1,0 +1,115 @@
+"""Latency-spike detector tests — the firewall-glitch finder."""
+
+import random
+
+from repro.analytics.enricher import EnrichedMeasurement
+from repro.anomaly.latency_spike import LatencySpikeDetector
+
+S = 1_000_000_000
+MS = 1_000_000
+
+
+def _measurement(t_ns, total_ms, src="NZ", dst="US"):
+    total_ns = int(total_ms * MS)
+    return EnrichedMeasurement(
+        timestamp_ns=t_ns, internal_ns=total_ns // 10,
+        external_ns=total_ns - total_ns // 10,
+        src_country=src, src_city="Auckland", src_lat=0, src_lon=0, src_asn=1,
+        dst_country=dst, dst_city="Los Angeles", dst_lat=0, dst_lon=0, dst_asn=2,
+    )
+
+
+def _feed_baseline(detector, count=60, base_ms=150.0, jitter=10.0, start_ns=0):
+    rng = random.Random(1)
+    t = start_ns
+    for _ in range(count):
+        detector.observe(_measurement(t, base_ms + rng.uniform(-jitter, jitter)))
+        t += S
+    return t
+
+
+class TestDetection:
+    def test_firewall_glitch_detected(self):
+        detector = LatencySpikeDetector(min_flagged=3)
+        t = _feed_baseline(detector)
+        event = None
+        for i in range(5):
+            event = detector.observe(_measurement(t + i * S, 4150.0)) or event
+        assert event is not None
+        assert event.kind == "latency-spike"
+        assert event.subject == "NZ->US"
+        assert event.evidence["observed_ms"] > 4000
+        assert detector.samples_flagged >= 3
+
+    def test_event_start_at_first_flagged_sample(self):
+        detector = LatencySpikeDetector(min_flagged=3)
+        t = _feed_baseline(detector)
+        for i in range(4):
+            detector.observe(_measurement(t + i * S, 4150.0))
+        assert detector.events[0].start_ns == t
+
+    def test_no_detection_during_warmup(self):
+        detector = LatencySpikeDetector(warmup=30)
+        for i in range(10):
+            assert detector.observe(_measurement(i * S, 4000.0)) is None
+        assert detector.events == []
+
+    def test_normal_traffic_never_flags(self):
+        detector = LatencySpikeDetector()
+        rng = random.Random(2)
+        for i in range(500):
+            detector.observe(_measurement(i * S, 150.0 + rng.uniform(-30, 30)))
+        assert detector.finish() == []
+
+    def test_single_outlier_not_confirmed(self):
+        detector = LatencySpikeDetector(min_flagged=3)
+        t = _feed_baseline(detector)
+        detector.observe(_measurement(t, 4000.0))
+        # Back to normal: one flagged sample never confirms.
+        for i in range(1, 40):
+            detector.observe(_measurement(t + i * S, 150.0))
+        assert detector.finish() == []
+
+    def test_per_pair_baselines_isolated(self):
+        detector = LatencySpikeDetector(min_flagged=2)
+        # AU path at 40ms, US path at 150ms; a 150ms sample on the AU
+        # path is anomalous even though it is normal for the US path.
+        rng = random.Random(3)
+        for i in range(60):
+            detector.observe(_measurement(i * S, 150 + rng.uniform(-5, 5), dst="US"))
+            detector.observe(_measurement(i * S, 40 + rng.uniform(-2, 2), dst="AU"))
+        t = 100 * S
+        for i in range(3):
+            detector.observe(_measurement(t + i * S, 160.0, dst="AU"))
+        events = detector.finish()
+        assert any(e.subject == "NZ->AU" for e in events)
+        assert not any(e.subject == "NZ->US" for e in events)
+
+    def test_anomalies_do_not_poison_baseline(self):
+        detector = LatencySpikeDetector(min_flagged=2)
+        t = _feed_baseline(detector)
+        mean_before = detector.baseline.mean(("NZ", "US"))
+        for i in range(20):
+            detector.observe(_measurement(t + i * S, 4000.0))
+        mean_after = detector.baseline.mean(("NZ", "US"))
+        assert abs(mean_after - mean_before) < 1.0
+
+    def test_event_closes_after_quiet_period(self):
+        detector = LatencySpikeDetector(min_flagged=2, quiet_close_ns=10 * S)
+        t = _feed_baseline(detector)
+        for i in range(3):
+            detector.observe(_measurement(t + i * S, 4000.0))
+        # Long quiet stretch closes the event.
+        for i in range(3, 40):
+            detector.observe(_measurement(t + i * S, 150.0))
+        assert len(detector.events) == 1
+        assert not detector.events[0].is_open
+
+    def test_finish_closes_open_events(self):
+        detector = LatencySpikeDetector(min_flagged=2)
+        t = _feed_baseline(detector)
+        for i in range(3):
+            detector.observe(_measurement(t + i * S, 4000.0))
+        events = detector.finish()
+        assert len(events) == 1
+        assert not events[0].is_open

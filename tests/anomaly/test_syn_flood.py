@@ -1,0 +1,104 @@
+"""SYN-flood detector tests."""
+
+import random
+
+from repro.anomaly.syn_flood import SynFloodDetector
+from repro.net.parser import ParsedPacket
+
+S = 1_000_000_000
+
+SYN = 0x02
+ACK = 0x10
+
+TARGET = 0x14000001  # 20.0.0.1
+
+
+def _packet(flags, t_ns, src=None, dst=TARGET, rng=None):
+    if src is None:
+        src = rng.getrandbits(32) if rng else 0x0A000001
+    return ParsedPacket(
+        src_ip=src, dst_ip=dst, src_port=1234, dst_port=443,
+        flags=flags, seq=0, ack=0, payload_len=0, timestamp_ns=t_ns,
+    )
+
+
+def _flood(detector, start_s, duration_s, rate, rng):
+    for second in range(duration_s):
+        for i in range(rate):
+            t = (start_s + second) * S + i * (S // rate)
+            detector.on_packet(_packet(SYN, t, rng=rng))
+
+
+def _normal_traffic(detector, start_s, duration_s, rate, rng):
+    """Balanced SYNs and completion ACKs toward the target."""
+    for second in range(duration_s):
+        for i in range(rate):
+            t = (start_s + second) * S + i * (S // rate)
+            detector.on_packet(_packet(SYN, t, rng=rng))
+            detector.on_packet(_packet(ACK, t + S // (rate * 2), rng=rng))
+
+
+class TestSynFloodDetector:
+    def test_flood_detected(self):
+        detector = SynFloodDetector(min_syn_rate=500)
+        rng = random.Random(1)
+        _normal_traffic(detector, 0, 3, 50, rng)
+        _flood(detector, 3, 3, 2000, rng)
+        events = detector.finish(now_ns=10 * S)
+        assert len(events) == 1
+        event = events[0]
+        assert event.kind == "syn-flood"
+        assert event.evidence["syn_rate"] >= 1900
+        assert event.evidence["completion_fraction"] < 0.1
+        assert "20.0.0.0/24" in event.subject
+
+    def test_normal_traffic_never_flags(self):
+        detector = SynFloodDetector(min_syn_rate=500)
+        rng = random.Random(2)
+        _normal_traffic(detector, 0, 10, 100, rng)
+        assert detector.finish(now_ns=11 * S) == []
+
+    def test_high_rate_with_completions_not_flagged(self):
+        # A busy but healthy server: lots of SYNs, all completed.
+        detector = SynFloodDetector(min_syn_rate=500)
+        rng = random.Random(3)
+        _normal_traffic(detector, 0, 5, 1000, rng)
+        assert detector.finish(now_ns=6 * S) == []
+
+    def test_event_closes_when_flood_stops(self):
+        detector = SynFloodDetector(min_syn_rate=500)
+        rng = random.Random(4)
+        _flood(detector, 0, 3, 1500, rng)
+        _normal_traffic(detector, 3, 5, 50, rng)
+        events = detector.finish(now_ns=9 * S)
+        assert len(events) == 1
+        assert not events[0].is_open
+        # Closed roughly when the flood ended.
+        assert events[0].end_ns <= 5 * S
+
+    def test_continuing_flood_extends_single_event(self):
+        detector = SynFloodDetector(min_syn_rate=500)
+        rng = random.Random(5)
+        _flood(detector, 0, 6, 1500, rng)
+        assert len(detector.finish(now_ns=7 * S)) == 1
+
+    def test_privacy_of_subject(self):
+        # The event subject is a /24, never a host address.
+        detector = SynFloodDetector(min_syn_rate=100, prefix_bits=24)
+        rng = random.Random(6)
+        _flood(detector, 0, 2, 500, rng)
+        events = detector.finish(now_ns=3 * S)
+        assert events[0].subject.endswith("/24")
+        assert events[0].subject.split("/")[0].endswith(".0")
+
+    def test_distinct_targets_distinct_events(self):
+        detector = SynFloodDetector(min_syn_rate=400)
+        rng = random.Random(7)
+        for second in range(3):
+            for i in range(1000):
+                t = second * S + i * (S // 1000)
+                detector.on_packet(_packet(SYN, t, dst=0x14000001, rng=rng))
+                detector.on_packet(_packet(SYN, t + 1, dst=0x22000001, rng=rng))
+        events = detector.finish(now_ns=4 * S)
+        assert len(events) == 2
+        assert {e.subject for e in events} == {"20.0.0.0/24", "34.0.0.0/24"}

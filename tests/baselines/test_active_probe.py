@@ -1,0 +1,79 @@
+"""Active-probe baseline tests."""
+
+import pytest
+
+from repro.baselines.active_probe import (
+    ActiveProber,
+    detection_probability,
+    glitch_model,
+)
+
+NS_PER_S = 1_000_000_000
+NS_PER_MIN = 60 * NS_PER_S
+NS_PER_HOUR = 3600 * NS_PER_S
+
+
+class TestProbeSchedule:
+    def test_period_respected(self):
+        prober = ActiveProber(period_ns=NS_PER_MIN, seed=1)
+        times = prober.probe_times(0, NS_PER_HOUR)
+        assert 59 <= len(times) <= 61
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(gap == NS_PER_MIN for gap in gaps)  # zero jitter
+
+    def test_jitter_bounded(self):
+        prober = ActiveProber(period_ns=NS_PER_MIN, jitter_ns=5 * NS_PER_S, seed=2)
+        times = prober.probe_times(0, NS_PER_HOUR)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(50 * NS_PER_S <= gap <= 70 * NS_PER_S for gap in gaps)
+
+    def test_phase_varies_with_seed(self):
+        a = ActiveProber(period_ns=NS_PER_MIN, seed=1).probe_times(0, NS_PER_HOUR)
+        b = ActiveProber(period_ns=NS_PER_MIN, seed=2).probe_times(0, NS_PER_HOUR)
+        assert a[0] != b[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ActiveProber(period_ns=0)
+        with pytest.raises(ValueError):
+            ActiveProber(period_ns=10, jitter_ns=6)
+
+
+class TestGlitchVisibility:
+    def test_probe_inside_window_sees_glitch(self):
+        model = glitch_model(
+            baseline_ms=140.0,
+            glitch_start_ns=10 * NS_PER_MIN,
+            glitch_ns=NS_PER_MIN,
+            glitch_extra_ms=4000.0,
+        )
+        assert model(10 * NS_PER_MIN + 1) == pytest.approx(4140.0)
+        assert model(5 * NS_PER_MIN) == pytest.approx(140.0)
+
+    def test_sparse_prober_usually_misses_short_window(self):
+        """~60 s window, 15-min probe period: detection ≈ 1/15."""
+        window = NS_PER_MIN
+        period = 15 * NS_PER_MIN
+        probability = detection_probability(period, window, trials=800, seed=3)
+        assert probability < 0.15
+        assert probability == pytest.approx(window / period, abs=0.05)
+
+    def test_dense_prober_always_catches(self):
+        probability = detection_probability(
+            period_ns=30 * NS_PER_S, window_ns=NS_PER_MIN, trials=300, seed=4
+        )
+        assert probability == 1.0
+
+    def test_end_to_end_miss_example(self):
+        """A concrete night where the 1/15-min prober misses the
+        glitch entirely while its threshold alert stays silent."""
+        glitch_start = 3 * NS_PER_HOUR
+        model = glitch_model(140.0, glitch_start, NS_PER_MIN, 4000.0)
+        missed = 0
+        for seed in range(40):
+            prober = ActiveProber(period_ns=15 * NS_PER_MIN, seed=seed)
+            samples = prober.run(model, 0, 6 * NS_PER_HOUR)
+            if not prober.detects(samples, baseline_ms=140.0):
+                missed += 1
+        # The vast majority of phases miss the one-minute window.
+        assert missed >= 30

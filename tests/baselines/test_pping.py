@@ -1,0 +1,95 @@
+"""pping baseline tests."""
+
+import random
+
+from repro.baselines.pping import PpingEstimator
+from repro.core.pipeline import RuruPipeline
+from repro.net.parser import PacketParser
+from repro.traffic.flows import FlowSpec, FlowSynthesizer
+
+MS = 1_000_000
+
+
+def _flow_packets(internal=10.0, external=140.0, exchanges=3, seed=1):
+    spec = FlowSpec(
+        start_ns=0,
+        client_ip=0x0A000001, server_ip=0x14000001,
+        client_port=40000, server_port=443,
+        internal_rtt_ms=internal, external_rtt_ms=external,
+        server_delay_ms=0.5, client_delay_ms=0.2,
+        data_exchanges=exchanges,
+    )
+    packets = FlowSynthesizer(random.Random(seed)).synthesize(spec)
+    parser = PacketParser(extract_timestamps=True)
+    return spec, [parser.parse(p.data, p.timestamp_ns) for p in packets]
+
+
+class TestPpingEstimator:
+    def test_produces_samples(self):
+        _, parsed = _flow_packets()
+        estimator = PpingEstimator()
+        samples = estimator.run(parsed)
+        assert len(samples) >= 2
+
+    def test_rtt_magnitudes_match_path(self):
+        spec, parsed = _flow_packets(internal=10.0, external=140.0)
+        samples = PpingEstimator().run(parsed)
+        # Every sample is tap<->client (~internal) or tap<->server
+        # (~external), within scheduling noise.
+        for sample in samples:
+            near_internal = abs(sample.rtt_ms - 10.0) < 8.0
+            near_external = abs(sample.rtt_ms - 140.0) < 8.0
+            assert near_internal or near_external
+
+    def test_more_exchanges_more_samples_than_handshake_only(self):
+        _, short = _flow_packets(exchanges=0)
+        _, long = _flow_packets(exchanges=5)
+        short_samples = PpingEstimator().run(short)
+        long_samples = PpingEstimator().run(long)
+        assert len(long_samples) > len(short_samples)
+
+    def test_samples_per_flow(self):
+        _, parsed = _flow_packets()
+        estimator = PpingEstimator()
+        estimator.run(parsed)
+        counts = estimator.samples_per_flow()
+        assert len(counts) == 1
+        assert list(counts.values())[0] == len(estimator.samples)
+
+    def test_packets_without_timestamps_ignored(self):
+        from repro.net.parser import ParsedPacket
+
+        _, parsed = _flow_packets()
+        stripped = [
+            ParsedPacket(
+                src_ip=p.src_ip, dst_ip=p.dst_ip, src_port=p.src_port,
+                dst_port=p.dst_port, flags=p.flags, seq=p.seq, ack=p.ack,
+                payload_len=p.payload_len, timestamp_ns=p.timestamp_ns,
+            )
+            for p in parsed
+        ]
+        assert PpingEstimator().run(stripped) == []
+
+    def test_state_bounded(self):
+        _, parsed = _flow_packets(exchanges=2)
+        estimator = PpingEstimator(max_entries=2)
+        estimator.run(parsed)
+        assert len(estimator._first_seen) <= 2
+
+    def test_nonnegative_rtts(self):
+        _, parsed = _flow_packets()
+        for sample in PpingEstimator().run(parsed):
+            assert sample.rtt_ns >= 0
+
+
+class TestComparisonWithRuru:
+    def test_pping_denser_than_handshake_method(self, small_workload):
+        """E9's core claim: pping samples continuously, Ruru once per flow."""
+        _, packets = small_workload
+        parser = PacketParser(extract_timestamps=True)
+        parsed = [parser.parse(p.data, p.timestamp_ns) for p in packets]
+        pping_samples = len(PpingEstimator().run(parsed))
+
+        pipeline = RuruPipeline()
+        stats = pipeline.run_packets(packets)
+        assert pping_samples > stats.measurements

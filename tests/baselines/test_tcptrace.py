@@ -1,0 +1,95 @@
+"""tcptrace baseline tests."""
+
+import random
+
+from repro.baselines.tcptrace import TcptraceAnalyzer
+from repro.net.parser import PacketParser
+from repro.traffic.flows import FlowSpec, FlowSynthesizer
+
+MS = 1_000_000
+
+
+def _parsed_flow(seed=1, **overrides):
+    fields = dict(
+        start_ns=0,
+        client_ip=0x0A000001, server_ip=0x14000001,
+        client_port=40000, server_port=443,
+        internal_rtt_ms=10.0, external_rtt_ms=140.0,
+        server_delay_ms=0.0, client_delay_ms=0.0,
+        data_exchanges=2,
+    )
+    fields.update(overrides)
+    spec = FlowSpec(**fields)
+    parser = PacketParser()
+    packets = FlowSynthesizer(random.Random(seed)).synthesize(spec)
+    return spec, [parser.parse(p.data, p.timestamp_ns) for p in packets]
+
+
+class TestTcptraceAnalyzer:
+    def test_reconstructs_handshake_rtts(self):
+        spec, parsed = _parsed_flow()
+        report = TcptraceAnalyzer().run(parsed)[0]
+        assert report.handshake_complete
+        assert report.external_rtt_ns == spec.expected_external_ns()
+        assert report.internal_rtt_ns == spec.expected_internal_ns()
+        assert report.total_rtt_ns == spec.expected_total_ns()
+
+    def test_direction_accounting(self):
+        spec, parsed = _parsed_flow(data_exchanges=3, fin_close=False)
+        report = TcptraceAnalyzer().run(parsed)[0]
+        forward_first = (report.flow_key[0], report.flow_key[1]) == (
+            spec.client_ip, spec.client_port
+        )
+        client_dir = report.fwd if forward_first else report.rev
+        server_dir = report.rev if forward_first else report.fwd
+        assert client_dir.bytes == 3 * spec.request_bytes
+        assert server_dir.bytes == 3 * spec.response_bytes
+        assert report.total_packets == len(parsed)
+
+    def test_termination_fin(self):
+        _, parsed = _parsed_flow(fin_close=True)
+        assert TcptraceAnalyzer().run(parsed)[0].termination == "fin"
+
+    def test_termination_rst(self):
+        _, parsed = _parsed_flow(rst_after_synack=True)
+        assert TcptraceAnalyzer().run(parsed)[0].termination == "rst"
+
+    def test_termination_open(self):
+        _, parsed = _parsed_flow(fin_close=False)
+        assert TcptraceAnalyzer().run(parsed)[0].termination == "open"
+
+    def test_incomplete_handshake(self):
+        _, parsed = _parsed_flow(completes=False)
+        report = TcptraceAnalyzer().run(parsed)[0]
+        assert not report.handshake_complete
+        assert report.external_rtt_ns is None
+
+    def test_retransmission_detection(self):
+        _, parsed = _parsed_flow(data_exchanges=1, fin_close=False)
+        data = [p for p in parsed if p.payload_len > 0]
+        doubled = parsed + [data[0]]  # replay one data segment
+        report = TcptraceAnalyzer().run(doubled)[0]
+        assert report.fwd.retransmissions + report.rev.retransmissions == 1
+
+    def test_duration(self):
+        _, parsed = _parsed_flow()
+        report = TcptraceAnalyzer().run(parsed)[0]
+        assert report.duration_ns == parsed[-1].timestamp_ns - parsed[0].timestamp_ns
+
+    def test_multiple_flows_separated(self):
+        _, flow_a = _parsed_flow(seed=1, client_port=40000)
+        _, flow_b = _parsed_flow(seed=2, client_port=40001)
+        analyzer = TcptraceAnalyzer()
+        reports = analyzer.run(flow_a + flow_b)
+        assert len(reports) == 2
+
+    def test_summary(self, small_workload):
+        generator, packets = small_workload
+        parser = PacketParser()
+        analyzer = TcptraceAnalyzer()
+        for packet in packets:
+            analyzer.on_packet(parser.parse(packet.data, packet.timestamp_ns))
+        summary = analyzer.summary()
+        assert summary["flows"] == generator.flows_generated
+        assert summary["packets"] == len(packets)
+        assert summary["complete_handshakes"] <= summary["flows"]

@@ -1,0 +1,29 @@
+"""Pipeline configuration validation tests."""
+
+import pytest
+
+from repro.core.config import PipelineConfig
+
+
+class TestPipelineConfig:
+    def test_defaults_validate(self):
+        PipelineConfig().validate()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("num_queues", 0),
+            ("burst_size", 0),
+            ("flow_table_size", -1),
+            ("handshake_timeout_ns", 0),
+            ("max_latency_ns", -5),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        config = PipelineConfig(**{field: value})
+        with pytest.raises(ValueError):
+            config.validate()
+
+    def test_default_key_is_symmetric(self):
+        key = PipelineConfig().rss_key
+        assert all(key[i] == key[i % 2] for i in range(len(key)))

@@ -1,0 +1,70 @@
+"""Direction classification tests."""
+
+import pytest
+
+from repro.core.latency import Direction
+
+
+class TestClassify:
+    @pytest.mark.parametrize("src,dst,expected", [
+        ("NZ", "US", Direction.OUTBOUND),
+        ("US", "NZ", Direction.INBOUND),
+        ("NZ", "NZ", Direction.INTERNAL),
+        ("US", "JP", Direction.TRANSIT),
+    ])
+    def test_cases(self, src, dst, expected):
+        assert Direction.classify(src, dst, home_country="NZ") is expected
+
+    def test_home_country_parameter(self):
+        assert Direction.classify("US", "JP", home_country="US") is Direction.OUTBOUND
+
+    def test_values(self):
+        assert Direction.OUTBOUND.value == "outbound"
+        assert Direction.TRANSIT.value == "transit"
+
+
+class TestDirectionTagInService:
+    def test_tsdb_points_tagged_with_direction(self, geo_asn, small_workload):
+        from repro.analytics.service import AnalyticsService
+        from repro.core.pipeline import RuruPipeline
+        from repro.mq.socket import Context
+        from repro.tsdb.query import Query
+
+        geo, asn = geo_asn
+        _, packets = small_workload
+        service = AnalyticsService(Context(), geo, asn, home_country="NZ")
+        pipeline = RuruPipeline(sink=service.make_sink())
+        stats = pipeline.run_packets(packets)
+        service.finish()
+
+        directions = service.tsdb.tag_values("latency", "direction")
+        assert "outbound" in directions
+        # Direction slices partition the raw points.
+        total = 0
+        for direction in directions:
+            count = service.tsdb.query(Query(
+                "latency", "total_ms", "count",
+                tag_filters={"direction": [direction]},
+            )).scalar()
+            total += count
+        assert total == stats.measurements
+
+    def test_outbound_dominates_the_reannz_shape(self, geo_asn, small_workload):
+        """The population defaults to 80 % NZ-initiated flows."""
+        from repro.analytics.service import AnalyticsService
+        from repro.core.pipeline import RuruPipeline
+        from repro.mq.socket import Context
+        from repro.tsdb.query import Query
+
+        geo, asn = geo_asn
+        _, packets = small_workload
+        service = AnalyticsService(Context(), geo, asn)
+        pipeline = RuruPipeline(sink=service.make_sink())
+        stats = pipeline.run_packets(packets)
+        service.finish()
+
+        outbound = service.tsdb.query(Query(
+            "latency", "total_ms", "count",
+            tag_filters={"direction": ["outbound"]},
+        )).scalar()
+        assert outbound > 0.6 * stats.measurements

@@ -1,0 +1,273 @@
+"""Handshake tracker tests: Fig 1's arithmetic and every edge case."""
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.handshake import HandshakeTracker
+from repro.net.parser import ParsedPacket
+
+MS = 1_000_000
+
+CLIENT = (0x0A000001, 40000)
+SERVER = (0x14000001, 443)
+C_ISN = 1000
+S_ISN = 9000
+
+
+def pkt(direction, flags, t_ns, seq=0, ack=0, payload=0, src=None, dst=None):
+    """Build a ParsedPacket; direction 'c' = client->server."""
+    if direction == "c":
+        (src_ip, src_port), (dst_ip, dst_port) = CLIENT, SERVER
+    else:
+        (src_ip, src_port), (dst_ip, dst_port) = SERVER, CLIENT
+    if src:
+        src_ip, src_port = src
+    if dst:
+        dst_ip, dst_port = dst
+    return ParsedPacket(
+        src_ip=src_ip, dst_ip=dst_ip, src_port=src_port, dst_port=dst_port,
+        flags=flags, seq=seq, ack=ack, payload_len=payload, timestamp_ns=t_ns,
+    )
+
+
+SYN = 0x02
+SYNACK = 0x12
+ACK = 0x10
+RST = 0x04
+
+
+def handshake(t0=0, external=140 * MS, internal=10 * MS):
+    """The three canonical handshake packets."""
+    return [
+        pkt("c", SYN, t0, seq=C_ISN),
+        pkt("s", SYNACK, t0 + external, seq=S_ISN, ack=C_ISN + 1),
+        pkt("c", ACK, t0 + external + internal, seq=C_ISN + 1, ack=S_ISN + 1),
+    ]
+
+
+class TestFigureOne:
+    """The paper's latency calculation (Fig 1)."""
+
+    def test_basic_measurement(self):
+        tracker = HandshakeTracker()
+        record = None
+        for packet in handshake(t0=5 * MS):
+            record = tracker.process(packet) or record
+        assert record is not None
+        assert record.external_ns == 140 * MS
+        assert record.internal_ns == 10 * MS
+        assert record.total_ns == 150 * MS
+        assert record.src_ip == CLIENT[0]
+        assert record.dst_ip == SERVER[0]
+        assert tracker.stats.measurements == 1
+
+    def test_timestamps_recorded(self):
+        tracker = HandshakeTracker()
+        record = None
+        for packet in handshake(t0=1_000 * MS):
+            record = tracker.process(packet) or record
+        assert record.syn_ns == 1_000 * MS
+        assert record.synack_ns == 1_140 * MS
+        assert record.ack_ns == 1_150 * MS
+
+    @pytest.mark.parametrize("external,internal", [
+        (1 * MS, 1 * MS),
+        (300 * MS, 80 * MS),
+        (4000 * MS, 12 * MS),  # the firewall-glitch magnitude
+    ])
+    def test_latency_sweep(self, external, internal):
+        tracker = HandshakeTracker()
+        record = None
+        for packet in handshake(external=external, internal=internal):
+            record = tracker.process(packet) or record
+        assert record.external_ns == external
+        assert record.internal_ns == internal
+
+    def test_entry_removed_after_completion(self):
+        tracker = HandshakeTracker()
+        for packet in handshake():
+            tracker.process(packet)
+        assert len(tracker.table) == 0
+
+    def test_sink_receives_record(self):
+        got = []
+        tracker = HandshakeTracker(sink=got.append)
+        for packet in handshake():
+            tracker.process(packet)
+        assert len(got) == 1
+        assert tracker.pending == []
+
+    def test_pending_drain_without_sink(self):
+        tracker = HandshakeTracker()
+        for packet in handshake():
+            tracker.process(packet)
+        assert len(tracker.drain()) == 1
+        assert tracker.drain() == []
+
+
+class TestRetransmissions:
+    def test_syn_retransmit_keeps_first_timestamp(self):
+        tracker = HandshakeTracker()
+        syn, synack, ack = handshake(t0=0, external=100 * MS, internal=10 * MS)
+        tracker.process(syn)
+        tracker.process(pkt("c", SYN, 50 * MS, seq=C_ISN))  # retransmit
+        tracker.process(synack)
+        record = tracker.process(ack)
+        assert record.external_ns == 100 * MS  # from the FIRST SYN
+        assert tracker.stats.syn_retransmits == 1
+
+    def test_synack_retransmit_keeps_first_timestamp(self):
+        tracker = HandshakeTracker()
+        syn, synack, ack = handshake(external=100 * MS, internal=50 * MS)
+        tracker.process(syn)
+        tracker.process(synack)
+        tracker.process(pkt("s", SYNACK, 130 * MS, seq=S_ISN, ack=C_ISN + 1))
+        record = tracker.process(ack)
+        assert record.external_ns == 100 * MS
+        assert record.internal_ns == 50 * MS
+        assert tracker.stats.synack_retransmits == 1
+
+
+class TestStrayTraffic:
+    def test_orphan_synack_counted(self):
+        tracker = HandshakeTracker()
+        _, synack, _ = handshake()
+        tracker.process(synack)
+        assert tracker.stats.orphan_synack == 1
+        assert len(tracker.table) == 0
+
+    def test_data_acks_are_stray(self):
+        tracker = HandshakeTracker()
+        for packet in handshake():
+            tracker.process(packet)
+        # Post-handshake data ACKs find no entry.
+        tracker.process(pkt("c", ACK, 200 * MS, seq=C_ISN + 100, ack=S_ISN + 100))
+        assert tracker.stats.stray_ack == 1
+        assert tracker.stats.measurements == 1
+
+    def test_ack_before_synack_is_stray(self):
+        tracker = HandshakeTracker()
+        syn, _, ack = handshake()
+        tracker.process(syn)
+        tracker.process(ack)  # SYN-ACK never seen
+        assert tracker.stats.stray_ack == 1
+        assert tracker.stats.measurements == 0
+
+    def test_ack_from_wrong_side_rejected(self):
+        tracker = HandshakeTracker()
+        syn, synack, _ = handshake()
+        tracker.process(syn)
+        tracker.process(synack)
+        # An ACK from the *server* side must not complete the handshake.
+        tracker.process(pkt("s", ACK, 160 * MS, seq=S_ISN + 1, ack=C_ISN + 1))
+        assert tracker.stats.measurements == 0
+
+    def test_synack_from_wrong_side_rejected(self):
+        tracker = HandshakeTracker()
+        syn, _, _ = handshake()
+        tracker.process(syn)
+        tracker.process(pkt("c", SYNACK, 10 * MS, seq=77, ack=C_ISN + 1))
+        assert tracker.stats.seq_mismatch == 1
+
+
+class TestSequenceValidation:
+    def test_synack_with_wrong_ack_rejected(self):
+        tracker = HandshakeTracker()
+        syn, _, _ = handshake()
+        tracker.process(syn)
+        tracker.process(pkt("s", SYNACK, 100 * MS, seq=S_ISN, ack=C_ISN + 999))
+        assert tracker.stats.seq_mismatch == 1
+        assert tracker.stats.measurements == 0
+
+    def test_ack_with_wrong_numbers_rejected(self):
+        tracker = HandshakeTracker()
+        syn, synack, _ = handshake()
+        tracker.process(syn)
+        tracker.process(synack)
+        tracker.process(pkt("c", ACK, 150 * MS, seq=C_ISN + 2, ack=S_ISN + 1))
+        assert tracker.stats.seq_mismatch == 1
+
+    def test_lenient_mode_accepts_mismatched_numbers(self):
+        config = PipelineConfig(strict_sequence_check=False)
+        tracker = HandshakeTracker(config=config)
+        syn, synack, _ = handshake()
+        tracker.process(syn)
+        tracker.process(synack)
+        record = tracker.process(pkt("c", ACK, 150 * MS, seq=12345, ack=67890))
+        assert record is not None
+
+    def test_sequence_wraparound(self):
+        tracker = HandshakeTracker()
+        isn = (1 << 32) - 1  # SYN consumes the last sequence number
+        tracker.process(pkt("c", SYN, 0, seq=isn))
+        tracker.process(pkt("s", SYNACK, 100 * MS, seq=500, ack=0))
+        record = tracker.process(pkt("c", ACK, 110 * MS, seq=0, ack=501))
+        assert record is not None
+        assert record.external_ns == 100 * MS
+
+
+class TestResets:
+    def test_rst_aborts_tracking(self):
+        tracker = HandshakeTracker()
+        syn, synack, ack = handshake()
+        tracker.process(syn)
+        tracker.process(synack)
+        tracker.process(pkt("c", RST | ACK, 145 * MS, seq=C_ISN + 1))
+        assert tracker.stats.resets == 1
+        tracker.process(ack)
+        assert tracker.stats.measurements == 0
+
+    def test_rst_on_untracked_flow_ignored(self):
+        tracker = HandshakeTracker()
+        tracker.process(pkt("c", RST, 0))
+        assert tracker.stats.resets == 0
+
+
+class TestTupleReuse:
+    def test_swapped_role_reuse_restarts_tracking(self):
+        tracker = HandshakeTracker()
+        tracker.process(pkt("c", SYN, 0, seq=C_ISN))
+        # Same 4-tuple, but now the old server initiates.
+        tracker.process(pkt("s", SYN, 10 * MS, seq=5555))
+        entry = next(iter(tracker.table.entries()))[1]
+        assert entry.orig_ip == SERVER[0]
+        assert entry.syn_seq == 5555
+
+
+class TestSanityCap:
+    def test_over_cap_latency_discarded(self):
+        config = PipelineConfig(max_latency_ns=1_000 * MS)
+        tracker = HandshakeTracker(config=config)
+        for packet in handshake(external=5_000 * MS, internal=1 * MS):
+            tracker.process(packet)
+        assert tracker.stats.invalid_latency == 1
+        assert tracker.stats.measurements == 0
+
+
+class TestSweep:
+    def test_timeout_expires_half_open(self):
+        config = PipelineConfig(
+            handshake_timeout_ns=1_000 * MS, sweep_interval_ns=100 * MS
+        )
+        tracker = HandshakeTracker(config=config)
+        tracker.process(pkt("c", SYN, 0, seq=C_ISN))
+        assert len(tracker.table) == 1
+        removed = tracker.maybe_sweep(now_ns=2_000 * MS)
+        assert removed == 1
+        assert len(tracker.table) == 0
+
+    def test_sweep_respects_interval(self):
+        config = PipelineConfig(sweep_interval_ns=1_000 * MS)
+        tracker = HandshakeTracker(config=config)
+        tracker.maybe_sweep(now_ns=500 * MS)
+        tracker.process(pkt("c", SYN, 0, seq=C_ISN))
+        # Within the interval of the first sweep: no-op.
+        assert tracker.maybe_sweep(now_ns=900 * MS) == 0
+
+
+class TestPayloadIgnored:
+    def test_syn_with_payload_still_tracked(self):
+        # TCP Fast Open SYNs can carry data.
+        tracker = HandshakeTracker()
+        tracker.process(pkt("c", SYN, 0, seq=C_ISN, payload=100))
+        assert len(tracker.table) == 1

@@ -1,0 +1,119 @@
+"""End-to-end pipeline tests (Fig 2 wiring)."""
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import RuruPipeline
+from repro.net.pcap import PcapWriter
+from tests.conftest import make_handshake
+
+MS = 1_000_000
+
+
+class TestSingleFlow:
+    def test_one_handshake_one_measurement(self):
+        pipeline = RuruPipeline(config=PipelineConfig(num_queues=4))
+        stats = pipeline.run_packets(make_handshake(external_ns=120 * MS, internal_ns=8 * MS))
+        assert stats.measurements == 1
+        record = pipeline.measurements[0]
+        assert record.external_ns == 120 * MS
+        assert record.internal_ns == 8 * MS
+
+    def test_clock_follows_packets(self):
+        pipeline = RuruPipeline()
+        pipeline.run_packets(make_handshake(syn_ns=5 * MS))
+        assert pipeline.clock.now_ns >= 5 * MS
+
+
+class TestWorkload:
+    def test_synthetic_workload_measures_completed_flows(self, small_workload):
+        generator, packets = small_workload
+        pipeline = RuruPipeline(config=PipelineConfig(num_queues=4))
+        stats = pipeline.run_packets(packets)
+        completing = [
+            spec for spec in generator.specs
+            if spec.completes and not spec.rst_after_synack
+        ]
+        assert stats.measurements == len(completing)
+        assert stats.nic_drops == 0
+        assert stats.parse_errors == 0
+
+    def test_measurements_match_ground_truth(self, small_workload):
+        generator, packets = small_workload
+        pipeline = RuruPipeline(config=PipelineConfig(num_queues=2))
+        pipeline.run_packets(packets)
+        # Index ground truth by (client, port) pair.
+        truth = {
+            (spec.client_ip, spec.client_port): spec
+            for spec in generator.specs
+        }
+        checked = 0
+        for record in pipeline.measurements:
+            spec = truth.get((record.src_ip, record.src_port))
+            if spec is None:
+                continue
+            assert abs(record.external_ns - spec.expected_external_ns()) <= MS
+            assert abs(record.internal_ns - spec.expected_internal_ns()) <= MS
+            checked += 1
+        assert checked == len(pipeline.measurements)
+
+    def test_queue_count_does_not_change_results(self, small_workload):
+        _, packets = small_workload
+        totals = []
+        for queues in (1, 2, 8):
+            pipeline = RuruPipeline(config=PipelineConfig(num_queues=queues))
+            pipeline.run_packets(packets)
+            totals.append(
+                sorted(record.total_ns for record in pipeline.measurements)
+            )
+        assert totals[0] == totals[1] == totals[2]
+
+    def test_queue_balance_spreads_load(self, small_workload):
+        _, packets = small_workload
+        pipeline = RuruPipeline(config=PipelineConfig(num_queues=4))
+        pipeline.run_packets(packets)
+        balance = pipeline.queue_balance()
+        assert len(balance) == 4
+        assert all(share > 0.05 for share in balance)
+
+    def test_flow_table_occupancy_reported(self, small_workload):
+        _, packets = small_workload
+        pipeline = RuruPipeline(config=PipelineConfig(num_queues=4))
+        pipeline.run_packets(packets)
+        occupancy = pipeline.flow_table_occupancy()
+        assert len(occupancy) == 4
+        # Only never-completed handshakes stay resident.
+        assert all(count < 50 for count in occupancy)
+
+
+class TestSink:
+    def test_custom_sink_receives_stream(self, small_workload):
+        _, packets = small_workload
+        got = []
+        pipeline = RuruPipeline(sink=got.append)
+        stats = pipeline.run_packets(packets)
+        assert len(got) == stats.measurements
+        assert pipeline.measurements == []  # collected by the sink instead
+
+
+class TestPcapReplay:
+    def test_run_pcap(self, tmp_path, small_workload):
+        _, packets = small_workload
+        path = tmp_path / "trace.pcap"
+        with PcapWriter(path) as writer:
+            for packet in packets:
+                writer.write(packet)
+        pipeline = RuruPipeline()
+        stats = pipeline.run_pcap(path)
+        assert stats.measurements > 0
+        assert stats.packets_offered == len(packets)
+
+
+class TestValidation:
+    def test_bad_feed_batch_rejected(self):
+        with pytest.raises(ValueError):
+            RuruPipeline(feed_batch=0)
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            RuruPipeline(config=PipelineConfig(num_queues=0))

@@ -1,0 +1,34 @@
+"""Stats container tests."""
+
+from repro.core.stats import PipelineStats, TrackerStats
+
+
+class TestTrackerStats:
+    def test_merge_accumulates_all_fields(self):
+        a = TrackerStats(packets=10, syn=2, measurements=1)
+        b = TrackerStats(packets=5, syn=1, stray_ack=7)
+        a.merge(b)
+        assert a.packets == 15
+        assert a.syn == 3
+        assert a.measurements == 1
+        assert a.stray_ack == 7
+
+
+class TestPipelineStats:
+    def test_parse_error_buckets(self):
+        stats = PipelineStats()
+        stats.record_parse_error("not-tcp")
+        stats.record_parse_error("not-tcp")
+        stats.record_parse_error("truncated")
+        assert stats.parse_errors == 3
+        assert stats.parse_error_reasons == {"not-tcp": 2, "truncated": 1}
+
+    def test_summary_keys(self):
+        summary = PipelineStats().summary()
+        for key in ("packets_offered", "measurements", "nic_drops", "stray_ack"):
+            assert key in summary
+
+    def test_measurements_proxies_tracker(self):
+        stats = PipelineStats()
+        stats.tracker.measurements = 42
+        assert stats.measurements == 42

@@ -1,0 +1,39 @@
+"""Virtual clock tests."""
+
+import pytest
+
+from repro.dpdk.clock import VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now_ns == 0
+
+    def test_custom_start(self):
+        assert VirtualClock(start_ns=500).now_ns == 500
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock(start_ns=-1)
+
+    def test_advance(self):
+        clock = VirtualClock()
+        assert clock.advance(100) == 100
+        assert clock.advance(50) == 150
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1)
+
+    def test_advance_to_never_rewinds(self):
+        clock = VirtualClock(start_ns=1000)
+        clock.advance_to(500)
+        assert clock.now_ns == 1000
+        clock.advance_to(2000)
+        assert clock.now_ns == 2000
+
+    def test_unit_conversions(self):
+        clock = VirtualClock(start_ns=1_500_000_000)
+        assert clock.now_s == 1.5
+        assert clock.now_ms == 1500.0
+        assert clock.now_us == 1_500_000.0

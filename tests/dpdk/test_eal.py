@@ -1,0 +1,49 @@
+"""EAL scheduler tests."""
+
+import pytest
+
+from repro.dpdk.eal import Eal
+
+
+class TestEal:
+    def test_launch_assigns_ids(self):
+        eal = Eal()
+        a = eal.launch(lambda: 0, role="rx")
+        b = eal.launch(lambda: 0, role="tx")
+        assert (a.lcore_id, b.lcore_id) == (0, 1)
+        assert a.role == "rx"
+
+    def test_step_all_sums_work(self):
+        eal = Eal()
+        eal.launch(lambda: 3)
+        eal.launch(lambda: 4)
+        assert eal.step_all() == 7
+
+    def test_run_until_idle_drains_workload(self):
+        work = [5, 3, 0, 0, 0]
+        state = {"i": 0}
+
+        def poll():
+            index = min(state["i"], len(work) - 1)
+            state["i"] += 1
+            return work[index]
+
+        eal = Eal()
+        eal.launch(poll)
+        rounds = eal.run_until_idle(idle_rounds=2)
+        assert rounds >= 4
+
+    def test_run_until_idle_raises_on_livelock(self):
+        eal = Eal()
+        eal.launch(lambda: 1)  # never goes idle
+        with pytest.raises(RuntimeError):
+            eal.run_until_idle(max_rounds=10)
+
+    def test_stats_track_work_and_idle(self):
+        eal = Eal()
+        values = iter([2, 0, 0])
+        eal.launch(lambda: next(values, 0))
+        eal.run_until_idle(idle_rounds=2)
+        stats = eal.stats()[0]
+        assert stats["work_done"] == 2
+        assert stats["idle_polls"] >= 2

@@ -1,0 +1,104 @@
+"""Simulated NIC tests."""
+
+from repro.dpdk.mbuf import MbufPool
+from repro.dpdk.nic import NicPort
+from repro.dpdk.rss import DEFAULT_RSS_KEY
+from repro.net.packet import Packet, build_tcp_packet
+from repro.net.tcp import TCP_FLAG_ACK, TCP_FLAG_SYN
+
+
+def _flow_packets(src, dst, sport, dport):
+    """A SYN one way plus an ACK the other way."""
+    return [
+        build_tcp_packet(src, dst, sport, dport, TCP_FLAG_SYN, timestamp_ns=1),
+        build_tcp_packet(dst, src, dport, sport, TCP_FLAG_ACK, timestamp_ns=2),
+    ]
+
+
+class TestClassification:
+    def test_both_directions_same_queue(self):
+        nic = NicPort(num_queues=8)
+        for i in range(50):
+            syn, ack = _flow_packets(1000 + i, 2000 + i, 10000 + i, 443)
+            nic.receive(syn)
+            nic.receive(ack)
+            syn_mbuf = None
+            for queue in nic.queues:
+                for mbuf in queue.rx_burst(64):
+                    if syn_mbuf is None:
+                        syn_mbuf = mbuf
+                    else:
+                        assert mbuf.queue_id == syn_mbuf.queue_id
+                        assert mbuf.rss_hash == syn_mbuf.rss_hash
+
+    def test_asymmetric_key_splits_directions(self):
+        nic = NicPort(num_queues=8, rss_key=DEFAULT_RSS_KEY)
+        split = 0
+        for i in range(50):
+            syn, ack = _flow_packets(3_000_000 + i, 9_000_000 + i, 20000 + i, 443)
+            nic.receive(syn)
+            nic.receive(ack)
+            queues = [
+                mbuf.queue_id
+                for queue in nic.queues
+                for mbuf in queue.rx_burst(64)
+            ]
+            if len(set(queues)) > 1:
+                split += 1
+        assert split > 30  # the ablation premise: asymmetric keys split flows
+
+    def test_non_ip_goes_to_queue_zero(self):
+        nic = NicPort(num_queues=4)
+        arp = Packet(data=b"\xff" * 12 + b"\x08\x06" + b"\x00" * 28, timestamp_ns=5)
+        assert nic.receive(arp)
+        assert len(nic.queues[0]) == 1
+
+    def test_rx_metadata(self):
+        nic = NicPort(num_queues=2)
+        packet = build_tcp_packet(7, 8, 9, 10, TCP_FLAG_SYN, timestamp_ns=1234)
+        nic.receive(packet)
+        mbuf = next(m for q in nic.queues for m in q.rx_burst(4))
+        assert mbuf.timestamp_ns == 1234
+        assert mbuf.data == packet.data
+
+
+class TestDrops:
+    def test_pool_exhaustion_counts_misses(self):
+        nic = NicPort(num_queues=1, mbuf_pool=MbufPool(size=2))
+        packets = [build_tcp_packet(1, 2, i, 443, TCP_FLAG_SYN) for i in range(5)]
+        accepted = nic.receive_burst(packets)
+        assert accepted == 2
+        assert nic.stats.imissed == 3
+
+    def test_ring_overflow_counts_misses_and_frees_mbuf(self):
+        pool = MbufPool(size=100)
+        nic = NicPort(num_queues=1, mbuf_pool=pool, queue_capacity=4)
+        packets = [build_tcp_packet(1, 2, i, 443, TCP_FLAG_SYN) for i in range(10)]
+        accepted = nic.receive_burst(packets)
+        assert accepted == 4
+        assert nic.stats.imissed == 6
+        # Mbufs of dropped frames must be returned to the pool.
+        assert pool.in_use == 4
+
+
+class TestStats:
+    def test_counters_and_balance(self):
+        nic = NicPort(num_queues=4)
+        packets = [
+            build_tcp_packet(100 + i, 200 + i, 3000 + i, 443, TCP_FLAG_SYN)
+            for i in range(400)
+        ]
+        nic.receive_burst(packets)
+        assert nic.stats.ipackets == 400
+        assert nic.stats.ibytes == sum(len(p.data) for p in packets)
+        balance = nic.stats.queue_balance()
+        assert abs(sum(balance) - 1.0) < 1e-9
+        assert all(share > 0.1 for share in balance)
+
+    def test_pending(self):
+        nic = NicPort(num_queues=2)
+        nic.receive(build_tcp_packet(1, 2, 3, 4, TCP_FLAG_SYN))
+        assert nic.pending() == 1
+        for queue in nic.queues:
+            queue.rx_burst(8)
+        assert nic.pending() == 0

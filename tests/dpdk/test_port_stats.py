@@ -1,0 +1,41 @@
+"""Port statistics tests."""
+
+from repro.dpdk.port_stats import PortStats
+
+
+class TestPortStats:
+    def test_record_rx(self):
+        stats = PortStats()
+        stats.record_rx(0, 100)
+        stats.record_rx(1, 60)
+        stats.record_rx(1, 40)
+        assert stats.ipackets == 3
+        assert stats.ibytes == 200
+        assert stats.q_ipackets == {0: 1, 1: 2}
+
+    def test_misses_and_errors(self):
+        stats = PortStats()
+        stats.record_miss()
+        stats.record_error()
+        stats.record_error()
+        assert stats.imissed == 1
+        assert stats.ierrors == 2
+
+    def test_queue_balance(self):
+        stats = PortStats()
+        for _ in range(3):
+            stats.record_rx(0, 10)
+        stats.record_rx(1, 10)
+        assert stats.queue_balance() == [0.75, 0.25]
+
+    def test_balance_empty(self):
+        assert PortStats().queue_balance() == []
+
+    def test_reset(self):
+        stats = PortStats()
+        stats.record_rx(0, 10)
+        stats.record_miss()
+        stats.reset()
+        assert stats.ipackets == 0
+        assert stats.imissed == 0
+        assert stats.q_ipackets == {}

@@ -1,0 +1,68 @@
+"""Ring buffer tests."""
+
+import pytest
+
+from repro.dpdk.ring import Ring, RingEmpty, RingFull
+
+
+class TestRing:
+    def test_fifo_order(self):
+        ring = Ring(capacity=4)
+        for item in "abcd":
+            ring.enqueue(item)
+        assert [ring.dequeue() for _ in range(4)] == list("abcd")
+
+    def test_full_raises_and_counts(self):
+        ring = Ring(capacity=1)
+        ring.enqueue(1)
+        with pytest.raises(RingFull):
+            ring.enqueue(2)
+        assert ring.drops == 1
+
+    def test_empty_raises(self):
+        with pytest.raises(RingEmpty):
+            Ring(capacity=1).dequeue()
+
+    def test_burst_enqueue_partial(self):
+        ring = Ring(capacity=3)
+        accepted = ring.enqueue_burst(range(10))
+        assert accepted == 3
+        assert ring.drops == 7
+        assert len(ring) == 3
+
+    def test_burst_dequeue(self):
+        ring = Ring(capacity=10)
+        ring.enqueue_burst(range(5))
+        assert ring.dequeue_burst(3) == [0, 1, 2]
+        assert ring.dequeue_burst(10) == [3, 4]
+        assert ring.dequeue_burst(1) == []
+
+    def test_burst_dequeue_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Ring(capacity=1).dequeue_burst(-1)
+
+    def test_high_watermark(self):
+        ring = Ring(capacity=10)
+        ring.enqueue_burst(range(7))
+        ring.dequeue_burst(5)
+        ring.enqueue_burst(range(2))
+        assert ring.high_watermark == 7
+
+    def test_state_properties(self):
+        ring = Ring(capacity=2)
+        assert ring.is_empty and not ring.is_full
+        ring.enqueue(1)
+        assert ring.free_space == 1
+        ring.enqueue(2)
+        assert ring.is_full
+
+    def test_counters(self):
+        ring = Ring(capacity=100)
+        ring.enqueue_burst(range(30))
+        ring.dequeue_burst(12)
+        assert ring.enqueued == 30
+        assert ring.dequeued == 12
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Ring(capacity=0)

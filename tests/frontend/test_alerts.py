@@ -1,0 +1,101 @@
+"""Alert channel tests."""
+
+from repro.anomaly.events import AnomalyEvent, Severity
+from repro.frontend.alerts import AlertChannel
+
+
+def _event(kind="latency-spike", severity=Severity.CRITICAL, start_ns=5_000_000_000):
+    return AnomalyEvent(
+        kind=kind, start_ns=start_ns, severity=severity,
+        description="latency 4000 ms vs baseline 190 ms",
+        subject="NZ->US",
+        evidence={"observed_ms": 4000.123456},
+    )
+
+
+class TestAlertChannel:
+    def test_publish_serializes_event(self):
+        alerts = AlertChannel()
+        alerts.publish(_event())
+        messages = alerts.unacknowledged()
+        assert len(messages) == 1
+        message = messages[0]
+        assert message["type"] == "alert"
+        assert message["kind"] == "latency-spike"
+        assert message["severity"] == "critical"
+        assert message["color"].startswith("#")
+        assert message["subject"] == "NZ->US"
+        assert message["start_ms"] == 5000
+        assert message["ongoing"] is True
+        assert message["evidence"]["observed_ms"] == 4000.123
+
+    def test_history_and_counter(self):
+        alerts = AlertChannel()
+        for _ in range(3):
+            alerts.publish(_event())
+        assert alerts.published == 3
+        assert len(alerts.history) == 3
+
+    def test_worst_active(self):
+        alerts = AlertChannel()
+        warning = _event(kind="connection-surge", severity=Severity.WARNING)
+        critical = _event(kind="syn-flood", severity=Severity.CRITICAL)
+        closed = _event(kind="latency-spike", severity=Severity.CRITICAL)
+        closed.close(6_000_000_000)
+        for event in (warning, critical, closed):
+            alerts.publish(event)
+        assert alerts.worst_active() is critical
+
+    def test_worst_active_none_when_all_closed(self):
+        alerts = AlertChannel()
+        event = _event()
+        event.close(6_000_000_000)
+        alerts.publish(event)
+        assert alerts.worst_active() is None
+
+    def test_alert_storm_rate_limited(self):
+        alerts = AlertChannel(burst=5, refill_per_s=1.0)
+        # 50 events in the same instant: only the burst goes out.
+        for i in range(50):
+            alerts.publish(_event(start_ns=1_000_000_000))
+        assert alerts.published == 5
+        assert alerts.suppressed == 45
+        assert len(alerts.history) == 50  # nothing lost, only unpushed
+
+    def test_tokens_refill_over_time(self):
+        alerts = AlertChannel(burst=2, refill_per_s=1.0)
+        alerts.publish(_event(start_ns=0))
+        alerts.publish(_event(start_ns=0))
+        alerts.publish(_event(start_ns=0))  # bucket empty
+        assert alerts.suppressed == 1
+        # Three virtual seconds later, tokens are back.
+        alerts.publish(_event(start_ns=3_000_000_000))
+        assert alerts.published == 3
+
+    def test_rate_limit_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            AlertChannel(burst=0)
+        with pytest.raises(ValueError):
+            AlertChannel(refill_per_s=0)
+
+    def test_integration_with_manager(self):
+        """The channel is a drop-in alert_sink for the manager."""
+        import random
+
+        from repro.anomaly.manager import AnomalyManager
+        from tests.anomaly.test_latency_spike import _measurement
+
+        S = 1_000_000_000
+        alerts = AlertChannel()
+        manager = AnomalyManager(alert_sink=alerts.publish)
+        rng = random.Random(1)
+        for i in range(60):
+            manager.observe_measurement(
+                _measurement(i * S, 150 + rng.uniform(-10, 10))
+            )
+        for i in range(5):
+            manager.observe_measurement(_measurement((60 + i) * S, 4200.0))
+        assert alerts.published >= 1
+        assert alerts.unacknowledged()[0]["kind"] == "latency-spike"

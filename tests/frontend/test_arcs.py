@@ -1,0 +1,100 @@
+"""Arc model and colour scale tests."""
+
+import math
+
+import pytest
+
+from repro.analytics.enricher import EnrichedMeasurement
+from repro.frontend.arcs import Arc, LatencyColorScale, great_circle_points
+
+
+def _measurement(total_ms=130.0):
+    total_ns = int(total_ms * 1e6)
+    return EnrichedMeasurement(
+        timestamp_ns=0, internal_ns=total_ns // 10,
+        external_ns=total_ns - total_ns // 10,
+        src_country="NZ", src_city="Auckland", src_lat=-36.85, src_lon=174.76,
+        src_asn=1, dst_country="US", dst_city="Los Angeles",
+        dst_lat=34.05, dst_lon=-118.24, dst_asn=2,
+    )
+
+
+class TestColorScale:
+    def test_traffic_light_bands(self):
+        scale = LatencyColorScale(warn_ms=200, alarm_ms=400)
+        assert scale.color_for(130) == "green"
+        assert scale.color_for(250) == "yellow"
+        assert scale.color_for(4130) == "red"
+
+    def test_boundaries(self):
+        scale = LatencyColorScale(warn_ms=200, alarm_ms=400)
+        assert scale.color_for(199.999) == "green"
+        assert scale.color_for(200.0) == "yellow"
+        assert scale.color_for(400.0) == "red"
+
+    def test_rgba_alpha(self):
+        scale = LatencyColorScale()
+        for latency in (10, 300, 1000):
+            r, g, b, a = scale.rgba_for(latency)
+            assert 0 <= r <= 255 and 0 <= g <= 255 and 0 <= b <= 255
+            assert 0 < a <= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyColorScale(warn_ms=400, alarm_ms=200)
+        with pytest.raises(ValueError):
+            LatencyColorScale(warn_ms=0, alarm_ms=100)
+
+
+class TestGreatCircle:
+    def test_endpoints_exact(self):
+        points = great_circle_points(-36.85, 174.76, 34.05, -118.24, segments=8)
+        assert len(points) == 9
+        assert points[0] == pytest.approx((-36.85, 174.76), abs=1e-6)
+        assert points[-1] == pytest.approx((34.05, -118.24), abs=1e-6)
+
+    def test_coincident_points(self):
+        points = great_circle_points(10, 20, 10, 20, segments=4)
+        assert all(p == (10, 20) for p in points)
+
+    def test_points_on_sphere(self):
+        points = great_circle_points(0, 0, 45, 90, segments=16)
+        for lat, lon in points:
+            assert -90 <= lat <= 90
+            assert -180 <= lon <= 180
+
+    def test_equator_path_stays_on_equator(self):
+        points = great_circle_points(0, 0, 0, 90, segments=10)
+        for lat, _lon in points:
+            assert abs(lat) < 1e-9
+
+    def test_midpoint_of_meridian(self):
+        points = great_circle_points(0, 0, 90, 0, segments=2)
+        assert points[1][0] == pytest.approx(45.0, abs=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            great_circle_points(0, 0, 1, 1, segments=0)
+
+
+class TestArc:
+    def test_from_measurement(self):
+        scale = LatencyColorScale()
+        arc = Arc.from_measurement(_measurement(130.0), scale, born_ns=42)
+        assert arc.color == "green"
+        assert arc.total_ms == 130.0
+        assert arc.src_label == "Auckland"
+        assert arc.born_ns == 42
+        # Auckland-LA is ~10,480 km; apex at 15 %.
+        assert 1400 < arc.height_km < 1700
+
+    def test_red_arc_for_glitch_latency(self):
+        arc = Arc.from_measurement(_measurement(4130.0), LatencyColorScale(), 0)
+        assert arc.color == "red"
+
+    def test_json_shape(self):
+        arc = Arc.from_measurement(_measurement(), LatencyColorScale(), 0)
+        data = arc.to_json()
+        assert set(data) == {"src", "dst", "color", "ms", "h", "from", "to"}
+        assert data["from"] == "Auckland"
+        assert isinstance(data["src"], list) and len(data["src"]) == 2

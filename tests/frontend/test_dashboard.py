@@ -1,0 +1,94 @@
+"""Dashboard tests."""
+
+from repro.frontend.dashboard import Dashboard, Panel, build_ruru_dashboard
+from repro.tsdb.database import TimeSeriesDatabase
+from repro.tsdb.point import Point
+from repro.tsdb.query import Query
+
+S = 1_000_000_000
+
+
+def _db():
+    db = TimeSeriesDatabase()
+    for i in range(10):
+        db.write(Point(
+            "latency", i * S,
+            tags={"src_country": "NZ", "dst_country": "US"},
+            fields={"total_ms": 100.0 + i},
+        ))
+    db.write(Point(
+        "latency_by_location", 0,
+        tags={"src_city": "Auckland", "dst_city": "Los Angeles"},
+        fields={"connections": 42.0},
+    ))
+    return db
+
+
+class TestPanel:
+    def test_render_executes_query(self):
+        panel = Panel("mean", Query("latency", "total_ms", "mean"))
+        result = panel.render(_db())
+        assert result.title == "mean"
+        assert list(result.groups.values())[0][0][1] == 104.5
+
+    def test_render_overrides_time_range(self):
+        panel = Panel("count", Query("latency", "total_ms", "count"))
+        result = panel.render(_db(), start_ns=0, end_ns=5 * S)
+        assert list(result.groups.values())[0][0][1] == 5.0
+
+    def test_render_does_not_mutate_template(self):
+        panel = Panel("count", Query("latency", "total_ms", "count"))
+        panel.render(_db(), start_ns=3 * S)
+        assert panel.query.start_ns is None
+
+    def test_series_labels_and_latest(self):
+        panel = Panel(
+            "mean", Query("latency", "total_ms", "mean",
+                          group_by_tags=["dst_country"], group_by_time_ns=S),
+        )
+        result = panel.render(_db())
+        assert result.series_labels() == ["dst_country=US"]
+        assert result.latest() == {"dst_country=US": 109.0}
+
+
+class TestDashboard:
+    def test_render_all_panels(self):
+        dashboard = Dashboard("test")
+        dashboard.add_panel(Panel("a", Query("latency", "total_ms", "min")))
+        dashboard.add_panel(Panel("b", Query("latency", "total_ms", "max")))
+        results = dashboard.render(_db())
+        assert [r.title for r in results] == ["a", "b"]
+
+
+class TestRuruDashboard:
+    def test_contains_paper_statistics(self):
+        dashboard = build_ruru_dashboard()
+        titles = [panel.title for panel in dashboard.panels]
+        for stat in ("min", "max", "median", "mean"):
+            assert any(title.startswith(stat) for title in titles)
+
+    def test_renders_against_populated_db(self):
+        dashboard = build_ruru_dashboard(interval_ns=5 * S)
+        results = dashboard.render(_db())
+        mean_panel = next(r for r in results if r.title.startswith("mean"))
+        rows = mean_panel.groups[
+            (("dst_country", "US"), ("src_country", "NZ"))
+        ]
+        assert len(rows) == 2  # two 5s windows over 10s of data
+
+    def test_country_filters(self):
+        dashboard = build_ruru_dashboard(src_country="NZ", dst_country="US")
+        for panel in dashboard.panels:
+            if panel.query.measurement == "latency":
+                assert panel.query.tag_filters == {
+                    "src_country": ["NZ"], "dst_country": ["US"]
+                }
+
+    def test_connections_panel_reads_rollups(self):
+        dashboard = build_ruru_dashboard()
+        connections = next(
+            panel for panel in dashboard.panels
+            if panel.query.measurement == "latency_by_location"
+        )
+        result = connections.render(_db())
+        assert not result.groups == {}

@@ -1,0 +1,48 @@
+"""Grafana export tests."""
+
+import json
+
+from repro.frontend.dashboard import build_ruru_dashboard
+from repro.frontend.grafana import export_grafana_json
+from repro.tsdb.ql import parse_query
+
+
+class TestGrafanaExport:
+    def test_valid_json_with_core_fields(self):
+        dashboard = build_ruru_dashboard()
+        model = json.loads(export_grafana_json(dashboard))
+        assert model["title"] == dashboard.title
+        assert model["schemaVersion"] == 16
+        assert len(model["panels"]) == len(dashboard.panels)
+
+    def test_panel_targets_are_parseable_influxql(self):
+        """The exported query text must round-trip through our parser."""
+        dashboard = build_ruru_dashboard(
+            interval_ns=10 * 1_000_000_000, src_country="NZ"
+        )
+        model = json.loads(export_grafana_json(dashboard))
+        for grafana_panel, panel in zip(model["panels"], dashboard.panels):
+            text = grafana_panel["targets"][0]["query"]
+            reparsed = parse_query(text)
+            assert reparsed.measurement == panel.query.measurement
+            assert reparsed.aggregator == panel.query.aggregator
+            assert reparsed.tag_filters == panel.query.tag_filters
+            assert reparsed.group_by_time_ns == panel.query.group_by_time_ns
+
+    def test_grid_layout_no_overlap(self):
+        dashboard = build_ruru_dashboard()
+        model = json.loads(export_grafana_json(dashboard))
+        positions = {
+            (p["gridPos"]["x"], p["gridPos"]["y"]) for p in model["panels"]
+        }
+        assert len(positions) == len(model["panels"])
+
+    def test_panel_ids_unique(self):
+        model = json.loads(export_grafana_json(build_ruru_dashboard()))
+        ids = [p["id"] for p in model["panels"]]
+        assert len(ids) == len(set(ids))
+
+    def test_units_mapped(self):
+        model = json.loads(export_grafana_json(build_ruru_dashboard()))
+        latency_panel = model["panels"][0]
+        assert latency_panel["yaxes"][0]["format"] == "ms"

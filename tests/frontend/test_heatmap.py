@@ -1,0 +1,124 @@
+"""Heatmap panel tests."""
+
+import pytest
+
+from repro.frontend.heatmap import Heatmap, LatencyBuckets, render_heatmap
+from repro.tsdb.database import TimeSeriesDatabase
+from repro.tsdb.point import Point
+
+S = 1_000_000_000
+
+
+class TestLatencyBuckets:
+    def test_clamping(self):
+        buckets = LatencyBuckets(minimum_ms=1, maximum_ms=1000, count=10)
+        assert buckets.index_of(0.001) == 0
+        assert buckets.index_of(99999.0) == 9
+
+    def test_log_spacing_monotone(self):
+        buckets = LatencyBuckets(minimum_ms=1, maximum_ms=10000, count=20)
+        last = -1
+        for value in (1, 3, 10, 30, 100, 300, 1000, 3000, 9999):
+            index = buckets.index_of(float(value))
+            assert index >= last
+            last = index
+
+    def test_edges_cover_range(self):
+        buckets = LatencyBuckets(minimum_ms=1, maximum_ms=100, count=4)
+        edges = buckets.edges()
+        assert len(edges) == 5
+        assert edges[0] == pytest.approx(1.0)
+        assert edges[-1] == pytest.approx(100.0)
+
+    def test_value_falls_within_its_bucket_edges(self):
+        buckets = LatencyBuckets(minimum_ms=1, maximum_ms=10000, count=20)
+        edges = buckets.edges()
+        for value in (2.5, 17.0, 140.0, 4000.0):
+            index = buckets.index_of(value)
+            assert edges[index] <= value <= edges[index + 1] * 1.0001
+
+    def test_labels(self):
+        buckets = LatencyBuckets(minimum_ms=1, maximum_ms=100, count=2)
+        assert buckets.label(0) == "1-10ms"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyBuckets(minimum_ms=0)
+        with pytest.raises(ValueError):
+            LatencyBuckets(minimum_ms=10, maximum_ms=5)
+        with pytest.raises(ValueError):
+            LatencyBuckets(count=1)
+
+
+class TestHeatmap:
+    def test_windowing(self):
+        heatmap = Heatmap(buckets=LatencyBuckets(), window_ns=10 * S)
+        heatmap.add(1 * S, 100.0)
+        heatmap.add(9 * S, 100.0)
+        heatmap.add(11 * S, 100.0)
+        assert heatmap.windows() == [0, 10 * S]
+        assert heatmap.total == 3
+
+    def test_hottest_bucket(self):
+        buckets = LatencyBuckets(minimum_ms=1, maximum_ms=10000, count=10)
+        heatmap = Heatmap(buckets=buckets, window_ns=S)
+        for _ in range(5):
+            heatmap.add(0, 150.0)
+        heatmap.add(0, 4000.0)
+        assert heatmap.hottest_bucket(0) == buckets.index_of(150.0)
+        assert heatmap.hottest_bucket(99 * S) is None
+
+    def test_column_tracks_band(self):
+        buckets = LatencyBuckets(minimum_ms=1, maximum_ms=10000, count=10)
+        heatmap = Heatmap(buckets=buckets, window_ns=S)
+        glitch_bucket = buckets.index_of(4000.0)
+        heatmap.add(0, 150.0)
+        heatmap.add(1 * S, 4000.0)
+        heatmap.add(2 * S, 150.0)
+        assert heatmap.column(glitch_bucket) == [0, 1, 0]
+
+    def test_ascii_rendering(self):
+        heatmap = Heatmap(buckets=LatencyBuckets(count=4), window_ns=S)
+        heatmap.add(0, 100.0)
+        text = heatmap.ascii()
+        assert "|" in text
+        assert len(text.splitlines()) == 4
+        assert Heatmap(buckets=LatencyBuckets(), window_ns=S).ascii() == (
+            "(empty heatmap)"
+        )
+
+
+class TestRenderFromTsdb:
+    def _db(self):
+        db = TimeSeriesDatabase()
+        for i in range(30):
+            # Steady 150 ms band, one 4000 ms glitch window at t=10-20s.
+            value = 4000.0 if 10 <= i < 20 else 150.0
+            db.write(Point(
+                "latency", i * S,
+                tags={"src_country": "NZ"},
+                fields={"total_ms": value},
+            ))
+        return db
+
+    def test_glitch_band_visible(self):
+        heatmap = render_heatmap(self._db(), window_ns=10 * S)
+        glitch_bucket = heatmap.buckets.index_of(4000.0)
+        normal_bucket = heatmap.buckets.index_of(150.0)
+        assert heatmap.column(glitch_bucket) == [0, 10, 0]
+        assert heatmap.column(normal_bucket) == [10, 0, 10]
+
+    def test_tag_filters_respected(self):
+        db = self._db()
+        db.write(Point("latency", 0, tags={"src_country": "US"},
+                       fields={"total_ms": 150.0}))
+        filtered = render_heatmap(
+            db, window_ns=10 * S, tag_filters={"src_country": ["US"]}
+        )
+        assert filtered.total == 1
+
+    def test_time_range_respected(self):
+        heatmap = render_heatmap(
+            self._db(), window_ns=10 * S, start_ns=10 * S, end_ns=20 * S
+        )
+        assert heatmap.total == 10

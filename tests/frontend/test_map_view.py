@@ -1,0 +1,122 @@
+"""Live map state machine tests: 30 fps batching and arc budgets."""
+
+import pytest
+
+from repro.frontend.map_view import LiveMapView
+from repro.frontend.websocket import WebSocketChannel
+from tests.frontend.test_arcs import _measurement
+
+S = 1_000_000_000
+MS = 1_000_000
+
+
+class TestFrameBatching:
+    def test_tick_respects_fps(self):
+        view = LiveMapView(fps=30)
+        frame_interval = S // 30
+        assert view.tick(0) is not None  # first frame always emits
+        assert view.tick(frame_interval // 2) is None
+        assert view.tick(frame_interval) is not None
+
+    def test_at_most_fps_frames_per_second(self):
+        view = LiveMapView(fps=30)
+        frames = 0
+        # Tick every millisecond of one virtual second.
+        for ms in range(1000):
+            view.add_measurement(_measurement(), ms * MS)
+            if view.tick(ms * MS):
+                frames += 1
+        assert frames <= 31
+
+    def test_frame_carries_pending_arcs(self):
+        view = LiveMapView(fps=30)
+        for _ in range(5):
+            view.add_measurement(_measurement(), 0)
+        frame = view.flush_frame(0)
+        assert len(frame.arcs) == 5
+        assert frame.active_arcs == 5
+
+    def test_frame_indexes_increment(self):
+        view = LiveMapView()
+        first = view.flush_frame(0)
+        second = view.flush_frame(S)
+        assert (first.frame_index, second.frame_index) == (0, 1)
+
+
+class TestArcLifecycle:
+    def test_arcs_expire_after_ttl(self):
+        view = LiveMapView(arc_ttl_s=2.0)
+        view.add_measurement(_measurement(), 0)
+        view.flush_frame(0)
+        assert view.active_arc_count == 1
+        view.flush_frame(3 * S)
+        assert view.active_arc_count == 0
+
+    def test_color_histogram(self):
+        view = LiveMapView()
+        view.add_measurement(_measurement(total_ms=100), 0)   # green
+        view.add_measurement(_measurement(total_ms=300), 0)   # yellow
+        view.add_measurement(_measurement(total_ms=4200), 0)  # red
+        view.flush_frame(0)
+        assert view.color_histogram() == {"green": 1, "yellow": 1, "red": 1}
+
+
+class TestBusiestPairs:
+    def test_tracks_top_pairs(self):
+        view = LiveMapView(max_arcs_per_frame=10_000)
+        for _ in range(10):
+            view.add_measurement(_measurement(), 0)
+        pairs = view.busiest_pairs(3)
+        assert pairs[0] == (("Auckland", "Los Angeles"), 10)
+
+    def test_counts_even_budget_dropped_arcs(self):
+        # Heavy-hitter stats must reflect offered load, not drawn load.
+        view = LiveMapView(max_arcs_per_frame=2)
+        for _ in range(10):
+            view.add_measurement(_measurement(), 0)
+        assert view.busiest_pairs(1)[0][1] == 10
+
+
+class TestOverload:
+    def test_per_frame_budget_drops_overflow(self):
+        view = LiveMapView(max_arcs_per_frame=10)
+        for _ in range(25):
+            view.add_measurement(_measurement(), 0)
+        frame = view.flush_frame(0)
+        assert len(frame.arcs) == 10
+        assert view.arcs_dropped == 15
+        assert frame.dropped_arcs == 15
+
+    def test_budget_resets_each_frame(self):
+        view = LiveMapView(max_arcs_per_frame=5)
+        for _ in range(5):
+            view.add_measurement(_measurement(), 0)
+        view.flush_frame(0)
+        view.add_measurement(_measurement(), S)
+        assert view.arcs_dropped == 0
+
+
+class TestChannelIntegration:
+    def test_frames_serialized_to_websocket(self):
+        channel = WebSocketChannel()
+        view = LiveMapView(channel=channel)
+        view.add_measurement(_measurement(), 0)
+        view.flush_frame(0)
+        message = channel.client_recv_json()
+        assert message["frame"] == 0
+        assert len(message["arcs"]) == 1
+        assert message["arcs"][0]["from"] == "Auckland"
+
+    def test_no_channel_keeps_frames(self):
+        view = LiveMapView()
+        view.flush_frame(0)
+        assert len(view.frames) == 1
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        dict(fps=0), dict(arc_ttl_s=0), dict(max_arcs_per_frame=0),
+    ])
+    def test_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            LiveMapView(**kwargs)

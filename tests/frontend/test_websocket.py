@@ -1,0 +1,122 @@
+"""WebSocket framing and channel tests."""
+
+import pytest
+
+from repro.frontend.websocket import (
+    OP_BINARY,
+    OP_CLOSE,
+    OP_PING,
+    OP_TEXT,
+    WebSocketChannel,
+    WebSocketError,
+    decode_frame,
+    encode_frame,
+)
+
+
+class TestFraming:
+    def test_small_payload_roundtrip(self):
+        frame = encode_frame(OP_TEXT, b"hello")
+        opcode, payload, fin, consumed = decode_frame(frame)
+        assert opcode == OP_TEXT
+        assert payload == b"hello"
+        assert fin
+        assert consumed == len(frame)
+
+    def test_16bit_length(self):
+        payload = b"x" * 500
+        frame = encode_frame(OP_BINARY, payload)
+        assert frame[1] & 0x7F == 126
+        assert decode_frame(frame)[1] == payload
+
+    def test_64bit_length(self):
+        payload = b"y" * 70000
+        frame = encode_frame(OP_BINARY, payload)
+        assert frame[1] & 0x7F == 127
+        assert decode_frame(frame)[1] == payload
+
+    def test_masked_roundtrip(self):
+        frame = encode_frame(OP_TEXT, b"client data", mask=b"\x01\x02\x03\x04")
+        assert frame[1] & 0x80
+        opcode, payload, _, _ = decode_frame(frame)
+        assert payload == b"client data"
+
+    def test_masking_obscures_wire_bytes(self):
+        plain = encode_frame(OP_TEXT, b"secret")
+        masked = encode_frame(OP_TEXT, b"secret", mask=b"\xaa\xbb\xcc\xdd")
+        assert b"secret" in plain
+        assert b"secret" not in masked
+
+    def test_fragmented_fin_flag(self):
+        frame = encode_frame(OP_TEXT, b"part", fin=False)
+        assert not decode_frame(frame)[2]
+
+    def test_control_frame_rules(self):
+        with pytest.raises(WebSocketError):
+            encode_frame(OP_PING, b"z" * 126)
+        with pytest.raises(WebSocketError):
+            encode_frame(OP_CLOSE, b"x", fin=False)
+
+    def test_bad_mask_length(self):
+        with pytest.raises(WebSocketError):
+            encode_frame(OP_TEXT, b"x", mask=b"\x01")
+
+    def test_unknown_opcode(self):
+        with pytest.raises(WebSocketError):
+            encode_frame(0x5, b"")
+        with pytest.raises(WebSocketError):
+            decode_frame(bytes([0x85, 0x00]))
+
+    def test_incomplete_frames_rejected(self):
+        frame = encode_frame(OP_TEXT, b"hello world")
+        for cut in (0, 1, len(frame) - 1):
+            with pytest.raises(WebSocketError):
+                decode_frame(frame[:cut])
+
+    def test_reserved_bits_rejected(self):
+        frame = bytearray(encode_frame(OP_TEXT, b"x"))
+        frame[0] |= 0x40
+        with pytest.raises(WebSocketError):
+            decode_frame(bytes(frame))
+
+
+class TestChannel:
+    def test_text_roundtrip(self):
+        channel = WebSocketChannel()
+        channel.server_send_text("map update")
+        assert channel.client_recv_text() == "map update"
+
+    def test_json_roundtrip(self):
+        channel = WebSocketChannel()
+        channel.server_send_json({"arcs": [1, 2], "t": 5})
+        assert channel.client_recv_json() == {"arcs": [1, 2], "t": 5}
+
+    def test_fifo_order(self):
+        channel = WebSocketChannel()
+        for i in range(5):
+            channel.server_send_json({"i": i})
+        received = channel.client_recv_all_json()
+        assert [m["i"] for m in received] == list(range(5))
+
+    def test_byte_accounting(self):
+        channel = WebSocketChannel()
+        sent = channel.server_send_text("abc")
+        assert channel.bytes_to_client == sent
+        assert channel.messages_to_client == 1
+
+    def test_close_handshake(self):
+        channel = WebSocketChannel()
+        channel.server_close(code=1001, reason="going away")
+        assert not channel.open
+        assert channel.client_recv_text() is None
+        assert channel.close_frame.code == 1001
+        assert channel.close_frame.reason == "going away"
+
+    def test_send_after_close_rejected(self):
+        channel = WebSocketChannel()
+        channel.server_close()
+        with pytest.raises(WebSocketError):
+            channel.server_send_text("too late")
+
+    def test_recv_empty(self):
+        assert WebSocketChannel().client_recv_text() is None

@@ -1,0 +1,40 @@
+"""AS database tests."""
+
+from repro.geo.asn import AsnDatabase, AsRecord
+from repro.net.addresses import ip_to_int
+
+
+class TestAsnDatabase:
+    def test_lookup_basic(self):
+        db = AsnDatabase()
+        db.add_prefix(ip_to_int("10.0.0.0"), 8, AsRecord(64500, "TestNet"))
+        result = db.lookup(ip_to_int("10.20.30.40"))
+        assert result.asn == 64500
+        assert result.name == "TestNet"
+
+    def test_more_specific_announcement_wins(self):
+        db = AsnDatabase()
+        db.add_prefix(ip_to_int("10.0.0.0"), 8, AsRecord(100, "wide"))
+        db.add_prefix(ip_to_int("10.5.0.0"), 16, AsRecord(200, "narrow"))
+        assert db.lookup(ip_to_int("10.5.1.1")).asn == 200
+        assert db.lookup(ip_to_int("10.6.1.1")).asn == 100
+
+    def test_unannounced_misses(self):
+        db = AsnDatabase()
+        db.add_prefix(ip_to_int("10.0.0.0"), 8, AsRecord(1, "x"))
+        assert db.lookup(ip_to_int("11.0.0.1")) is None
+        assert db.misses == 1
+        assert db.hit_rate == 0.0
+
+    def test_hit_rate(self):
+        db = AsnDatabase()
+        db.add_prefix(0, 1, AsRecord(1, "half-the-internet"))
+        db.lookup(10)          # hit (top bit 0)
+        db.lookup(1 << 31)     # miss
+        assert db.hit_rate == 0.5
+
+    def test_len(self):
+        db = AsnDatabase()
+        db.add_prefix(ip_to_int("10.0.0.0"), 8, AsRecord(1, "a"))
+        db.add_prefix(ip_to_int("11.0.0.0"), 8, AsRecord(2, "b"))
+        assert len(db) == 2

@@ -1,0 +1,99 @@
+"""Synthetic geo plan and builder tests."""
+
+import random
+
+import pytest
+
+from repro.geo.builder import GeoDbBuilder, SyntheticGeoPlan
+from repro.geo.locations import WORLD_CITIES
+
+
+class TestSyntheticGeoPlan:
+    def test_blocks_are_disjoint_per_city(self, plan):
+        starts = {plan.block_start(i) for i in range(len(plan.cities))}
+        assert len(starts) == len(plan.cities)
+        for i in range(len(plan.cities) - 1):
+            assert plan.block_end(i) < plan.block_start(i + 1)
+
+    def test_city_of_ground_truth(self, plan):
+        rng = random.Random(1)
+        for index in (0, 5, len(plan.cities) - 1):
+            host = plan.random_host(index, rng)
+            assert plan.city_of(host) is plan.cities[index]
+
+    def test_city_of_outside_plan(self, plan):
+        assert plan.city_of(plan.block_start(0) - 1) is None
+        assert plan.city_of(plan.block_end(len(plan.cities) - 1) + 1) is None
+
+    def test_asn_ground_truth_carveout(self, plan):
+        start = plan.block_start(3)
+        assert plan.asn_of(start + 0x1000) == plan.incumbent_asn(3)
+        assert plan.asn_of(start + 0xC000) == plan.carveout_asn(3)
+        assert plan.asn_of(start + 0xFFFF) == plan.carveout_asn(3)
+
+    def test_city_index(self, plan):
+        assert plan.cities[plan.city_index("Auckland")].name == "Auckland"
+        with pytest.raises(KeyError):
+            plan.city_index("Atlantis")
+
+    def test_random_host_stays_in_block(self, plan):
+        rng = random.Random(2)
+        for _ in range(100):
+            host = plan.random_host(7, rng)
+            assert plan.block_start(7) < host < plan.block_end(7)
+
+    def test_misaligned_base_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticGeoPlan(base_network="20.0.1.0")
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticGeoPlan(cities=WORLD_CITIES, base_network="255.240.0.0")
+
+
+class TestGeoDbBuilder:
+    def test_perfect_accuracy_resolves_everything(self, plan):
+        geo, asn = GeoDbBuilder(plan=plan, country_accuracy=1.0).build()
+        rng = random.Random(3)
+        for index, city in enumerate(plan.cities):
+            host = plan.random_host(index, rng)
+            geo_record = geo.lookup(host)
+            assert geo_record is not None
+            assert geo_record.country_code == city.country_code
+            assert geo_record.city == city.name
+            as_record = asn.lookup(host)
+            assert as_record is not None
+            assert as_record.asn == plan.asn_of(host)
+
+    def test_accuracy_knob_mislabels_fraction(self, plan):
+        builder = GeoDbBuilder(plan=plan, country_accuracy=0.9, ranges_per_city=16)
+        builder.build_geo()
+        total_rows = len(plan.cities) * 16
+        observed = builder.mislabelled_rows / total_rows
+        assert 0.04 < observed < 0.18  # binomial noise around 0.10
+
+    def test_measured_country_accuracy_near_knob(self, plan):
+        geo = GeoDbBuilder(plan=plan, country_accuracy=0.98, seed=5).build_geo()
+        rng = random.Random(6)
+        correct = total = 0
+        for _ in range(3000):
+            index = rng.randrange(len(plan.cities))
+            host = plan.random_host(index, rng)
+            result = geo.lookup(host)
+            total += 1
+            if result and result.country_code == plan.cities[index].country_code:
+                correct += 1
+        assert 0.95 < correct / total <= 1.0
+
+    def test_deterministic_by_seed(self, plan):
+        a = GeoDbBuilder(plan=plan, country_accuracy=0.9, seed=11)
+        b = GeoDbBuilder(plan=plan, country_accuracy=0.9, seed=11)
+        a.build_geo()
+        b.build_geo()
+        assert a.mislabelled_rows == b.mislabelled_rows
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GeoDbBuilder(country_accuracy=1.5)
+        with pytest.raises(ValueError):
+            GeoDbBuilder(ranges_per_city=7)  # does not divide 65536

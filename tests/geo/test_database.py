@@ -1,0 +1,76 @@
+"""Range-based geo database tests."""
+
+import pytest
+
+from repro.geo.database import GeoDatabase, GeoRecord, RangeOverlapError
+from repro.net.addresses import ip_to_int
+
+
+def record(city="Auckland", country="NZ"):
+    return GeoRecord(
+        country_code=country, country="New Zealand", city=city,
+        lat=-36.8, lon=174.7,
+    )
+
+
+class TestGeoDatabase:
+    def test_lookup_within_range(self):
+        db = GeoDatabase()
+        db.add_range(ip_to_int("1.0.0.0"), ip_to_int("1.0.0.255"), record())
+        assert db.lookup(ip_to_int("1.0.0.128")).city == "Auckland"
+
+    def test_lookup_boundaries_inclusive(self):
+        db = GeoDatabase()
+        first, last = ip_to_int("5.0.0.0"), ip_to_int("5.0.255.255")
+        db.add_range(first, last, record())
+        assert db.lookup(first) is not None
+        assert db.lookup(last) is not None
+        assert db.lookup(first - 1) is None
+        assert db.lookup(last + 1) is None
+
+    def test_multiple_ranges_routed_correctly(self):
+        db = GeoDatabase()
+        db.add_range(100, 199, record("A"))
+        db.add_range(300, 399, record("B"))
+        db.add_range(200, 299, record("C"))  # out-of-order insert
+        assert db.lookup(150).city == "A"
+        assert db.lookup(250).city == "C"
+        assert db.lookup(350).city == "B"
+
+    def test_gap_misses(self):
+        db = GeoDatabase()
+        db.add_range(100, 199, record("A"))
+        db.add_range(300, 399, record("B"))
+        assert db.lookup(250) is None
+        assert db.misses == 1
+
+    def test_overlap_detected_at_freeze(self):
+        db = GeoDatabase()
+        db.add_range(100, 200, record("A"))
+        db.add_range(150, 250, record("B"))
+        with pytest.raises(RangeOverlapError):
+            db.freeze()
+
+    def test_inverted_range_rejected(self):
+        db = GeoDatabase()
+        with pytest.raises(ValueError):
+            db.add_range(200, 100, record())
+
+    def test_add_after_freeze_rejected(self):
+        db = GeoDatabase()
+        db.add_range(1, 2, record())
+        db.freeze()
+        with pytest.raises(RuntimeError):
+            db.add_range(3, 4, record())
+
+    def test_hit_rate(self):
+        db = GeoDatabase()
+        db.add_range(0, 9, record())
+        db.lookup(5)
+        db.lookup(100)
+        assert db.hit_rate == 0.5
+
+    def test_empty_database(self):
+        db = GeoDatabase()
+        assert db.lookup(42) is None
+        assert len(db) == 0

@@ -1,0 +1,36 @@
+"""City catalog tests."""
+
+from repro.geo.locations import WORLD_CITIES, cities_in_country, city_by_name
+
+
+class TestCatalog:
+    def test_deployment_cities_present(self):
+        # The paper's deployment endpoints must exist.
+        for name in ("Auckland", "Los Angeles", "Wellington"):
+            assert city_by_name(name) is not None
+
+    def test_lookup_case_insensitive(self):
+        assert city_by_name("auckland").name == "Auckland"
+        assert city_by_name("LOS ANGELES").name == "Los Angeles"
+
+    def test_unknown_city(self):
+        assert city_by_name("Gotham") is None
+
+    def test_coordinates_in_range(self):
+        for city in WORLD_CITIES:
+            assert -90 <= city.lat <= 90
+            assert -180 <= city.lon <= 180
+
+    def test_names_unique(self):
+        names = [city.name for city in WORLD_CITIES]
+        assert len(names) == len(set(names))
+
+    def test_cities_in_country(self):
+        nz = cities_in_country("nz")
+        assert len(nz) >= 5
+        assert all(city.country_code == "NZ" for city in nz)
+
+    def test_auckland_coordinates(self):
+        auckland = city_by_name("Auckland")
+        assert abs(auckland.lat - (-36.8485)) < 0.01
+        assert abs(auckland.lon - 174.7633) < 0.01

@@ -1,0 +1,103 @@
+"""Radix trie LPM tests."""
+
+import random
+
+import pytest
+
+from repro.geo.trie import RadixTrie
+from repro.net.addresses import ip_to_int
+
+
+class TestRadixTrie:
+    def test_exact_and_lpm(self):
+        trie = RadixTrie(width=32)
+        trie.insert(ip_to_int("10.0.0.0"), 8, "ten-eight")
+        trie.insert(ip_to_int("10.1.0.0"), 16, "ten-one")
+        assert trie.lookup(ip_to_int("10.1.2.3")) == "ten-one"
+        assert trie.lookup(ip_to_int("10.9.9.9")) == "ten-eight"
+        assert trie.lookup(ip_to_int("11.0.0.1")) is None
+
+    def test_more_specific_wins(self):
+        trie = RadixTrie(width=32)
+        trie.insert(ip_to_int("192.168.0.0"), 16, "wide")
+        trie.insert(ip_to_int("192.168.1.0"), 24, "narrow")
+        trie.insert(ip_to_int("192.168.1.128"), 25, "narrowest")
+        assert trie.lookup(ip_to_int("192.168.1.200")) == "narrowest"
+        assert trie.lookup(ip_to_int("192.168.1.1")) == "narrow"
+        assert trie.lookup(ip_to_int("192.168.2.1")) == "wide"
+
+    def test_default_route(self):
+        trie = RadixTrie(width=32)
+        trie.insert(0, 0, "default")
+        assert trie.lookup(random.Random(1).getrandbits(32)) == "default"
+
+    def test_host_route(self):
+        trie = RadixTrie(width=32)
+        address = ip_to_int("8.8.8.8")
+        trie.insert(address, 32, "host")
+        assert trie.lookup(address) == "host"
+        assert trie.lookup(address + 1) is None
+
+    def test_replace_value(self):
+        trie = RadixTrie(width=32)
+        trie.insert(ip_to_int("1.0.0.0"), 8, "old")
+        trie.insert(ip_to_int("1.0.0.0"), 8, "new")
+        assert trie.lookup(ip_to_int("1.2.3.4")) == "new"
+        assert len(trie) == 1
+
+    def test_lookup_exact(self):
+        trie = RadixTrie(width=32)
+        trie.insert(ip_to_int("10.0.0.0"), 8, "v")
+        assert trie.lookup_exact(ip_to_int("10.0.0.0"), 8) == "v"
+        assert trie.lookup_exact(ip_to_int("10.0.0.0"), 16) is None
+
+    def test_items_enumerates_all(self):
+        trie = RadixTrie(width=32)
+        entries = [
+            (ip_to_int("10.0.0.0"), 8, "a"),
+            (ip_to_int("10.128.0.0"), 9, "b"),
+            (ip_to_int("172.16.0.0"), 12, "c"),
+        ]
+        for prefix, length, value in entries:
+            trie.insert(prefix, length, value)
+        assert sorted(trie.items()) == sorted(entries)
+
+    def test_ipv6_width(self):
+        trie = RadixTrie(width=128)
+        prefix = 0x20010DB8 << 96
+        trie.insert(prefix, 32, "doc")
+        assert trie.lookup(prefix | 0xFFFF) == "doc"
+
+    def test_validation(self):
+        trie = RadixTrie(width=32)
+        with pytest.raises(ValueError):
+            trie.insert(ip_to_int("10.0.0.1"), 8, "x")  # host bits set
+        with pytest.raises(ValueError):
+            trie.insert(0, 33, "x")
+        with pytest.raises(ValueError):
+            trie.insert(1 << 32, 32, "x")
+        with pytest.raises(ValueError):
+            trie.lookup(1 << 32)
+
+    def test_matches_naive_lpm(self):
+        rng = random.Random(42)
+        trie = RadixTrie(width=32)
+        unique = {}
+        for _ in range(200):
+            length = rng.randint(4, 28)
+            prefix = rng.getrandbits(32) >> (32 - length) << (32 - length)
+            unique[(prefix, length)] = f"p{len(unique)}"
+        table = [(p, l, v) for (p, l), v in unique.items()]
+        for prefix, length, value in table:
+            trie.insert(prefix, length, value)
+
+        def naive(address):
+            best, best_len = None, -1
+            for prefix, length, value in table:
+                if length > best_len and (address >> (32 - length) << (32 - length)) == prefix:
+                    best, best_len = value, length
+            return best
+
+        for _ in range(500):
+            address = rng.getrandbits(32)
+            assert trie.lookup(address) == naive(address)

@@ -1,0 +1,53 @@
+"""Forwarder device tests."""
+
+from repro.mq.broker import Forwarder
+from repro.mq.frames import Message
+from repro.mq.socket import Context
+
+
+def _wired(message_filter=None):
+    context = Context()
+    upstream_sub = context.sub()
+    upstream_sub.subscribe(b"")
+    upstream_sub.bind("inproc://in")
+    source = context.pub()
+    source.connect("inproc://in")
+
+    downstream_sub = context.sub()
+    downstream_sub.subscribe(b"")
+    downstream_sub.bind("inproc://out")
+    downstream_pub = context.pub()
+    downstream_pub.connect("inproc://out")
+
+    forwarder = Forwarder(upstream_sub, downstream_pub, message_filter=message_filter)
+    return source, forwarder, downstream_sub
+
+
+class TestForwarder:
+    def test_forwards_everything_by_default(self):
+        source, forwarder, sink = _wired()
+        for i in range(5):
+            source.send(Message.with_topic(b"t", str(i).encode()))
+        assert forwarder.poll() == 5
+        assert len(sink) == 5
+        assert forwarder.forwarded == 5
+
+    def test_filter_drops_and_counts(self):
+        keep_even = lambda m: int(m.payload[0]) % 2 == 0
+        source, forwarder, sink = _wired(message_filter=keep_even)
+        for i in range(6):
+            source.send(Message.with_topic(b"t", str(i).encode()))
+        forwarder.poll()
+        assert len(sink) == 3
+        assert forwarder.filtered == 3
+
+    def test_poll_respects_max(self):
+        source, forwarder, sink = _wired()
+        for i in range(10):
+            source.send(Message.with_topic(b"t", b"x"))
+        assert forwarder.poll(max_messages=4) == 4
+        assert len(sink) == 4
+
+    def test_poll_empty_returns_zero(self):
+        _, forwarder, _ = _wired()
+        assert forwarder.poll() == 0

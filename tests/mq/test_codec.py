@@ -1,0 +1,119 @@
+"""Wire codec tests."""
+
+import pytest
+
+from repro.analytics.enricher import EnrichedMeasurement
+from repro.core.latency import LatencyRecord
+from repro.mq.codec import (
+    CodecError,
+    decode_enriched,
+    decode_latency_record,
+    encode_enriched,
+    encode_latency_record,
+)
+from repro.net.addresses import ip_to_int, ipv6_to_int
+
+
+def _record(**overrides):
+    fields = dict(
+        src_ip=ip_to_int("10.1.2.3"),
+        dst_ip=ip_to_int("20.4.5.6"),
+        src_port=40000,
+        dst_port=443,
+        internal_ns=10_000_000,
+        external_ns=140_000_000,
+        syn_ns=1_000_000_000,
+        synack_ns=1_140_000_000,
+        ack_ns=1_150_000_000,
+        queue_id=3,
+        rss_hash=0xDEADBEEF,
+    )
+    fields.update(overrides)
+    return LatencyRecord(**fields)
+
+
+def _enriched():
+    return EnrichedMeasurement(
+        timestamp_ns=123456789,
+        internal_ns=5_000_000,
+        external_ns=130_000_000,
+        src_country="NZ", src_city="Auckland",
+        src_lat=-36.8485, src_lon=174.7633, src_asn=64500,
+        dst_country="US", dst_city="Los Angeles",
+        dst_lat=34.0522, dst_lon=-118.2437, dst_asn=64532,
+    )
+
+
+class TestLatencyCodec:
+    def test_ipv4_roundtrip(self):
+        record = _record()
+        assert decode_latency_record(encode_latency_record(record)) == record
+
+    def test_ipv6_roundtrip(self):
+        record = _record(
+            src_ip=ipv6_to_int("2001:db8::1"),
+            dst_ip=ipv6_to_int("2001:db8::99"),
+            is_ipv6=True,
+        )
+        decoded = decode_latency_record(encode_latency_record(record))
+        assert decoded == record
+        assert decoded.is_ipv6
+
+    def test_encoding_is_compact(self):
+        # 2 preamble + 8 addresses + fixed tail (50) = 60 bytes for v4.
+        assert len(encode_latency_record(_record())) == 60
+
+    def test_rejects_wrong_version(self):
+        data = bytearray(encode_latency_record(_record()))
+        data[0] = 99
+        with pytest.raises(CodecError):
+            decode_latency_record(bytes(data))
+
+    def test_rejects_truncated(self):
+        data = encode_latency_record(_record())
+        with pytest.raises(CodecError):
+            decode_latency_record(data[:-1])
+        with pytest.raises(CodecError):
+            decode_latency_record(b"")
+
+    def test_rejects_oversized(self):
+        data = encode_latency_record(_record()) + b"\x00"
+        with pytest.raises(CodecError):
+            decode_latency_record(data)
+
+
+class TestEnrichedCodec:
+    def test_roundtrip(self):
+        measurement = _enriched()
+        assert decode_enriched(encode_enriched(measurement)) == measurement
+
+    def test_unicode_city_names(self):
+        measurement = EnrichedMeasurement(
+            timestamp_ns=1, internal_ns=2, external_ns=3,
+            src_country="JP", src_city="東京", src_lat=35.7, src_lon=139.7,
+            src_asn=1, dst_country="NZ", dst_city="Tāmaki Makaurau",
+            dst_lat=-36.8, dst_lon=174.8, dst_asn=2,
+        )
+        decoded = decode_enriched(encode_enriched(measurement))
+        assert decoded.src_city == "東京"
+        assert decoded.dst_city == "Tāmaki Makaurau"
+
+    def test_no_address_fields_exist(self):
+        # The enriched type structurally cannot carry addresses.
+        field_names = set(EnrichedMeasurement.__dataclass_fields__)
+        assert not any("ip" in name for name in field_names)
+
+    def test_rejects_wrong_version(self):
+        data = bytearray(encode_enriched(_enriched()))
+        data[0] = 200
+        with pytest.raises(CodecError):
+            decode_enriched(bytes(data))
+
+    def test_rejects_trailing_garbage(self):
+        with pytest.raises(CodecError):
+            decode_enriched(encode_enriched(_enriched()) + b"junk")
+
+    def test_rejects_truncated_strings(self):
+        data = encode_enriched(_enriched())
+        with pytest.raises(CodecError):
+            decode_enriched(data[:-3])

@@ -1,0 +1,51 @@
+"""Message framing tests."""
+
+import pytest
+
+from repro.mq.frames import Message
+
+
+class TestMessage:
+    def test_single(self):
+        message = Message.single(b"data")
+        assert message.topic == b"data"
+        assert len(message) == 1
+
+    def test_with_topic(self):
+        message = Message.with_topic(b"latency", b"p1", b"p2")
+        assert message.topic == b"latency"
+        assert message.payload == (b"p1", b"p2")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Message([])
+
+    def test_non_bytes_rejected(self):
+        with pytest.raises(TypeError):
+            Message(["text"])
+
+    def test_prefix_matching(self):
+        message = Message.single(b"latency.nz")
+        assert message.matches(b"")
+        assert message.matches(b"latency")
+        assert not message.matches(b"stats")
+
+    def test_equality_and_hash(self):
+        a = Message([b"x", b"y"])
+        b = Message([b"x", b"y"])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Message([b"x"])
+
+    def test_total_bytes(self):
+        assert Message([b"abc", b"de"]).total_bytes() == 5
+
+    def test_indexing(self):
+        message = Message([b"a", b"b"])
+        assert message[1] == b"b"
+
+    def test_frames_are_copied_bytes(self):
+        data = bytearray(b"mutable")
+        message = Message([data])
+        data[0] = 0
+        assert message.topic == b"mutable"

@@ -1,0 +1,171 @@
+"""PUSH/PULL and PUB/SUB socket tests."""
+
+import pytest
+
+from repro.mq.frames import Message
+from repro.mq.socket import Context, MqError
+
+
+def msg(text: bytes) -> Message:
+    return Message.single(text)
+
+
+class TestContext:
+    def test_duplicate_bind_rejected(self):
+        context = Context()
+        context.pull().bind("inproc://a")
+        with pytest.raises(MqError):
+            context.pull().bind("inproc://a")
+
+    def test_connect_unknown_endpoint_rejected(self):
+        context = Context()
+        with pytest.raises(MqError):
+            context.push().connect("inproc://nowhere")
+
+    def test_close_releases_endpoint(self):
+        context = Context()
+        pull = context.pull()
+        pull.bind("inproc://a")
+        pull.close()
+        context.pull().bind("inproc://a")  # now free again
+
+
+class TestPushPull:
+    def test_round_robin(self):
+        context = Context()
+        pulls = [context.pull() for _ in range(3)]
+        for i, pull in enumerate(pulls):
+            pull.bind(f"inproc://w{i}")
+        push = context.push()
+        for i in range(3):
+            push.connect(f"inproc://w{i}")
+        for i in range(9):
+            push.send(msg(str(i).encode()))
+        assert [len(pull) for pull in pulls] == [3, 3, 3]
+
+    def test_send_without_peers_raises(self):
+        context = Context()
+        with pytest.raises(MqError):
+            context.push().send(msg(b"x"))
+
+    def test_full_peer_skipped(self):
+        context = Context()
+        small = context.pull(hwm=1)
+        big = context.pull(hwm=100)
+        small.bind("inproc://small")
+        big.bind("inproc://big")
+        push = context.push()
+        push.connect("inproc://small")
+        push.connect("inproc://big")
+        for i in range(6):
+            push.send(msg(b"m"))
+        assert len(small) == 1
+        assert len(big) == 5
+        assert push.dropped == 0
+
+    def test_all_full_drops(self):
+        context = Context()
+        pull = context.pull(hwm=2)
+        pull.bind("inproc://only")
+        push = context.push()
+        push.connect("inproc://only")
+        sent = [push.send(msg(b"x")) for _ in range(5)]
+        assert sent == [True, True, False, False, False]
+        assert push.dropped == 3
+
+    def test_recv_empty_returns_none(self):
+        context = Context()
+        assert context.pull().recv() is None
+
+    def test_recv_all_limit(self):
+        context = Context()
+        pull = context.pull()
+        pull.bind("inproc://p")
+        push = context.push()
+        push.connect("inproc://p")
+        for i in range(5):
+            push.send(msg(b"x"))
+        assert len(pull.recv_all(3)) == 3
+        assert len(pull.recv_all()) == 2
+
+    def test_wrong_socket_type_rejected(self):
+        context = Context()
+        sub = context.sub()
+        sub.bind("inproc://s")
+        with pytest.raises(MqError):
+            context.push().connect("inproc://s")
+
+
+class TestPubSub:
+    def _wired(self, prefixes=(b"",)):
+        context = Context()
+        sub = context.sub()
+        for prefix in prefixes:
+            sub.subscribe(prefix)
+        sub.bind("inproc://sub")
+        pub = context.pub()
+        pub.connect("inproc://sub")
+        return pub, sub
+
+    def test_fanout_to_matching(self):
+        pub, sub = self._wired(prefixes=(b"latency",))
+        assert pub.send(Message.with_topic(b"latency", b"d")) == 1
+        assert pub.send(Message.with_topic(b"stats", b"d")) == 0
+        assert len(sub) == 1
+
+    def test_empty_prefix_matches_all(self):
+        pub, sub = self._wired(prefixes=(b"",))
+        pub.send(Message.with_topic(b"anything", b"d"))
+        assert len(sub) == 1
+
+    def test_unsubscribed_sub_gets_nothing(self):
+        pub, sub = self._wired(prefixes=())
+        pub.send(msg(b"x"))
+        assert len(sub) == 0
+
+    def test_unsubscribe(self):
+        pub, sub = self._wired(prefixes=(b"a",))
+        sub.unsubscribe(b"a")
+        pub.send(Message.with_topic(b"a", b"d"))
+        assert len(sub) == 0
+
+    def test_unsubscribe_unknown_ignored(self):
+        _, sub = self._wired()
+        sub.unsubscribe(b"never-subscribed")
+
+    def test_slow_subscriber_drops(self):
+        context = Context()
+        slow = context.sub(hwm=2)
+        slow.subscribe(b"")
+        slow.bind("inproc://slow")
+        pub = context.pub()
+        pub.connect("inproc://slow")
+        for _ in range(10):
+            pub.send(msg(b"x"))
+        assert len(slow) == 2
+        assert slow.dropped == 8
+
+    def test_multiple_subscribers(self):
+        context = Context()
+        subs = []
+        pub = context.pub()
+        for i in range(3):
+            sub = context.sub()
+            sub.subscribe(b"")
+            sub.bind(f"inproc://s{i}")
+            pub.connect(f"inproc://s{i}")
+            subs.append(sub)
+        assert pub.send(msg(b"broadcast")) == 3
+        assert all(len(sub) == 1 for sub in subs)
+
+    def test_zero_copy_reference_delivery(self):
+        # The exact same Message object reaches every subscriber.
+        context = Context()
+        sub = context.sub()
+        sub.subscribe(b"")
+        sub.bind("inproc://z")
+        pub = context.pub()
+        pub.connect("inproc://z")
+        original = msg(b"zero-copy")
+        pub.send(original)
+        assert sub.recv() is original

@@ -1,0 +1,90 @@
+"""Address conversion tests."""
+
+import pytest
+
+from repro.net.addresses import (
+    IPAddressError,
+    bytes_to_mac,
+    int_to_ip,
+    int_to_ipv6,
+    ip_to_int,
+    ipv6_to_int,
+    is_ipv4,
+    is_ipv6,
+    mac_to_bytes,
+)
+
+
+class TestIpv4:
+    def test_roundtrip_basic(self):
+        assert int_to_ip(ip_to_int("10.0.0.1")) == "10.0.0.1"
+
+    def test_known_value(self):
+        assert ip_to_int("1.2.3.4") == 0x01020304
+
+    def test_extremes(self):
+        assert ip_to_int("0.0.0.0") == 0
+        assert ip_to_int("255.255.255.255") == (1 << 32) - 1
+        assert int_to_ip(0) == "0.0.0.0"
+        assert int_to_ip((1 << 32) - 1) == "255.255.255.255"
+
+    @pytest.mark.parametrize(
+        "bad", ["1.2.3", "1.2.3.4.5", "256.1.1.1", "1.2.3.x", "01.2.3.4", "", "1..2.3"]
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(IPAddressError):
+            ip_to_int(bad)
+
+    def test_int_out_of_range(self):
+        with pytest.raises(IPAddressError):
+            int_to_ip(1 << 32)
+        with pytest.raises(IPAddressError):
+            int_to_ip(-1)
+
+    def test_is_ipv4(self):
+        assert is_ipv4("8.8.8.8")
+        assert not is_ipv4("8.8.8")
+        assert not is_ipv4("::1")
+
+
+class TestIpv6:
+    def test_known_value(self):
+        assert ipv6_to_int("::1") == 1
+
+    def test_full_form(self):
+        value = ipv6_to_int("2001:0db8:0000:0000:0000:0000:0000:0001")
+        assert value == 0x20010DB8000000000000000000000001
+
+    def test_compression_roundtrip(self):
+        for text in ["2001:db8::1", "fe80::", "::", "1:2:3:4:5:6:7:8", "ff02::1:2"]:
+            assert int_to_ipv6(ipv6_to_int(text)) == text
+
+    def test_canonical_compresses_longest_run(self):
+        # RFC 5952: compress the longest zero run.
+        assert int_to_ipv6(ipv6_to_int("1:0:0:2:0:0:0:3")) == "1:0:0:2::3"
+
+    @pytest.mark.parametrize(
+        "bad", ["1:2:3", ":::", "1::2::3", "12345::", "g::1", ""]
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(IPAddressError):
+            ipv6_to_int(bad)
+
+    def test_is_ipv6(self):
+        assert is_ipv6("2001:db8::1")
+        assert not is_ipv6("10.0.0.1")
+
+
+class TestMac:
+    def test_roundtrip(self):
+        assert bytes_to_mac(mac_to_bytes("aa:bb:cc:dd:ee:ff")) == "aa:bb:cc:dd:ee:ff"
+
+    def test_rejects_short(self):
+        with pytest.raises(IPAddressError):
+            mac_to_bytes("aa:bb:cc")
+        with pytest.raises(IPAddressError):
+            bytes_to_mac(b"\x00\x01")
+
+    def test_rejects_single_digit_groups(self):
+        with pytest.raises(IPAddressError):
+            mac_to_bytes("a:bb:cc:dd:ee:ff")

@@ -1,0 +1,60 @@
+"""Checksum tests against hand-computed and RFC examples."""
+
+import struct
+
+from repro.net.addresses import ip_to_int
+from repro.net.checksum import internet_checksum, tcp_checksum_ipv4, tcp_checksum_ipv6
+
+
+class TestInternetChecksum:
+    def test_rfc1071_example(self):
+        # The classic example: 0001 f203 f4f5 f6f7 -> checksum 0x220d.
+        data = bytes.fromhex("0001f203f4f5f6f7")
+        assert internet_checksum(data) == 0x220D
+
+    def test_zero_data(self):
+        assert internet_checksum(b"\x00\x00") == 0xFFFF
+
+    def test_odd_length_padded(self):
+        # Odd-length input is padded with a zero byte.
+        assert internet_checksum(b"\x12") == internet_checksum(b"\x12\x00")
+
+    def test_verification_property(self):
+        # A message with its checksum appended must checksum to zero.
+        data = b"\x45\x00\x00\x28\xab\xcd\x00\x00\x40\x06"
+        checksum = internet_checksum(data)
+        full = data + struct.pack("!H", checksum)
+        assert internet_checksum(full) == 0
+
+    def test_carry_folding(self):
+        # Many 0xffff words force repeated carry folds.
+        assert internet_checksum(b"\xff\xff" * 1000) == 0
+
+
+class TestTcpChecksum:
+    def test_ipv4_pseudo_header_changes_result(self):
+        segment = b"\x00" * 20
+        a = tcp_checksum_ipv4(ip_to_int("10.0.0.1"), ip_to_int("10.0.0.2"), segment)
+        b = tcp_checksum_ipv4(ip_to_int("10.0.0.1"), ip_to_int("10.0.0.3"), segment)
+        assert a != b
+
+    def test_ipv6_checksummed_segment_verifies(self):
+        src = 0x20010DB8000000000000000000000001
+        dst = 0x20010DB8000000000000000000000002
+        segment = bytearray(b"\x30\x39\x01\xbb" + b"\x00" * 16 + b"v6-data")
+        checksum = tcp_checksum_ipv6(src, dst, bytes(segment))
+        segment[16:18] = checksum.to_bytes(2, "big")
+        pseudo = (
+            src.to_bytes(16, "big")
+            + dst.to_bytes(16, "big")
+            + struct.pack("!IBBBB", len(segment), 0, 0, 0, 6)
+        )
+        assert internet_checksum(pseudo + bytes(segment)) == 0
+
+    def test_checksummed_segment_verifies(self):
+        src, dst = ip_to_int("1.1.1.1"), ip_to_int("2.2.2.2")
+        segment = bytearray(b"\x30\x39\x01\xbb" + b"\x00" * 16 + b"hello")
+        checksum = tcp_checksum_ipv4(src, dst, bytes(segment))
+        segment[16:18] = checksum.to_bytes(2, "big")
+        pseudo = struct.pack("!IIBBH", src, dst, 0, 6, len(segment))
+        assert internet_checksum(pseudo + bytes(segment)) == 0

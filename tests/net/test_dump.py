@@ -1,0 +1,68 @@
+"""tcpdump-style printer tests."""
+
+from repro.net.addresses import ip_to_int, ipv6_to_int
+from repro.net.dump import dump, flags_letters, format_packet
+from repro.net.packet import Packet, build_tcp_packet
+from repro.net.tcp import TCP_FLAG_ACK, TCP_FLAG_PSH, TCP_FLAG_SYN, TcpOption
+
+
+class TestFlagLetters:
+    def test_tcpdump_conventions(self):
+        assert flags_letters(TCP_FLAG_SYN) == "S"
+        assert flags_letters(TCP_FLAG_SYN | TCP_FLAG_ACK) == "S."
+        assert flags_letters(TCP_FLAG_ACK) == "."
+        assert flags_letters(TCP_FLAG_PSH | TCP_FLAG_ACK) == "P."
+        assert flags_letters(0) == "none"
+
+
+class TestFormatPacket:
+    def test_syn_line(self):
+        packet = build_tcp_packet(
+            ip_to_int("10.0.0.1"), ip_to_int("10.0.0.2"), 40000, 443,
+            TCP_FLAG_SYN, seq=123456, timestamp_ns=1_500_000,
+        )
+        line = format_packet(packet)
+        assert line.startswith("0.001500 IP 10.0.0.1.40000 > 10.0.0.2.443:")
+        assert "Flags [S]," in line
+        assert "seq 123456," in line
+        assert "length 0" in line
+        assert "ack" not in line  # SYN carries no ACK
+
+    def test_ack_and_timestamp_options(self):
+        packet = build_tcp_packet(
+            1, 2, 3, 4, TCP_FLAG_ACK, seq=10, ack=20,
+            options=[TcpOption.timestamp(111, 222)],
+        )
+        line = format_packet(packet)
+        assert "ack 20," in line
+        assert "TS val 111 ecr 222," in line
+
+    def test_ipv6_rendering(self):
+        packet = build_tcp_packet(
+            ipv6_to_int("2001:db8::1"), ipv6_to_int("2001:db8::2"),
+            10, 20, TCP_FLAG_SYN, ipv6=True,
+        )
+        line = format_packet(packet)
+        assert "IP6 2001:db8::1.10 > 2001:db8::2.20:" in line
+
+    def test_payload_length(self):
+        packet = build_tcp_packet(1, 2, 3, 4, TCP_FLAG_PSH | TCP_FLAG_ACK,
+                                  payload=b"x" * 77)
+        assert "length 77" in format_packet(packet)
+
+    def test_unparseable_fallback(self):
+        line = format_packet(Packet(data=b"\x00" * 30, timestamp_ns=0))
+        assert "[not-ip]" in line
+        assert "30 bytes" in line
+
+
+class TestDumpStream:
+    def test_relative_timestamps(self, small_workload):
+        _, packets = small_workload
+        lines = list(dump(packets, limit=5))
+        assert len(lines) == 5
+        assert lines[0].startswith("0.000000 ")
+
+    def test_limit(self, small_workload):
+        _, packets = small_workload
+        assert len(list(dump(packets, limit=3))) == 3

@@ -1,0 +1,56 @@
+"""Ethernet framing tests."""
+
+import pytest
+
+from repro.net.addresses import mac_to_bytes
+from repro.net.ethernet import (
+    ETHERTYPE_IPV4,
+    ETHERTYPE_IPV6,
+    ETHERTYPE_VLAN,
+    EthernetFrame,
+)
+
+
+class TestEthernetFrame:
+    def test_untagged_roundtrip(self):
+        frame = EthernetFrame(
+            dst_mac=mac_to_bytes("aa:bb:cc:dd:ee:ff"),
+            src_mac=mac_to_bytes("11:22:33:44:55:66"),
+            ethertype=ETHERTYPE_IPV4,
+            payload=b"payload",
+        )
+        parsed = EthernetFrame.unpack(frame.pack())
+        assert parsed == frame
+        assert parsed.vlan_id is None
+        assert parsed.header_len == 14
+
+    def test_vlan_roundtrip(self):
+        frame = EthernetFrame(
+            ethertype=ETHERTYPE_IPV6, vlan_id=42, vlan_pcp=5, payload=b"x" * 40
+        )
+        raw = frame.pack()
+        # The outer ethertype on the wire must be the 802.1Q TPID.
+        assert raw[12:14] == ETHERTYPE_VLAN.to_bytes(2, "big")
+        parsed = EthernetFrame.unpack(raw)
+        assert parsed.vlan_id == 42
+        assert parsed.vlan_pcp == 5
+        assert parsed.ethertype == ETHERTYPE_IPV6
+        assert parsed.header_len == 18
+
+    def test_vlan_id_range_checked(self):
+        with pytest.raises(ValueError):
+            EthernetFrame(vlan_id=4096).pack()
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError):
+            EthernetFrame.unpack(b"\x00" * 10)
+
+    def test_truncated_vlan_tag_rejected(self):
+        raw = EthernetFrame(vlan_id=1, payload=b"").pack()[:15]
+        with pytest.raises(ValueError):
+            EthernetFrame.unpack(raw)
+
+    def test_payload_preserved_exactly(self):
+        payload = bytes(range(256))
+        parsed = EthernetFrame.unpack(EthernetFrame(payload=payload).pack())
+        assert parsed.payload == payload

@@ -1,0 +1,81 @@
+"""IPv4 header tests."""
+
+import pytest
+
+from repro.net.addresses import ip_to_int
+from repro.net.checksum import internet_checksum
+from repro.net.ipv4 import IPv4Header, PROTO_TCP, PROTO_UDP
+
+
+class TestIPv4Header:
+    def test_roundtrip(self):
+        header = IPv4Header(
+            src=ip_to_int("10.1.2.3"),
+            dst=ip_to_int("172.16.0.9"),
+            protocol=PROTO_TCP,
+            ttl=55,
+            identification=0x1234,
+            payload=b"segment-bytes",
+        )
+        parsed = IPv4Header.unpack(header.pack())
+        assert parsed.src == header.src
+        assert parsed.dst == header.dst
+        assert parsed.protocol == PROTO_TCP
+        assert parsed.ttl == 55
+        assert parsed.identification == 0x1234
+        assert parsed.payload == b"segment-bytes"
+
+    def test_packed_checksum_verifies(self):
+        raw = IPv4Header(src=1, dst=2, payload=b"abc").pack()
+        header_len = (raw[0] & 0xF) * 4
+        assert internet_checksum(raw[:header_len]) == 0
+
+    def test_total_length_field(self):
+        raw = IPv4Header(payload=b"x" * 100).pack()
+        parsed = IPv4Header.unpack(raw)
+        assert parsed.total_length == 120
+        assert len(parsed.payload) == 100
+
+    def test_payload_sliced_to_total_length(self):
+        # Ethernet padding after the datagram must not leak into payload.
+        raw = IPv4Header(payload=b"real").pack() + b"\x00" * 20
+        parsed = IPv4Header.unpack(raw)
+        assert parsed.payload == b"real"
+
+    def test_options_padded_and_roundtripped(self):
+        header = IPv4Header(options=b"\x94\x04\x00", payload=b"p")
+        parsed = IPv4Header.unpack(header.pack())
+        assert parsed.options[:3] == b"\x94\x04\x00"
+        assert parsed.header_len == 24
+
+    def test_fragment_flags(self):
+        header = IPv4Header(more_fragments=True, fragment_offset=185, payload=b"")
+        parsed = IPv4Header.unpack(header.pack())
+        assert parsed.more_fragments
+        assert parsed.fragment_offset == 185
+        assert parsed.is_fragment
+
+    def test_dscp_ecn(self):
+        parsed = IPv4Header.unpack(IPv4Header(dscp=46, ecn=1).pack())
+        assert parsed.dscp == 46
+        assert parsed.ecn == 1
+
+    def test_rejects_non_v4(self):
+        raw = bytearray(IPv4Header().pack())
+        raw[0] = (6 << 4) | 5
+        with pytest.raises(ValueError):
+            IPv4Header.unpack(bytes(raw))
+
+    def test_rejects_truncated(self):
+        with pytest.raises(ValueError):
+            IPv4Header.unpack(b"\x45\x00")
+
+    def test_rejects_bad_ihl(self):
+        raw = bytearray(IPv4Header().pack())
+        raw[0] = (4 << 4) | 3  # IHL below minimum
+        with pytest.raises(ValueError):
+            IPv4Header.unpack(bytes(raw))
+
+    def test_udp_protocol_preserved(self):
+        parsed = IPv4Header.unpack(IPv4Header(protocol=PROTO_UDP).pack())
+        assert parsed.protocol == PROTO_UDP

@@ -1,0 +1,53 @@
+"""IPv6 header tests."""
+
+import pytest
+
+from repro.net.addresses import ipv6_to_int
+from repro.net.ipv6 import HEADER_LEN, IPv6Header
+
+
+class TestIPv6Header:
+    def test_roundtrip(self):
+        header = IPv6Header(
+            src=ipv6_to_int("2001:db8::1"),
+            dst=ipv6_to_int("2001:db8::2"),
+            next_header=6,
+            hop_limit=42,
+            traffic_class=0xB8,
+            flow_label=0xABCDE,
+            payload=b"tcp-bytes",
+        )
+        parsed = IPv6Header.unpack(header.pack())
+        assert parsed.src == header.src
+        assert parsed.dst == header.dst
+        assert parsed.next_header == 6
+        assert parsed.hop_limit == 42
+        assert parsed.traffic_class == 0xB8
+        assert parsed.flow_label == 0xABCDE
+        assert parsed.payload == b"tcp-bytes"
+
+    def test_payload_length_written(self):
+        raw = IPv6Header(payload=b"x" * 77).pack()
+        assert int.from_bytes(raw[4:6], "big") == 77
+
+    def test_padding_not_leaked(self):
+        raw = IPv6Header(payload=b"real").pack() + b"\x00" * 8
+        assert IPv6Header.unpack(raw).payload == b"real"
+
+    def test_version_is_6(self):
+        raw = IPv6Header().pack()
+        assert raw[0] >> 4 == 6
+
+    def test_rejects_non_v6(self):
+        raw = bytearray(IPv6Header().pack())
+        raw[0] = 0x45
+        with pytest.raises(ValueError):
+            IPv6Header.unpack(bytes(raw))
+
+    def test_rejects_truncated(self):
+        with pytest.raises(ValueError):
+            IPv6Header.unpack(b"\x60" + b"\x00" * (HEADER_LEN - 10))
+
+    def test_rejects_oversized_flow_label(self):
+        with pytest.raises(ValueError):
+            IPv6Header(flow_label=1 << 20).pack()

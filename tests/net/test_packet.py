@@ -1,0 +1,67 @@
+"""Whole-packet builder tests."""
+
+from repro.net.addresses import ip_to_int, ipv6_to_int
+from repro.net.checksum import internet_checksum
+from repro.net.ethernet import ETHERTYPE_IPV4, ETHERTYPE_IPV6, EthernetFrame
+from repro.net.ipv4 import IPv4Header
+from repro.net.ipv6 import IPv6Header
+from repro.net.packet import Packet, build_tcp_packet
+from repro.net.tcp import TCP_FLAG_SYN, TcpHeader, TcpOption
+
+import struct
+
+
+class TestPacket:
+    def test_timestamp_conversions(self):
+        packet = Packet(data=b"x", timestamp_ns=1_500_000_000)
+        assert packet.timestamp_s == 1.5
+        assert len(packet) == 1
+
+
+class TestBuildTcpPacket:
+    def test_ipv4_structure(self):
+        packet = build_tcp_packet(
+            ip_to_int("10.0.0.1"), ip_to_int("10.0.0.2"), 1234, 443,
+            TCP_FLAG_SYN, seq=77, timestamp_ns=42,
+        )
+        frame = EthernetFrame.unpack(packet.data)
+        assert frame.ethertype == ETHERTYPE_IPV4
+        ip = IPv4Header.unpack(frame.payload)
+        assert ip.src == ip_to_int("10.0.0.1")
+        tcp = TcpHeader.unpack(ip.payload)
+        assert tcp.src_port == 1234
+        assert tcp.dst_port == 443
+        assert tcp.seq == 77
+        assert tcp.is_syn
+        assert packet.timestamp_ns == 42
+
+    def test_ipv6_structure(self):
+        src = ipv6_to_int("2001:db8::1")
+        dst = ipv6_to_int("2001:db8::2")
+        packet = build_tcp_packet(src, dst, 1, 2, TCP_FLAG_SYN, ipv6=True)
+        frame = EthernetFrame.unpack(packet.data)
+        assert frame.ethertype == ETHERTYPE_IPV6
+        ip = IPv6Header.unpack(frame.payload)
+        assert ip.src == src
+        assert ip.next_header == 6
+
+    def test_tcp_checksum_is_valid(self):
+        src, dst = ip_to_int("1.1.1.1"), ip_to_int("2.2.2.2")
+        packet = build_tcp_packet(src, dst, 10, 20, TCP_FLAG_SYN, payload=b"data")
+        ip = IPv4Header.unpack(EthernetFrame.unpack(packet.data).payload)
+        pseudo = struct.pack("!IIBBH", src, dst, 0, 6, len(ip.payload))
+        assert internet_checksum(pseudo + ip.payload) == 0
+
+    def test_vlan_tagging(self):
+        packet = build_tcp_packet(1, 2, 3, 4, TCP_FLAG_SYN, vlan_id=100)
+        frame = EthernetFrame.unpack(packet.data)
+        assert frame.vlan_id == 100
+        assert frame.ethertype == ETHERTYPE_IPV4
+
+    def test_options_carried(self):
+        packet = build_tcp_packet(
+            1, 2, 3, 4, TCP_FLAG_SYN, options=[TcpOption.timestamp(9, 8)]
+        )
+        ip = IPv4Header.unpack(EthernetFrame.unpack(packet.data).payload)
+        tcp = TcpHeader.unpack(ip.payload)
+        assert tcp.timestamp_option() == (9, 8)

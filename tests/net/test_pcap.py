@@ -1,0 +1,102 @@
+"""pcap reader/writer tests."""
+
+import io
+import struct
+
+import pytest
+
+from repro.net.packet import Packet, build_tcp_packet
+from repro.net.pcap import (
+    MAGIC_MICROS,
+    MAGIC_NANOS,
+    PcapError,
+    PcapReader,
+    PcapWriter,
+)
+from repro.net.tcp import TCP_FLAG_SYN
+
+
+def _sample_packets(count=5):
+    return [
+        build_tcp_packet(i + 1, i + 2, 1000 + i, 443, TCP_FLAG_SYN,
+                         timestamp_ns=i * 1_000_000_123)
+        for i in range(count)
+    ]
+
+
+class TestRoundtrip:
+    def test_nanosecond_roundtrip(self, tmp_path):
+        path = tmp_path / "ns.pcap"
+        packets = _sample_packets()
+        with PcapWriter(path, nanosecond=True) as writer:
+            for packet in packets:
+                writer.write(packet)
+        with PcapReader(path) as reader:
+            assert reader.nanosecond
+            read_back = list(reader)
+        assert [p.data for p in read_back] == [p.data for p in packets]
+        assert [p.timestamp_ns for p in read_back] == [p.timestamp_ns for p in packets]
+
+    def test_microsecond_loses_sub_us(self, tmp_path):
+        path = tmp_path / "us.pcap"
+        with PcapWriter(path, nanosecond=False) as writer:
+            writer.write(Packet(data=b"abc", timestamp_ns=1_000_000_999))
+        with PcapReader(path) as reader:
+            packet = next(iter(reader))
+        # Nanoseconds below the microsecond are truncated.
+        assert packet.timestamp_ns == 1_000_000_000
+
+    def test_file_object_io(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        for packet in _sample_packets(3):
+            writer.write(packet)
+        buffer.seek(0)
+        assert len(list(PcapReader(buffer))) == 3
+
+    def test_snaplen_truncates(self, tmp_path):
+        path = tmp_path / "snap.pcap"
+        with PcapWriter(path, snaplen=20) as writer:
+            writer.write(Packet(data=b"z" * 100, timestamp_ns=0))
+        with PcapReader(path) as reader:
+            assert len(next(iter(reader)).data) == 20
+
+
+class TestByteOrder:
+    def test_big_endian_read(self):
+        # Hand-build a big-endian microsecond pcap.
+        buffer = io.BytesIO()
+        buffer.write(struct.pack(">IHHiIII", MAGIC_MICROS, 2, 4, 0, 0, 65535, 1))
+        data = b"\x01\x02\x03"
+        buffer.write(struct.pack(">IIII", 10, 500, len(data), len(data)))
+        buffer.write(data)
+        buffer.seek(0)
+        reader = PcapReader(buffer)
+        packet = next(iter(reader))
+        assert packet.timestamp_ns == 10 * 1_000_000_000 + 500_000
+        assert packet.data == data
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(PcapError):
+            PcapReader(io.BytesIO(b"\xde\xad\xbe\xef" + b"\x00" * 20))
+
+    def test_truncated_global_header(self):
+        with pytest.raises(PcapError):
+            PcapReader(io.BytesIO(b"\xd4\xc3\xb2\xa1\x02"))
+
+    def test_truncated_record_body(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        writer.write(Packet(data=b"full-packet", timestamp_ns=0))
+        truncated = io.BytesIO(buffer.getvalue()[:-4])
+        reader = PcapReader(truncated)
+        with pytest.raises(PcapError):
+            list(reader)
+
+    def test_eof_returns_none(self):
+        buffer = io.BytesIO()
+        PcapWriter(buffer)
+        buffer.seek(0)
+        assert PcapReader(buffer).read_packet() is None

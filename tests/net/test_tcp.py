@@ -1,0 +1,115 @@
+"""TCP header and option tests."""
+
+import pytest
+
+from repro.net.tcp import (
+    OPT_MSS,
+    OPT_NOP,
+    OPT_TIMESTAMP,
+    OPT_WSCALE,
+    TCP_FLAG_ACK,
+    TCP_FLAG_FIN,
+    TCP_FLAG_RST,
+    TCP_FLAG_SYN,
+    TcpHeader,
+    TcpOption,
+)
+
+
+class TestFlags:
+    def test_syn_classification(self):
+        assert TcpHeader(flags=TCP_FLAG_SYN).is_syn
+        assert not TcpHeader(flags=TCP_FLAG_SYN | TCP_FLAG_ACK).is_syn
+
+    def test_synack_classification(self):
+        assert TcpHeader(flags=TCP_FLAG_SYN | TCP_FLAG_ACK).is_synack
+        assert not TcpHeader(flags=TCP_FLAG_ACK).is_synack
+
+    def test_ack_classification(self):
+        assert TcpHeader(flags=TCP_FLAG_ACK).is_ack
+        assert not TcpHeader(flags=TCP_FLAG_SYN | TCP_FLAG_ACK).is_ack
+
+    def test_rst_fin(self):
+        assert TcpHeader(flags=TCP_FLAG_RST).is_rst
+        assert TcpHeader(flags=TCP_FLAG_FIN | TCP_FLAG_ACK).is_fin
+
+    def test_flag_names(self):
+        header = TcpHeader(flags=TCP_FLAG_SYN | TCP_FLAG_ACK)
+        assert header.flag_names() == "SYN|ACK"
+        assert TcpHeader(flags=0).flag_names() == "none"
+
+
+class TestRoundtrip:
+    def test_basic_roundtrip(self):
+        header = TcpHeader(
+            src_port=40000,
+            dst_port=443,
+            seq=0xDEADBEEF,
+            ack=0x12345678,
+            flags=TCP_FLAG_ACK,
+            window=29200,
+            payload=b"GET / HTTP/1.1",
+        )
+        parsed = TcpHeader.unpack(header.pack())
+        assert parsed.src_port == 40000
+        assert parsed.dst_port == 443
+        assert parsed.seq == 0xDEADBEEF
+        assert parsed.ack == 0x12345678
+        assert parsed.window == 29200
+        assert parsed.payload == b"GET / HTTP/1.1"
+
+    def test_options_roundtrip(self):
+        header = TcpHeader(
+            flags=TCP_FLAG_SYN,
+            options=[
+                TcpOption.mss(1460),
+                TcpOption(OPT_NOP),
+                TcpOption.window_scale(7),
+                TcpOption.timestamp(111111, 0),
+            ],
+        )
+        parsed = TcpHeader.unpack(header.pack())
+        assert parsed.find_option(OPT_MSS).data == (1460).to_bytes(2, "big")
+        assert parsed.find_option(OPT_WSCALE).data == bytes([7])
+        assert parsed.timestamp_option() == (111111, 0)
+
+    def test_header_len_includes_padded_options(self):
+        header = TcpHeader(options=[TcpOption.mss(1460)])  # 4 bytes, aligned
+        assert header.header_len == 24
+        header = TcpHeader(options=[TcpOption.window_scale(7)])  # 3 -> pads to 4
+        assert header.header_len == 24
+
+    def test_seq_wraps_to_32_bits(self):
+        parsed = TcpHeader.unpack(TcpHeader(seq=(1 << 32) + 5).pack())
+        assert parsed.seq == 5
+
+
+class TestOptionParsing:
+    def test_timestamp_builder_and_reader(self):
+        option = TcpOption.timestamp(123, 456)
+        assert option.as_timestamp() == (123, 456)
+        assert TcpOption(OPT_TIMESTAMP, b"short").as_timestamp() is None
+        assert TcpOption(OPT_MSS, b"\x00" * 8).as_timestamp() is None
+
+    def test_malformed_option_length_stops_parse(self):
+        # kind=8, claimed length 30 but only 4 bytes remain.
+        raw = TcpHeader().pack()
+        doctored = bytearray(raw)
+        doctored[12] = (8 << 4)  # data offset 32 bytes
+        doctored += b"\x08\x1e\x00\x00" + b"\x00" * 8
+        parsed = TcpHeader.unpack(bytes(doctored))
+        assert parsed.timestamp_option() is None
+
+    def test_options_too_long_rejected(self):
+        with pytest.raises(ValueError):
+            TcpHeader(options=[TcpOption.timestamp(1, 2)] * 5).pack()
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError):
+            TcpHeader.unpack(b"\x00" * 10)
+
+    def test_bad_data_offset_rejected(self):
+        raw = bytearray(TcpHeader().pack())
+        raw[12] = (3 << 4)  # offset 12 bytes < minimum 20
+        with pytest.raises(ValueError):
+            TcpHeader.unpack(bytes(raw))

@@ -1,0 +1,68 @@
+"""UDP and ICMP wire-format tests."""
+
+import pytest
+
+from repro.net.checksum import internet_checksum
+from repro.net.icmp import (
+    TYPE_ECHO_REPLY,
+    TYPE_ECHO_REQUEST,
+    TYPE_TIME_EXCEEDED,
+    IcmpMessage,
+)
+from repro.net.udp import UdpHeader
+
+
+class TestUdpHeader:
+    def test_roundtrip(self):
+        header = UdpHeader(src_port=53211, dst_port=53, payload=b"dns-query")
+        parsed = UdpHeader.unpack(header.pack())
+        assert parsed.src_port == 53211
+        assert parsed.dst_port == 53
+        assert parsed.payload == b"dns-query"
+
+    def test_length_field_written(self):
+        raw = UdpHeader(payload=b"x" * 10).pack()
+        assert int.from_bytes(raw[4:6], "big") == 18
+
+    def test_padding_not_leaked(self):
+        raw = UdpHeader(payload=b"real").pack() + b"\x00" * 6
+        assert UdpHeader.unpack(raw).payload == b"real"
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError):
+            UdpHeader.unpack(b"\x00" * 4)
+
+    def test_bad_length_rejected(self):
+        raw = bytearray(UdpHeader().pack())
+        raw[4:6] = (4).to_bytes(2, "big")
+        with pytest.raises(ValueError):
+            UdpHeader.unpack(bytes(raw))
+
+
+class TestIcmpMessage:
+    def test_echo_roundtrip(self):
+        message = IcmpMessage.echo(identifier=0x1234, sequence=7, payload=b"ping")
+        parsed = IcmpMessage.unpack(message.pack())
+        assert parsed.icmp_type == TYPE_ECHO_REQUEST
+        assert parsed.identifier == 0x1234
+        assert parsed.sequence == 7
+        assert parsed.payload == b"ping"
+
+    def test_echo_reply_type(self):
+        message = IcmpMessage.echo(1, 1, reply=True)
+        assert IcmpMessage.unpack(message.pack()).icmp_type == TYPE_ECHO_REPLY
+
+    def test_checksum_valid(self):
+        raw = IcmpMessage.echo(9, 9, payload=b"abc").pack()
+        assert internet_checksum(raw) == 0
+
+    def test_other_types_preserved(self):
+        message = IcmpMessage(icmp_type=TYPE_TIME_EXCEEDED, code=0,
+                              payload=b"\x45" + b"\x00" * 27)
+        parsed = IcmpMessage.unpack(message.pack())
+        assert parsed.icmp_type == TYPE_TIME_EXCEEDED
+        assert len(parsed.payload) == 28
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError):
+            IcmpMessage.unpack(b"\x08\x00")

@@ -1,0 +1,125 @@
+"""Property tests for the extension modules (QL, pseudonymizer, tap,
+heatmap, CDF)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cdf import EmpiricalCdf, ks_distance
+from repro.analytics.pseudonymize import PrefixPreservingAnonymizer
+from repro.frontend.heatmap import LatencyBuckets
+from repro.tsdb.ql import format_query, parse_query
+from repro.tsdb.query import Query
+
+identifiers = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=12
+)
+tag_values = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789 .-", min_size=1, max_size=12
+)
+aggregators = st.sampled_from(
+    ["mean", "median", "min", "max", "count", "sum", "p95", "p99", "stddev"]
+)
+
+
+class TestQlRoundtrip:
+    @given(
+        measurement=identifiers,
+        field=identifiers,
+        aggregator=aggregators,
+        tags=st.dictionaries(identifiers, st.lists(tag_values, min_size=1,
+                                                   max_size=3), max_size=3),
+        group_tags=st.lists(identifiers, max_size=3, unique=True),
+        start=st.one_of(st.none(), st.integers(min_value=0, max_value=10**15)),
+        window=st.one_of(st.none(), st.integers(min_value=1, max_value=10**12)),
+        fill=st.sampled_from(["none", "zero", "previous"]),
+    )
+    @settings(max_examples=100)
+    def test_format_parse_identity(
+        self, measurement, field, aggregator, tags, group_tags, start, window, fill
+    ):
+        original = Query(
+            measurement=measurement,
+            field=field,
+            aggregator=aggregator,
+            tag_filters={k: list(v) for k, v in tags.items()},
+            group_by_tags=sorted(group_tags),
+            start_ns=start,
+            end_ns=None if start is None else start + 1000,
+            group_by_time_ns=window,
+            fill=fill,
+        )
+        original.validate()
+        reparsed = parse_query(format_query(original))
+        assert reparsed.measurement == original.measurement
+        assert reparsed.field == original.field
+        assert reparsed.aggregator == original.aggregator
+        assert reparsed.tag_filters == original.tag_filters
+        assert sorted(reparsed.group_by_tags) == sorted(original.group_by_tags)
+        assert reparsed.start_ns == original.start_ns
+        assert reparsed.end_ns == original.end_ns
+        assert reparsed.group_by_time_ns == original.group_by_time_ns
+        assert reparsed.fill == original.fill
+
+
+class TestPseudonymizerProperties:
+    @given(
+        a=st.integers(min_value=0, max_value=(1 << 32) - 1),
+        b=st.integers(min_value=0, max_value=(1 << 32) - 1),
+        key=st.binary(min_size=1, max_size=16),
+    )
+    @settings(max_examples=50)
+    def test_prefix_preservation_universal(self, a, b, key):
+        anonymizer = PrefixPreservingAnonymizer(key=key)
+        assert anonymizer.verify_prefix_preservation(a, b)
+
+    @given(
+        address=st.integers(min_value=0, max_value=(1 << 32) - 1),
+        key=st.binary(min_size=1, max_size=16),
+    )
+    @settings(max_examples=50)
+    def test_deterministic(self, address, key):
+        a = PrefixPreservingAnonymizer(key=key)
+        b = PrefixPreservingAnonymizer(key=key)
+        assert a.anonymize(address) == b.anonymize(address)
+
+
+class TestHeatmapBucketProperties:
+    @given(value=st.floats(min_value=0.0001, max_value=10**6))
+    def test_index_always_in_range(self, value):
+        buckets = LatencyBuckets(minimum_ms=1, maximum_ms=10000, count=20)
+        assert 0 <= buckets.index_of(value) < 20
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.1, max_value=10**5), min_size=2, max_size=30
+        )
+    )
+    def test_monotone_indexing(self, values):
+        buckets = LatencyBuckets(minimum_ms=1, maximum_ms=10000, count=16)
+        ordered = sorted(values)
+        indices = [buckets.index_of(v) for v in ordered]
+        assert indices == sorted(indices)
+
+
+class TestCdfProperties:
+    samples = st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1, max_size=50,
+    )
+
+    @given(samples)
+    def test_cdf_monotone(self, data):
+        cdf = EmpiricalCdf(data)
+        points = sorted(set(data))
+        values = [cdf.evaluate(p) for p in points]
+        assert values == sorted(values)
+        assert values[-1] == 1.0
+
+    @given(samples, samples)
+    def test_ks_bounds(self, a, b):
+        distance = ks_distance(a, b)
+        assert 0.0 <= distance <= 1.0
+
+    @given(samples)
+    def test_ks_identity(self, data):
+        assert ks_distance(data, data) == 0.0

@@ -1,0 +1,125 @@
+"""Adversarial tracker properties: arbitrary packet orderings.
+
+Whatever order, duplication, or interleaving the capture delivers,
+two invariants must hold: the tracker never raises, and never emits
+more than one measurement per flow — with any emitted measurement
+matching the first-SYN/first-SYN-ACK/first-valid-ACK arithmetic.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.handshake import HandshakeTracker
+from repro.net.parser import ParsedPacket
+
+MS = 1_000_000
+
+SYN, SYNACK, ACK, RST = 0x02, 0x12, 0x10, 0x04
+
+
+def _packet(flow_id, kind, t_ns):
+    src = 0x0A000000 + flow_id
+    dst = 0x14000000 + flow_id
+    sport, dport = 10_000 + flow_id, 443
+    if kind == "syn":
+        return ParsedPacket(src_ip=src, dst_ip=dst, src_port=sport,
+                            dst_port=dport, flags=SYN, seq=100, ack=0,
+                            payload_len=0, timestamp_ns=t_ns)
+    if kind == "synack":
+        return ParsedPacket(src_ip=dst, dst_ip=src, src_port=dport,
+                            dst_port=sport, flags=SYNACK, seq=500, ack=101,
+                            payload_len=0, timestamp_ns=t_ns)
+    if kind == "ack":
+        return ParsedPacket(src_ip=src, dst_ip=dst, src_port=sport,
+                            dst_port=dport, flags=ACK, seq=101, ack=501,
+                            payload_len=0, timestamp_ns=t_ns)
+    return ParsedPacket(src_ip=src, dst_ip=dst, src_port=sport,
+                        dst_port=dport, flags=RST, seq=101, ack=0,
+                        payload_len=0, timestamp_ns=t_ns)
+
+
+packet_kinds = st.sampled_from(["syn", "synack", "ack", "rst"])
+
+
+class TestArbitraryOrderings:
+    @given(
+        sequence=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),   # flow id
+                packet_kinds,
+                st.integers(min_value=0, max_value=10_000),  # time (ms)
+            ),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=200)
+    def test_never_crashes_never_double_counts(self, sequence):
+        tracker = HandshakeTracker()
+        emitted = {}
+        for flow_id, kind, t_ms in sequence:
+            record = tracker.process(_packet(flow_id, kind, t_ms * MS))
+            if record is not None:
+                key = (record.src_ip, record.src_port)
+                emitted[key] = emitted.get(key, 0) + 1
+                # Components are the documented differences and can
+                # never be negative or over the sanity cap.
+                assert record.external_ns >= 0
+                assert record.internal_ns >= 0
+        assert all(count == 1 for count in emitted.values()), (
+            "a flow must be measured at most once per tracked handshake"
+        )
+
+    @given(
+        # Capture-card duplication: each handshake packet repeated
+        # 1..4 times, duplicates adjacent to their original (how span
+        # ports and merge buffers actually duplicate).
+        copies=st.tuples(
+            st.integers(min_value=1, max_value=4),
+            st.integers(min_value=1, max_value=4),
+            st.integers(min_value=1, max_value=4),
+        ),
+        t_synack_ms=st.integers(min_value=2, max_value=1000),
+        t_ack_extra_ms=st.integers(min_value=2, max_value=500),
+    )
+    @settings(max_examples=100)
+    def test_adjacent_duplicates_never_change_the_measurement(
+        self, copies, t_synack_ms, t_ack_extra_ms
+    ):
+        t_ack_ms = t_synack_ms + t_ack_extra_ms
+        base = [
+            ("syn", 0),
+            ("synack", t_synack_ms),
+            ("ack", t_ack_ms),
+        ]
+        stream = []
+        for (kind, t_ms), count in zip(base, copies):
+            for copy in range(count):
+                # Duplicates land within a millisecond of the original.
+                stream.append(_packet(0, kind, t_ms * MS + copy * 1000))
+
+        tracker = HandshakeTracker()
+        records = [
+            record for packet in stream
+            if (record := tracker.process(packet)) is not None
+        ]
+        assert len(records) == 1
+        record = records[0]
+        # The FIRST copy's timestamps define the measurement.
+        assert record.external_ns == t_synack_ms * MS
+        assert record.internal_ns == (t_ack_ms - t_synack_ms) * MS
+
+    def test_replayed_whole_handshake_counts_as_tuple_reuse(self):
+        """A complete duplicated trio *after* completion is
+        indistinguishable from 4-tuple reuse and re-measures — the
+        documented (and correct) tuple-keyed behaviour."""
+        tracker = HandshakeTracker()
+        records = []
+        for offset_ms in (0, 100):
+            for kind, t_ms in (("syn", 0), ("synack", 10), ("ack", 20)):
+                record = tracker.process(
+                    _packet(0, kind, (offset_ms + t_ms) * MS)
+                )
+                if record is not None:
+                    records.append(record)
+        assert len(records) == 2
+        assert all(record.external_ns == 10 * MS for record in records)

@@ -1,0 +1,129 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate"])
+        assert args.duration == 30.0
+        assert args.output == "ruru-trace.pcap"
+
+
+class TestCommands:
+    def test_generate_then_measure(self, tmp_path, capsys):
+        trace = str(tmp_path / "t.pcap")
+        assert main(["generate", "--duration", "2", "--rate", "20",
+                     "--output", trace]) == 0
+        output = capsys.readouterr().out
+        assert "wrote" in output
+        assert main(["measure", "--pcap", trace, "--show", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "pipeline stats" in output
+        assert "measurements" in output
+
+    def test_generate_pcapng_then_measure(self, tmp_path, capsys):
+        trace = str(tmp_path / "t.pcapng")
+        assert main(["generate", "--duration", "2", "--rate", "20",
+                     "--format", "pcapng", "--output", trace]) == 0
+        capsys.readouterr()
+        assert main(["measure", "--pcap", trace, "--show", "1"]) == 0
+        assert "measurements" in capsys.readouterr().out
+
+    def test_measure_generates_when_no_pcap(self, capsys):
+        assert main(["measure", "--duration", "2", "--rate", "20"]) == 0
+        assert "queue balance" in capsys.readouterr().out
+
+    def test_demo(self, capsys):
+        assert main(["demo", "--duration", "2", "--rate", "20"]) == 0
+        output = capsys.readouterr().out
+        assert "tsdb points" in output
+        assert "map frames" in output
+        assert "arc colours" in output
+
+    def test_detect_glitch(self, capsys):
+        assert main(["detect", "--duration", "60", "--rate", "30",
+                     "--glitch"]) == 0
+        output = capsys.readouterr().out
+        assert "latency-spike" in output
+
+    def test_detect_flood(self, capsys):
+        assert main(["detect", "--duration", "30", "--rate", "20",
+                     "--flood"]) == 0
+        assert "syn-flood" in capsys.readouterr().out
+
+    def test_detect_clean_traffic_returns_nonzero(self, capsys):
+        assert main(["detect", "--duration", "5", "--rate", "20"]) == 1
+        assert "no anomalies" in capsys.readouterr().out
+
+    def test_export_then_query(self, tmp_path, capsys):
+        lp = str(tmp_path / "m.lp")
+        grafana = str(tmp_path / "dash.json")
+        assert main(["export", "--duration", "3", "--rate", "20",
+                     "--output", lp, "--grafana", grafana]) == 0
+        output = capsys.readouterr().out
+        assert "wrote" in output and "Grafana" in output
+        assert main([
+            "query", "--file", lp,
+            "SELECT mean(total_ms) FROM latency GROUP BY dst_country",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "dst_country=" in output
+
+    def test_query_show_statements(self, tmp_path, capsys):
+        lp = str(tmp_path / "m.lp")
+        main(["export", "--duration", "2", "--rate", "15", "--output", lp])
+        capsys.readouterr()
+        assert main(["query", "--file", lp, "SHOW MEASUREMENTS"]) == 0
+        assert "latency" in capsys.readouterr().out
+        assert main([
+            "query", "--file", lp,
+            "SHOW TAG VALUES FROM latency WITH KEY = direction",
+        ]) == 0
+        assert "outbound" in capsys.readouterr().out
+
+    def test_query_no_rows(self, tmp_path, capsys):
+        lp = tmp_path / "empty.lp"
+        lp.write_text("latency total_ms=1.0 0\n")
+        assert main([
+            "query", "--file", str(lp),
+            "SELECT mean(total_ms) FROM nothing",
+        ]) == 1
+        assert "no rows" in capsys.readouterr().out
+
+    def test_dump(self, capsys):
+        assert main(["dump", "--duration", "1", "--rate", "10",
+                     "--count", "5"]) == 0
+        output = capsys.readouterr().out
+        assert output.count("\n") == 5
+        assert "Flags [S]" in output
+
+    def test_dump_from_pcap(self, tmp_path, capsys):
+        trace = str(tmp_path / "t.pcap")
+        main(["generate", "--duration", "1", "--rate", "10",
+              "--output", trace])
+        capsys.readouterr()
+        assert main(["dump", "--pcap", trace, "--count", "3"]) == 0
+        assert capsys.readouterr().out.count("\n") == 3
+
+    def test_analyze(self, capsys):
+        assert main(["analyze", "--duration", "30", "--rate", "25",
+                     "--glitch", "--top", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "mixture fits" in output
+        assert "heatmap" in output
+
+    def test_grafana_export_is_valid_json(self, tmp_path):
+        import json
+
+        grafana = tmp_path / "dash.json"
+        main(["export", "--duration", "2", "--rate", "10",
+              "--output", str(tmp_path / "m.lp"), "--grafana", str(grafana)])
+        model = json.loads(grafana.read_text())
+        assert model["panels"]

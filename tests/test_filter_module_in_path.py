@@ -1,0 +1,61 @@
+"""The paper's filter-module extension, spliced into the live path.
+
+§2: "one could add a filter module to filter measurements in the
+pipeline based on some criteria (e.g., geo-location)". This test
+builds exactly that topology: the analytics PUB feeds a Forwarder
+whose predicate keeps only trans-Pacific measurements, and only the
+forwarder's output reaches the map.
+"""
+
+from repro.analytics.service import AnalyticsService
+from repro.core.pipeline import RuruPipeline
+from repro.frontend.map_view import LiveMapView
+from repro.geo.builder import GeoDbBuilder
+from repro.mq.broker import Forwarder
+from repro.mq.codec import decode_enriched
+from repro.mq.socket import Context
+from repro.traffic.scenarios import AucklandLaScenario
+
+NS_PER_S = 1_000_000_000
+
+
+def test_geo_filter_module_in_live_path():
+    generator = AucklandLaScenario(
+        duration_ns=5 * NS_PER_S, mean_flows_per_s=40, seed=41, diurnal=False
+    ).build()
+    context = Context()
+    geo, asn = GeoDbBuilder(plan=generator.plan, country_accuracy=1.0).build()
+    service = AnalyticsService(context, geo, asn)
+
+    # Splice: service PUB -> [sub_in -> filter -> pub_out] -> map sub.
+    sub_in = service.subscribe_frontend(hwm=1 << 20)
+    pub_out = context.pub()
+    map_sub = context.sub(hwm=1 << 20)
+    map_sub.subscribe(b"")
+    map_sub.bind("inproc://filtered-map")
+    pub_out.connect("inproc://filtered-map")
+
+    def keep_nz_us(message) -> bool:
+        measurement = decode_enriched(message.payload[0])
+        return {measurement.src_country, measurement.dst_country} == {"NZ", "US"}
+
+    module = Forwarder(sub_in, pub_out, message_filter=keep_nz_us)
+
+    pipeline = RuruPipeline(sink=service.make_sink())
+    stats = pipeline.run_packets(generator.packets())
+    service.finish()
+    module.poll(max_messages=1 << 20)
+
+    # The module saw everything; the map sees only the NZ<->US slice.
+    assert module.forwarded + module.filtered == stats.measurements
+    assert 0 < module.forwarded < stats.measurements
+
+    view = LiveMapView(max_arcs_per_frame=1 << 20, arc_ttl_s=1e6)
+    last = 0
+    for message in map_sub.recv_all():
+        measurement = decode_enriched(message.payload[0])
+        assert {measurement.src_country, measurement.dst_country} == {"NZ", "US"}
+        view.add_measurement(measurement, measurement.timestamp_ns)
+        last = max(last, measurement.timestamp_ns)
+    frame = view.flush_frame(last)
+    assert frame.active_arcs == module.forwarded

@@ -1,0 +1,122 @@
+"""Dual-stack (IPv6) end-to-end tests."""
+
+import random
+
+import pytest
+
+from repro.analytics.service import AnalyticsService
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import RuruPipeline
+from repro.geo.builder import GeoDbBuilder, SyntheticGeoPlan
+from repro.mq.socket import Context
+from repro.traffic.endpoints import EndpointPopulation
+from repro.traffic.generator import GeneratorConfig, TrafficGenerator
+from repro.tsdb.query import Query
+
+NS_PER_S = 1_000_000_000
+
+
+@pytest.fixture(scope="module")
+def dual_stack_run():
+    config = GeneratorConfig(
+        duration_ns=5 * NS_PER_S, mean_flows_per_s=40, seed=23,
+        ipv6_fraction=0.4,
+        handshake_only_fraction=0.0, rst_fraction=0.0, syn_loss_fraction=0.0,
+    )
+    generator = TrafficGenerator(config=config, keep_specs=True)
+    packets = generator.packet_list()
+    return generator, packets
+
+
+class TestIpv6Plan:
+    def test_v6_blocks_disjoint(self, plan):
+        for i in range(len(plan.cities) - 1):
+            assert plan.block6_end(i) < plan.block6_start(i + 1)
+
+    def test_v6_ground_truth(self, plan):
+        rng = random.Random(1)
+        for index in (0, 7, len(plan.cities) - 1):
+            host = plan.random_host6(index, rng)
+            assert plan.city_of6(host) is plan.cities[index]
+            assert plan.asn_of6(host) == plan.incumbent_asn(index)
+
+    def test_v6_outside_plan(self, plan):
+        assert plan.city_of6(0xFE80 << 112) is None
+
+    def test_misaligned_v6_base_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticGeoPlan(ipv6_base=(0x20010DB8 << 96) | 1)
+
+
+class TestIpv6Databases:
+    def test_geo6_resolves_plan_hosts(self, plan):
+        geo6 = GeoDbBuilder(plan=plan, country_accuracy=1.0).build_geo6()
+        rng = random.Random(2)
+        for index, city in enumerate(plan.cities):
+            host = plan.random_host6(index, rng)
+            record = geo6.lookup(host)
+            assert record is not None
+            assert record.city == city.name
+
+    def test_asn6_lpm(self, plan):
+        asn6 = GeoDbBuilder(plan=plan).build_asn6()
+        rng = random.Random(3)
+        host = plan.random_host6(5, rng)
+        assert asn6.lookup(host).asn == plan.incumbent_asn(5)
+        assert asn6.lookup(0xFE80 << 112) is None
+
+
+class TestDualStackPipeline:
+    def test_v6_flows_measured(self, dual_stack_run):
+        generator, packets = dual_stack_run
+        pipeline = RuruPipeline(config=PipelineConfig(num_queues=4))
+        stats = pipeline.run_packets(packets)
+        assert stats.measurements == len(generator.specs)
+        v6_records = [r for r in pipeline.measurements if r.is_ipv6]
+        v6_specs = [s for s in generator.specs if s.is_ipv6]
+        assert len(v6_records) == len(v6_specs)
+        assert len(v6_records) > 0
+        # Ground-truth latency also holds for v6 flows.
+        truth = {(s.client_ip, s.client_port): s for s in v6_specs}
+        for record in v6_records:
+            spec = truth[(record.src_ip, record.src_port)]
+            assert abs(record.external_ns - spec.expected_external_ns()) <= 1_000_000
+
+    def test_v6_fraction_respected(self, dual_stack_run):
+        generator, _ = dual_stack_run
+        fraction = sum(1 for s in generator.specs if s.is_ipv6) / len(generator.specs)
+        # ~200 flows: allow generous binomial noise around 0.4.
+        assert 0.25 < fraction < 0.55
+
+    def test_v6_rss_symmetry_preserved(self, dual_stack_run):
+        """Both directions of v6 flows also share a queue."""
+        generator, packets = dual_stack_run
+        pipeline = RuruPipeline(config=PipelineConfig(num_queues=8))
+        stats = pipeline.run_packets(packets)
+        assert stats.tracker.orphan_synack == 0
+        assert stats.measurements == len(generator.specs)
+
+    def test_v6_enrichment_end_to_end(self, dual_stack_run, plan):
+        generator, packets = dual_stack_run
+        builder = GeoDbBuilder(plan=generator.plan, country_accuracy=1.0)
+        geo, asn = builder.build()
+        geo6, asn6 = builder.build6()
+        service = AnalyticsService(
+            Context(), geo, asn, geo6=geo6, asn6=asn6
+        )
+        pipeline = RuruPipeline(sink=service.make_sink())
+        stats = pipeline.run_packets(packets)
+        service.finish()
+        assert service.enriched_count == stats.measurements
+        # No endpoint should remain unknown: v6 resolves via geo6.
+        countries = service.tsdb.tag_values("latency", "src_country")
+        assert "ZZ" not in countries
+
+    def test_v6_unknown_without_v6_databases(self, dual_stack_run):
+        generator, packets = dual_stack_run
+        geo, asn = GeoDbBuilder(plan=generator.plan).build()
+        service = AnalyticsService(Context(), geo, asn)  # no geo6
+        pipeline = RuruPipeline(sink=service.make_sink())
+        pipeline.run_packets(packets)
+        service.finish()
+        assert "ZZ" in service.tsdb.tag_values("latency", "src_country")

@@ -1,0 +1,83 @@
+"""System-wide privacy audit: the paper's anonymization guarantee.
+
+"After this step, all original IP addresses are removed for privacy
+reasons" — these tests run a full workload and audit every artefact
+downstream of the enricher for surviving addresses.
+"""
+
+import json
+
+from repro.analytics.anonymize import assert_no_addresses, find_addresses
+from repro.analytics.service import AnalyticsService
+from repro.core.pipeline import RuruPipeline
+from repro.frontend.dashboard import build_ruru_dashboard
+from repro.frontend.map_view import LiveMapView
+from repro.frontend.websocket import WebSocketChannel
+from repro.geo.builder import GeoDbBuilder
+from repro.mq.codec import decode_enriched
+from repro.mq.socket import Context
+from repro.traffic.scenarios import AucklandLaScenario
+
+NS_PER_S = 1_000_000_000
+
+
+def _run():
+    generator = AucklandLaScenario(
+        duration_ns=5 * NS_PER_S, mean_flows_per_s=30, seed=13, diurnal=False
+    ).build()
+    context = Context()
+    geo, asn = GeoDbBuilder(plan=generator.plan).build()
+    service = AnalyticsService(context, geo, asn)
+    sub = service.subscribe_frontend()
+    pipeline = RuruPipeline(sink=service.make_sink())
+    pipeline.run_packets(generator.packets())
+    service.finish()
+    return pipeline, service, sub
+
+
+class TestPrivacyBoundary:
+    def test_pipeline_records_do_contain_addresses(self):
+        """Sanity: upstream of the enricher, addresses exist — the
+        audit tool must be able to see them."""
+        generator = AucklandLaScenario(
+            duration_ns=2 * NS_PER_S, mean_flows_per_s=30, seed=13, diurnal=False
+        ).build()
+        pipeline = RuruPipeline()
+        pipeline.run_packets(generator.packets())
+        leaked = find_addresses(str(pipeline.measurements[0]))
+        assert leaked
+
+    def test_tsdb_contains_no_addresses(self):
+        _, service, _ = _run()
+        for measurement_name in service.tsdb.measurements():
+            for series in service.tsdb.storage.series_for(measurement_name):
+                assert_no_addresses(series.tags, f"tags of {measurement_name}")
+
+    def test_tsdb_line_protocol_dump_clean(self):
+        _, service, _ = _run()
+        for line in service.tsdb.dump_lines():
+            assert_no_addresses(line, "line protocol export")
+
+    def test_frontend_feed_clean(self):
+        _, _, sub = _run()
+        for message in sub.recv_all():
+            measurement = decode_enriched(message.payload[0])
+            assert_no_addresses(measurement, "enriched measurement")
+
+    def test_websocket_frames_clean(self):
+        _, _, sub = _run()
+        channel = WebSocketChannel()
+        view = LiveMapView(channel=channel, max_arcs_per_frame=10_000)
+        last = 0
+        for message in sub.recv_all():
+            measurement = decode_enriched(message.payload[0])
+            view.add_measurement(measurement, measurement.timestamp_ns)
+            last = max(last, measurement.timestamp_ns)
+        view.flush_frame(last)
+        for frame in channel.client_recv_all_json():
+            assert_no_addresses(json.dumps(frame), "websocket map frame")
+
+    def test_dashboard_results_clean(self):
+        _, service, _ = _run()
+        for panel in build_ruru_dashboard().render(service.tsdb):
+            assert_no_addresses(panel.series_labels(), f"panel {panel.title}")

@@ -1,0 +1,103 @@
+"""RTT distribution tests."""
+
+import math
+import random
+
+import pytest
+
+from repro.traffic.distributions import (
+    LognormalMixture,
+    empirical_summary,
+    rtt_model_for_path,
+)
+from repro.geo.locations import city_by_name
+
+
+class TestLognormalMixture:
+    def test_samples_respect_floor(self):
+        mixture = LognormalMixture.single(median_ms=10.0, floor_ms=8.0)
+        rng = random.Random(1)
+        assert all(mixture.sample(rng) >= 8.0 for _ in range(500))
+
+    def test_single_median_close_to_target(self):
+        mixture = LognormalMixture.single(median_ms=50.0, sigma=0.1)
+        rng = random.Random(2)
+        samples = sorted(mixture.sample(rng) for _ in range(2000))
+        assert 47.0 < samples[1000] < 53.0
+
+    def test_mixture_weights_drive_mode_frequency(self):
+        mixture = LognormalMixture(
+            components=(
+                (0.9, math.log(10.0), 0.05),
+                (0.1, math.log(100.0), 0.05),
+            )
+        )
+        rng = random.Random(3)
+        samples = [mixture.sample(rng) for _ in range(2000)]
+        high_mode = sum(1 for s in samples if s > 50)
+        assert 120 < high_mode < 280  # ~10%
+
+    def test_median_ms_reports_dominant_mode(self):
+        mixture = LognormalMixture(
+            components=((0.9, math.log(20.0), 0.1), (0.1, math.log(99.0), 0.1))
+        )
+        assert mixture.median_ms() == pytest.approx(20.0)
+
+    def test_deterministic_with_seed(self):
+        mixture = LognormalMixture.single(25.0)
+        a = [mixture.sample(random.Random(7)) for _ in range(10)]
+        b = [mixture.sample(random.Random(7)) for _ in range(10)]
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LognormalMixture(components=())
+        with pytest.raises(ValueError):
+            LognormalMixture(components=((0.0, 1.0, 0.1),))
+        with pytest.raises(ValueError):
+            LognormalMixture(components=((1.0, 1.0, 0.0),))
+        with pytest.raises(ValueError):
+            LognormalMixture.single(median_ms=0)
+
+
+class TestPathModel:
+    def test_auckland_la_median_realistic(self):
+        akl = city_by_name("Auckland")
+        la = city_by_name("Los Angeles")
+        model = rtt_model_for_path(akl.lat, akl.lon, la.lat, la.lon)
+        rng = random.Random(4)
+        samples = sorted(model.sample(rng) for _ in range(2000))
+        median = samples[1000]
+        # Production Auckland-LA RTTs are ~130-180 ms.
+        assert 110 < median < 220
+
+    def test_local_path_floor(self):
+        model = rtt_model_for_path(-36.85, 174.76, -36.85, 174.76)
+        rng = random.Random(5)
+        samples = [model.sample(rng) for _ in range(100)]
+        assert all(sample >= 0.35 for sample in samples)
+        assert min(samples) < 2.0
+
+    def test_longer_path_higher_rtt(self):
+        akl = city_by_name("Auckland")
+        sydney = city_by_name("Sydney")
+        london = city_by_name("London")
+        rng = random.Random(6)
+        near = rtt_model_for_path(akl.lat, akl.lon, sydney.lat, sydney.lon)
+        far = rtt_model_for_path(akl.lat, akl.lon, london.lat, london.lon)
+        near_median = sorted(near.sample(rng) for _ in range(500))[250]
+        far_median = sorted(far.sample(rng) for _ in range(500))[250]
+        assert far_median > near_median * 3
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        summary = empirical_summary([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary["min"] == 1.0
+        assert summary["max"] == 5.0
+        assert summary["mean"] == 3.0
+        assert summary["count"] == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_summary([])

@@ -1,0 +1,92 @@
+"""Diurnal profile and arrival process tests."""
+
+import random
+
+import pytest
+
+from repro.traffic.diurnal import (
+    NS_PER_HOUR,
+    NS_PER_S,
+    DiurnalProfile,
+    expected_count,
+    poisson_arrivals,
+)
+
+
+class TestProfile:
+    def test_flat_profile(self):
+        profile = DiurnalProfile.flat()
+        for hour in range(24):
+            assert profile.multiplier(hour * NS_PER_HOUR) == 1.0
+
+    def test_default_has_night_trough_and_evening_peak(self):
+        profile = DiurnalProfile()
+        night = profile.multiplier(3 * NS_PER_HOUR)
+        evening = profile.multiplier(19 * NS_PER_HOUR)
+        assert night < 0.5
+        assert evening > 1.3
+        assert evening > 4 * night
+
+    def test_interpolation_between_hours(self):
+        profile = DiurnalProfile(hourly=tuple([1.0] * 23 + [3.0]))
+        halfway = profile.multiplier(int(22.5 * NS_PER_HOUR))
+        assert halfway == pytest.approx(2.0)
+
+    def test_wraps_daily(self):
+        profile = DiurnalProfile()
+        assert profile.multiplier(0) == profile.multiplier(24 * NS_PER_HOUR)
+        assert profile.multiplier(3 * NS_PER_HOUR) == profile.multiplier(
+            27 * NS_PER_HOUR
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalProfile(hourly=(1.0,) * 23)
+        with pytest.raises(ValueError):
+            DiurnalProfile(hourly=(-1.0,) + (1.0,) * 23)
+        with pytest.raises(ValueError):
+            DiurnalProfile(hourly=(0.0,) * 24)
+
+
+class TestArrivals:
+    def test_rate_matches_expectation_flat(self):
+        rng = random.Random(1)
+        arrivals = list(poisson_arrivals(
+            rng, 100.0, 0, 60 * NS_PER_S, DiurnalProfile.flat()
+        ))
+        assert 5300 < len(arrivals) < 6700  # 6000 ± noise
+
+    def test_arrivals_sorted_and_in_window(self):
+        rng = random.Random(2)
+        arrivals = list(poisson_arrivals(
+            rng, 50.0, 10 * NS_PER_S, 20 * NS_PER_S, DiurnalProfile.flat()
+        ))
+        assert arrivals == sorted(arrivals)
+        assert all(10 * NS_PER_S <= t < 20 * NS_PER_S for t in arrivals)
+
+    def test_diurnal_shape_respected(self):
+        rng = random.Random(3)
+        profile = DiurnalProfile()
+        # One hour of night vs one hour of evening at the same rate.
+        night = len(list(poisson_arrivals(
+            rng, 20.0, 3 * NS_PER_HOUR, 4 * NS_PER_HOUR, profile
+        )))
+        evening = len(list(poisson_arrivals(
+            rng, 20.0, 19 * NS_PER_HOUR, 20 * NS_PER_HOUR, profile
+        )))
+        assert evening > 3 * night
+
+    def test_expected_count_agrees_with_sampler(self):
+        profile = DiurnalProfile()
+        expectation = expected_count(30.0, 0, 6 * NS_PER_HOUR, profile)
+        rng = random.Random(4)
+        observed = len(list(poisson_arrivals(
+            rng, 30.0, 0, 6 * NS_PER_HOUR, profile
+        )))
+        assert abs(observed - expectation) < expectation * 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(poisson_arrivals(random.Random(0), 0, 0, 10, DiurnalProfile.flat()))
+        with pytest.raises(ValueError):
+            list(poisson_arrivals(random.Random(0), 1, 10, 5, DiurnalProfile.flat()))

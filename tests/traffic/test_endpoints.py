@@ -1,0 +1,71 @@
+"""Endpoint population tests."""
+
+import random
+
+import pytest
+
+from repro.traffic.endpoints import EndpointPopulation, TapSide
+from repro.geo.locations import city_by_name
+
+
+class TestTapSide:
+    def test_weighted_draw(self):
+        side = TapSide(
+            cities=(city_by_name("Auckland"), city_by_name("Wellington")),
+            weights=(0.9, 0.1),
+        )
+        rng = random.Random(1)
+        draws = [side.draw_city(rng).name for _ in range(1000)]
+        auckland_share = draws.count("Auckland") / 1000
+        assert 0.85 < auckland_share < 0.95
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TapSide(cities=(), weights=())
+        with pytest.raises(ValueError):
+            TapSide(cities=(city_by_name("Auckland"),), weights=(0.0,))
+        with pytest.raises(ValueError):
+            TapSide(cities=(city_by_name("Auckland"),), weights=(1.0, 2.0))
+
+
+class TestEndpointPopulation:
+    def test_outbound_fraction_respected(self):
+        population = EndpointPopulation(outbound_fraction=0.8)
+        rng = random.Random(2)
+        outbound = sum(
+            1 for _ in range(1000) if population.draw_pair(rng)[2]
+        )
+        assert 740 < outbound < 860
+
+    def test_outbound_client_is_internal(self):
+        population = EndpointPopulation(outbound_fraction=1.0)
+        rng = random.Random(3)
+        for _ in range(50):
+            client, server, outbound = population.draw_pair(rng)
+            assert outbound
+            assert client.country_code == "NZ"
+            assert server.country_code != "NZ" or server.name not in (
+                c.name for c in population.internal.cities
+            )
+
+    def test_inbound_client_is_external(self):
+        population = EndpointPopulation(outbound_fraction=0.0)
+        rng = random.Random(4)
+        client, server, outbound = population.draw_pair(rng)
+        assert not outbound
+        assert server.country_code == "NZ"
+
+    def test_host_resolves_to_city(self, plan):
+        population = EndpointPopulation(plan=plan)
+        rng = random.Random(5)
+        city = city_by_name("Seattle")
+        host = population.host_in(city, rng)
+        assert plan.city_of(host).name == "Seattle"
+
+    def test_unknown_city_in_weights_rejected(self):
+        with pytest.raises(ValueError):
+            EndpointPopulation(internal_weights={"Atlantis": 1.0})
+
+    def test_bad_outbound_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            EndpointPopulation(outbound_fraction=1.5)

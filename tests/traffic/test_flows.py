@@ -1,0 +1,140 @@
+"""Flow synthesizer tests: the tap-timestamp ground truth."""
+
+import random
+
+import pytest
+
+from repro.net.parser import PacketParser
+from repro.traffic.flows import FlowSpec, FlowSynthesizer
+
+MS = 1_000_000
+
+
+def _spec(**overrides):
+    fields = dict(
+        start_ns=0,
+        client_ip=0x0A000001,
+        server_ip=0x14000001,
+        client_port=40000,
+        server_port=443,
+        internal_rtt_ms=10.0,
+        external_rtt_ms=140.0,
+        server_delay_ms=1.0,
+        client_delay_ms=0.5,
+        data_exchanges=2,
+    )
+    fields.update(overrides)
+    return FlowSpec(**fields)
+
+
+def _parse_all(packets):
+    parser = PacketParser(extract_timestamps=True)
+    return [parser.parse(p.data, p.timestamp_ns) for p in packets]
+
+
+class TestHandshakeTimestamps:
+    def test_tap_arithmetic(self):
+        spec = _spec()
+        packets = FlowSynthesizer(random.Random(1)).synthesize(spec)
+        parsed = _parse_all(packets)
+        syn = next(p for p in parsed if p.is_syn)
+        synack = next(p for p in parsed if p.is_synack)
+        ack = next(p for p in parsed if p.is_ack and p.payload_len == 0)
+        assert synack.timestamp_ns - syn.timestamp_ns == spec.expected_external_ns()
+        assert ack.timestamp_ns - synack.timestamp_ns == spec.expected_internal_ns()
+
+    def test_expected_totals(self):
+        spec = _spec(internal_rtt_ms=20, external_rtt_ms=100,
+                     server_delay_ms=2, client_delay_ms=1)
+        assert spec.expected_external_ns() == 102 * MS
+        assert spec.expected_internal_ns() == 21 * MS
+        assert spec.expected_total_ns() == 123 * MS
+
+    def test_packets_time_ordered(self):
+        packets = FlowSynthesizer(random.Random(2)).synthesize(_spec())
+        timestamps = [p.timestamp_ns for p in packets]
+        assert timestamps == sorted(timestamps)
+
+    def test_sequence_numbers_consistent(self):
+        parsed = _parse_all(FlowSynthesizer(random.Random(3)).synthesize(_spec()))
+        syn = next(p for p in parsed if p.is_syn)
+        synack = next(p for p in parsed if p.is_synack)
+        ack = next(p for p in parsed if p.is_ack)
+        assert synack.ack == (syn.seq + 1) & 0xFFFFFFFF
+        assert ack.seq == (syn.seq + 1) & 0xFFFFFFFF
+        assert ack.ack == (synack.seq + 1) & 0xFFFFFFFF
+
+
+class TestBehaviours:
+    def test_handshake_only_flow(self):
+        packets = FlowSynthesizer(random.Random(4)).synthesize(
+            _spec(completes=False)
+        )
+        parsed = _parse_all(packets)
+        assert len(parsed) == 1
+        assert parsed[0].is_syn
+
+    def test_rst_abort(self):
+        parsed = _parse_all(FlowSynthesizer(random.Random(5)).synthesize(
+            _spec(rst_after_synack=True)
+        ))
+        assert any(p.is_rst for p in parsed)
+        assert not any(p.is_ack and not p.is_rst for p in parsed)
+
+    def test_syn_loss_duplicates_syn_and_delays_synack(self):
+        spec = _spec(syn_lost_beyond_tap=True, rto_ms=1000.0)
+        parsed = _parse_all(FlowSynthesizer(random.Random(6)).synthesize(spec))
+        syns = [p for p in parsed if p.is_syn]
+        assert len(syns) == 2
+        assert syns[1].timestamp_ns - syns[0].timestamp_ns == 1000 * MS
+        assert syns[0].seq == syns[1].seq  # same ISN on retransmit
+        synack = next(p for p in parsed if p.is_synack)
+        assert (
+            synack.timestamp_ns - syns[0].timestamp_ns
+            == spec.expected_external_ns()
+        )
+
+    def test_data_exchanges_counted(self):
+        parsed = _parse_all(FlowSynthesizer(random.Random(7)).synthesize(
+            _spec(data_exchanges=3, fin_close=False)
+        ))
+        requests = [p for p in parsed if p.payload_len > 0 and p.src_port == 40000]
+        responses = [p for p in parsed if p.payload_len > 0 and p.src_port == 443]
+        assert len(requests) == 3
+        assert len(responses) == 3
+
+    def test_fin_close_present(self):
+        parsed = _parse_all(FlowSynthesizer(random.Random(8)).synthesize(
+            _spec(fin_close=True, data_exchanges=0)
+        ))
+        fins = [p for p in parsed if p.is_fin]
+        assert len(fins) == 2  # one from each side
+
+    def test_no_fin_when_disabled(self):
+        parsed = _parse_all(FlowSynthesizer(random.Random(9)).synthesize(
+            _spec(fin_close=False, data_exchanges=0)
+        ))
+        assert not any(p.is_fin for p in parsed)
+
+
+class TestTimestampOptions:
+    def test_all_packets_carry_tsval(self):
+        parsed = _parse_all(FlowSynthesizer(random.Random(10)).synthesize(_spec()))
+        assert all(p.tsval is not None for p in parsed)
+
+    def test_tsecr_echoes_peer_tsval(self):
+        parsed = _parse_all(FlowSynthesizer(random.Random(11)).synthesize(_spec()))
+        syn = next(p for p in parsed if p.is_syn)
+        synack = next(p for p in parsed if p.is_synack)
+        assert syn.tsecr == 0
+        assert synack.tsecr == syn.tsval
+
+
+class TestValidation:
+    def test_negative_rtt_rejected(self):
+        with pytest.raises(ValueError):
+            _spec(internal_rtt_ms=-1.0)
+
+    def test_negative_exchanges_rejected(self):
+        with pytest.raises(ValueError):
+            _spec(data_exchanges=-1)

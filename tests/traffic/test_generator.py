@@ -1,0 +1,80 @@
+"""Traffic generator tests."""
+
+import pytest
+
+from repro.traffic.generator import GeneratorConfig, TrafficGenerator
+
+NS_PER_S = 1_000_000_000
+
+
+def _generator(**overrides):
+    fields = dict(duration_ns=3 * NS_PER_S, mean_flows_per_s=30, seed=5)
+    fields.update(overrides)
+    config = GeneratorConfig(**fields)
+    return TrafficGenerator(config=config, keep_specs=True)
+
+
+class TestGenerator:
+    def test_packet_stream_time_ordered(self):
+        packets = _generator().packet_list()
+        timestamps = [p.timestamp_ns for p in packets]
+        assert timestamps == sorted(timestamps)
+        assert len(packets) > 100
+
+    def test_deterministic_by_seed(self):
+        a = _generator(seed=9).packet_list()
+        b = _generator(seed=9).packet_list()
+        assert [p.data for p in a] == [p.data for p in b]
+        assert [p.timestamp_ns for p in a] == [p.timestamp_ns for p in b]
+
+    def test_different_seeds_differ(self):
+        a = _generator(seed=1).packet_list()
+        b = _generator(seed=2).packet_list()
+        assert [p.data for p in a] != [p.data for p in b]
+
+    def test_flow_rate_approximate(self):
+        generator = _generator(duration_ns=10 * NS_PER_S, mean_flows_per_s=50)
+        generator.packet_list()
+        assert 380 < generator.flows_generated < 640
+
+    def test_specs_within_duration(self):
+        generator = _generator()
+        generator.packet_list()
+        for spec in generator.specs:
+            assert 0 <= spec.start_ns < 3 * NS_PER_S
+
+    def test_endpoints_resolve_in_plan(self):
+        generator = _generator()
+        generator.packet_list()
+        plan = generator.plan
+        for spec in generator.specs[:50]:
+            assert plan.city_of(spec.client_ip) is not None
+            assert plan.city_of(spec.server_ip) is not None
+
+    def test_behaviour_fractions_zero_means_all_complete(self):
+        generator = _generator(
+            handshake_only_fraction=0.0, rst_fraction=0.0, syn_loss_fraction=0.0
+        )
+        generator.packet_list()
+        assert all(spec.completes for spec in generator.specs)
+        assert not any(spec.rst_after_synack for spec in generator.specs)
+
+    def test_handshake_only_fraction_applied(self):
+        generator = _generator(
+            duration_ns=10 * NS_PER_S, mean_flows_per_s=60,
+            handshake_only_fraction=0.5,
+        )
+        generator.packet_list()
+        incomplete = sum(1 for s in generator.specs if not s.completes)
+        fraction = incomplete / len(generator.specs)
+        assert 0.4 < fraction < 0.6
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(duration_ns=0).validate()
+        with pytest.raises(ValueError):
+            GeneratorConfig(mean_flows_per_s=0).validate()
+        with pytest.raises(ValueError):
+            GeneratorConfig(handshake_only_fraction=2.0).validate()
+        with pytest.raises(ValueError):
+            GeneratorConfig(tap_city="Nowhere").validate()

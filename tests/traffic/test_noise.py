@@ -1,0 +1,64 @@
+"""Non-TCP noise generation and pipeline filtering tests."""
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import RuruPipeline
+from repro.net.parser import PacketParser, ParseError
+from repro.traffic.noise import NoiseGenerator, merge_streams
+
+NS_PER_S = 1_000_000_000
+
+
+class TestNoiseGenerator:
+    def test_stream_ordered_and_nonempty(self):
+        noise = NoiseGenerator(duration_ns=5 * NS_PER_S, seed=1)
+        packets = list(noise.packets())
+        assert len(packets) > 100
+        stamps = [p.timestamp_ns for p in packets]
+        assert stamps == sorted(stamps)
+
+    def test_nothing_parses_as_tcp(self):
+        parser = PacketParser()
+        noise = NoiseGenerator(duration_ns=2 * NS_PER_S, seed=2)
+        reasons = set()
+        for packet in noise.packets():
+            try:
+                parser.parse(packet.data, packet.timestamp_ns)
+                raise AssertionError("noise packet parsed as TCP")
+            except ParseError as error:
+                reasons.add(error.reason)
+        assert "not-tcp" in reasons  # UDP and ICMP
+        assert "not-ip" in reasons   # ARP
+
+    def test_deterministic(self):
+        a = list(NoiseGenerator(seed=3, duration_ns=NS_PER_S).packets())
+        b = list(NoiseGenerator(seed=3, duration_ns=NS_PER_S).packets())
+        assert [p.data for p in a] == [p.data for p in b]
+
+
+class TestPipelineWithNoise:
+    def test_noise_dropped_measurement_unaffected(self, small_workload):
+        generator, tcp_packets = small_workload
+        noise = NoiseGenerator(
+            plan=generator.plan, duration_ns=5 * NS_PER_S, seed=4,
+            udp_rate_per_s=100, icmp_rate_per_s=10,
+        )
+        merged = list(merge_streams(iter(tcp_packets), noise.packets()))
+        assert len(merged) > len(tcp_packets)
+
+        clean = RuruPipeline(config=PipelineConfig(num_queues=2))
+        clean_stats = clean.run_packets(tcp_packets)
+        noisy = RuruPipeline(config=PipelineConfig(num_queues=2))
+        noisy_stats = noisy.run_packets(merged)
+
+        # Identical measurements, with the noise counted as drops.
+        assert noisy_stats.measurements == clean_stats.measurements
+        assert noisy_stats.parse_errors == len(merged) - len(tcp_packets)
+        assert noisy_stats.parse_error_reasons.get("not-tcp", 0) > 0
+        assert noisy_stats.parse_error_reasons.get("not-ip", 0) > 0
+
+    def test_merge_preserves_order(self, small_workload):
+        _, tcp_packets = small_workload
+        noise = NoiseGenerator(duration_ns=5 * NS_PER_S, seed=5)
+        merged = list(merge_streams(iter(tcp_packets), noise.packets()))
+        stamps = [p.timestamp_ns for p in merged]
+        assert stamps == sorted(stamps)

@@ -1,0 +1,120 @@
+"""Scenario and injector tests."""
+
+import random
+
+from repro.traffic.flows import FlowSpec
+from repro.traffic.scenarios import (
+    AucklandLaScenario,
+    ConnectionSurgeInjector,
+    FirewallGlitchInjector,
+    SynFloodInjector,
+)
+
+NS_PER_S = 1_000_000_000
+NS_PER_HOUR = 3600 * NS_PER_S
+
+
+def _spec(start_ns):
+    return FlowSpec(
+        start_ns=start_ns, client_ip=1, server_ip=2,
+        client_port=1000, server_port=443,
+        internal_rtt_ms=10, external_rtt_ms=100, server_delay_ms=1.0,
+    )
+
+
+class TestAucklandLaScenario:
+    def test_build_produces_generator(self):
+        generator = AucklandLaScenario(
+            duration_ns=2 * NS_PER_S, mean_flows_per_s=20, diurnal=False
+        ).build()
+        packets = generator.packet_list()
+        assert packets
+        assert generator.config.tap_city == "Auckland"
+
+    def test_diurnal_toggle(self):
+        flat = AucklandLaScenario(diurnal=False).build()
+        shaped = AucklandLaScenario(diurnal=True).build()
+        assert len(set(flat.config.profile.hourly)) == 1
+        assert len(set(shaped.config.profile.hourly)) > 1
+
+
+class TestFirewallGlitch:
+    def test_window_membership(self):
+        injector = FirewallGlitchInjector(
+            window_start_offset_ns=3 * NS_PER_HOUR, window_ns=60 * NS_PER_S
+        )
+        assert injector.in_window(3 * NS_PER_HOUR)
+        assert injector.in_window(3 * NS_PER_HOUR + 59 * NS_PER_S)
+        assert not injector.in_window(3 * NS_PER_HOUR + 60 * NS_PER_S)
+        assert not injector.in_window(2 * NS_PER_HOUR)
+
+    def test_nightly_repetition(self):
+        injector = FirewallGlitchInjector(window_start_offset_ns=3 * NS_PER_HOUR)
+        day = 24 * NS_PER_HOUR
+        assert injector.in_window(day + 3 * NS_PER_HOUR + NS_PER_S)
+        assert injector.in_window(5 * day + 3 * NS_PER_HOUR)
+
+    def test_adds_4000ms_in_window(self):
+        injector = FirewallGlitchInjector(
+            window_start_offset_ns=0, window_ns=10 * NS_PER_S
+        )
+        rng = random.Random(1)
+        affected = injector.adjust(_spec(5 * NS_PER_S), rng)
+        assert affected.server_delay_ms == 4001.0
+        unaffected = injector.adjust(_spec(20 * NS_PER_S), rng)
+        assert unaffected.server_delay_ms == 1.0
+        assert injector.affected_flows == 1
+
+
+class TestSynFlood:
+    def test_flood_flows_never_complete(self):
+        injector = SynFloodInjector(
+            flood_start_ns=0, flood_duration_ns=NS_PER_S, rate_per_s=100
+        )
+        flows = list(injector.extra_flows(random.Random(2)))
+        assert len(flows) == 100
+        assert all(not flow.completes for flow in flows)
+        assert all(flow.server_port == 443 for flow in flows)
+        targets = {flow.server_ip for flow in flows}
+        assert len(targets) == 1  # one victim
+
+    def test_flood_in_window(self):
+        injector = SynFloodInjector(
+            flood_start_ns=5 * NS_PER_S, flood_duration_ns=2 * NS_PER_S,
+            rate_per_s=50,
+        )
+        flows = list(injector.extra_flows(random.Random(3)))
+        assert all(
+            5 * NS_PER_S <= flow.start_ns < 7 * NS_PER_S for flow in flows
+        )
+
+    def test_sources_spoofed(self):
+        injector = SynFloodInjector(rate_per_s=200, flood_duration_ns=NS_PER_S)
+        flows = list(injector.extra_flows(random.Random(4)))
+        sources = {flow.client_ip for flow in flows}
+        assert len(sources) > 150  # nearly all distinct
+
+
+class TestConnectionSurge:
+    def test_surge_flows_complete_between_pair(self, plan):
+        injector = ConnectionSurgeInjector(
+            src_city="Wellington", dst_city="Los Angeles",
+            surge_start_ns=0, surge_duration_ns=NS_PER_S, rate_per_s=40,
+        )
+        flows = list(injector.extra_flows(random.Random(5)))
+        assert len(flows) == 40
+        for flow in flows:
+            assert flow.completes
+            assert plan.city_of(flow.client_ip).name == "Wellington"
+            assert plan.city_of(flow.server_ip).name == "Los Angeles"
+
+    def test_integration_with_generator(self):
+        surge = ConnectionSurgeInjector(
+            surge_start_ns=0, surge_duration_ns=NS_PER_S, rate_per_s=30
+        )
+        generator = AucklandLaScenario(
+            duration_ns=2 * NS_PER_S, mean_flows_per_s=10, diurnal=False
+        ).build(injectors=[surge], keep_specs=True)
+        generator.packet_list()
+        assert surge.flows_injected == 30
+        assert generator.flows_generated > 30

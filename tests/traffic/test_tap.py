@@ -1,0 +1,104 @@
+"""Tap impairment tests, including pipeline robustness under them."""
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import RuruPipeline
+from repro.net.packet import Packet
+from repro.traffic.tap import TapImpairments
+
+MS = 1_000_000
+
+
+def _stream(count=1000):
+    return [Packet(data=bytes([i % 256]) * 60, timestamp_ns=i * MS)
+            for i in range(count)]
+
+
+class TestImpairments:
+    def test_identity_when_disabled(self):
+        packets = _stream(100)
+        out = list(TapImpairments().apply(packets))
+        assert [p.data for p in out] == [p.data for p in packets]
+        assert [p.timestamp_ns for p in out] == [p.timestamp_ns for p in packets]
+
+    def test_loss_rate_approximate(self):
+        out = list(TapImpairments(loss_rate=0.2, seed=1).apply(_stream(5000)))
+        survived = len(out) / 5000
+        assert 0.75 < survived < 0.85
+
+    def test_duplication_rate_approximate(self):
+        out = list(TapImpairments(duplicate_rate=0.1, seed=2).apply(_stream(5000)))
+        assert 1.07 < len(out) / 5000 < 1.13
+
+    def test_reorder_produces_order_by_jittered_stamp(self):
+        out = list(TapImpairments(
+            reorder_rate=0.3, reorder_jitter_ns=5 * MS, seed=3
+        ).apply(_stream(1000)))
+        stamps = [p.timestamp_ns for p in out]
+        assert stamps == sorted(stamps)
+        # Content order must differ from the original somewhere.
+        original = [p.data for p in _stream(1000)]
+        assert [p.data for p in out] != original
+
+    def test_deterministic_by_seed(self):
+        a = list(TapImpairments(loss_rate=0.1, seed=7).apply(_stream(500)))
+        b = list(TapImpairments(loss_rate=0.1, seed=7).apply(_stream(500)))
+        assert [p.data for p in a] == [p.data for p in b]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TapImpairments(loss_rate=1.5)
+        with pytest.raises(ValueError):
+            TapImpairments(reorder_jitter_ns=-1)
+
+
+class TestPipelineRobustness:
+    """Measurement coverage degrades gracefully, never crashes."""
+
+    def _measure(self, small_workload, impairments):
+        generator, packets = small_workload
+        pipeline = RuruPipeline(config=PipelineConfig(num_queues=2))
+        stats = pipeline.run_packets(impairments.apply(packets))
+        completing = sum(
+            1 for s in generator.specs
+            if s.completes and not s.rst_after_synack
+        )
+        return stats, completing
+
+    def test_capture_loss_costs_proportional_measurements(self, small_workload):
+        stats, completing = self._measure(
+            small_workload, TapImpairments(loss_rate=0.05, seed=11)
+        )
+        # Losing any 1 of a flow's 3 handshake frames loses the flow:
+        # coverage ~ (1-p)^3 ≈ 86 %. Allow generous slack.
+        assert 0.70 * completing < stats.measurements < completing
+
+    def test_duplicates_do_not_double_count(self, small_workload):
+        stats, completing = self._measure(
+            small_workload, TapImpairments(duplicate_rate=0.3, seed=12)
+        )
+        # Duplicated SYN/SYN-ACK count as retransmits; duplicated ACKs
+        # find no entry. Measurements never exceed real flows.
+        assert stats.measurements <= completing
+        assert stats.measurements > 0.95 * completing
+        assert (
+            stats.tracker.syn_retransmits + stats.tracker.synack_retransmits
+        ) > 0
+
+    def test_mild_reorder_tolerated(self, small_workload):
+        # 200us jitter never reorders across a >=1ms handshake gap.
+        stats, completing = self._measure(
+            small_workload,
+            TapImpairments(reorder_rate=0.3, reorder_jitter_ns=200_000, seed=13),
+        )
+        assert stats.measurements > 0.95 * completing
+
+    def test_combined_impairments_never_crash(self, small_workload):
+        stats, completing = self._measure(
+            small_workload,
+            TapImpairments(
+                loss_rate=0.1, duplicate_rate=0.1, reorder_rate=0.2, seed=14
+            ),
+        )
+        assert 0 < stats.measurements <= completing

@@ -1,0 +1,75 @@
+"""TimeSeriesDatabase facade tests."""
+
+from repro.tsdb.database import TimeSeriesDatabase
+from repro.tsdb.point import Point
+from repro.tsdb.query import Query
+from repro.tsdb.retention import Downsampler, RetentionPolicy
+
+S = 1_000_000_000
+
+
+def _db():
+    db = TimeSeriesDatabase()
+    for i in range(6):
+        db.write(Point("latency", i * S, tags={"src": "NZ"},
+                       fields={"total_ms": 100.0 + i}))
+    return db
+
+
+class TestFacade:
+    def test_write_and_query(self):
+        db = _db()
+        assert db.total_points() == 6
+        result = db.query(Query("latency", "total_ms", "mean"))
+        assert result.scalar() == 102.5
+
+    def test_write_batch(self):
+        db = TimeSeriesDatabase()
+        count = db.write_batch(
+            Point("m", i, fields={"v": 1.0}) for i in range(5)
+        )
+        assert count == 5
+
+    def test_measurements_and_tag_values(self):
+        db = _db()
+        assert db.measurements() == ["latency"]
+        assert db.tag_values("latency", "src") == ["NZ"]
+
+    def test_cardinality(self):
+        db = _db()
+        db.write(Point("latency", 0, tags={"src": "AU"}, fields={"total_ms": 1.0}))
+        assert db.cardinality() == {"latency": 2}
+
+    def test_retention_integration(self):
+        db = _db()
+        db.add_retention_policy(RetentionPolicy(duration_ns=2 * S))
+        dropped = db.enforce_retention(now_ns=6 * S)
+        assert dropped == 4
+        assert db.total_points() == 2
+
+    def test_downsampler_integration(self):
+        db = _db()
+        db.add_downsampler(Downsampler(
+            source="latency", target="latency_3s", field="total_ms",
+            interval_ns=3 * S,
+        ))
+        written = db.run_downsamplers(0, 6 * S)
+        assert written == 2
+        assert "latency_3s" in db.measurements()
+
+
+class TestImportExport:
+    def test_line_protocol_roundtrip(self):
+        db = _db()
+        lines = list(db.dump_lines())
+        assert len(lines) == 6
+        restored = TimeSeriesDatabase()
+        assert restored.load_lines(lines) == 6
+        original = db.query(Query("latency", "total_ms", "sum")).scalar()
+        reloaded = restored.query(Query("latency", "total_ms", "sum")).scalar()
+        assert original == reloaded
+
+    def test_dump_single_measurement(self):
+        db = _db()
+        db.write(Point("other", 0, fields={"v": 1.0}))
+        assert all(line.startswith("latency") for line in db.dump_lines("latency"))

@@ -1,0 +1,72 @@
+"""Aggregation function tests."""
+
+import pytest
+
+from repro.tsdb.functions import AGGREGATORS, percentile, resolve
+
+
+class TestBasicAggregators:
+    DATA = [4.0, 1.0, 3.0, 2.0, 5.0]
+
+    @pytest.mark.parametrize("name,expected", [
+        ("count", 5.0),
+        ("sum", 15.0),
+        ("min", 1.0),
+        ("max", 5.0),
+        ("mean", 3.0),
+        ("median", 3.0),
+        ("first", 4.0),
+        ("last", 5.0),
+        ("spread", 4.0),
+    ])
+    def test_known_values(self, name, expected):
+        assert AGGREGATORS[name](self.DATA) == expected
+
+    def test_stddev(self):
+        assert AGGREGATORS["stddev"]([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) == 2.0
+        assert AGGREGATORS["stddev"]([5.0]) == 0.0
+
+    def test_single_sample(self):
+        for name in ("mean", "median", "min", "max"):
+            assert AGGREGATORS[name]([7.5]) == 7.5
+
+
+class TestPercentile:
+    def test_median_even(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.5
+
+    def test_interpolation(self):
+        assert percentile([10.0, 20.0], 25) == 12.5
+
+    def test_extremes(self):
+        data = [3.0, 1.0, 2.0]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 3.0
+
+    def test_p95_large(self):
+        data = [float(i) for i in range(1, 101)]
+        assert abs(percentile(data, 95) - 95.05) < 0.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestResolve:
+    def test_named(self):
+        assert resolve("mean")([2.0, 4.0]) == 3.0
+
+    def test_dynamic_percentile(self):
+        p90 = resolve("p90")
+        assert p90([float(i) for i in range(1, 11)]) == pytest.approx(9.1)
+
+    def test_fractional_percentile(self):
+        resolve("p99.9")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            resolve("harmonic-mean")
+        with pytest.raises(KeyError):
+            resolve("pxx")

@@ -1,0 +1,78 @@
+"""Influx line protocol tests."""
+
+import pytest
+
+from repro.tsdb.line_protocol import (
+    LineProtocolError,
+    format_point,
+    parse_line,
+    parse_lines,
+)
+from repro.tsdb.point import Point
+
+
+class TestFormat:
+    def test_basic(self):
+        point = Point("latency", 1465839830100400200,
+                      tags={"src": "NZ"}, fields={"total_ms": 148.5})
+        assert format_point(point) == "latency,src=NZ total_ms=148.5 1465839830100400200"
+
+    def test_int_field_suffix(self):
+        point = Point("m", 7, fields={"count": 42})
+        assert format_point(point) == "m count=42i 7"
+
+    def test_escaping(self):
+        point = Point("my measurement", 1,
+                      tags={"city name": "Los Angeles"}, fields={"v": 1.0})
+        line = format_point(point)
+        assert "my\\ measurement" in line
+        assert "Los\\ Angeles" in line
+
+    def test_tags_sorted(self):
+        point = Point("m", 1, tags={"z": "1", "a": "2"}, fields={"v": 1.0})
+        assert format_point(point).startswith("m,a=2,z=1 ")
+
+
+class TestParse:
+    def test_roundtrip(self):
+        original = Point(
+            "latency", 1234567890,
+            tags={"src_city": "Auckland", "dst_city": "Los Angeles"},
+            fields={"total_ms": 132.25, "connections": 9},
+        )
+        parsed = parse_line(format_point(original))
+        assert parsed == original
+
+    def test_escaped_roundtrip(self):
+        original = Point(
+            "m,with=chars", 5,
+            tags={"k ey": "v,al=ue"}, fields={"f": 1.5},
+        )
+        assert parse_line(format_point(original)) == original
+
+    def test_no_timestamp_defaults_zero(self):
+        parsed = parse_line("m v=1.0")
+        assert parsed.timestamp_ns == 0
+
+    def test_multiple_fields(self):
+        parsed = parse_line("m a=1i,b=2.5 9")
+        assert parsed.fields == {"a": 1, "b": 2.5}
+
+    @pytest.mark.parametrize("bad", [
+        "",
+        "# comment",
+        "measurement-only",
+        "m v=notanumber 1",
+        "m v=1 notatime",
+        "m v=1 2 3 4",
+        "m,badtag v=1",
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(LineProtocolError):
+            parse_line(bad)
+
+    def test_parse_lines_skips_blanks_and_comments(self):
+        lines = ["# header", "", "m v=1 1", "   ", "m v=2 2"]
+        points = list(parse_lines(lines))
+        assert len(points) == 2
+        assert points[1].fields["v"] == 2.0

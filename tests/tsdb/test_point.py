@@ -1,0 +1,34 @@
+"""Point model tests."""
+
+import pytest
+
+from repro.tsdb.point import Point
+
+
+class TestPoint:
+    def test_series_key_sorted_tags(self):
+        a = Point("m", 1, tags={"b": "2", "a": "1"}, fields={"v": 1})
+        b = Point("m", 2, tags={"a": "1", "b": "2"}, fields={"v": 2})
+        assert a.series_key() == b.series_key()
+
+    def test_different_tags_different_series(self):
+        a = Point("m", 1, tags={"a": "1"}, fields={"v": 1})
+        b = Point("m", 1, tags={"a": "2"}, fields={"v": 1})
+        assert a.series_key() != b.series_key()
+
+    def test_empty_measurement_rejected(self):
+        with pytest.raises(ValueError):
+            Point("", 1, fields={"v": 1})
+
+    def test_no_fields_rejected(self):
+        with pytest.raises(ValueError):
+            Point("m", 1)
+
+    def test_non_numeric_field_rejected(self):
+        with pytest.raises(TypeError):
+            Point("m", 1, fields={"v": "text"})
+        with pytest.raises(TypeError):
+            Point("m", 1, fields={"v": True})
+
+    def test_int_and_float_fields_allowed(self):
+        Point("m", 1, fields={"count": 3, "ratio": 0.5})

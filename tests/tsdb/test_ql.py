@@ -1,0 +1,193 @@
+"""InfluxQL-subset parser tests."""
+
+import pytest
+
+from repro.tsdb.database import TimeSeriesDatabase
+from repro.tsdb.point import Point
+from repro.tsdb.ql import QLError, parse_duration, parse_query, tokenize
+
+S = 1_000_000_000
+
+
+class TestTokenizer:
+    def test_basic(self):
+        tokens = tokenize("SELECT mean(total_ms) FROM latency")
+        assert tokens == ["SELECT", "mean", "(", "total_ms", ")", "FROM", "latency"]
+
+    def test_strings_and_operators(self):
+        tokens = tokenize("a != 'x y' AND time >= 10s")
+        assert tokens == ["a", "!=", "'x y'", "AND", "time", ">=", "10s"]
+
+    def test_junk_rejected(self):
+        with pytest.raises(QLError):
+            tokenize("SELECT @ FROM x")
+
+
+class TestDurations:
+    @pytest.mark.parametrize("text,expected", [
+        ("7ns", 7),
+        ("3us", 3_000),
+        ("250ms", 250_000_000),
+        ("10s", 10 * S),
+        ("5m", 300 * S),
+        ("2h", 7200 * S),
+        ("1d", 86400 * S),
+        ("12345", 12345),
+    ])
+    def test_units(self, text, expected):
+        assert parse_duration(text) == expected
+
+    def test_unknown_unit(self):
+        with pytest.raises(QLError):
+            parse_duration("5weeks")
+
+
+class TestParseQuery:
+    def test_minimal(self):
+        query = parse_query("SELECT mean(total_ms) FROM latency")
+        assert query.measurement == "latency"
+        assert query.field == "total_ms"
+        assert query.aggregator == "mean"
+
+    def test_percentile_aggregator(self):
+        query = parse_query("SELECT p99(total_ms) FROM latency")
+        assert query.aggregator == "p99"
+
+    def test_where_tag_equality(self):
+        query = parse_query(
+            "SELECT max(total_ms) FROM latency WHERE src_country = 'NZ'"
+        )
+        assert query.tag_filters == {"src_country": ["NZ"]}
+
+    def test_where_in_list(self):
+        query = parse_query(
+            "SELECT max(v) FROM m WHERE dst_country IN ('US', 'AU')"
+        )
+        assert query.tag_filters == {"dst_country": ["US", "AU"]}
+
+    def test_where_time_range(self):
+        query = parse_query(
+            "SELECT count(v) FROM m WHERE time >= 10s AND time < 5m"
+        )
+        assert query.start_ns == 10 * S
+        assert query.end_ns == 300 * S
+
+    def test_where_strict_operators(self):
+        query = parse_query("SELECT count(v) FROM m WHERE time > 9 AND time <= 19")
+        assert query.start_ns == 10
+        assert query.end_ns == 20
+
+    def test_group_by_tags_and_time(self):
+        query = parse_query(
+            "SELECT median(total_ms) FROM latency "
+            "GROUP BY src_country, dst_country, time(10s)"
+        )
+        assert query.group_by_tags == ["src_country", "dst_country"]
+        assert query.group_by_time_ns == 10 * S
+
+    def test_fill(self):
+        query = parse_query(
+            "SELECT mean(v) FROM m GROUP BY time(1s) FILL(zero)"
+        )
+        assert query.fill == "zero"
+
+    def test_full_grafana_shape(self):
+        query = parse_query(
+            "SELECT mean(total_ms) FROM latency "
+            "WHERE src_country = 'NZ' AND time >= 0s AND time < 15m "
+            "GROUP BY dst_country, time(10s) FILL(previous)"
+        )
+        assert query.measurement == "latency"
+        assert query.tag_filters == {"src_country": ["NZ"]}
+        assert query.group_by_tags == ["dst_country"]
+        assert query.group_by_time_ns == 10 * S
+        assert query.fill == "previous"
+
+    @pytest.mark.parametrize("bad", [
+        "",
+        "SELECT FROM latency",
+        "SELECT mean(v) latency",
+        "SELECT mean(v) FROM m WHERE tag ~ 'x'",
+        "SELECT mean(v) FROM m GROUP BY *",
+        "SELECT mean(v) FROM m trailing garbage",
+        "SELECT nosuchagg(v) FROM m",
+        "SELECT mean(v) FROM m WHERE time @ 5s",
+        "SELECT mean(v) FROM m FILL(interpolate)",
+    ])
+    def test_malformed_rejected(self, bad):
+        from repro.tsdb.query import QueryError
+
+        with pytest.raises((QueryError, KeyError)):
+            parse_query(bad)
+
+    def test_keywords_case_insensitive(self):
+        query = parse_query(
+            "select mean(v) from m where a = 'b' group by time(1s) fill(none)"
+        )
+        assert query.tag_filters == {"a": ["b"]}
+
+
+class TestStatements:
+    def _db(self):
+        db = TimeSeriesDatabase()
+        db.write(Point("latency", 0, tags={"src_country": "NZ"},
+                       fields={"total_ms": 100.0}))
+        db.write(Point("latency", 1, tags={"src_country": "US"},
+                       fields={"total_ms": 200.0}))
+        db.write(Point("other", 0, fields={"v": 1.0}))
+        return db
+
+    def test_show_measurements(self):
+        from repro.tsdb.ql import execute_statement
+
+        assert execute_statement(self._db(), "SHOW MEASUREMENTS") == [
+            "latency", "other"
+        ]
+
+    def test_show_tag_values(self):
+        from repro.tsdb.ql import execute_statement
+
+        values = execute_statement(
+            self._db(), "SHOW TAG VALUES FROM latency WITH KEY = src_country"
+        )
+        assert values == ["NZ", "US"]
+
+    def test_select_through_statement(self):
+        from repro.tsdb.ql import execute_statement
+
+        result = execute_statement(
+            self._db(), "SELECT max(total_ms) FROM latency"
+        )
+        assert result.scalar() == 200.0
+
+    @pytest.mark.parametrize("bad", [
+        "SHOW EVERYTHING",
+        "SHOW MEASUREMENTS now",
+        "SHOW TAG VALUES FROM m",
+        "DROP MEASUREMENT latency",
+        "",
+    ])
+    def test_bad_statements_rejected(self, bad):
+        from repro.tsdb.ql import execute_statement
+
+        with pytest.raises(QLError):
+            execute_statement(self._db(), bad)
+
+
+class TestExecutionThroughDatabase:
+    def test_text_query_end_to_end(self):
+        db = TimeSeriesDatabase()
+        for i in range(10):
+            db.write(Point(
+                "latency", i * S,
+                tags={"src_country": "NZ", "dst_country": "US"},
+                fields={"total_ms": 100.0 + i},
+            ))
+        query = parse_query(
+            "SELECT mean(total_ms) FROM latency "
+            "WHERE src_country = 'NZ' AND time >= 0s AND time < 10s "
+            "GROUP BY dst_country, time(5s)"
+        )
+        result = db.query(query)
+        rows = result.group(dst_country="US")
+        assert [value for _, value in rows] == [102.0, 107.0]

@@ -1,0 +1,127 @@
+"""Query executor tests."""
+
+import pytest
+
+from repro.tsdb.point import Point
+from repro.tsdb.query import Query, QueryError, execute
+from repro.tsdb.storage import SeriesStorage
+
+S = 1_000_000_000
+
+
+def _storage():
+    storage = SeriesStorage()
+    # NZ->US: values 100..104 at t=0..4s; NZ->AU: values 30..34.
+    for i in range(5):
+        storage.write(Point(
+            "latency", i * S,
+            tags={"src_country": "NZ", "dst_country": "US"},
+            fields={"total_ms": 100.0 + i},
+        ))
+        storage.write(Point(
+            "latency", i * S,
+            tags={"src_country": "NZ", "dst_country": "AU"},
+            fields={"total_ms": 30.0 + i},
+        ))
+    return storage
+
+
+class TestScalarQueries:
+    def test_ungrouped_mean(self):
+        result = execute(_storage(), Query("latency", "total_ms", "mean"))
+        assert result.scalar() == pytest.approx((102 + 32) / 2)
+
+    def test_filtered_mean(self):
+        query = Query("latency", "total_ms", "mean",
+                      tag_filters={"dst_country": ["US"]})
+        assert execute(_storage(), query).scalar() == 102.0
+
+    def test_time_range_half_open(self):
+        query = Query("latency", "total_ms", "count",
+                      start_ns=1 * S, end_ns=3 * S,
+                      tag_filters={"dst_country": ["US"]})
+        assert execute(_storage(), query).scalar() == 2.0
+
+    def test_empty_result(self):
+        query = Query("latency", "total_ms", "mean",
+                      tag_filters={"dst_country": ["XX"]})
+        result = execute(_storage(), query)
+        assert result.is_empty()
+        assert result.scalar() is None
+
+
+class TestGroupByTags:
+    def test_groups_split_by_tag(self):
+        query = Query("latency", "total_ms", "max", group_by_tags=["dst_country"])
+        result = execute(_storage(), query)
+        assert result.group(dst_country="US")[0][1] == 104.0
+        assert result.group(dst_country="AU")[0][1] == 34.0
+        assert len(result.group_keys()) == 2
+
+    def test_group_by_multiple_tags(self):
+        query = Query("latency", "total_ms", "count",
+                      group_by_tags=["src_country", "dst_country"])
+        result = execute(_storage(), query)
+        assert result.group(src_country="NZ", dst_country="US")[0][1] == 5.0
+
+
+class TestGroupByTime:
+    def test_windows_aligned_to_start(self):
+        query = Query("latency", "total_ms", "mean",
+                      start_ns=0, end_ns=5 * S, group_by_time_ns=2 * S,
+                      tag_filters={"dst_country": ["US"]})
+        rows = execute(_storage(), query).groups[()]
+        assert [t for t, _ in rows] == [0, 2 * S, 4 * S]
+        assert rows[0][1] == pytest.approx(100.5)
+        assert rows[2][1] == 104.0
+
+    def test_fill_none_drops_empty(self):
+        storage = SeriesStorage()
+        storage.write(Point("m", 0, fields={"v": 1.0}))
+        storage.write(Point("m", 9 * S, fields={"v": 2.0}))
+        query = Query("m", "v", "mean", start_ns=0, end_ns=10 * S,
+                      group_by_time_ns=S)
+        rows = execute(storage, query).groups[()]
+        assert len(rows) == 2
+
+    def test_fill_zero(self):
+        storage = SeriesStorage()
+        storage.write(Point("m", 0, fields={"v": 1.0}))
+        storage.write(Point("m", 3 * S, fields={"v": 2.0}))
+        query = Query("m", "v", "mean", start_ns=0, end_ns=4 * S,
+                      group_by_time_ns=S, fill="zero")
+        rows = execute(storage, query).groups[()]
+        assert [value for _, value in rows] == [1.0, 0.0, 0.0, 2.0]
+
+    def test_fill_previous(self):
+        storage = SeriesStorage()
+        storage.write(Point("m", 0, fields={"v": 5.0}))
+        storage.write(Point("m", 3 * S, fields={"v": 7.0}))
+        query = Query("m", "v", "mean", start_ns=0, end_ns=4 * S,
+                      group_by_time_ns=S, fill="previous")
+        rows = execute(storage, query).groups[()]
+        assert [value for _, value in rows] == [5.0, 5.0, 5.0, 7.0]
+
+    def test_unaligned_origin_uses_floor(self):
+        storage = SeriesStorage()
+        storage.write(Point("m", int(2.5 * S), fields={"v": 1.0}))
+        query = Query("m", "v", "mean", group_by_time_ns=S)
+        rows = execute(storage, query).groups[()]
+        assert rows[0][0] == 2 * S
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        dict(measurement="", field="v"),
+        dict(measurement="m", field=""),
+        dict(measurement="m", field="v", group_by_time_ns=0),
+        dict(measurement="m", field="v", fill="interpolate"),
+        dict(measurement="m", field="v", start_ns=10, end_ns=5),
+    ])
+    def test_bad_queries_rejected(self, kwargs):
+        with pytest.raises(QueryError):
+            Query(**kwargs).validate()
+
+    def test_unknown_aggregator_rejected(self):
+        with pytest.raises(KeyError):
+            Query("m", "v", aggregator="nope").validate()

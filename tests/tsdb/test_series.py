@@ -1,0 +1,76 @@
+"""Columnar series tests."""
+
+from repro.tsdb.point import Point
+from repro.tsdb.series import Series
+
+
+def _series(values, measurement="m", field="v"):
+    series = Series(measurement, ())
+    for timestamp, value in values:
+        series.append(Point(measurement, timestamp, fields={field: value}))
+    return series
+
+
+class TestSeries:
+    def test_append_in_order(self):
+        series = _series([(1, 10.0), (2, 20.0), (3, 30.0)])
+        assert series.values("v") == [(1, 10.0), (2, 20.0), (3, 30.0)]
+
+    def test_out_of_order_insert_sorted(self):
+        series = _series([(5, 50.0), (1, 10.0), (3, 30.0)])
+        assert [t for t, _ in series.values("v")] == [1, 3, 5]
+
+    def test_duplicate_timestamps_kept(self):
+        series = _series([(1, 1.0), (1, 2.0)])
+        assert len(series) == 2
+
+    def test_window_slicing(self):
+        series = _series([(i * 10, float(i)) for i in range(10)])
+        rows = series.values("v", start_ns=20, end_ns=50)
+        assert [t for t, _ in rows] == [20, 30, 40]
+
+    def test_open_ended_windows(self):
+        series = _series([(1, 1.0), (2, 2.0), (3, 3.0)])
+        assert len(series.values("v", start_ns=2)) == 2
+        assert len(series.values("v", end_ns=2)) == 1
+        assert len(series.values("v")) == 3
+
+    def test_unknown_field_empty(self):
+        series = _series([(1, 1.0)])
+        assert series.values("nope") == []
+
+    def test_sparse_fields_padded(self):
+        series = Series("m", ())
+        series.append(Point("m", 1, fields={"a": 1.0}))
+        series.append(Point("m", 2, fields={"b": 2.0}))
+        series.append(Point("m", 3, fields={"a": 3.0, "b": 4.0}))
+        assert series.values("a") == [(1, 1.0), (3, 3.0)]
+        assert series.values("b") == [(2, 2.0), (3, 4.0)]
+
+    def test_new_field_backfilled(self):
+        series = Series("m", ())
+        series.append(Point("m", 1, fields={"a": 1.0}))
+        series.append(Point("m", 2, fields={"z": 9.0}))
+        # 'z' column must align: absent at t=1.
+        assert series.values("z") == [(2, 9.0)]
+
+    def test_truncate_before(self):
+        series = _series([(i, float(i)) for i in range(10)])
+        dropped = series.truncate_before(5)
+        assert dropped == 5
+        assert series.first_timestamp == 5
+        assert len(series) == 5
+
+    def test_truncate_noop(self):
+        series = _series([(10, 1.0)])
+        assert series.truncate_before(5) == 0
+
+    def test_first_last_timestamps(self):
+        series = _series([(3, 1.0), (9, 2.0)])
+        assert series.first_timestamp == 3
+        assert series.last_timestamp == 9
+        assert Series("m", ()).first_timestamp is None
+
+    def test_tags_stored(self):
+        series = Series("m", (("a", "1"),))
+        assert series.tags == {"a": "1"}

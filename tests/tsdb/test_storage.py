@@ -1,0 +1,80 @@
+"""Series storage and tag index tests."""
+
+from repro.tsdb.point import Point
+from repro.tsdb.storage import SeriesStorage
+
+
+def _point(measurement="latency", src="NZ", dst="US", value=100.0, t=1):
+    return Point(
+        measurement, t,
+        tags={"src_country": src, "dst_country": dst},
+        fields={"total_ms": value},
+    )
+
+
+class TestSeriesStorage:
+    def test_write_routes_to_series(self):
+        storage = SeriesStorage()
+        storage.write(_point(t=1))
+        storage.write(_point(t=2))
+        storage.write(_point(src="AU", t=1))
+        assert storage.series_count() == 2
+        assert storage.total_points() == 3
+
+    def test_measurements_listing(self):
+        storage = SeriesStorage()
+        storage.write(_point(measurement="b"))
+        storage.write(_point(measurement="a"))
+        assert storage.measurements() == ["a", "b"]
+
+    def test_tag_values(self):
+        storage = SeriesStorage()
+        for src in ("NZ", "AU", "NZ"):
+            storage.write(_point(src=src))
+        assert storage.tag_values("latency", "src_country") == ["AU", "NZ"]
+        assert storage.tag_values("latency", "missing") == []
+
+    def test_select_series_by_single_filter(self):
+        storage = SeriesStorage()
+        storage.write(_point(src="NZ"))
+        storage.write(_point(src="AU"))
+        selected = storage.select_series("latency", {"src_country": ["NZ"]})
+        assert len(selected) == 1
+        assert selected[0].tags["src_country"] == "NZ"
+
+    def test_select_series_or_within_key(self):
+        storage = SeriesStorage()
+        for src in ("NZ", "AU", "JP"):
+            storage.write(_point(src=src))
+        selected = storage.select_series("latency", {"src_country": ["NZ", "JP"]})
+        assert len(selected) == 2
+
+    def test_select_series_and_across_keys(self):
+        storage = SeriesStorage()
+        storage.write(_point(src="NZ", dst="US"))
+        storage.write(_point(src="NZ", dst="AU"))
+        storage.write(_point(src="JP", dst="US"))
+        selected = storage.select_series(
+            "latency", {"src_country": ["NZ"], "dst_country": ["US"]}
+        )
+        assert len(selected) == 1
+
+    def test_select_no_match(self):
+        storage = SeriesStorage()
+        storage.write(_point())
+        assert storage.select_series("latency", {"src_country": ["XX"]}) == []
+        assert storage.select_series("nothing") == []
+
+    def test_select_all(self):
+        storage = SeriesStorage()
+        storage.write(_point(src="NZ"))
+        storage.write(_point(src="AU"))
+        assert len(storage.select_series("latency")) == 2
+
+    def test_drop_empty_cleans_index(self):
+        storage = SeriesStorage()
+        storage.write(_point(src="NZ", t=1))
+        for series in storage.series_for("latency"):
+            series.truncate_before(100)
+        assert storage.drop_empty() == 1
+        assert storage.select_series("latency", {"src_country": ["NZ"]}) == []
