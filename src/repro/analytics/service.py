@@ -34,11 +34,22 @@ MeasurementFilter = Callable[[EnrichedMeasurement], bool]
 ANALYTICS_ENDPOINT = "inproc://analytics"
 
 
-def make_pipeline_sink(push: PushSocket) -> Callable[[LatencyRecord], None]:
+def make_pipeline_sink(
+    push: PushSocket, tracer=None
+) -> Callable[[LatencyRecord], None]:
     """Adapter: a pipeline sink that publishes records over PUSH."""
 
-    def sink(record: LatencyRecord) -> None:
-        push.send(Message.with_topic(LATENCY_TOPIC, encode_latency_record(record)))
+    if tracer is None:
+        def sink(record: LatencyRecord) -> None:
+            push.send(
+                Message.with_topic(LATENCY_TOPIC, encode_latency_record(record))
+            )
+    else:
+        def sink(record: LatencyRecord) -> None:
+            with tracer.span("mq.publish"):
+                push.send(
+                    Message.with_topic(LATENCY_TOPIC, encode_latency_record(record))
+                )
 
     return sink
 
@@ -57,6 +68,9 @@ class AnalyticsService:
         aggregation_window_ns: rollup window for pair statistics.
         filters: keep-predicates applied after enrichment; a
             measurement rejected by any filter is counted and dropped.
+        telemetry: a :class:`repro.obs.Telemetry` handle shared with
+            the pipeline; binds analytics/mq counters to its registry
+            and traces enrich/write/publish stages.
     """
 
     def __init__(
@@ -73,6 +87,7 @@ class AnalyticsService:
         filters: Optional[List[MeasurementFilter]] = None,
         store_raw_points: bool = True,
         home_country: str = "NZ",
+        telemetry=None,
     ):
         if num_workers <= 0:
             raise ValueError("need at least one enrichment worker")
@@ -96,6 +111,11 @@ class AnalyticsService:
         self.records_in = 0
         self.filtered_out = 0
         self.decode_errors = 0
+        self.telemetry = telemetry
+        self._tracer = telemetry.tracer if telemetry is not None else None
+        self._push_sockets: List[PushSocket] = []
+        if telemetry is not None:
+            self._bind_registry(telemetry.registry)
 
     # -- wiring helpers -----------------------------------------------------
 
@@ -103,11 +123,12 @@ class AnalyticsService:
         """Create a PUSH socket connected to this service's input."""
         push = self.context.push()
         push.connect(self.endpoint)
+        self._push_sockets.append(push)
         return push
 
     def make_sink(self) -> Callable[[LatencyRecord], None]:
         """A ready-made pipeline sink feeding this service."""
-        return make_pipeline_sink(self.connect_pipeline())
+        return make_pipeline_sink(self.connect_pipeline(), tracer=self._tracer)
 
     def subscribe_frontend(self, hwm: int = 10_000):
         """Create a SUB socket receiving this service's enriched feed."""
@@ -137,7 +158,14 @@ class AnalyticsService:
             return
         enricher = self.enrichers[self._next_worker]
         self._next_worker = (self._next_worker + 1) % len(self.enrichers)
-        measurement = enricher.enrich(record)
+        tracer = self._tracer
+        if tracer is None:
+            measurement = enricher.enrich(record)
+        else:
+            # Enrichment is also the anonymization step: the output
+            # type structurally drops the addresses.
+            with tracer.span("analytics.enrich"):
+                measurement = enricher.enrich(record)
         if measurement is None:
             return
         self.process_measurement(measurement)
@@ -148,12 +176,23 @@ class AnalyticsService:
             if not keep(measurement):
                 self.filtered_out += 1
                 return
-        if self.store_raw_points:
-            self.tsdb.write(self._raw_point(measurement, self.home_country))
-        self.aggregator.add(measurement)
-        self.pub.send(
-            Message.with_topic(ENRICHED_TOPIC, encode_enriched(measurement))
-        )
+        tracer = self._tracer
+        if tracer is None:
+            if self.store_raw_points:
+                self.tsdb.write(self._raw_point(measurement, self.home_country))
+            self.aggregator.add(measurement)
+            self.pub.send(
+                Message.with_topic(ENRICHED_TOPIC, encode_enriched(measurement))
+            )
+            return
+        with tracer.span("analytics.write"):
+            if self.store_raw_points:
+                self.tsdb.write(self._raw_point(measurement, self.home_country))
+            self.aggregator.add(measurement)
+        with tracer.span("analytics.publish"):
+            self.pub.send(
+                Message.with_topic(ENRICHED_TOPIC, encode_enriched(measurement))
+            )
 
     def finish(self) -> None:
         """Flush in-flight aggregation windows (end of a run)."""
@@ -189,3 +228,68 @@ class AnalyticsService:
     @property
     def enriched_count(self) -> int:
         return sum(worker.stats.enriched for worker in self.enrichers)
+
+    def _bind_registry(self, registry) -> None:
+        """Bridge analytics and message-bus counters into *registry*.
+
+        Sockets keep their plain-int counters; this scrape-time
+        collector publishes the authoritative totals so the analytics
+        tier shares the pipeline's single telemetry read-out.
+        """
+        simple = {
+            "ruru_analytics_records_in_total": (
+                "Encoded latency records received from the pipeline.",
+                lambda: self.records_in,
+            ),
+            "ruru_analytics_decode_errors_total": (
+                "Records that failed frame decoding.",
+                lambda: self.decode_errors,
+            ),
+            "ruru_analytics_filtered_out_total": (
+                "Enriched measurements rejected by filter modules.",
+                lambda: self.filtered_out,
+            ),
+            "ruru_analytics_enriched_total": (
+                "Measurements enriched (and thereby anonymized).",
+                lambda: self.enriched_count,
+            ),
+            "ruru_mq_push_sent_total": (
+                "Messages sent by pipeline PUSH sockets.",
+                lambda: sum(push.sent for push in self._push_sockets),
+            ),
+            "ruru_mq_push_dropped_total": (
+                "Messages dropped with every PULL peer at its HWM.",
+                lambda: sum(push.dropped for push in self._push_sockets),
+            ),
+            "ruru_mq_pull_received_total": (
+                "Messages accepted by the analytics PULL socket.",
+                lambda: self.pull.received,
+            ),
+            "ruru_mq_pull_dropped_total": (
+                "Messages dropped at the analytics PULL high-water mark.",
+                lambda: self.pull.dropped,
+            ),
+            "ruru_mq_pub_sent_total": (
+                "Enriched messages published toward the frontend.",
+                lambda: self.pub.sent,
+            ),
+        }
+        counters = {
+            name: (registry.counter(name, help), read)
+            for name, (help, read) in simple.items()
+        }
+        tsdb_points = registry.gauge(
+            "ruru_tsdb_points", help="Points resident in the measurement TSDB."
+        )
+        pull_depth = registry.gauge(
+            "ruru_mq_pull_queue_depth",
+            help="Messages waiting in the analytics PULL queue.",
+        )
+
+        def collect() -> None:
+            for counter, read in counters.values():
+                counter.value = read()
+            tsdb_points.set(self.tsdb.total_points())
+            pull_depth.set(len(self.pull))
+
+        registry.register_collector(collect)

@@ -13,6 +13,12 @@ Subcommands mirror how the deployed system is operated:
   as Influx line protocol (plus the Grafana dashboard JSON).
 * ``ruru query`` — execute an InfluxQL-style query against an exported
   line-protocol file.
+* ``ruru metrics`` — run a workload with full telemetry and print the
+  Prometheus text exposition of every pipeline/mq/analytics metric.
+
+Any workload command also accepts ``--telemetry`` to enable the
+:mod:`repro.obs` subsystem (metrics registry, stage tracing, periodic
+self-monitoring export into the TSDB) for that run.
 """
 
 from __future__ import annotations
@@ -32,6 +38,8 @@ from repro.geo.builder import GeoDbBuilder
 from repro.mq.codec import decode_enriched
 from repro.mq.socket import Context
 from repro.net.pcap import PcapWriter
+from repro.obs import Telemetry
+from repro.tsdb.database import TimeSeriesDatabase
 from repro.net.pcapng import PcapngWriter, open_capture
 from repro.traffic.scenarios import (
     AucklandLaScenario,
@@ -47,6 +55,45 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--rate", type=float, default=50.0, help="mean flows per second")
     parser.add_argument("--seed", type=int, default=7, help="workload seed")
     parser.add_argument("--queues", type=int, default=4, help="RSS receive queues")
+    parser.add_argument(
+        "--telemetry", action="store_true",
+        help="enable the repro.obs telemetry subsystem for this run",
+    )
+    parser.add_argument(
+        "--telemetry-interval", type=float, default=1.0,
+        help="self-monitoring export interval in (virtual) seconds",
+    )
+
+
+def _make_telemetry(args) -> Optional[Telemetry]:
+    """A Telemetry handle when --telemetry was given, else None."""
+    if not getattr(args, "telemetry", False):
+        return None
+    return Telemetry()
+
+
+def _attach_exporter(telemetry: Optional[Telemetry], args, tsdb) -> None:
+    if telemetry is not None:
+        interval_ns = max(1, int(args.telemetry_interval * NS_PER_S))
+        telemetry.export_to(tsdb, interval_ns=interval_ns)
+
+
+def _print_telemetry_summary(telemetry: Optional[Telemetry], clock) -> None:
+    if telemetry is None:
+        return
+    telemetry.flush(clock.now_ns)
+    exporter = telemetry.exporter
+    print("--- telemetry ---")
+    if exporter is not None:
+        print(
+            f"self-monitoring exports: {exporter.exports} snapshots, "
+            f"{exporter.points_written} points, "
+            f"{len(exporter.series_names())} series"
+        )
+    print(
+        f"stage traces retained: {len(telemetry.tracer.recent())} "
+        f"(stages: {', '.join(telemetry.tracer.stage_names()) or 'none'})"
+    )
 
 
 def _build_generator(args, injectors=None):
@@ -72,7 +119,11 @@ def cmd_generate(args) -> int:
 
 
 def cmd_measure(args) -> int:
-    pipeline = RuruPipeline(config=PipelineConfig(num_queues=args.queues))
+    telemetry = _make_telemetry(args)
+    _attach_exporter(telemetry, args, TimeSeriesDatabase(name="ruru-selfmon"))
+    pipeline = RuruPipeline(
+        config=PipelineConfig(num_queues=args.queues), telemetry=telemetry
+    )
     if args.pcap:
         with open_capture(args.pcap) as reader:
             stats = pipeline.run_packets(reader)
@@ -88,6 +139,9 @@ def cmd_measure(args) -> int:
         print(f"{key:>20}: {value}")
     print(f"{'queue balance':>20}: "
           + ", ".join(f"{share:.2%}" for share in pipeline.queue_balance()))
+    _print_telemetry_summary(telemetry, pipeline.clock)
+    if telemetry is not None:
+        print(telemetry.registry.exposition(), end="")
     return 0
 
 
@@ -95,16 +149,21 @@ def cmd_demo(args) -> int:
     generator = _build_generator(args)
     context = Context()
     geo, asn = GeoDbBuilder(plan=generator.plan).build()
-    service = AnalyticsService(context, geo, asn)
+    telemetry = _make_telemetry(args)
+    service = AnalyticsService(context, geo, asn, telemetry=telemetry)
+    _attach_exporter(telemetry, args, service.tsdb)
     channel = WebSocketChannel()
     map_view = LiveMapView(channel=channel)
     frontend_sub = service.subscribe_frontend()
 
     pipeline = RuruPipeline(
-        config=PipelineConfig(num_queues=args.queues), sink=service.make_sink()
+        config=PipelineConfig(num_queues=args.queues),
+        sink=service.make_sink(),
+        telemetry=telemetry,
     )
     stats = pipeline.run_packets(generator.packets())
     service.finish()
+    _print_telemetry_summary(telemetry, pipeline.clock)
 
     last_ns = 0
     for message in frontend_sub.recv_all():
@@ -148,7 +207,9 @@ def cmd_detect(args) -> int:
     generator = _build_generator(args, injectors=injectors)
     context = Context()
     geo, asn = GeoDbBuilder(plan=generator.plan).build()
-    service = AnalyticsService(context, geo, asn)
+    telemetry = _make_telemetry(args)
+    service = AnalyticsService(context, geo, asn, telemetry=telemetry)
+    _attach_exporter(telemetry, args, service.tsdb)
     manager = AnomalyManager()
     service.filters.append(lambda m: (manager.observe_measurement(m), True)[1])
 
@@ -156,9 +217,11 @@ def cmd_detect(args) -> int:
         config=PipelineConfig(num_queues=args.queues),
         sink=service.make_sink(),
         observers=[manager.observe_packet],
+        telemetry=telemetry,
     )
     pipeline.run_packets(generator.packets())
     service.finish()
+    _print_telemetry_summary(telemetry, pipeline.clock)
     events = manager.finish(now_ns=int(args.duration * NS_PER_S))
     if not events:
         print("no anomalies detected")
@@ -172,12 +235,20 @@ def cmd_export(args) -> int:
     generator = _build_generator(args)
     context = Context()
     geo, asn = GeoDbBuilder(plan=generator.plan).build()
-    service = AnalyticsService(context, geo, asn)
+    telemetry = _make_telemetry(args)
+    service = AnalyticsService(context, geo, asn, telemetry=telemetry)
+    # Self-monitoring series land in the same TSDB, so the line-protocol
+    # export carries the pipeline's own health alongside the latencies.
+    _attach_exporter(telemetry, args, service.tsdb)
     pipeline = RuruPipeline(
-        config=PipelineConfig(num_queues=args.queues), sink=service.make_sink()
+        config=PipelineConfig(num_queues=args.queues),
+        sink=service.make_sink(),
+        telemetry=telemetry,
     )
     pipeline.run_packets(generator.packets())
     service.finish()
+    if telemetry is not None:
+        telemetry.flush(pipeline.clock.now_ns)
 
     count = 0
     with open(args.output, "w", encoding="utf-8") as handle:
@@ -195,6 +266,38 @@ def cmd_export(args) -> int:
         with open(args.grafana, "w", encoding="utf-8") as handle:
             handle.write(export_grafana_json(dashboard, indent=2))
         print(f"wrote Grafana dashboard model to {args.grafana}")
+    if args.grafana_selfmon:
+        from repro.frontend.grafana import build_selfmon_dashboard, export_grafana_json
+
+        dashboard = build_selfmon_dashboard(
+            interval_ns=max(1, int(args.telemetry_interval * NS_PER_S))
+        )
+        with open(args.grafana_selfmon, "w", encoding="utf-8") as handle:
+            handle.write(
+                export_grafana_json(dashboard, uid="ruru-selfmon", indent=2)
+            )
+        print(f"wrote self-monitoring Grafana dashboard to {args.grafana_selfmon}")
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    """Run the workload fully instrumented; print the exposition text."""
+    generator = _build_generator(args)
+    context = Context()
+    geo, asn = GeoDbBuilder(plan=generator.plan).build()
+    telemetry = Telemetry()
+    service = AnalyticsService(context, geo, asn, telemetry=telemetry)
+    interval_ns = max(1, int(args.telemetry_interval * NS_PER_S))
+    telemetry.export_to(service.tsdb, interval_ns=interval_ns)
+    pipeline = RuruPipeline(
+        config=PipelineConfig(num_queues=args.queues),
+        sink=service.make_sink(),
+        telemetry=telemetry,
+    )
+    pipeline.run_packets(generator.packets())
+    service.finish()
+    telemetry.flush(pipeline.clock.now_ns)
+    print(telemetry.registry.exposition(), end="")
     return 0
 
 
@@ -332,7 +435,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_export.add_argument(
         "--grafana", help="also write the Grafana dashboard JSON here"
     )
+    p_export.add_argument(
+        "--grafana-selfmon",
+        help="also write the self-monitoring Grafana dashboard JSON here",
+    )
     p_export.set_defaults(func=cmd_export)
+
+    p_metrics = subparsers.add_parser(
+        "metrics",
+        help="run a workload with telemetry and print the Prometheus exposition",
+    )
+    _add_workload_args(p_metrics)
+    p_metrics.set_defaults(func=cmd_metrics)
 
     p_dump = subparsers.add_parser(
         "dump", help="print packets tcpdump-style"

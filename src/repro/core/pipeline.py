@@ -40,6 +40,10 @@ class RuruPipeline:
         sink: receives every :class:`LatencyRecord`. When None,
             records are collected in :attr:`measurements`.
         feed_batch: frames offered to the NIC between worker polls.
+        telemetry: a :class:`repro.obs.Telemetry` handle. When given,
+            the pipeline binds its clock to the tracer, registers every
+            counter with the metrics registry, traces the hot path, and
+            drives the self-monitoring exporter from the drain loop.
     """
 
     def __init__(
@@ -48,6 +52,7 @@ class RuruPipeline:
         sink: Optional[MeasurementSink] = None,
         feed_batch: int = 256,
         observers=None,
+        telemetry=None,
     ):
         self.config = config or PipelineConfig()
         self.config.validate()
@@ -58,6 +63,11 @@ class RuruPipeline:
         self.measurements: List[LatencyRecord] = []
         self._sink: MeasurementSink = sink or self.measurements.append
         self.stats = PipelineStats()
+        self.telemetry = telemetry
+        tracer = None
+        if telemetry is not None:
+            telemetry.bind_clock(self.clock)
+            tracer = telemetry.tracer
 
         pool = MbufPool(size=self.config.mbuf_pool_size, name="rx_pool")
         self.nic = NicPort(
@@ -76,9 +86,12 @@ class RuruPipeline:
                 sink=self._sink,
                 pipeline_stats=self.stats,
                 observers=list(observers or []),
+                tracer=tracer,
             )
             self.workers.append(worker)
             self.eal.launch(worker.poll, role=f"rx-worker-q{queue_id}")
+        if telemetry is not None:
+            self._bind_registry(telemetry.registry)
 
     # -- feeding -----------------------------------------------------------
 
@@ -103,16 +116,31 @@ class RuruPipeline:
 
     def run_packets(self, packets: Iterable[Packet]) -> PipelineStats:
         """Run a packet stream through the full pipeline to completion."""
-        batch = 0
+        batch: List[Packet] = []
         for packet in packets:
-            self.offer(packet)
-            batch += 1
-            if batch >= self.feed_batch:
-                self.drain()
-                batch = 0
-        self.drain()
+            batch.append(packet)
+            if len(batch) >= self.feed_batch:
+                self._feed_and_drain(batch)
+                batch.clear()
+        self._feed_and_drain(batch)
         self._merge_worker_stats()
         return self.stats
+
+    def _feed_and_drain(self, batch: List[Packet]) -> None:
+        """Offer one feed batch, drain the rings, drive the exporter."""
+        telemetry = self.telemetry
+        if telemetry is None:
+            for packet in batch:
+                self.offer(packet)
+            self.drain()
+            return
+        tracer = telemetry.tracer
+        with tracer.span("nic.receive", batch=len(batch)):
+            for packet in batch:
+                self.offer(packet)
+        with tracer.span("pipeline.drain"):
+            self.drain()
+        telemetry.tick(self.clock.now_ns)
 
     def run_pcap(self, path: Union[str, Path]) -> PipelineStats:
         """Replay a pcap trace through the pipeline."""
@@ -126,6 +154,152 @@ class RuruPipeline:
         for worker in self.workers:
             merged.merge(worker.stats)
         self.stats.tracker = merged
+        # Worker-local counters are recomputed (not accumulated) so
+        # repeated run_packets calls on one pipeline never double-count.
+        self.stats.packets_processed = sum(
+            worker.packets_processed for worker in self.workers
+        )
+        self.stats.packets_sampled_out = sum(
+            worker.packets_sampled_out for worker in self.workers
+        )
+        self.stats.queue_share = self.nic.stats.queue_balance()
+
+    def _bind_registry(self, registry) -> None:
+        """Publish every pipeline/NIC/worker counter through *registry*.
+
+        Hot-path structs keep their plain-int counters; a scrape-time
+        collector assigns the live totals into the registry, making it
+        the single read-out for ``ruru metrics``, JSON snapshots and
+        the self-monitoring exporter at zero per-packet cost.
+        """
+        simple = {
+            "ruru_packets_offered_total": (
+                "Frames offered to the NIC.",
+                lambda: self.stats.packets_offered,
+            ),
+            "ruru_packets_queued_total": (
+                "Frames accepted into rx rings.",
+                lambda: self.stats.packets_queued,
+            ),
+            "ruru_nic_drops_total": (
+                "Frames dropped at the NIC (imissed analogue).",
+                lambda: self.stats.nic_drops,
+            ),
+            "ruru_parse_errors_total": (
+                "Frames rejected by the fast parser.",
+                lambda: self.stats.parse_errors,
+            ),
+            "ruru_scheduling_rounds_total": (
+                "Worker scheduling rounds run by the drain loop.",
+                lambda: self.stats.scheduling_rounds,
+            ),
+            "ruru_measurements_total": (
+                "Latency records emitted by all trackers.",
+                lambda: sum(w.stats.measurements for w in self.workers),
+            ),
+            "ruru_nic_rx_packets_total": (
+                "Frames received into mbufs (ipackets).",
+                lambda: self.nic.stats.ipackets,
+            ),
+            "ruru_nic_rx_bytes_total": (
+                "Bytes received into mbufs (ibytes).",
+                lambda: self.nic.stats.ibytes,
+            ),
+            "ruru_nic_imissed_total": (
+                "Frames the NIC could not queue (imissed).",
+                lambda: self.nic.stats.imissed,
+            ),
+            "ruru_nic_ierrors_total": (
+                "Malformed frames rejected at classification (ierrors).",
+                lambda: self.nic.stats.ierrors,
+            ),
+        }
+        simple_counters = {
+            name: (registry.counter(name, help), read)
+            for name, (help, read) in simple.items()
+        }
+        tracker_events = registry.counter(
+            "ruru_tracker_events_total",
+            help="Handshake tracker events, merged across queues.",
+            labels=("event",),
+        )
+        parse_reasons = registry.counter(
+            "ruru_parse_errors_by_reason_total",
+            help="Parse-stage drops bucketed by reason.",
+            labels=("reason",),
+        )
+        worker_processed = registry.counter(
+            "ruru_worker_packets_processed_total",
+            help="Frames drained off each rx ring.",
+            labels=("queue",),
+        )
+        worker_sampled = registry.counter(
+            "ruru_worker_packets_sampled_out_total",
+            help="Frames skipped by flow sampling, per queue.",
+            labels=("queue",),
+        )
+        nic_queue_rx = registry.counter(
+            "ruru_nic_queue_rx_packets_total",
+            help="Frames RSS steered into each rx queue.",
+            labels=("queue",),
+        )
+        flow_entries = registry.gauge(
+            "ruru_flow_table_entries",
+            help="In-flight handshakes resident per queue.",
+            labels=("queue",),
+        )
+        ring_pending = registry.gauge(
+            "ruru_rx_ring_pending",
+            help="Mbufs waiting in each rx ring.",
+            labels=("queue",),
+        )
+        tracker_fields = tuple(type(self.stats.tracker)().__dataclass_fields__)
+        # Workers and rx queues are fixed for the pipeline's lifetime,
+        # so their labelled children resolve once here; collect() then
+        # assigns straight into child.value without labels() lookups.
+        tracker_children = [
+            (field_name, tracker_events.labels(field_name))
+            for field_name in tracker_fields
+        ]
+        per_worker = [
+            (
+                worker,
+                worker_processed.labels(worker.queue_id),
+                worker_sampled.labels(worker.queue_id),
+                flow_entries.labels(worker.queue_id),
+            )
+            for worker in self.workers
+        ]
+        per_queue = [
+            (
+                rx_queue,
+                nic_queue_rx.labels(rx_queue.queue_id),
+                ring_pending.labels(rx_queue.queue_id),
+            )
+            for rx_queue in self.nic.queues
+        ]
+
+        def collect() -> None:
+            workers = self.workers
+            for counter, read in simple_counters.values():
+                counter.value = read()
+            for field_name, child in tracker_children:
+                total = 0
+                for worker in workers:
+                    total += getattr(worker.stats, field_name)
+                child.value = total
+            for reason, count in self.stats.parse_error_reasons.items():
+                parse_reasons.labels(reason).value = count
+            for worker, processed, sampled, entries in per_worker:
+                processed.value = worker.packets_processed
+                sampled.value = worker.packets_sampled_out
+                entries.set(len(worker.tracker.table))
+            q_ipackets = self.nic.stats.q_ipackets
+            for rx_queue, rx_packets, pending in per_queue:
+                rx_packets.value = q_ipackets.get(rx_queue.queue_id, 0)
+                pending.set(len(rx_queue))
+
+        registry.register_collector(collect)
 
     def flow_table_occupancy(self) -> List[int]:
         """In-flight handshake count per queue (flood diagnostics)."""

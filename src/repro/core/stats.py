@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List
 
 
 @dataclass
@@ -47,15 +47,26 @@ class TrackerStats:
 
 @dataclass
 class PipelineStats:
-    """Whole-pipeline counters aggregated by :class:`RuruPipeline`."""
+    """Whole-pipeline counters aggregated by :class:`RuruPipeline`.
+
+    ``packets_processed`` / ``packets_sampled_out`` are the per-worker
+    totals (frames drained off rings, and frames skipped by flow
+    sampling before the parse) merged up by the pipeline;
+    ``queue_share`` is the NIC's per-queue receive fraction — both so
+    the summary explains *where* offered packets went, not just how
+    many arrived.
+    """
 
     packets_offered: int = 0
     packets_queued: int = 0
+    packets_processed: int = 0
+    packets_sampled_out: int = 0
     nic_drops: int = 0
     parse_errors: int = 0
     parse_error_reasons: Dict[str, int] = field(default_factory=dict)
     tracker: TrackerStats = field(default_factory=TrackerStats)
     scheduling_rounds: int = 0
+    queue_share: List[float] = field(default_factory=list)
 
     def record_parse_error(self, reason: str) -> None:
         """Count one drop at the parse stage, bucketed by reason."""
@@ -67,11 +78,18 @@ class PipelineStats:
         """Latency records emitted across all workers."""
         return self.tracker.measurements
 
-    def summary(self) -> Dict[str, int]:
-        """Flat dict for printing in benches and the CLI."""
-        return {
+    def summary(self) -> Dict[str, float]:
+        """Flat dict for printing in benches and the CLI.
+
+        Parse-error reasons appear as ``parse_error.<reason>`` keys and
+        RSS balance as ``queue_share.q<n>`` keys, so a drop at any
+        stage is attributable straight from the printout.
+        """
+        summary: Dict[str, float] = {
             "packets_offered": self.packets_offered,
             "packets_queued": self.packets_queued,
+            "packets_processed": self.packets_processed,
+            "packets_sampled_out": self.packets_sampled_out,
             "nic_drops": self.nic_drops,
             "parse_errors": self.parse_errors,
             "measurements": self.tracker.measurements,
@@ -81,3 +99,8 @@ class PipelineStats:
             "resets": self.tracker.resets,
             "scheduling_rounds": self.scheduling_rounds,
         }
+        for reason in sorted(self.parse_error_reasons):
+            summary[f"parse_error.{reason}"] = self.parse_error_reasons[reason]
+        for queue_id, share in enumerate(self.queue_share):
+            summary[f"queue_share.q{queue_id}"] = round(share, 4)
+        return summary

@@ -30,6 +30,7 @@ class QueueWorker:
         sink: Optional[MeasurementSink] = None,
         pipeline_stats: Optional[PipelineStats] = None,
         observers: Optional[List[Callable]] = None,
+        tracer=None,
     ):
         self.nic = nic
         self.queue_id = queue_id
@@ -42,9 +43,14 @@ class QueueWorker:
         # In-pipeline taps (e.g. the SYN-flood detector) see every
         # successfully parsed packet, after the tracker.
         self.observers: List[Callable] = list(observers or [])
+        # Stage tracing (repro.obs.trace.Tracer); None keeps the poll
+        # loop on the untraced fast path with a single attribute check.
+        self.tracer = tracer
         self.packets_processed = 0
         self.packets_sampled_out = 0
         self._latest_ns = 0
+        self._polls = 0
+        self._trace_packets = False
 
     def poll(self) -> int:
         """One poll iteration: process up to one burst; returns count.
@@ -52,11 +58,33 @@ class QueueWorker:
         This is the callable handed to :meth:`repro.dpdk.eal.Eal.launch`.
         """
         mbufs = self.nic.rx_burst(self.queue_id, self.config.burst_size)
-        for mbuf in mbufs:
-            self._process_mbuf(mbuf)
-            mbuf.free()
-        if mbufs:
+        if not mbufs:
+            return 0
+        tracer = self.tracer
+        if tracer is None:
+            for mbuf in mbufs:
+                self._process_mbuf(mbuf)
+                mbuf.free()
             self.tracker.maybe_sweep(self._latest_ns)
+            return len(mbufs)
+        # Per-packet parse/track spans are sampled: every Nth non-empty
+        # poll (N = tracer.detail_sample) traces at packet granularity,
+        # the rest stay at burst granularity. Sampling by poll count is
+        # deterministic, so replayed traces are still reproducible.
+        self._polls += 1
+        detail = tracer.detail_sample
+        self._trace_packets = bool(detail) and self._polls % detail == 1 % detail
+        with tracer.span("worker.poll", queue=self.queue_id, burst=len(mbufs)):
+            for mbuf in mbufs:
+                self._process_mbuf(mbuf)
+                mbuf.free()
+            # Only an actual sweep earns a span; the interval check
+            # itself is too cheap to be worth recording every poll.
+            if self.tracker.sweep_due(self._latest_ns):
+                with tracer.span("flow_table.sweep", queue=self.queue_id):
+                    self.tracker.maybe_sweep(self._latest_ns)
+            else:
+                self.tracker.maybe_sweep(self._latest_ns)
         return len(mbufs)
 
     def _process_mbuf(self, mbuf) -> None:
@@ -70,13 +98,25 @@ class QueueWorker:
         if modulus > 1 and mbuf.rss_hash % modulus:
             self.packets_sampled_out += 1
             return
-        try:
-            parsed = self.parser.parse(mbuf.data, mbuf.timestamp_ns)
-        except ParseError as exc:
-            if self.pipeline_stats is not None:
-                self.pipeline_stats.record_parse_error(exc.reason)
-            return
-        self.tracker.process(parsed, rss_hash=mbuf.rss_hash)
+        tracer = self.tracer if self._trace_packets else None
+        if tracer is None:
+            try:
+                parsed = self.parser.parse(mbuf.data, mbuf.timestamp_ns)
+            except ParseError as exc:
+                if self.pipeline_stats is not None:
+                    self.pipeline_stats.record_parse_error(exc.reason)
+                return
+            self.tracker.process(parsed, rss_hash=mbuf.rss_hash)
+        else:
+            with tracer.span("worker.parse", queue=self.queue_id):
+                try:
+                    parsed = self.parser.parse(mbuf.data, mbuf.timestamp_ns)
+                except ParseError as exc:
+                    if self.pipeline_stats is not None:
+                        self.pipeline_stats.record_parse_error(exc.reason)
+                    return
+            with tracer.span("worker.track", queue=self.queue_id):
+                self.tracker.process(parsed, rss_hash=mbuf.rss_hash)
         for observer in self.observers:
             observer(parsed)
 

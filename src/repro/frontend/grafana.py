@@ -15,6 +15,7 @@ import json
 from typing import List, Optional
 
 from repro.frontend.dashboard import Dashboard, Panel
+from repro.tsdb.query import Query
 from repro.tsdb.ql import format_query
 
 _PANEL_WIDTH = 12
@@ -44,6 +45,87 @@ def panel_to_grafana(panel: Panel, panel_id: int, x: int, y: int) -> dict:
         "fill": 1,
         "legend": {"show": True, "values": False},
     }
+
+
+def build_selfmon_dashboard(interval_ns: int = 1_000_000_000) -> Dashboard:
+    """The pipeline-watches-itself dashboard.
+
+    Panels over the self-monitoring series the
+    :class:`~repro.obs.exporter.TelemetryExporter` writes — the
+    counters that made the paper's firewall anomaly credible: NIC drops
+    (``imissed``), per-stage throughput, parse-drop reasons and queue
+    balance. Export with :func:`export_grafana_json` like the latency
+    dashboard; the measurements are cumulative counters, so ``last``
+    per window shows totals and per-window deltas are one Grafana
+    transform away.
+    """
+
+    def counter_panel(title: str, measurement: str, group_by=None, unit="ops"):
+        return Panel(
+            title=title,
+            query=Query(
+                measurement=measurement,
+                field="value",
+                aggregator="last",
+                group_by_tags=list(group_by or []),
+                group_by_time_ns=interval_ns,
+            ),
+            unit=unit,
+        )
+
+    dashboard = Dashboard(title="Ruru self-monitoring")
+    dashboard.add_panel(
+        counter_panel("packets offered", "ruru_packets_offered_total", unit="pkts")
+    )
+    dashboard.add_panel(
+        counter_panel("NIC drops (imissed)", "ruru_nic_imissed_total", unit="pkts")
+    )
+    dashboard.add_panel(
+        counter_panel("measurements emitted", "ruru_measurements_total")
+    )
+    dashboard.add_panel(
+        counter_panel(
+            "parse errors by reason",
+            "ruru_parse_errors_by_reason_total",
+            group_by=["reason"],
+            unit="pkts",
+        )
+    )
+    dashboard.add_panel(
+        counter_panel(
+            "per-queue packets processed",
+            "ruru_worker_packets_processed_total",
+            group_by=["queue"],
+            unit="pkts",
+        )
+    )
+    dashboard.add_panel(
+        counter_panel(
+            "tracker events",
+            "ruru_tracker_events_total",
+            group_by=["event"],
+        )
+    )
+    dashboard.add_panel(
+        counter_panel(
+            "flow-table occupancy",
+            "ruru_flow_table_entries",
+            group_by=["queue"],
+            unit="flows",
+        )
+    )
+    dashboard.add_panel(
+        counter_panel("mq publishes", "ruru_mq_push_sent_total", unit="msgs")
+    )
+    dashboard.add_panel(
+        counter_panel(
+            "analytics enriched", "ruru_analytics_enriched_total"
+        )
+    )
+    dashboard.add_panel(
+        counter_panel("tsdb points resident", "ruru_tsdb_points", unit="pts")
+    )
+    return dashboard
 
 
 def export_grafana_json(

@@ -32,20 +32,36 @@ class Forwarder:
         sub: SubSocket,
         pub: PubSocket,
         message_filter: Optional[MessageFilter] = None,
+        telemetry=None,
+        name: str = "forwarder",
     ):
         self.sub = sub
         self.pub = pub
         self.message_filter = message_filter
+        self.name = name
         self.forwarded = 0
         self.filtered = 0
+        self._tracer = telemetry.tracer if telemetry is not None else None
+        if telemetry is not None:
+            self._bind_registry(telemetry.registry)
 
     def poll(self, max_messages: int = 100) -> int:
         """Move up to *max_messages* downstream; returns messages handled.
 
         Suitable as an :class:`~repro.dpdk.eal.Eal` lcore body.
         """
+        messages = self.sub.recv_all(max_messages)
+        if not messages:
+            return 0
+        tracer = self._tracer
+        if tracer is None:
+            return self._forward(messages)
+        with tracer.span("mq.forward", name=self.name, batch=len(messages)):
+            return self._forward(messages)
+
+    def _forward(self, messages) -> int:
         handled = 0
-        for message in self.sub.recv_all(max_messages):
+        for message in messages:
             handled += 1
             if self.message_filter is not None and not self.message_filter(message):
                 self.filtered += 1
@@ -53,3 +69,21 @@ class Forwarder:
             self.pub.send(message)
             self.forwarded += 1
         return handled
+
+    def _bind_registry(self, registry) -> None:
+        forwarded = registry.counter(
+            "ruru_mq_forwarded_total",
+            help="Messages re-published by forwarder devices.",
+            labels=("forwarder",),
+        )
+        filtered = registry.counter(
+            "ruru_mq_forward_filtered_total",
+            help="Messages dropped by forwarder filter predicates.",
+            labels=("forwarder",),
+        )
+
+        def collect() -> None:
+            forwarded.labels(self.name).value = self.forwarded
+            filtered.labels(self.name).value = self.filtered
+
+        registry.register_collector(collect)

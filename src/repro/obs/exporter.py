@@ -1,0 +1,120 @@
+"""Self-monitoring export: registry snapshots into the TSDB.
+
+The paper's operators watched the pipeline watch the network: drop
+counters and stage throughput lived in the same Grafana as the latency
+measurements. :class:`TelemetryExporter` reproduces that loop — on a
+configurable (virtual-time) interval it snapshots the metrics registry
+and writes each sample into the in-repo TSDB as its own measurement,
+named after the metric. Self-monitoring series therefore sit alongside
+the ``latency`` series but never mix with them: a metric named
+``ruru_nic_imissed_total`` becomes the measurement of the same name,
+tagged with its labels, with a single ``value`` field (histograms
+export ``sum`` and ``count`` fields instead).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.obs.registry import MetricsRegistry
+from repro.tsdb.database import TimeSeriesDatabase
+from repro.tsdb.point import Point
+
+__all__ = ["TelemetryExporter", "DEFAULT_EXPORT_INTERVAL_NS"]
+
+DEFAULT_EXPORT_INTERVAL_NS = 1_000_000_000  # one virtual second
+
+
+class TelemetryExporter:
+    """Periodically snapshot a registry into a time-series database.
+
+    Args:
+        registry: the metrics source.
+        tsdb: destination database (shared with the latency series or
+            dedicated — measurement names keep them distinct either way).
+        interval_ns: minimum virtual time between exports.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        tsdb: TimeSeriesDatabase,
+        interval_ns: int = DEFAULT_EXPORT_INTERVAL_NS,
+    ):
+        if interval_ns <= 0:
+            raise ValueError("export interval must be positive")
+        self.registry = registry
+        self.tsdb = tsdb
+        self.interval_ns = interval_ns
+        self.exports = 0
+        self.points_written = 0
+        self._last_export_ns: Optional[int] = None
+        # (family count, total children) the cached row layout was
+        # built against; new families/label sets trigger a rebuild.
+        self._layout_version: Optional[tuple] = None
+        self._rows: List[tuple] = []
+
+    def maybe_export(self, now_ns: int) -> int:
+        """Export if at least one interval elapsed; returns points written."""
+        if (
+            self._last_export_ns is not None
+            and now_ns - self._last_export_ns < self.interval_ns
+        ):
+            return 0
+        return self.export(now_ns)
+
+    def export(self, now_ns: int) -> int:
+        """Unconditionally snapshot the registry at *now_ns*."""
+        self._last_export_ns = now_ns
+        points = self._points(now_ns)
+        written = self.tsdb.write_batch(points)
+        self.exports += 1
+        self.points_written += written
+        return written
+
+    def _points(self, now_ns: int) -> List[Point]:
+        # Exports run inside the pipeline's feed loop, so the row layout
+        # (measurement name, tags dict, child) is cached across exports
+        # and only rebuilt when a family or label set appears. The tags
+        # dict is shared between successive Points of one series, which
+        # is safe because the storage layer treats tags as read-only.
+        self.registry.collect()
+        families = self.registry.families()
+        version = (len(families), sum(f.cardinality() for f in families))
+        if version != self._layout_version:
+            rows: List[tuple] = []
+            for family in families:
+                histogram = family.kind == "histogram"
+                label_names = family.label_names
+                for label_values, child in family.samples():
+                    rows.append(
+                        (
+                            family.name,
+                            dict(zip(label_names, label_values)),
+                            child,
+                            histogram,
+                        )
+                    )
+            self._rows = rows
+            self._layout_version = version
+        points: List[Point] = []
+        for measurement, tags, child, histogram in self._rows:
+            if histogram:
+                fields = {"sum": float(child.sum), "count": child.count}
+            else:
+                fields = {"value": float(child.value)}
+            points.append(
+                Point(
+                    measurement=measurement,
+                    timestamp_ns=now_ns,
+                    tags=tags,
+                    fields=fields,
+                )
+            )
+        return points
+
+    def series_names(self) -> List[str]:
+        """Measurement names this exporter has written so far."""
+        return [
+            name for name in self.tsdb.measurements() if name.startswith("ruru_")
+        ]

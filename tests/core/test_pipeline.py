@@ -86,6 +86,64 @@ class TestWorkload:
         assert all(count < 50 for count in occupancy)
 
 
+class TestStatsMerging:
+    def test_run_packets_twice_does_not_double_count(self, small_workload):
+        """Tracker counters are recomputed, not re-accumulated, per run."""
+        _, packets = small_workload
+        pipeline = RuruPipeline(config=PipelineConfig(num_queues=4))
+        first = dict(pipeline.run_packets(packets).summary())
+        # The second run re-offers the same trace into live trackers:
+        # totals must equal one fresh pass over 2x packets, never a
+        # merge of already-merged tracker stats.
+        pipeline.run_packets(packets)
+        second = pipeline.stats.summary()
+        assert second["packets_offered"] == 2 * first["packets_offered"]
+        assert pipeline.stats.tracker.packets == sum(
+            worker.stats.packets for worker in pipeline.workers
+        )
+        assert second["packets_processed"] == sum(
+            worker.packets_processed for worker in pipeline.workers
+        )
+
+    def test_worker_counters_surface_in_pipeline_stats(self, small_workload):
+        _, packets = small_workload
+        pipeline = RuruPipeline(config=PipelineConfig(num_queues=4))
+        stats = pipeline.run_packets(packets)
+        assert stats.packets_processed == stats.packets_queued
+        assert stats.packets_sampled_out == 0
+        assert stats.queue_share == pipeline.queue_balance()
+        assert len(stats.queue_share) == 4
+
+    def test_sampled_out_counted(self, small_workload):
+        _, packets = small_workload
+        pipeline = RuruPipeline(
+            config=PipelineConfig(num_queues=2, flow_sample_modulus=4)
+        )
+        stats = pipeline.run_packets(packets)
+        assert stats.packets_sampled_out > 0
+        assert stats.summary()["packets_sampled_out"] == stats.packets_sampled_out
+
+    def test_parse_error_reasons_bucketed_per_reason(self):
+        from repro.net.packet import Packet
+
+        pipeline = RuruPipeline(config=PipelineConfig(num_queues=1))
+        good = make_handshake()
+        # A frame with a bogus ethertype and a truncated IPv4 frame
+        # exercise two distinct parse-drop reasons.
+        bad_ethertype = Packet(
+            data=good[0].data[:12] + b"\x86\x00" + good[0].data[14:],
+            timestamp_ns=good[0].timestamp_ns,
+        )
+        truncated = Packet(data=good[0].data[:20], timestamp_ns=good[0].timestamp_ns)
+        stats = pipeline.run_packets(good + [bad_ethertype, truncated])
+        assert stats.parse_errors == 2
+        assert len(stats.parse_error_reasons) == 2
+        assert sum(stats.parse_error_reasons.values()) == 2
+        summary = stats.summary()
+        for reason, count in stats.parse_error_reasons.items():
+            assert summary[f"parse_error.{reason}"] == count
+
+
 class TestSink:
     def test_custom_sink_receives_stream(self, small_workload):
         _, packets = small_workload

@@ -25,10 +25,34 @@ class TestPipelineStats:
 
     def test_summary_keys(self):
         summary = PipelineStats().summary()
-        for key in ("packets_offered", "measurements", "nic_drops", "stray_ack"):
+        for key in ("packets_offered", "measurements", "nic_drops", "stray_ack",
+                    "packets_processed", "packets_sampled_out"):
             assert key in summary
 
     def test_measurements_proxies_tracker(self):
         stats = PipelineStats()
         stats.tracker.measurements = 42
         assert stats.measurements == 42
+
+    def test_summary_includes_parse_error_reasons(self):
+        stats = PipelineStats()
+        stats.record_parse_error("not-tcp")
+        stats.record_parse_error("not-tcp")
+        stats.record_parse_error("truncated")
+        summary = stats.summary()
+        assert summary["parse_error.not-tcp"] == 2
+        assert summary["parse_error.truncated"] == 1
+        assert summary["parse_errors"] == 3
+
+    def test_summary_includes_queue_balance(self):
+        stats = PipelineStats(queue_share=[0.5, 0.25, 0.25])
+        summary = stats.summary()
+        assert summary["queue_share.q0"] == 0.5
+        assert summary["queue_share.q1"] == 0.25
+        assert summary["queue_share.q2"] == 0.25
+
+    def test_summary_reports_worker_counters(self):
+        stats = PipelineStats(packets_processed=90, packets_sampled_out=10)
+        summary = stats.summary()
+        assert summary["packets_processed"] == 90
+        assert summary["packets_sampled_out"] == 10

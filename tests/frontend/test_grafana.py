@@ -46,3 +46,37 @@ class TestGrafanaExport:
         model = json.loads(export_grafana_json(build_ruru_dashboard()))
         latency_panel = model["panels"][0]
         assert latency_panel["yaxes"][0]["format"] == "ms"
+
+
+class TestSelfMonitoringDashboard:
+    def test_exports_valid_json(self):
+        from repro.frontend.grafana import build_selfmon_dashboard
+
+        dashboard = build_selfmon_dashboard()
+        model = json.loads(export_grafana_json(dashboard, uid="ruru-selfmon"))
+        assert model["uid"] == "ruru-selfmon"
+        assert len(model["panels"]) == len(dashboard.panels) >= 8
+        measurements = {
+            panel.query.measurement for panel in dashboard.panels
+        }
+        assert "ruru_nic_imissed_total" in measurements
+        assert "ruru_tracker_events_total" in measurements
+
+    def test_renders_against_exported_telemetry(self):
+        from repro.frontend.grafana import build_selfmon_dashboard
+        from repro.obs import Telemetry
+        from repro.tsdb.database import TimeSeriesDatabase
+
+        telemetry = Telemetry()
+        telemetry.registry.counter(
+            "ruru_packets_offered_total", help="offered"
+        ).inc(100)
+        tsdb = TimeSeriesDatabase()
+        telemetry.export_to(tsdb)
+        telemetry.flush(2_000_000_000)
+        dashboard = build_selfmon_dashboard(interval_ns=1_000_000_000)
+        rendered = {
+            result.title: result for result in dashboard.render(tsdb)
+        }
+        latest = rendered["packets offered"].latest()
+        assert latest["all"] == 100.0

@@ -1,0 +1,93 @@
+"""Self-monitoring exporter tests."""
+
+import pytest
+
+from repro.obs import Telemetry
+from repro.obs.exporter import TelemetryExporter
+from repro.obs.registry import MetricsRegistry
+from repro.tsdb.database import TimeSeriesDatabase
+from repro.tsdb.query import Query
+
+NS_PER_S = 1_000_000_000
+
+
+def make_registry():
+    registry = MetricsRegistry()
+    registry.counter("ruru_demo_total", help="demo").inc(5)
+    registry.gauge("ruru_demo_depth", labels=("queue",)).labels("0").set(2)
+    return registry
+
+
+class TestExport:
+    def test_counters_become_points(self):
+        tsdb = TimeSeriesDatabase()
+        exporter = TelemetryExporter(make_registry(), tsdb)
+        written = exporter.export(now_ns=NS_PER_S)
+        assert written == 2
+        assert tsdb.query(Query("ruru_demo_total", "value", "last")).scalar() == 5
+        assert sorted(tsdb.measurements()) == ["ruru_demo_depth", "ruru_demo_total"]
+
+    def test_labels_become_tags(self):
+        tsdb = TimeSeriesDatabase()
+        TelemetryExporter(make_registry(), tsdb).export(now_ns=0)
+        assert tsdb.tag_values("ruru_demo_depth", "queue") == ["0"]
+
+    def test_histogram_exports_sum_and_count(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("ruru_demo_ns", buckets=(10, 100))
+        hist.observe(7)
+        hist.observe(70)
+        tsdb = TimeSeriesDatabase()
+        TelemetryExporter(registry, tsdb).export(now_ns=0)
+        assert tsdb.query(Query("ruru_demo_ns", "count", "last")).scalar() == 2
+        assert tsdb.query(Query("ruru_demo_ns", "sum", "last")).scalar() == 77
+
+    def test_series_distinct_from_latency_measurements(self):
+        tsdb = TimeSeriesDatabase()
+        from repro.tsdb.point import Point
+
+        tsdb.write(Point("latency", 0, fields={"total_ms": 1.0}))
+        exporter = TelemetryExporter(make_registry(), tsdb)
+        exporter.export(now_ns=0)
+        assert "latency" not in exporter.series_names()
+        assert set(exporter.series_names()) == {"ruru_demo_depth", "ruru_demo_total"}
+
+
+class TestInterval:
+    def test_maybe_export_respects_interval(self):
+        tsdb = TimeSeriesDatabase()
+        exporter = TelemetryExporter(make_registry(), tsdb, interval_ns=NS_PER_S)
+        assert exporter.maybe_export(0) > 0
+        assert exporter.maybe_export(NS_PER_S // 2) == 0
+        assert exporter.maybe_export(NS_PER_S) > 0
+        assert exporter.exports == 2
+
+    def test_interval_is_configurable(self):
+        tsdb = TimeSeriesDatabase()
+        exporter = TelemetryExporter(
+            make_registry(), tsdb, interval_ns=10 * NS_PER_S
+        )
+        exporter.maybe_export(0)
+        for second in range(1, 10):
+            assert exporter.maybe_export(second * NS_PER_S) == 0
+        assert exporter.maybe_export(10 * NS_PER_S) > 0
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError):
+            TelemetryExporter(make_registry(), TimeSeriesDatabase(), interval_ns=0)
+
+
+class TestTelemetryBundle:
+    def test_tick_and_flush_drive_exporter(self):
+        telemetry = Telemetry()
+        telemetry.registry.counter("ruru_demo_total").inc()
+        tsdb = TimeSeriesDatabase()
+        telemetry.export_to(tsdb, interval_ns=NS_PER_S)
+        assert telemetry.tick(0) > 0
+        assert telemetry.tick(1) == 0
+        assert telemetry.flush(2) > 0  # flush exports unconditionally
+        assert telemetry.exporter.exports == 2
+
+    def test_tick_without_exporter_is_noop(self):
+        assert Telemetry().tick(0) == 0
+        assert Telemetry().flush(0) == 0

@@ -1,0 +1,75 @@
+"""Golden test for the Prometheus text exposition format."""
+
+from repro.obs.registry import MetricsRegistry
+
+
+def build_fixture_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    offered = registry.counter(
+        "ruru_packets_offered_total", help="Frames offered to the NIC."
+    )
+    offered.inc(1234)
+    events = registry.counter(
+        "ruru_tracker_events_total", help="Tracker events.", labels=("event",)
+    )
+    events.labels("syn").inc(10)
+    events.labels("synack").inc(9)
+    occupancy = registry.gauge(
+        "ruru_flow_table_entries", help="Resident handshakes.", labels=("queue",)
+    )
+    occupancy.labels("0").set(3)
+    duration = registry.histogram(
+        "ruru_stage_duration_ns",
+        help="Stage durations.",
+        labels=("stage",),
+        buckets=(1000, 1000000),
+    )
+    duration.labels("worker.poll").observe(500)
+    duration.labels("worker.poll").observe(2000)
+    return registry
+
+
+GOLDEN = """\
+# HELP ruru_packets_offered_total Frames offered to the NIC.
+# TYPE ruru_packets_offered_total counter
+ruru_packets_offered_total 1234
+# HELP ruru_tracker_events_total Tracker events.
+# TYPE ruru_tracker_events_total counter
+ruru_tracker_events_total{event="syn"} 10
+ruru_tracker_events_total{event="synack"} 9
+# HELP ruru_flow_table_entries Resident handshakes.
+# TYPE ruru_flow_table_entries gauge
+ruru_flow_table_entries{queue="0"} 3
+# HELP ruru_stage_duration_ns Stage durations.
+# TYPE ruru_stage_duration_ns histogram
+ruru_stage_duration_ns_bucket{stage="worker.poll",le="1000"} 1
+ruru_stage_duration_ns_bucket{stage="worker.poll",le="1000000"} 2
+ruru_stage_duration_ns_bucket{stage="worker.poll",le="+Inf"} 2
+ruru_stage_duration_ns_sum{stage="worker.poll"} 2500
+ruru_stage_duration_ns_count{stage="worker.poll"} 2
+"""
+
+
+class TestExposition:
+    def test_golden(self):
+        assert build_fixture_registry().exposition() == GOLDEN
+
+    def test_empty_registry_is_empty_text(self):
+        assert MetricsRegistry().exposition() == ""
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        family = registry.counter("x_total", labels=("reason",))
+        family.labels('quote " slash \\ newline \n').inc()
+        line = registry.exposition().splitlines()[-1]
+        assert line == 'x_total{reason="quote \\" slash \\\\ newline \\n"} 1'
+
+    def test_help_newlines_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", help="line one\nline two")
+        assert "# HELP x_total line one\\nline two" in registry.exposition()
+
+    def test_float_values_preserved(self):
+        registry = MetricsRegistry()
+        registry.gauge("share").set(0.25)
+        assert "share 0.25" in registry.exposition()

@@ -1,0 +1,149 @@
+"""Metrics registry primitives: counters, gauges, histograms, labels."""
+
+import pytest
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.inc(3)
+        gauge.dec(5)
+        assert gauge.value == 8
+
+
+class TestHistogram:
+    def test_bounds_must_ascend(self):
+        with pytest.raises(ValueError):
+            Histogram([1, 1, 2])
+        with pytest.raises(ValueError):
+            Histogram([])
+
+    def test_bucket_boundaries_are_inclusive(self):
+        # Prometheus `le` semantics: a sample equal to a bound counts
+        # into that bound's bucket.
+        hist = Histogram([10, 100])
+        hist.observe(10)
+        hist.observe(11)
+        hist.observe(100)
+        hist.observe(101)
+        assert hist.bucket_counts == [1, 2, 1]
+        assert hist.cumulative_counts() == [1, 3, 4]
+        assert hist.count == 4
+        assert hist.sum == 10 + 11 + 100 + 101
+
+    def test_underflow_lands_in_first_bucket(self):
+        hist = Histogram([10, 100])
+        hist.observe(0)
+        assert hist.bucket_counts == [1, 0, 0]
+
+
+class TestLabels:
+    def test_same_values_resolve_same_child(self):
+        registry = MetricsRegistry()
+        family = registry.counter("x_total", labels=("queue",))
+        a = family.labels("0")
+        b = family.labels(queue="0")
+        assert a is b
+        a.inc()
+        assert family.labels("0").value == 1
+
+    def test_cardinality_grows_per_distinct_label_set(self):
+        registry = MetricsRegistry()
+        family = registry.counter("x_total", labels=("queue", "dir"))
+        for queue in range(4):
+            for direction in ("in", "out"):
+                family.labels(str(queue), direction).inc()
+        assert family.cardinality() == 8
+
+    def test_wrong_label_count_rejected(self):
+        registry = MetricsRegistry()
+        family = registry.counter("x_total", labels=("queue",))
+        with pytest.raises(ValueError):
+            family.labels("0", "extra")
+        with pytest.raises(ValueError):
+            family.labels()
+
+    def test_unknown_keyword_label_rejected(self):
+        registry = MetricsRegistry()
+        family = registry.counter("x_total", labels=("queue",))
+        with pytest.raises(ValueError):
+            family.labels(qeueu="0")
+
+    def test_label_values_coerced_to_strings(self):
+        registry = MetricsRegistry()
+        family = registry.counter("x_total", labels=("queue",))
+        assert family.labels(3) is family.labels("3")
+
+
+class TestRegistry:
+    def test_unlabeled_family_returns_child_directly(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("plain_total")
+        counter.inc()
+        assert registry.family("plain_total").unlabeled.value == 1
+
+    def test_reregistration_is_idempotent(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", help="first")
+        b = registry.counter("x_total")
+        assert a is b
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ValueError):
+            registry.gauge("x_total")
+
+    def test_label_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", labels=("queue",))
+        with pytest.raises(ValueError):
+            registry.counter("x_total", labels=("reason",))
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("1starts_with_digit")
+        with pytest.raises(ValueError):
+            registry.counter("has space")
+        with pytest.raises(ValueError):
+            registry.counter("ok_total", labels=("bad-label",))
+
+    def test_collector_runs_on_snapshot(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("live_value")
+        source = {"v": 7}
+        registry.register_collector(lambda: gauge.set(source["v"]))
+        assert registry.snapshot()["live_value"]["samples"][0]["value"] == 7
+        source["v"] = 9
+        assert registry.snapshot()["live_value"]["samples"][0]["value"] == 9
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", help="a counter").inc(2)
+        registry.histogram("h", buckets=(1, 2)).observe(1.5)
+        snapshot = registry.snapshot()
+        assert snapshot["c_total"] == {
+            "type": "counter",
+            "help": "a counter",
+            "samples": [{"labels": {}, "value": 2}],
+        }
+        hist = snapshot["h"]["samples"][0]
+        assert hist["count"] == 1
+        assert hist["sum"] == 1.5
+        assert hist["buckets"] == {"1": 0, "2": 1, "+Inf": 1}

@@ -1,0 +1,117 @@
+"""Tracer tests: nesting, determinism, the ring buffer."""
+
+import pytest
+
+from repro.dpdk.clock import VirtualClock
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+class TestSpans:
+    def test_span_times_read_the_virtual_clock(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock)
+        with tracer.span("stage") as span:
+            clock.advance(150)
+        assert span.start_ns == 0
+        assert span.end_ns == 150
+        assert span.duration_ns == 150
+
+    def test_deterministic_across_runs(self):
+        def run():
+            clock = VirtualClock()
+            tracer = Tracer(clock)
+            with tracer.span("outer"):
+                clock.advance(10)
+                with tracer.span("inner"):
+                    clock.advance(5)
+                clock.advance(1)
+            return [
+                (s.name, s.start_ns, s.end_ns)
+                for root in tracer.recent()
+                for s in root.walk()
+            ]
+
+        assert run() == run()
+        assert run() == [("outer", 0, 16), ("inner", 10, 15)]
+
+    def test_nesting_attaches_children(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock)
+        with tracer.span("parent"):
+            with tracer.span("child-a"):
+                pass
+            with tracer.span("child-b"):
+                pass
+        (root,) = tracer.recent()
+        assert [child.name for child in root.children] == ["child-a", "child-b"]
+        # Only root spans enter the ring.
+        assert len(tracer.recent()) == 1
+
+    def test_attrs_recorded(self):
+        tracer = Tracer(VirtualClock())
+        with tracer.span("poll", queue=3, burst=32) as span:
+            pass
+        assert span.attrs == {"queue": 3, "burst": 32}
+
+    def test_unclosed_children_close_with_parent(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock)
+        parent = tracer.span("parent")
+        tracer.span("orphan")
+        clock.advance(7)
+        parent.finish()
+        (root,) = tracer.recent()
+        assert root.children[0].end_ns == 7
+
+    def test_no_clock_is_an_error(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            tracer.span("x")
+
+
+class TestRingBuffer:
+    def test_ring_keeps_most_recent(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock, max_traces=3)
+        for index in range(5):
+            with tracer.span(f"t{index}"):
+                clock.advance(1)
+        assert [span.name for span in tracer.recent()] == ["t2", "t3", "t4"]
+        assert tracer.spans_dropped == 2
+        assert tracer.spans_started == 5
+
+    def test_recent_limit_and_clear(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock)
+        for index in range(4):
+            with tracer.span(f"t{index}"):
+                pass
+        assert [span.name for span in tracer.recent(2)] == ["t2", "t3"]
+        tracer.clear()
+        assert tracer.recent() == []
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(VirtualClock(), max_traces=0)
+
+
+class TestRegistryMirror:
+    def test_durations_feed_stage_histogram(self):
+        clock = VirtualClock()
+        registry = MetricsRegistry()
+        tracer = Tracer(clock, registry=registry)
+        with tracer.span("worker.poll"):
+            clock.advance(5000)
+        family = registry.family("ruru_stage_duration_ns")
+        child = family.labels("worker.poll")
+        assert child.count == 1
+        assert child.sum == 5000
+
+    def test_stage_names_collected(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock)
+        with tracer.span("b"):
+            with tracer.span("a"):
+                pass
+        assert tracer.stage_names() == ["a", "b"]

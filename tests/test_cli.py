@@ -127,3 +127,42 @@ class TestCommands:
               "--output", str(tmp_path / "m.lp"), "--grafana", str(grafana)])
         model = json.loads(grafana.read_text())
         assert model["panels"]
+
+
+class TestTelemetry:
+    def test_metrics_emits_prometheus_exposition(self, capsys):
+        assert main(["metrics", "--duration", "2", "--rate", "20"]) == 0
+        output = capsys.readouterr().out
+        type_lines = [l for l in output.splitlines() if l.startswith("# TYPE")]
+        # The acceptance bar: >= 15 distinct series families, and every
+        # TYPE line names a valid metric kind.
+        assert len(type_lines) >= 15
+        assert all(
+            l.split()[-1] in ("counter", "gauge", "histogram") for l in type_lines
+        )
+        assert "ruru_packets_offered_total" in output
+        assert "ruru_tracker_events_total{event=\"syn\"}" in output
+        assert "ruru_analytics_enriched_total" in output
+
+    def test_measure_with_telemetry_flag(self, capsys):
+        assert main(["measure", "--duration", "2", "--rate", "20",
+                     "--telemetry"]) == 0
+        output = capsys.readouterr().out
+        assert "--- telemetry ---" in output
+        assert "self-monitoring exports" in output
+        assert "ruru_measurements_total" in output
+        assert "packets_processed" in output  # satellite: worker counters surfaced
+
+    def test_export_with_selfmon_dashboard(self, tmp_path, capsys):
+        import json
+
+        selfmon = tmp_path / "selfmon.json"
+        assert main(["export", "--duration", "2", "--rate", "15", "--telemetry",
+                     "--output", str(tmp_path / "m.lp"),
+                     "--grafana-selfmon", str(selfmon)]) == 0
+        model = json.loads(selfmon.read_text())
+        titles = [panel["title"] for panel in model["panels"]]
+        assert "NIC drops (imissed)" in titles
+        # Self-monitoring series ride along in the line-protocol export.
+        lp_text = (tmp_path / "m.lp").read_text()
+        assert "ruru_packets_offered_total" in lp_text
