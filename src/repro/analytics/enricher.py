@@ -41,6 +41,10 @@ class EnrichedMeasurement:
     dst_lat: float
     dst_lon: float
     dst_asn: int
+    # True when the record crossed an open enrichment breaker: the
+    # latencies are real, the geography is unknown-by-policy. Dashboards
+    # can exclude or shade these; dropping them would hide the outage.
+    degraded: bool = False
 
     @property
     def total_ns(self) -> int:
@@ -67,6 +71,32 @@ class EnrichedMeasurement:
     def asn_pair(self):
         """(src ASN, dst ASN) — the aggregation key for networks."""
         return (self.src_asn, self.dst_asn)
+
+
+def degraded_measurement(record: LatencyRecord) -> EnrichedMeasurement:
+    """An un-enriched measurement for an open enrichment breaker.
+
+    The latency components survive (they were measured upstream of the
+    failing dependency); geography and AS numbers are unknown-by-policy
+    and the ``degraded`` flag marks the episode. The addresses are
+    still stripped — the privacy boundary holds even in degraded mode.
+    """
+    return EnrichedMeasurement(
+        timestamp_ns=record.timestamp_ns,
+        internal_ns=record.internal_ns,
+        external_ns=record.external_ns,
+        src_country=UNKNOWN_COUNTRY,
+        src_city=UNKNOWN_CITY,
+        src_lat=0.0,
+        src_lon=0.0,
+        src_asn=UNKNOWN_ASN,
+        dst_country=UNKNOWN_COUNTRY,
+        dst_city=UNKNOWN_CITY,
+        dst_lat=0.0,
+        dst_lon=0.0,
+        dst_asn=UNKNOWN_ASN,
+        degraded=True,
+    )
 
 
 @dataclass

@@ -13,16 +13,23 @@ over enriched measurements inserted before the fan-out.
 
 from __future__ import annotations
 
+import re
 from typing import Callable, List, Optional
 
 from repro.analytics.aggregator import PairAggregator
-from repro.analytics.enricher import EnrichedMeasurement, Enricher
+from repro.analytics.enricher import EnrichedMeasurement, Enricher, degraded_measurement
 from repro.core.latency import Direction, LatencyRecord
 from repro.geo.asn import AsnDatabase
 from repro.geo.database import GeoDatabase
-from repro.mq.codec import decode_latency_record, encode_enriched, encode_latency_record
+from repro.mq.codec import (
+    CodecError,
+    decode_latency_record,
+    encode_enriched,
+    encode_latency_record,
+)
 from repro.mq.frames import Message
 from repro.mq.socket import Context, PubSocket, PushSocket
+from repro.resilience.invariants import ConservationLedger
 from repro.tsdb.database import TimeSeriesDatabase
 from repro.tsdb.point import Point
 
@@ -32,6 +39,17 @@ ENRICHED_TOPIC = b"enriched"
 MeasurementFilter = Callable[[EnrichedMeasurement], bool]
 
 ANALYTICS_ENDPOINT = "inproc://analytics"
+
+
+def _dlq_reason(exc: Exception) -> str:
+    """A bounded-cardinality reason string for DLQ provenance.
+
+    Digits are collapsed so messages like ``length 57 != 60`` map to a
+    single reason (these become metric label values).
+    """
+    text = re.sub(r"\d+", "N", str(exc))
+    name = type(exc).__name__
+    return f"{name}: {text}" if text else name
 
 
 def make_pipeline_sink(
@@ -71,6 +89,13 @@ class AnalyticsService:
         telemetry: a :class:`repro.obs.Telemetry` handle shared with
             the pipeline; binds analytics/mq counters to its registry
             and traces enrich/write/publish stages.
+        resilience: a :class:`repro.resilience.ResilienceLayer`. When
+            given, undecodable payloads are dead-lettered instead of
+            merely counted, enrichment and TSDB writes run behind
+            circuit breakers, and failed writes retry with backoff on
+            the virtual clock. When the enrichment breaker is open,
+            records publish *un-enriched* with the ``degraded`` flag
+            rather than being lost.
     """
 
     def __init__(
@@ -88,6 +113,7 @@ class AnalyticsService:
         store_raw_points: bool = True,
         home_country: str = "NZ",
         telemetry=None,
+        resilience=None,
     ):
         if num_workers <= 0:
             raise ValueError("need at least one enrichment worker")
@@ -103,7 +129,7 @@ class AnalyticsService:
         self._next_worker = 0
         self.aggregator = PairAggregator(
             window_ns=aggregation_window_ns,
-            emit=lambda points: self.tsdb.write_batch(points),
+            emit=self._write_points,
         )
         self.filters: List[MeasurementFilter] = list(filters or [])
         self.store_raw_points = store_raw_points
@@ -111,11 +137,20 @@ class AnalyticsService:
         self.records_in = 0
         self.filtered_out = 0
         self.decode_errors = 0
+        # Conservation accounting: every ingested record lands in
+        # exactly one of processed / dropped_records / deadlettered.
+        self.processed = 0
+        self.dropped_records = 0
+        self.deadlettered = 0
+        self.resilience = resilience
+        self._now_ns = 0
         self.telemetry = telemetry
         self._tracer = telemetry.tracer if telemetry is not None else None
         self._push_sockets: List[PushSocket] = []
         if telemetry is not None:
             self._bind_registry(telemetry.registry)
+            if resilience is not None:
+                resilience.bind_registry(telemetry.registry)
 
     # -- wiring helpers -----------------------------------------------------
 
@@ -151,53 +186,178 @@ class AnalyticsService:
 
     def _process_message(self, message: Message) -> None:
         self.records_in += 1
+        payload = message.payload[0] if message.payload else b""
         try:
-            record = decode_latency_record(message.payload[0])
-        except (IndexError, ValueError):
+            record = decode_latency_record(payload)
+        except (CodecError, IndexError, ValueError) as exc:
             self.decode_errors += 1
+            if self.resilience is not None:
+                self.resilience.dlq.push(
+                    stage="mq.decode",
+                    reason=_dlq_reason(exc),
+                    payload=payload,
+                    timestamp_ns=self._now_ns,
+                )
+                self.deadlettered += 1
+            else:
+                self.dropped_records += 1
             return
-        enricher = self.enrichers[self._next_worker]
-        self._next_worker = (self._next_worker + 1) % len(self.enrichers)
-        tracer = self._tracer
-        if tracer is None:
-            measurement = enricher.enrich(record)
-        else:
-            # Enrichment is also the anonymization step: the output
-            # type structurally drops the addresses.
-            with tracer.span("analytics.enrich"):
-                measurement = enricher.enrich(record)
+        if record.timestamp_ns > self._now_ns:
+            self._now_ns = record.timestamp_ns
+        measurement = self._enrich(record)
         if measurement is None:
+            self.dropped_records += 1
             return
         self.process_measurement(measurement)
 
+    def _enrich(self, record: LatencyRecord) -> Optional[EnrichedMeasurement]:
+        """Enrich one record, degrading instead of failing.
+
+        Without a resilience layer this is a plain enrich call (lookup
+        exceptions propagate — there is no machinery to absorb them).
+        With one, a raising enricher trips the breaker and an open
+        breaker short-circuits straight to an un-enriched measurement
+        carrying the ``degraded`` flag: the latency is never lost.
+        """
+        enricher = self.enrichers[self._next_worker]
+        self._next_worker = (self._next_worker + 1) % len(self.enrichers)
+        tracer = self._tracer
+        res = self.resilience
+        if res is None:
+            if tracer is None:
+                return enricher.enrich(record)
+            # Enrichment is also the anonymization step: the output
+            # type structurally drops the addresses.
+            with tracer.span("analytics.enrich"):
+                return enricher.enrich(record)
+        breaker = res.enrich_breaker
+        if not breaker.allow(self._now_ns):
+            res.degraded_published += 1
+            return degraded_measurement(record)
+        try:
+            if tracer is None:
+                measurement = enricher.enrich(record)
+            else:
+                with tracer.span("analytics.enrich"):
+                    measurement = enricher.enrich(record)
+        except Exception:  # noqa: BLE001 — lookup faults are the fault model
+            res.enrich_failures += 1
+            breaker.record_failure(self._now_ns)
+            res.degraded_published += 1
+            return degraded_measurement(record)
+        breaker.record_success(self._now_ns)
+        return measurement
+
     def process_measurement(self, measurement: EnrichedMeasurement) -> None:
         """Post-enrichment path: filters, TSDB, aggregation, frontend."""
+        if measurement.timestamp_ns > self._now_ns:
+            self._now_ns = measurement.timestamp_ns
         for keep in self.filters:
             if not keep(measurement):
                 self.filtered_out += 1
+                self.dropped_records += 1
                 return
         tracer = self._tracer
         if tracer is None:
             if self.store_raw_points:
-                self.tsdb.write(self._raw_point(measurement, self.home_country))
+                self._write_points(
+                    [self._raw_point(measurement, self.home_country)]
+                )
             self.aggregator.add(measurement)
             self.pub.send(
                 Message.with_topic(ENRICHED_TOPIC, encode_enriched(measurement))
             )
+            self.processed += 1
             return
         with tracer.span("analytics.write"):
             if self.store_raw_points:
-                self.tsdb.write(self._raw_point(measurement, self.home_country))
+                self._write_points(
+                    [self._raw_point(measurement, self.home_country)]
+                )
             self.aggregator.add(measurement)
         with tracer.span("analytics.publish"):
             self.pub.send(
                 Message.with_topic(ENRICHED_TOPIC, encode_enriched(measurement))
             )
+        self.processed += 1
+
+    # -- guarded TSDB writes ------------------------------------------------
+
+    def _write_points(self, points) -> None:
+        """Write a point batch through the breaker/retry machinery.
+
+        Without a resilience layer this is a plain ``write_batch``.
+        With one: due retries flush first, an open breaker defers the
+        batch instead of hammering a dead store, and a raising write
+        defers with exponential backoff until the policy's attempt
+        budget is spent — after which the points are shed *and counted*.
+        """
+        points = list(points)
+        if not points:
+            return
+        if self.resilience is None:
+            self.tsdb.write_batch(points)
+            return
+        self._flush_due_retries()
+        self._try_write(points, attempts_made=0)
+
+    def _try_write(self, points, attempts_made: int) -> bool:
+        res = self.resilience
+        now_ns = self._now_ns
+        breaker = res.tsdb_breaker
+        if not breaker.allow(now_ns):
+            self._defer(points, max(attempts_made, 1))
+            return False
+        try:
+            self.tsdb.write_batch(points)
+        except Exception:  # noqa: BLE001 — write faults are the fault model
+            res.tsdb_write_failures += 1
+            breaker.record_failure(now_ns)
+            if res.retry_policy.exhausted(attempts_made + 1):
+                res.points_lost += len(points)
+            else:
+                self._defer(points, attempts_made + 1)
+            return False
+        breaker.record_success(now_ns)
+        res.points_written += len(points)
+        return True
+
+    def _defer(self, points, attempts_made: int) -> None:
+        evicted = self.resilience.retry_queue.schedule(
+            points, self._now_ns, attempts_made
+        )
+        if evicted is not None:
+            self.resilience.points_lost += len(evicted)
+
+    def _flush_due_retries(self) -> None:
+        res = self.resilience
+        for points, attempts_made in res.retry_queue.due(self._now_ns):
+            res.retries += 1
+            self._try_write(points, attempts_made)
 
     def finish(self) -> None:
-        """Flush in-flight aggregation windows (end of a run)."""
+        """Flush aggregation windows and pending retries (end of a run)."""
         self.poll(max_messages=1 << 30)
         self.aggregator.flush()
+        if self.resilience is not None:
+            self._drain_retries()
+
+    def _drain_retries(self, max_rounds: int = 64) -> None:
+        """Run down the retry queue by advancing virtual drain time.
+
+        The run is over, so "later" is manufactured: each round jumps
+        ``now`` past the longest possible backoff and flushes. Batches
+        that still cannot land (breaker stuck open against a dead
+        store) are shed and counted rather than leaked.
+        """
+        res = self.resilience
+        for _ in range(max_rounds):
+            if not len(res.retry_queue):
+                return
+            self._now_ns += res.retry_policy.max_delay_ns + 1
+            self._flush_due_retries()
+        for points, _ in res.retry_queue.drain():
+            res.points_lost += len(points)
 
     @staticmethod
     def _raw_point(measurement: EnrichedMeasurement, home_country: str) -> Point:
@@ -229,6 +389,22 @@ class AnalyticsService:
     def enriched_count(self) -> int:
         return sum(worker.stats.enriched for worker in self.enrichers)
 
+    @property
+    def now_ns(self) -> int:
+        """The service's virtual now (latest record/measurement seen)."""
+        return self._now_ns
+
+    def conservation_ledger(self) -> ConservationLedger:
+        """The count-conservation snapshot: ingested == processed +
+        dropped + deadlettered. The chaos harness checks this after
+        every run; it must balance under any fault profile."""
+        return ConservationLedger(
+            ingested=self.records_in,
+            processed=self.processed,
+            dropped=self.dropped_records,
+            deadlettered=self.deadlettered,
+        )
+
     def _bind_registry(self, registry) -> None:
         """Bridge analytics and message-bus counters into *registry*.
 
@@ -248,6 +424,18 @@ class AnalyticsService:
             "ruru_analytics_filtered_out_total": (
                 "Enriched measurements rejected by filter modules.",
                 lambda: self.filtered_out,
+            ),
+            "ruru_analytics_processed_total": (
+                "Measurements published downstream (enriched or degraded).",
+                lambda: self.processed,
+            ),
+            "ruru_analytics_dropped_total": (
+                "Records dropped with accounting (filtered/unresolved/undecodable).",
+                lambda: self.dropped_records,
+            ),
+            "ruru_analytics_deadlettered_total": (
+                "Records routed to the dead-letter queue.",
+                lambda: self.deadlettered,
             ),
             "ruru_analytics_enriched_total": (
                 "Measurements enriched (and thereby anonymized).",

@@ -15,6 +15,11 @@ Subcommands mirror how the deployed system is operated:
   line-protocol file.
 * ``ruru metrics`` — run a workload with full telemetry and print the
   Prometheus text exposition of every pipeline/mq/analytics metric.
+* ``ruru chaos`` — replay a workload under a named fault profile with
+  the resilience layer active, and report fault counts, the count
+  conservation check, breaker episodes and recovery times.
+* ``ruru dlq`` — run a chaos scenario and inspect the dead-letter
+  queue it produced.
 
 Any workload command also accepts ``--telemetry`` to enable the
 :mod:`repro.obs` subsystem (metrics registry, stage tracing, periodic
@@ -24,6 +29,7 @@ self-monitoring export into the TSDB) for that run.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -301,6 +307,71 @@ def cmd_metrics(args) -> int:
     return 0
 
 
+def _add_chaos_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile", default="lossy-mq",
+        help="fault profile name (see --list)",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="chaos run seed")
+    parser.add_argument("--duration", type=float, default=8.0, help="seconds of traffic")
+    parser.add_argument("--rate", type=float, default=40.0, help="mean flows per second")
+    parser.add_argument("--queues", type=int, default=2, help="RSS receive queues")
+
+
+def cmd_chaos(args) -> int:
+    from repro.faults import PROFILES, ChaosHarness
+
+    if args.list:
+        for name, profile in PROFILES.items():
+            active = ", ".join(
+                f"{key}={value}" for key, value in profile.active_faults().items()
+            )
+            print(f"{name:15} {profile.description}")
+            if active:
+                print(f"{'':15} [{active}]")
+        return 0
+    harness = ChaosHarness(
+        args.profile,
+        seed=args.seed,
+        duration_s=args.duration,
+        rate=args.rate,
+        queues=args.queues,
+    )
+    report = harness.run()
+    print(report.render())
+    if args.metrics:
+        print("--- resilience metrics ---")
+        wanted = (
+            "ruru_retry_total",
+            "ruru_breaker_state",
+            "ruru_breaker_opened_total",
+            "ruru_dlq_depth",
+            "ruru_dlq_total",
+            "ruru_supervisor_restarts_total",
+            "ruru_faults_injected_total",
+            "ruru_degraded_published_total",
+        )
+        for line in harness.telemetry.registry.exposition().splitlines():
+            if any(line.startswith(name) or name in line for name in wanted):
+                print(line)
+    return 0 if report.ok else 1
+
+
+def cmd_dlq(args) -> int:
+    from repro.faults import ChaosHarness
+
+    harness = ChaosHarness(
+        args.profile,
+        seed=args.seed,
+        duration_s=args.duration,
+        rate=args.rate,
+        queues=args.queues,
+    )
+    report = harness.run()
+    print(harness.resilience.dlq.format_table(limit=args.limit))
+    return 0 if report.ok else 1
+
+
 def cmd_query(args) -> int:
     from repro.tsdb.database import TimeSeriesDatabase
     from repro.tsdb.ql import execute_statement
@@ -466,6 +537,27 @@ def build_parser() -> argparse.ArgumentParser:
                            help="paths to show per section")
     p_analyze.set_defaults(func=cmd_analyze)
 
+    p_chaos = subparsers.add_parser(
+        "chaos",
+        help="replay a workload under a fault profile and check invariants",
+    )
+    _add_chaos_args(p_chaos)
+    p_chaos.add_argument(
+        "--list", action="store_true", help="list fault profiles and exit"
+    )
+    p_chaos.add_argument(
+        "--metrics", action="store_true",
+        help="also print the resilience metric families",
+    )
+    p_chaos.set_defaults(func=cmd_chaos)
+
+    p_dlq = subparsers.add_parser(
+        "dlq", help="inspect the dead-letter queue after a chaos run"
+    )
+    _add_chaos_args(p_dlq)
+    p_dlq.add_argument("--limit", type=int, default=20, help="letters to show")
+    p_dlq.set_defaults(func=cmd_dlq)
+
     p_query = subparsers.add_parser(
         "query", help="run an InfluxQL-style query against an export"
     )
@@ -478,7 +570,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error. Detach
+        # stdout so the interpreter's shutdown flush doesn't re-raise.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

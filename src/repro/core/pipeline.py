@@ -44,6 +44,14 @@ class RuruPipeline:
             the pipeline binds its clock to the tracer, registers every
             counter with the metrics registry, traces the hot path, and
             drives the self-monitoring exporter from the drain loop.
+        supervisor: a :class:`repro.resilience.Supervisor`. When given,
+            every worker poll body is wrapped so a crash is caught,
+            counted as a restart and retried next round — with the
+            worker's ring and flow table intact, so accepted packets
+            are never lost to a crash.
+        poll_wrapper: ``(poll, role) -> poll`` applied to each worker
+            poll body *inside* the supervision boundary; the chaos
+            harness uses it to inject worker crashes.
     """
 
     def __init__(
@@ -53,6 +61,8 @@ class RuruPipeline:
         feed_batch: int = 256,
         observers=None,
         telemetry=None,
+        supervisor=None,
+        poll_wrapper=None,
     ):
         self.config = config or PipelineConfig()
         self.config.validate()
@@ -77,6 +87,7 @@ class RuruPipeline:
             queue_capacity=self.config.queue_capacity,
         )
         self.eal = Eal()
+        self.supervisor = supervisor
         self.workers: List[QueueWorker] = []
         for queue_id in range(self.config.num_queues):
             worker = QueueWorker(
@@ -89,7 +100,13 @@ class RuruPipeline:
                 tracer=tracer,
             )
             self.workers.append(worker)
-            self.eal.launch(worker.poll, role=f"rx-worker-q{queue_id}")
+            role = f"rx-worker-q{queue_id}"
+            poll = worker.poll
+            if poll_wrapper is not None:
+                poll = poll_wrapper(poll, role)
+            if supervisor is not None:
+                poll = supervisor.supervise(poll, role)
+            self.eal.launch(poll, role=role)
         if telemetry is not None:
             self._bind_registry(telemetry.registry)
 
@@ -107,9 +124,18 @@ class RuruPipeline:
 
     def drain(self) -> None:
         """Poll all workers until every rx ring is empty."""
+        supervisor = self.supervisor
+        restarts_seen = supervisor.total_restarts if supervisor else 0
         while self.nic.pending():
             self.stats.scheduling_rounds += 1
             if self.eal.step_all() == 0:
+                if supervisor is not None and (
+                    supervisor.total_restarts > restarts_seen
+                ):
+                    # The round did no work because a worker crashed
+                    # and was restarted; its ring is intact — poll on.
+                    restarts_seen = supervisor.total_restarts
+                    continue
                 # Rings non-empty but no worker made progress: a bug,
                 # not a condition to spin on.
                 raise RuntimeError("pipeline stalled with packets pending")

@@ -1,0 +1,156 @@
+"""Fault adapters: splice injector decisions into real components.
+
+Each adapter wraps one production object with the same call surface,
+so the pipeline wiring is unchanged — the chaos harness swaps the
+adapter in where the real object would go. Faults are *raised or
+applied here*, and the resilience layer downstream is what must absorb
+them; the adapters themselves never swallow anything.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.faults.injector import FaultInjector
+from repro.mq.frames import Message
+from repro.mq.socket import PushSocket
+from repro.tsdb.point import Point
+
+
+class LookupFailure(RuntimeError):
+    """A geo/ASN lookup raised mid-enrichment (database reload, I/O)."""
+
+
+class TsdbWriteError(RuntimeError):
+    """A point write was rejected by the store."""
+
+
+class FaultyPushSocket:
+    """PUSH socket wrapper corrupting the mq delivery boundary.
+
+    Drops vanish the message (a broker restart), corruption and
+    truncation mangle the payload frame (wire damage — the decoder
+    must dead-letter these), duplication re-sends (at-least-once
+    delivery after an ack loss).
+    """
+
+    STAGE = "mq"
+
+    def __init__(self, inner: PushSocket, injector: FaultInjector):
+        self.inner = inner
+        self.injector = injector
+
+    def send(self, message: Message) -> bool:
+        injector, profile = self.injector, self.injector.profile
+        if injector.decide(self.STAGE, "drop", profile.mq_drop_rate):
+            return False
+        if message.payload and injector.decide(
+            self.STAGE, "corrupt", profile.mq_corrupt_rate
+        ):
+            message = Message.with_topic(
+                message.topic, injector.corrupt_bytes(self.STAGE, message.payload[0])
+            )
+        if message.payload and injector.decide(
+            self.STAGE, "truncate", profile.mq_truncate_rate
+        ):
+            message = Message.with_topic(
+                message.topic, injector.truncate_bytes(self.STAGE, message.payload[0])
+            )
+        delivered = self.inner.send(message)
+        if injector.decide(self.STAGE, "duplicate", profile.mq_duplicate_rate):
+            self.inner.send(message)
+        return delivered
+
+    @property
+    def sent(self) -> int:
+        return self.inner.sent
+
+    @property
+    def dropped(self) -> int:
+        return self.inner.dropped
+
+
+class FlakyGeoDatabase:
+    """Geo database whose lookups fail at a seeded rate."""
+
+    STAGE = "enrich"
+
+    def __init__(self, inner, injector: FaultInjector):
+        self.inner = inner
+        self.injector = injector
+
+    def lookup(self, address: int):
+        if self.injector.decide(
+            self.STAGE, "geo_failure", self.injector.profile.geo_failure_rate
+        ):
+            raise LookupFailure("injected geo lookup failure")
+        return self.inner.lookup(address)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+class FlakyAsnDatabase:
+    """ASN database whose lookups fail at a seeded rate."""
+
+    STAGE = "enrich"
+
+    def __init__(self, inner, injector: FaultInjector):
+        self.inner = inner
+        self.injector = injector
+
+    def lookup(self, address: int):
+        if self.injector.decide(
+            self.STAGE, "asn_failure", self.injector.profile.asn_failure_rate
+        ):
+            raise LookupFailure("injected ASN lookup failure")
+        return self.inner.lookup(address)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+class FlakyTimeSeriesDatabase:
+    """TSDB facade whose writes fail at a rate and during a brown-out.
+
+    The brown-out window is keyed on *write time* — ``now_fn`` when the
+    harness wires one in (the analytics service's virtual now), else
+    the point's own timestamp — so a deferred write retried after the
+    window clears actually succeeds, which is what lets the chaos
+    report measure recovery.
+    """
+
+    STAGE = "tsdb"
+
+    def __init__(self, inner, injector: FaultInjector, now_fn=None):
+        self.inner = inner
+        self.injector = injector
+        self.now_fn = now_fn
+
+    def _maybe_fail(self, fallback_ns: int) -> None:
+        profile = self.injector.profile
+        now_ns = self.now_fn() if self.now_fn is not None else fallback_ns
+        if profile.tsdb_brownout_ns > 0:
+            start = profile.tsdb_brownout_start_ns
+            if start <= now_ns < start + profile.tsdb_brownout_ns:
+                self.injector.decide(self.STAGE, "brownout", 1.0)
+                raise TsdbWriteError("injected brown-out: store unavailable")
+        if self.injector.decide(
+            self.STAGE, "write_failure", profile.tsdb_failure_rate
+        ):
+            raise TsdbWriteError("injected write failure")
+
+    def write(self, point: Point) -> None:
+        self._maybe_fail(point.timestamp_ns)
+        self.inner.write(point)
+
+    def write_batch(self, points: Iterable[Point]) -> int:
+        points = list(points)
+        if points:
+            # One decision per batch: a store rejects the request, not
+            # individual points, and atomicity keeps retries simple.
+            self._maybe_fail(points[0].timestamp_ns)
+        return self.inner.write_batch(points)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)

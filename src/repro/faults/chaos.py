@@ -1,0 +1,269 @@
+"""The chaos harness: a full Ruru stack run under a named fault profile.
+
+``ruru chaos --profile lossy-mq --seed 42`` and the chaos pytest suite
+both come through here. The harness wires every fault adapter into a
+real pipeline + analytics + resilience stack, replays a seeded traffic
+scenario, and produces a :class:`ChaosReport` that answers the three
+questions that matter:
+
+1. **Did it survive?** — zero unhandled exceptions.
+2. **Is every record accounted for?** — the count-conservation
+   invariant ``ingested == processed + dropped + deadlettered``.
+3. **Was degradation observable?** — retries, breaker episodes, DLQ
+   contents and supervisor restarts, all also exposed through the
+   telemetry registry.
+
+Everything is seeded; two runs with the same (profile, seed) produce
+identical counts, which the determinism check in the report verifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.analytics.service import AnalyticsService, make_pipeline_sink
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import RuruPipeline
+from repro.faults.adapters import (
+    FaultyPushSocket,
+    FlakyAsnDatabase,
+    FlakyGeoDatabase,
+    FlakyTimeSeriesDatabase,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.profiles import FaultProfile, get_profile
+from repro.geo.builder import GeoDbBuilder
+from repro.mq.codec import decode_enriched
+from repro.mq.socket import Context
+from repro.obs import Telemetry
+from repro.resilience import ConservationLedger, ResilienceLayer, Supervisor
+from repro.traffic.scenarios import AucklandLaScenario
+from repro.tsdb.database import TimeSeriesDatabase
+
+NS_PER_S = 1_000_000_000
+
+
+@dataclass
+class ChaosReport:
+    """Everything one chaos run produced."""
+
+    profile: FaultProfile
+    seed: int
+    unhandled: List[str]
+    ledger: ConservationLedger
+    pipeline_summary: Dict[str, float]
+    faults_injected: Dict[Tuple[str, str], int]
+    dlq_depth: int
+    dlq_total: int
+    dlq_summary: Dict[Tuple[str, str], int]
+    supervisor_restarts: int
+    retries: int
+    degraded_published: int
+    points_written: int
+    points_lost: int
+    breaker_opened: Dict[str, int]
+    breaker_recovery_ns: Dict[str, List[int]] = field(default_factory=dict)
+    frontend_received: int = 0
+    frontend_degraded: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Survived and conserved."""
+        return not self.unhandled and self.ledger.ok
+
+    def measurement_loss_rate(self) -> float:
+        """Fraction of ingested records that did not publish."""
+        if self.ledger.ingested == 0:
+            return 0.0
+        return 1.0 - self.ledger.processed / self.ledger.ingested
+
+    def counts(self) -> Dict[str, int]:
+        """The deterministic signature two same-seed runs must share."""
+        out = {
+            "ingested": self.ledger.ingested,
+            "processed": self.ledger.processed,
+            "dropped": self.ledger.dropped,
+            "deadlettered": self.ledger.deadlettered,
+            "dlq_total": self.dlq_total,
+            "supervisor_restarts": self.supervisor_restarts,
+            "retries": self.retries,
+            "degraded_published": self.degraded_published,
+            "points_written": self.points_written,
+            "points_lost": self.points_lost,
+            "frontend_received": self.frontend_received,
+            "frontend_degraded": self.frontend_degraded,
+            "faults_total": sum(self.faults_injected.values()),
+        }
+        for (stage, kind), count in sorted(self.faults_injected.items()):
+            out[f"fault.{stage}.{kind}"] = count
+        return out
+
+    def render(self) -> str:
+        """The ``ruru chaos`` report text."""
+        lines = [
+            f"chaos run: profile={self.profile.name!r} seed={self.seed}",
+            f"  {self.profile.description}",
+            "faults injected:",
+        ]
+        if self.faults_injected:
+            for (stage, kind), count in sorted(self.faults_injected.items()):
+                lines.append(f"  {stage:>8}.{kind:<14} {count:>8}")
+        else:
+            lines.append("  (none)")
+        lines.append("conservation: " + str(self.ledger))
+        lines.append(
+            f"measurement loss: {self.measurement_loss_rate():.2%} "
+            f"({self.degraded_published} published degraded)"
+        )
+        lines.append(
+            f"dead letters: depth={self.dlq_depth} total={self.dlq_total}"
+        )
+        lines.append(f"supervisor restarts: {self.supervisor_restarts}")
+        lines.append(
+            f"tsdb: {self.points_written} points written, "
+            f"{self.points_lost} lost, {self.retries} retries"
+        )
+        for name, opened in sorted(self.breaker_opened.items()):
+            recoveries = self.breaker_recovery_ns.get(name, [])
+            recovered = ", ".join(f"{t / NS_PER_S:.2f}s" for t in recoveries)
+            lines.append(
+                f"breaker {name!r}: opened {opened}x"
+                + (f", recovered in [{recovered}]" if recovered else "")
+            )
+        if self.unhandled:
+            lines.append("UNHANDLED EXCEPTIONS:")
+            lines.extend(f"  {text}" for text in self.unhandled)
+        lines.append("verdict: " + ("OK" if self.ok else "FAILED"))
+        return "\n".join(lines)
+
+
+class ChaosHarness:
+    """Build and run one chaos scenario end to end.
+
+    Args:
+        profile: a registered profile name or a :class:`FaultProfile`.
+        seed: drives the workload, every fault decision stream, and
+            retry jitter — the whole run replays from this one number.
+        duration_s / rate: traffic scenario shape.
+        queues: RSS queues (and therefore workers under crash fire).
+        telemetry: share a handle; one is created if omitted.
+    """
+
+    def __init__(
+        self,
+        profile: Union[str, FaultProfile],
+        seed: int = 42,
+        duration_s: float = 8.0,
+        rate: float = 40.0,
+        queues: int = 2,
+        telemetry: Optional[Telemetry] = None,
+    ):
+        self.profile = (
+            get_profile(profile) if isinstance(profile, str) else profile
+        )
+        self.seed = seed
+        self.injector = FaultInjector(self.profile, seed=seed)
+        self.telemetry = telemetry or Telemetry()
+        self.generator = AucklandLaScenario(
+            duration_ns=int(duration_s * NS_PER_S),
+            mean_flows_per_s=rate,
+            seed=seed,
+            diurnal=False,
+        ).build()
+
+        geo, asn = GeoDbBuilder(plan=self.generator.plan).build()
+        if self.profile.geo_failure_rate > 0:
+            geo = FlakyGeoDatabase(geo, self.injector)
+        if self.profile.asn_failure_rate > 0:
+            asn = FlakyAsnDatabase(asn, self.injector)
+
+        tsdb = TimeSeriesDatabase()
+        flaky_tsdb = FlakyTimeSeriesDatabase(tsdb, self.injector)
+
+        self.resilience = ResilienceLayer(seed=seed)
+        self.supervisor = Supervisor()
+        context = Context()
+        self.service = AnalyticsService(
+            context,
+            geo,
+            asn,
+            tsdb=flaky_tsdb,
+            telemetry=self.telemetry,
+            resilience=self.resilience,
+        )
+        # Brown-outs are keyed on write time, not data time: retried
+        # writes land once the window clears.
+        flaky_tsdb.now_fn = lambda: self.service.now_ns
+        self.supervisor.bind_registry(self.telemetry.registry)
+        self.injector.bind_registry(self.telemetry.registry)
+
+        self.frontend = self.service.subscribe_frontend(hwm=1 << 20)
+        push = self.service.connect_pipeline()
+        sink = make_pipeline_sink(
+            FaultyPushSocket(push, self.injector),
+            tracer=self.telemetry.tracer,
+        )
+        self.pipeline = RuruPipeline(
+            config=PipelineConfig(num_queues=queues),
+            sink=sink,
+            telemetry=self.telemetry,
+            supervisor=self.supervisor,
+            poll_wrapper=self.injector.crashy_poll,
+        )
+
+    def run(self) -> ChaosReport:
+        """Replay the scenario under faults; never raises."""
+        unhandled: List[str] = []
+        try:
+            self.pipeline.run_packets(
+                self.injector.packet_stream(self.generator.packets())
+            )
+            self.service.finish()
+        except Exception as exc:  # noqa: BLE001 — the report carries it
+            unhandled.append(repr(exc))
+
+        frontend_received = 0
+        frontend_degraded = 0
+        try:
+            for message in self.frontend.recv_all():
+                measurement = decode_enriched(message.payload[0])
+                frontend_received += 1
+                if measurement.degraded:
+                    frontend_degraded += 1
+        except Exception as exc:  # noqa: BLE001
+            unhandled.append(repr(exc))
+
+        res = self.resilience
+        return ChaosReport(
+            profile=self.profile,
+            seed=self.seed,
+            unhandled=unhandled,
+            ledger=self.service.conservation_ledger(),
+            pipeline_summary=self.pipeline.stats.summary(),
+            faults_injected=dict(self.injector.injected),
+            dlq_depth=len(res.dlq),
+            dlq_total=res.dlq.total,
+            dlq_summary=res.dlq.summary(),
+            supervisor_restarts=self.supervisor.total_restarts,
+            retries=res.retries,
+            degraded_published=res.degraded_published,
+            points_written=res.points_written,
+            points_lost=res.points_lost,
+            breaker_opened={
+                breaker.name: breaker.opened_count for breaker in res.breakers
+            },
+            breaker_recovery_ns={
+                breaker.name: breaker.recovery_times_ns()
+                for breaker in res.breakers
+            },
+            frontend_received=frontend_received,
+            frontend_degraded=frontend_degraded,
+        )
+
+
+def run_chaos(
+    profile: Union[str, FaultProfile], seed: int = 42, **kwargs
+) -> ChaosReport:
+    """One-call chaos run (what the CLI and the smoke test use)."""
+    return ChaosHarness(profile, seed=seed, **kwargs).run()

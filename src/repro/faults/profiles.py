@@ -1,0 +1,159 @@
+"""Named fault profiles: how a stage boundary misbehaves, and how much.
+
+A profile is a pure-data description of adverse conditions — rates per
+fault kind per stage boundary — that the :class:`~repro.faults.injector.
+FaultInjector` turns into seeded decisions. Profiles are frozen and
+registered by name so ``ruru chaos --profile lossy-mq`` and the pytest
+chaos suite speak the same vocabulary.
+
+Stage boundaries covered (Fig 2 of the paper, left to right):
+
+* **NIC rx** — frames dropped, truncated, bit-flipped, duplicated or
+  delayed before the pipeline sees them (snaplen cuts, optic errors,
+  tap buffer overruns).
+* **mq delivery** — encoded latency records dropped, corrupted or
+  duplicated between the DPDK stage and analytics (broker restarts,
+  wire corruption, at-least-once re-delivery).
+* **enrichment** — geo/ASN lookups raising (database reload, NFS
+  hiccup under the lookup files).
+* **tsdb writes** — point writes raising, at a steady rate or during a
+  brown-out window (compaction stall, disk saturation).
+* **workers** — queue-worker poll bodies crashing outright.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict
+
+NS_PER_S = 1_000_000_000
+NS_PER_MS = 1_000_000
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Rates (probabilities per event) for every injectable fault."""
+
+    name: str
+    description: str = ""
+    # -- simulated-NIC rx ---------------------------------------------------
+    packet_drop_rate: float = 0.0
+    packet_truncate_rate: float = 0.0
+    packet_corrupt_rate: float = 0.0
+    packet_duplicate_rate: float = 0.0
+    packet_delay_rate: float = 0.0
+    packet_max_delay_ns: int = 50 * NS_PER_MS
+    # -- mq broker/socket delivery ------------------------------------------
+    mq_drop_rate: float = 0.0
+    mq_corrupt_rate: float = 0.0
+    mq_truncate_rate: float = 0.0
+    mq_duplicate_rate: float = 0.0
+    # -- analytics enrichment -----------------------------------------------
+    geo_failure_rate: float = 0.0
+    asn_failure_rate: float = 0.0
+    # -- tsdb writes --------------------------------------------------------
+    tsdb_failure_rate: float = 0.0
+    tsdb_brownout_start_ns: int = 0
+    tsdb_brownout_ns: int = 0  # 0 = no brown-out window
+    # -- queue workers ------------------------------------------------------
+    worker_crash_rate: float = 0.0
+
+    def __post_init__(self):
+        for spec in fields(self):
+            if spec.name.endswith("_rate"):
+                value = getattr(self, spec.name)
+                if not 0.0 <= value <= 1.0:
+                    raise ValueError(
+                        f"{spec.name} must be a probability, got {value}"
+                    )
+
+    def active_faults(self) -> Dict[str, float]:
+        """The non-zero rates, for report headers."""
+        out = {}
+        for spec in fields(self):
+            if spec.name.endswith("_rate"):
+                value = getattr(self, spec.name)
+                if value > 0:
+                    out[spec.name] = value
+        if self.tsdb_brownout_ns > 0:
+            out["tsdb_brownout_s"] = self.tsdb_brownout_ns / NS_PER_S
+        return out
+
+
+PROFILES: Dict[str, FaultProfile] = {
+    profile.name: profile
+    for profile in (
+        FaultProfile(
+            name="clean",
+            description="No faults — the control run.",
+        ),
+        FaultProfile(
+            name="lossy-mq",
+            description=(
+                "Message bus losing and corrupting encoded latency records "
+                "between the DPDK stage and analytics."
+            ),
+            mq_drop_rate=0.05,
+            mq_corrupt_rate=0.05,
+            mq_truncate_rate=0.03,
+            mq_duplicate_rate=0.02,
+        ),
+        FaultProfile(
+            name="corrupt-wire",
+            description="Damaged frames at the tap: truncation and bit flips.",
+            packet_truncate_rate=0.05,
+            packet_corrupt_rate=0.05,
+            packet_drop_rate=0.02,
+            packet_duplicate_rate=0.01,
+            packet_delay_rate=0.05,
+        ),
+        FaultProfile(
+            name="flaky-geo",
+            description="Geo/ASN lookups failing hard (database reload).",
+            geo_failure_rate=0.30,
+            asn_failure_rate=0.10,
+        ),
+        FaultProfile(
+            name="tsdb-brownout",
+            description=(
+                "The measurement store rejects every write for a 2 s window "
+                "mid-run, plus background write flakiness."
+            ),
+            tsdb_failure_rate=0.02,
+            tsdb_brownout_start_ns=3 * NS_PER_S,
+            tsdb_brownout_ns=2 * NS_PER_S,
+        ),
+        FaultProfile(
+            name="crashy-workers",
+            description="Queue-worker poll bodies crash at random.",
+            worker_crash_rate=0.10,
+        ),
+        FaultProfile(
+            name="monsoon",
+            description="Everything at once, gently — the full chaos soak.",
+            packet_truncate_rate=0.02,
+            packet_corrupt_rate=0.02,
+            packet_drop_rate=0.01,
+            packet_delay_rate=0.03,
+            mq_drop_rate=0.02,
+            mq_corrupt_rate=0.02,
+            mq_duplicate_rate=0.01,
+            geo_failure_rate=0.10,
+            tsdb_failure_rate=0.02,
+            tsdb_brownout_start_ns=2 * NS_PER_S,
+            tsdb_brownout_ns=NS_PER_S,
+            worker_crash_rate=0.05,
+        ),
+    )
+}
+
+
+def get_profile(name: str) -> FaultProfile:
+    """Look up a registered profile; ValueError lists the valid names."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault profile {name!r}; "
+            f"choose from {sorted(PROFILES)}"
+        ) from None

@@ -23,9 +23,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.analytics.enricher import EnrichedMeasurement
 
 LATENCY_VERSION = 1
-ENRICHED_VERSION = 1
+# v2 appends a flags byte after the version (bit 0: degraded — the
+# record crossed an open enrichment breaker un-enriched); v1 payloads
+# are still decoded, with degraded implicitly False.
+ENRICHED_VERSION = 2
+_ENRICHED_V1 = 1
 
 _FLAG_IPV6 = 0x01
+_ENRICHED_FLAG_DEGRADED = 0x01
 
 # After the 2-byte preamble (version, flags) and the two addresses:
 # ports, latencies, timestamps, queue id, rss hash.
@@ -117,7 +122,11 @@ def _unpack_str(data: bytes, offset: int):
     offset += 2
     if offset + length > len(data):
         raise CodecError("truncated string body")
-    return data[offset:offset + length].decode("utf-8"), offset + length
+    try:
+        text = data[offset:offset + length].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise CodecError(f"invalid utf-8 in string field: {exc}") from exc
+    return text, offset + length
 
 
 _ENRICHED_FIXED = struct.Struct("!QQQddddII")
@@ -125,8 +134,9 @@ _ENRICHED_FIXED = struct.Struct("!QQQddddII")
 
 def encode_enriched(measurement: "EnrichedMeasurement") -> bytes:
     """Serialize an anonymized, geo-enriched measurement."""
+    flags = _ENRICHED_FLAG_DEGRADED if measurement.degraded else 0
     parts = [
-        bytes([ENRICHED_VERSION]),
+        bytes([ENRICHED_VERSION, flags]),
         _ENRICHED_FIXED.pack(
             measurement.timestamp_ns,
             measurement.internal_ns,
@@ -152,9 +162,17 @@ def decode_enriched(data: bytes) -> "EnrichedMeasurement":
 
     if not data:
         raise CodecError("empty enriched payload")
-    if data[0] != ENRICHED_VERSION:
-        raise CodecError(f"unknown enriched version {data[0]}")
-    offset = 1
+    version = data[0]
+    degraded = False
+    if version == ENRICHED_VERSION:
+        if len(data) < 2:
+            raise CodecError("truncated enriched flags")
+        degraded = bool(data[1] & _ENRICHED_FLAG_DEGRADED)
+        offset = 2
+    elif version == _ENRICHED_V1:
+        offset = 1
+    else:
+        raise CodecError(f"unknown enriched version {version}")
     if offset + _ENRICHED_FIXED.size > len(data):
         raise CodecError("truncated enriched fixed fields")
     (
@@ -189,4 +207,5 @@ def decode_enriched(data: bytes) -> "EnrichedMeasurement":
         dst_lat=dst_lat,
         dst_lon=dst_lon,
         dst_asn=dst_asn,
+        degraded=degraded,
     )

@@ -51,8 +51,8 @@ class Context:
 
     # -- socket factories ---------------------------------------------------
 
-    def push(self) -> "PushSocket":
-        return PushSocket(self)
+    def push(self, hwm: int = DEFAULT_HWM) -> "PushSocket":
+        return PushSocket(self, hwm=hwm)
 
     def pull(self, hwm: int = DEFAULT_HWM) -> "PullSocket":
         return PullSocket(self, hwm=hwm)
@@ -141,35 +141,43 @@ class SubSocket(_ReceivingSocket):
 
 
 class PushSocket:
-    """Round-robin work distributor."""
+    """Round-robin work distributor.
 
-    def __init__(self, context: Context):
+    ZeroMQ semantics on the peerless edge too: a PUSH with no connected
+    PULL peers *buffers* up to its HWM (ZeroMQ would block; the
+    non-blocking analogue is queue-then-deliver-on-connect), and sheds
+    with a counter beyond that. ``send`` never raises on the hot path —
+    a publisher outliving its consumers is an operational condition to
+    count, not a crash.
+    """
+
+    def __init__(self, context: Context, hwm: int = DEFAULT_HWM):
+        if hwm <= 0:
+            raise ValueError("high-water mark must be positive")
         self._context = context
         self._peers: List[PullSocket] = []
         self._next = 0
+        self.hwm = hwm
+        self._pending: Deque[Message] = deque()
         self.sent = 0
         self.dropped = 0
+        self.buffered_no_peer = 0
+        self.dropped_no_peer = 0
 
     def connect(self, endpoint: str) -> None:
-        """Attach to a bound PULL socket."""
+        """Attach to a bound PULL socket; flushes any buffered backlog."""
         peer = self._context._lookup(endpoint)
         if not isinstance(peer, PullSocket):
             raise MqError(f"{endpoint} is not a PULL socket")
         self._peers.append(peer)
+        self._flush_pending()
 
-    def send(self, message: Message) -> bool:
-        """Send to the next peer in rotation.
+    def _flush_pending(self) -> None:
+        while self._pending:
+            if not self._dispatch(self._pending.popleft()):
+                break
 
-        A peer at its HWM is skipped; if every peer is full the message
-        is dropped and counted (the non-blocking analogue of a PUSH
-        blocking at HWM — the pipeline benches read this as
-        back-pressure).
-
-        Raises:
-            MqError: no peer is connected.
-        """
-        if not self._peers:
-            raise MqError("PUSH socket has no connected peers")
+    def _dispatch(self, message: Message) -> bool:
         for attempt in range(len(self._peers)):
             peer = self._peers[(self._next + attempt) % len(self._peers)]
             if peer._deliver(message):
@@ -178,6 +186,31 @@ class PushSocket:
                 return True
         self.dropped += 1
         return False
+
+    def send(self, message: Message) -> bool:
+        """Send to the next peer in rotation; never raises.
+
+        With peers connected, a peer at its HWM is skipped; if every
+        peer is full the message is dropped and counted (the
+        non-blocking analogue of a PUSH blocking at HWM — the pipeline
+        benches read this as back-pressure). With *no* peers, the
+        message is buffered up to this socket's own HWM and delivered
+        when a peer connects; beyond the HWM it is dropped and counted.
+        """
+        if not self._peers:
+            if len(self._pending) < self.hwm:
+                self._pending.append(message)
+                self.buffered_no_peer += 1
+                return True
+            self.dropped_no_peer += 1
+            self.dropped += 1
+            return False
+        return self._dispatch(message)
+
+    @property
+    def pending(self) -> int:
+        """Messages buffered while no peer was connected."""
+        return len(self._pending)
 
 
 class PubSocket:

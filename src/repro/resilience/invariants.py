@@ -1,0 +1,68 @@
+"""Count-conservation: every record is accounted for, exactly once.
+
+The resilience layer's contract is not "nothing is ever lost" — faults
+guarantee losses — but "every loss is counted somewhere". The ledger
+states it as an equation over the analytics tier::
+
+    ingested == processed + dropped + deadlettered
+
+where *ingested* is records received off the message bus, *processed*
+is measurements published downstream (enriched or degraded),
+*dropped* covers filtered / unresolvable / decode-failures-without-a-DLQ,
+and *deadlettered* is payloads parked in the dead-letter queue. The
+chaos harness asserts this after every run; a violation means a code
+path ate a record without counting it — a bug, never a fault.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class InvariantViolation(AssertionError):
+    """A conservation equation failed to balance."""
+
+
+@dataclass(frozen=True)
+class ConservationLedger:
+    """One snapshot of the analytics tier's record accounting."""
+
+    ingested: int
+    processed: int
+    dropped: int
+    deadlettered: int
+
+    @property
+    def balance(self) -> int:
+        """``ingested - (processed + dropped + deadlettered)``; 0 = conserved."""
+        return self.ingested - (self.processed + self.dropped + self.deadlettered)
+
+    @property
+    def ok(self) -> bool:
+        return self.balance == 0
+
+    def check(self) -> None:
+        """Raise :class:`InvariantViolation` unless the ledger balances."""
+        if not self.ok:
+            raise InvariantViolation(
+                f"count conservation violated: ingested={self.ingested} != "
+                f"processed={self.processed} + dropped={self.dropped} + "
+                f"deadlettered={self.deadlettered} (balance={self.balance})"
+            )
+
+    def as_dict(self) -> dict:
+        return {
+            "ingested": self.ingested,
+            "processed": self.processed,
+            "dropped": self.dropped,
+            "deadlettered": self.deadlettered,
+            "balance": self.balance,
+        }
+
+    def __str__(self) -> str:
+        status = "OK" if self.ok else f"VIOLATED (balance={self.balance})"
+        return (
+            f"ingested={self.ingested} = processed={self.processed} "
+            f"+ dropped={self.dropped} + deadlettered={self.deadlettered} "
+            f"[{status}]"
+        )

@@ -1,0 +1,72 @@
+"""Crash supervision for lcore poll bodies.
+
+The EAL scheduler assumes a poll callable never raises; one uncaught
+exception in one queue worker would otherwise take the whole pipeline
+down mid-trace. The supervisor wraps each poll body: a crash is
+caught, logged with its role, counted as a restart, and the lcore
+polls again next round with its worker state (flow table, parser)
+intact — so no packet already accepted into a ring is ever lost to a
+crash, which is what keeps the count-conservation invariant true under
+the chaos harness's ``worker_crash_rate``.
+
+A per-role restart budget guards against a *deterministically* crashing
+worker (a real bug, not injected chaos): exhausting it re-raises so
+tests fail loudly instead of spinning.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+PollFn = Callable[[], int]
+
+
+class Supervisor:
+    """Wraps poll callables; catches, counts and reports crashes."""
+
+    def __init__(self, max_restarts_per_role: int = 10_000):
+        if max_restarts_per_role < 1:
+            raise ValueError("max_restarts_per_role must be positive")
+        self.max_restarts_per_role = max_restarts_per_role
+        self.restarts_by_role: Dict[str, int] = {}
+        # (role, exception repr), oldest first, bounded.
+        self.crash_log: List[Tuple[str, str]] = []
+        self._crash_log_cap = 256
+
+    @property
+    def total_restarts(self) -> int:
+        return sum(self.restarts_by_role.values())
+
+    def supervise(self, poll: PollFn, role: str) -> PollFn:
+        """A drop-in replacement for *poll* that survives crashes."""
+        self.restarts_by_role.setdefault(role, 0)
+
+        def supervised_poll() -> int:
+            try:
+                return poll()
+            except Exception as exc:  # noqa: BLE001 — the whole point
+                self.restarts_by_role[role] += 1
+                if len(self.crash_log) < self._crash_log_cap:
+                    self.crash_log.append((role, repr(exc)))
+                if self.restarts_by_role[role] > self.max_restarts_per_role:
+                    raise RuntimeError(
+                        f"lcore {role!r} exceeded {self.max_restarts_per_role} "
+                        f"restarts; last error: {exc!r}"
+                    ) from exc
+                return 0
+
+        return supervised_poll
+
+    def bind_registry(self, registry) -> None:
+        """Expose restart counts as ``ruru_supervisor_restarts_total``."""
+        restarts = registry.counter(
+            "ruru_supervisor_restarts_total",
+            help="Crashed lcore poll bodies restarted by the supervisor.",
+            labels=("role",),
+        )
+
+        def collect() -> None:
+            for role, count in self.restarts_by_role.items():
+                restarts.labels(role).value = count
+
+        registry.register_collector(collect)

@@ -1,0 +1,196 @@
+"""Analytics service under the resilience layer.
+
+Covers the failure paths the chaos harness exercises end-to-end, but
+surgically: undecodable payloads dead-letter, a failing enricher trips
+its breaker and degrades instead of dropping, and failing TSDB writes
+defer/retry/shed — all while the conservation ledger stays balanced.
+"""
+
+import pytest
+
+from repro.analytics.service import AnalyticsService, LATENCY_TOPIC
+from repro.core.latency import LatencyRecord
+from repro.mq.codec import decode_enriched, encode_latency_record
+from repro.mq.frames import Message
+from repro.mq.socket import Context
+from repro.resilience import ResilienceLayer
+
+NS_PER_MS = 1_000_000
+
+
+def _record(i=0, timestamp_ns=None):
+    return LatencyRecord(
+        src_ip=0x0A000001 + i,
+        dst_ip=0x14000001,
+        src_port=40_000 + i,
+        dst_port=443,
+        internal_ns=10 * NS_PER_MS,
+        external_ns=140 * NS_PER_MS,
+        syn_ns=(timestamp_ns or (1_000_000_000 + i * 1_000_000)),
+        synack_ns=(timestamp_ns or (1_000_000_000 + i * 1_000_000)) + 150 * NS_PER_MS,
+        ack_ns=(timestamp_ns or (1_000_000_000 + i * 1_000_000)) + 160 * NS_PER_MS,
+        queue_id=0,
+        rss_hash=0xABC + i,
+    )
+
+
+def _service(geo_asn, layer, **kwargs):
+    geo, asn = geo_asn
+    return AnalyticsService(
+        Context(), geo, asn, resilience=layer, num_workers=1, **kwargs
+    )
+
+
+def _feed(service, records):
+    push = service.connect_pipeline()
+    for record in records:
+        push.send(Message.with_topic(LATENCY_TOPIC, encode_latency_record(record)))
+    service.poll(max_messages=1 << 20)
+
+
+class _BrokenGeo:
+    """A geo database that always raises (hard dependency outage)."""
+
+    def lookup(self, address):
+        raise RuntimeError("geo backend down")
+
+
+class _FlakyTsdb:
+    """Fails the first *failures* write batches, then recovers."""
+
+    def __init__(self, inner, failures):
+        self.inner = inner
+        self.failures = failures
+        self.attempts = 0
+
+    def write_batch(self, points):
+        self.attempts += 1
+        if self.attempts <= self.failures:
+            raise RuntimeError("store unavailable")
+        return self.inner.write_batch(points)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+class TestDecodeFailures:
+    def test_garbage_routed_to_dlq(self, geo_asn):
+        layer = ResilienceLayer(seed=1)
+        service = _service(geo_asn, layer)
+        push = service.connect_pipeline()
+        push.send(Message.with_topic(LATENCY_TOPIC, b"\xde\xad\xbe\xef"))
+        service.poll()
+        assert service.decode_errors == 1
+        assert service.deadlettered == 1
+        assert len(layer.dlq) == 1
+        letter = layer.dlq.entries()[0]
+        assert letter.stage == "mq.decode"
+        assert letter.reason.startswith("CodecError")
+        assert letter.payload == b"\xde\xad\xbe\xef"
+        service.conservation_ledger().check()
+
+    def test_dlq_reasons_have_digits_collapsed(self, geo_asn):
+        # Metric label cardinality must stay bounded: lengths and
+        # offsets inside exception text collapse to 'N'.
+        layer = ResilienceLayer(seed=1)
+        service = _service(geo_asn, layer)
+        push = service.connect_pipeline()
+        push.send(Message.with_topic(LATENCY_TOPIC, b"\x01" + b"x" * 7))
+        push.send(Message.with_topic(LATENCY_TOPIC, b"\x01" + b"x" * 11))
+        service.poll()
+        reasons = {reason for _, reason in layer.dlq.summary()}
+        assert len(reasons) == 1
+        assert not any(ch.isdigit() for reason in reasons for ch in reason)
+
+    def test_without_layer_decode_failures_still_counted(self, geo_asn):
+        geo, asn = geo_asn
+        service = AnalyticsService(Context(), geo, asn, num_workers=1)
+        push = service.connect_pipeline()
+        push.send(Message.with_topic(LATENCY_TOPIC, b"junk"))
+        service.poll()
+        assert service.decode_errors == 1
+        assert service.dropped_records == 1
+        service.conservation_ledger().check()
+
+
+class TestEnrichmentBreaker:
+    def test_degrades_instead_of_dropping(self, geo_asn):
+        _, asn = geo_asn
+        layer = ResilienceLayer(seed=1)
+        service = AnalyticsService(
+            Context(), _BrokenGeo(), asn, resilience=layer, num_workers=1
+        )
+        sub = service.subscribe_frontend()
+        _feed(service, [_record(i) for i in range(20)])
+        # Every record published; none lost to the dead dependency.
+        assert service.processed == service.records_in == 20
+        service.conservation_ledger().check()
+        # The breaker tripped after its failure threshold...
+        assert layer.enrich_breaker.opened_count >= 1
+        assert layer.enrich_failures >= layer.enrich_breaker.failure_threshold
+        # ...and open-breaker records short-circuited to degraded.
+        assert layer.degraded_published == 20
+        measurements = [decode_enriched(m.payload[0]) for m in sub.recv_all()]
+        assert len(measurements) == 20
+        assert all(m.degraded for m in measurements)
+        assert all(m.src_country == "ZZ" for m in measurements)
+
+    def test_degraded_keeps_latency_components(self, geo_asn):
+        _, asn = geo_asn
+        layer = ResilienceLayer(seed=1)
+        service = AnalyticsService(
+            Context(), _BrokenGeo(), asn, resilience=layer, num_workers=1
+        )
+        sub = service.subscribe_frontend()
+        _feed(service, [_record(0)])
+        measurement = decode_enriched(sub.recv_all()[0].payload[0])
+        assert measurement.internal_ns == 10 * NS_PER_MS
+        assert measurement.external_ns == 140 * NS_PER_MS
+
+    def test_healthy_enricher_never_degrades(self, geo_asn):
+        layer = ResilienceLayer(seed=1)
+        service = _service(geo_asn, layer)
+        _feed(service, [_record(i) for i in range(5)])
+        assert layer.degraded_published == 0
+        assert layer.enrich_breaker.opened_count == 0
+
+
+class TestGuardedWrites:
+    def test_transient_failure_retries_then_lands(self, geo_asn):
+        layer = ResilienceLayer(seed=1)
+        service = _service(geo_asn, layer)
+        flaky = _FlakyTsdb(service.tsdb, failures=1)
+        service.tsdb = flaky
+        _feed(service, [_record(0)])
+        service.finish()
+        assert layer.tsdb_write_failures == 1
+        assert layer.retries >= 1
+        assert layer.points_written > 0
+        service.conservation_ledger().check()
+
+    def test_dead_store_sheds_points_with_accounting(self, geo_asn):
+        layer = ResilienceLayer(seed=1)
+        service = _service(geo_asn, layer)
+        service.tsdb = _FlakyTsdb(service.tsdb, failures=1 << 30)
+        _feed(service, [_record(i) for i in range(10)])
+        service.finish()
+        # Nothing landed; every point was shed *and counted*.
+        assert layer.points_written == 0
+        assert layer.points_lost > 0
+        assert len(layer.retry_queue) == 0
+        assert layer.tsdb_breaker.opened_count >= 1
+        # Records still published downstream — losing the store does
+        # not lose the measurement feed.
+        assert service.processed == service.records_in == 10
+        service.conservation_ledger().check()
+
+    def test_open_breaker_defers_without_hammering(self, geo_asn):
+        layer = ResilienceLayer(seed=1)
+        service = _service(geo_asn, layer)
+        flaky = _FlakyTsdb(service.tsdb, failures=1 << 30)
+        service.tsdb = flaky
+        _feed(service, [_record(i) for i in range(10)])
+        # Once open, the breaker stops write attempts: far fewer
+        # attempts than records.
+        assert flaky.attempts < 10
+        assert layer.tsdb_breaker.opened_count >= 1

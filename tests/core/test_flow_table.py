@@ -126,3 +126,88 @@ class TestHandshakeTable:
     def test_entry_age(self):
         entry = _entry(syn_ns=100)
         assert entry.age_ns(250) == 150
+
+
+class TestSynFloodPressure:
+    """Eviction under a flood of never-completing SYNs.
+
+    The attack model: an attacker sprays SYNs from distinct 4-tuples
+    faster than handshakes complete. The table must cost bounded
+    memory, keep exact counters, and leave legitimate in-flight
+    handshakes retrievable and intact.
+    """
+
+    CAPACITY = 128
+
+    def _flood(self, table, count, start=1000):
+        for i in range(count):
+            key = canonical_flow_key(start + i, 1, 99, 2)
+            table.insert(key, _entry(syn_ns=i, orig_ip=start + i))
+
+    def test_memory_bounded_at_capacity(self):
+        table = HandshakeTable(max_entries=self.CAPACITY)
+        self._flood(table, 10 * self.CAPACITY)
+        assert len(table) == self.CAPACITY
+        assert table.inserted == 10 * self.CAPACITY
+        assert table.evicted == 9 * self.CAPACITY
+
+    def test_count_conservation_under_flood(self):
+        table = HandshakeTable(max_entries=self.CAPACITY)
+        self._flood(table, 5 * self.CAPACITY)
+        # Every insert is still in the table or counted out of it.
+        accounted = (
+            len(table) + table.evicted + table.completed
+            + table.expired + table.aborted
+        )
+        assert accounted == table.inserted
+
+    def test_survivors_are_newest_and_intact(self):
+        table = HandshakeTable(max_entries=self.CAPACITY)
+        self._flood(table, 3 * self.CAPACITY)
+        entries = list(table.entries())
+        # Drop-oldest leaves exactly the newest CAPACITY flood entries,
+        # in insertion order, with their fields unclobbered.
+        expected_first = 1000 + 2 * self.CAPACITY
+        assert [e.orig_ip for _, e in entries] == list(
+            range(expected_first, expected_first + self.CAPACITY)
+        )
+        for key, entry in entries:
+            assert table.get(key) is entry
+            assert entry.state is FlowState.SYN_SEEN
+
+    def test_inflight_handshake_completes_mid_flood(self):
+        table = HandshakeTable(max_entries=self.CAPACITY)
+        good_key = canonical_flow_key(7, 7, 8, 8)
+        good = _entry(syn_ns=50, orig_ip=7, orig_port=7)
+        table.insert(good_key, good)
+        # SYN-ACK arrives, then the flood fills the rest of the table
+        # (but never exceeds capacity while the good flow is resident).
+        good.state = FlowState.SYNACK_SEEN
+        good.synack_ns = 60
+        self._flood(table, self.CAPACITY - 1)
+        survivor = table.get(good_key)
+        assert survivor is good
+        assert survivor.state is FlowState.SYNACK_SEEN
+        assert survivor.synack_ns == 60
+        completed = table.remove(good_key, reason="completed")
+        assert completed is good
+        assert table.completed == 1
+
+    def test_flood_entries_expire_on_sweep(self):
+        table = HandshakeTable(max_entries=self.CAPACITY)
+        self._flood(table, self.CAPACITY)
+        removed = table.sweep_expired(
+            now_ns=10_000_000_000, timeout_ns=1_000_000_000
+        )
+        assert removed == self.CAPACITY
+        assert len(table) == 0
+        assert table.expired == self.CAPACITY
+
+    def test_reinsert_after_eviction_is_clean(self):
+        table = HandshakeTable(max_entries=2)
+        first = canonical_flow_key(1, 1, 99, 2)
+        table.insert(first, _entry(orig_ip=1))
+        self._flood(table, 2)  # evicts `first`
+        assert first not in table
+        table.insert(first, _entry(orig_ip=1, syn_ns=777))
+        assert table.get(first).syn_ns == 777

@@ -175,3 +175,53 @@ class TestValidation:
     def test_bad_config_rejected(self):
         with pytest.raises(ValueError):
             RuruPipeline(config=PipelineConfig(num_queues=0))
+
+
+class TestSupervisedWorkers:
+    def test_crashing_workers_lose_nothing(self, small_workload):
+        from repro.resilience import Supervisor
+
+        _, packets = small_workload
+        baseline = RuruPipeline(config=PipelineConfig(num_queues=2))
+        baseline.run_packets(packets)
+
+        crashes = {"count": 0}
+
+        def crash_every_third(poll, role):
+            calls = {"n": 0}
+
+            def wrapped():
+                calls["n"] += 1
+                if calls["n"] % 3 == 0:
+                    crashes["count"] += 1
+                    raise RuntimeError(f"induced crash in {role}")
+                return poll()
+
+            return wrapped
+
+        supervisor = Supervisor()
+        pipeline = RuruPipeline(
+            config=PipelineConfig(num_queues=2),
+            supervisor=supervisor,
+            poll_wrapper=crash_every_third,
+        )
+        pipeline.run_packets(packets)
+        assert crashes["count"] > 0
+        assert supervisor.total_restarts == crashes["count"]
+        # Crash-before-poll + intact worker state: identical results.
+        assert len(pipeline.measurements) == len(baseline.measurements)
+
+    def test_unsupervised_crash_still_propagates(self, small_workload):
+        _, packets = small_workload
+
+        def crash_first(poll, role):
+            def wrapped():
+                raise RuntimeError("unsupervised crash")
+
+            return wrapped
+
+        pipeline = RuruPipeline(
+            config=PipelineConfig(num_queues=2), poll_wrapper=crash_first
+        )
+        with pytest.raises(RuntimeError):
+            pipeline.run_packets(packets)

@@ -1,0 +1,129 @@
+"""Fault injector tests: determinism, stream independence, mangling."""
+
+import pytest
+
+from repro.faults import FaultInjector, FaultProfile, WorkerCrash, get_profile
+from repro.net.packet import Packet
+
+
+def _profile(**rates):
+    return FaultProfile(name="test", **rates)
+
+
+def _packets(n=20, step_ns=1_000_000):
+    return [
+        Packet(data=bytes([i]) * 60, timestamp_ns=i * step_ns) for i in range(n)
+    ]
+
+
+class TestDecide:
+    def test_same_seed_same_decision_stream(self):
+        a = FaultInjector(_profile(), seed=5)
+        b = FaultInjector(_profile(), seed=5)
+        stream_a = [a.decide("s", "k", 0.5) for _ in range(40)]
+        stream_b = [b.decide("s", "k", 0.5) for _ in range(40)]
+        assert stream_a == stream_b
+        assert any(stream_a) and not all(stream_a)
+
+    def test_zero_rate_consumes_no_roll(self):
+        plain = FaultInjector(_profile(), seed=5)
+        interleaved = FaultInjector(_profile(), seed=5)
+        stream_plain, stream_mixed = [], []
+        for _ in range(40):
+            stream_plain.append(plain.decide("s", "k", 0.5))
+            interleaved.decide("s", "disabled", 0.0)  # must not advance the RNG
+            stream_mixed.append(interleaved.decide("s", "k", 0.5))
+        assert stream_plain == stream_mixed
+
+    def test_stages_have_independent_streams(self):
+        injector = FaultInjector(_profile(), seed=5)
+        fresh = FaultInjector(_profile(), seed=5)
+        for _ in range(40):
+            injector.decide("other", "k", 0.5)  # burn a different stage's rolls
+        assert [injector.decide("s", "k", 0.5) for _ in range(20)] == [
+            fresh.decide("s", "k", 0.5) for _ in range(20)
+        ]
+
+    def test_fired_faults_are_counted(self):
+        injector = FaultInjector(_profile(), seed=5)
+        fired = sum(injector.decide("s", "k", 1.0) for _ in range(7))
+        assert fired == 7
+        assert injector.count("s", "k") == 7
+        assert injector.total_injected() == 7
+
+
+class TestMangling:
+    def test_corrupt_changes_bytes_preserves_length(self):
+        injector = FaultInjector(_profile(), seed=5)
+        data = bytes(range(64))
+        mangled = injector.corrupt_bytes("s", data)
+        assert len(mangled) == len(data)
+        assert mangled != data
+
+    def test_truncate_shortens(self):
+        injector = FaultInjector(_profile(), seed=5)
+        data = bytes(range(64))
+        cut = injector.truncate_bytes("s", data)
+        assert 1 <= len(cut) < len(data)
+        assert data.startswith(cut)
+
+
+class TestPacketStream:
+    def test_clean_profile_passes_through(self):
+        injector = FaultInjector(_profile(), seed=5)
+        packets = _packets()
+        assert list(injector.packet_stream(packets)) == packets
+
+    def test_drop_rate_one_drops_everything(self):
+        injector = FaultInjector(_profile(packet_drop_rate=1.0), seed=5)
+        assert list(injector.packet_stream(_packets())) == []
+        assert injector.count("nic.rx", "drop") == 20
+
+    def test_duplicate_rate_one_doubles(self):
+        injector = FaultInjector(_profile(packet_duplicate_rate=1.0), seed=5)
+        out = list(injector.packet_stream(_packets(n=5)))
+        assert len(out) == 10
+        assert out[0].data == out[1].data
+
+    def test_delayed_packets_keep_timestamp_order(self):
+        injector = FaultInjector(
+            _profile(packet_delay_rate=0.5), seed=5
+        )
+        out = list(injector.packet_stream(_packets(n=50)))
+        assert len(out) == 50  # delayed, never lost
+        stamps = [p.timestamp_ns for p in out]
+        assert stamps == sorted(stamps)
+
+    def test_truncation_rewrites_frame_data(self):
+        injector = FaultInjector(_profile(packet_truncate_rate=1.0), seed=5)
+        out = list(injector.packet_stream(_packets(n=5)))
+        assert all(len(p.data) < 60 for p in out)
+
+
+class TestCrashyPoll:
+    def test_zero_rate_returns_poll_unwrapped(self):
+        injector = FaultInjector(_profile(), seed=5)
+        poll = lambda: 1  # noqa: E731
+        assert injector.crashy_poll(poll, "w") is poll
+
+    def test_rate_one_always_crashes(self):
+        injector = FaultInjector(_profile(worker_crash_rate=1.0), seed=5)
+        wrapped = injector.crashy_poll(lambda: 1, "rx-worker-q0")
+        with pytest.raises(WorkerCrash, match="rx-worker-q0"):
+            wrapped()
+
+
+class TestProfiles:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultProfile(name="bad", mq_drop_rate=1.5)
+
+    def test_unknown_profile_lists_names(self):
+        with pytest.raises(ValueError, match="lossy-mq"):
+            get_profile("no-such-profile")
+
+    def test_active_faults_only_nonzero(self):
+        profile = get_profile("lossy-mq")
+        active = profile.active_faults()
+        assert "mq_drop_rate" in active
+        assert "geo_failure_rate" not in active

@@ -117,3 +117,28 @@ class TestEnrichedCodec:
         data = encode_enriched(_enriched())
         with pytest.raises(CodecError):
             decode_enriched(data[:-3])
+
+
+class TestEnrichedVersioning:
+    def test_degraded_flag_round_trips(self):
+        measurement = _enriched()
+        degraded = EnrichedMeasurement(
+            **{**measurement.__dict__, "degraded": True}
+        )
+        assert decode_enriched(encode_enriched(degraded)).degraded is True
+        assert decode_enriched(encode_enriched(measurement)).degraded is False
+
+    def test_v1_payload_still_decodes(self):
+        # A v1 payload is the v2 wire format minus the flags byte;
+        # decoders must accept it (rolling upgrade) with degraded=False.
+        v2 = encode_enriched(_enriched())
+        v1 = bytes([1]) + v2[2:]
+        decoded = decode_enriched(v1)
+        assert decoded.degraded is False
+        assert decoded.src_city == decode_enriched(v2).src_city
+
+    def test_v2_flags_byte_required(self):
+        from repro.mq.codec import ENRICHED_VERSION
+
+        with pytest.raises(CodecError):
+            decode_enriched(bytes([ENRICHED_VERSION]))

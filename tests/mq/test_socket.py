@@ -43,10 +43,38 @@ class TestPushPull:
             push.send(msg(str(i).encode()))
         assert [len(pull) for pull in pulls] == [3, 3, 3]
 
-    def test_send_without_peers_raises(self):
+    def test_send_without_peers_buffers(self):
+        # A publisher outliving its consumers must not crash the hot
+        # path: the message parks on the PUSH socket until a peer
+        # connects (ZeroMQ's non-blocking analogue of blocking at HWM).
         context = Context()
-        with pytest.raises(MqError):
-            context.push().send(msg(b"x"))
+        push = context.push()
+        assert push.send(msg(b"x")) is True
+        assert push.pending == 1
+        assert push.buffered_no_peer == 1
+        assert push.dropped == 0
+
+    def test_buffered_backlog_flushes_on_connect(self):
+        context = Context()
+        push = context.push()
+        for i in range(3):
+            push.send(msg(str(i).encode()))
+        pull = context.pull()
+        pull.bind("inproc://late")
+        push.connect("inproc://late")
+        assert push.pending == 0
+        assert [m.frames[0] for m in pull.recv_all()] == [b"0", b"1", b"2"]
+        assert push.sent == 3
+
+    def test_peerless_buffer_bounded_by_hwm(self):
+        context = Context()
+        push = context.push(hwm=2)
+        assert push.send(msg(b"a")) is True
+        assert push.send(msg(b"b")) is True
+        assert push.send(msg(b"c")) is False  # over HWM: shed, counted
+        assert push.pending == 2
+        assert push.dropped_no_peer == 1
+        assert push.dropped == 1
 
     def test_full_peer_skipped(self):
         context = Context()

@@ -1,0 +1,107 @@
+"""Circuit breaker state-machine tests (all on virtual time)."""
+
+import pytest
+
+from repro.resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+)
+
+NS = 1
+MS = 1_000_000
+
+
+def _breaker(**overrides):
+    kwargs = dict(
+        failure_threshold=3, recovery_timeout_ns=100 * MS, half_open_successes=2
+    )
+    kwargs.update(overrides)
+    return CircuitBreaker("test", **kwargs)
+
+
+class TestTripping:
+    def test_stays_closed_below_threshold(self):
+        breaker = _breaker()
+        breaker.record_failure(0)
+        breaker.record_failure(1)
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.allow(2)
+
+    def test_opens_at_threshold(self):
+        breaker = _breaker()
+        for t in range(3):
+            breaker.record_failure(t)
+        assert breaker.state == BREAKER_OPEN
+        assert breaker.opened_count == 1
+        assert not breaker.allow(3)
+
+    def test_success_resets_failure_streak(self):
+        breaker = _breaker()
+        breaker.record_failure(0)
+        breaker.record_failure(1)
+        breaker.record_success(2)
+        breaker.record_failure(3)
+        breaker.record_failure(4)
+        assert breaker.state == BREAKER_CLOSED
+
+
+class TestRecovery:
+    def _tripped(self):
+        breaker = _breaker()
+        for t in range(3):
+            breaker.record_failure(t)
+        return breaker
+
+    def test_blocks_until_timeout(self):
+        breaker = self._tripped()
+        assert not breaker.allow(2 + 99 * MS)
+
+    def test_half_open_probe_after_timeout(self):
+        breaker = self._tripped()
+        assert breaker.allow(2 + 100 * MS)
+        assert breaker.state == BREAKER_HALF_OPEN
+
+    def test_closes_after_enough_probe_successes(self):
+        breaker = self._tripped()
+        now = 2 + 100 * MS
+        assert breaker.allow(now)
+        breaker.record_success(now)
+        assert breaker.state == BREAKER_HALF_OPEN
+        breaker.record_success(now + 1)
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_probe_failure_reopens_immediately(self):
+        breaker = self._tripped()
+        now = 2 + 100 * MS
+        assert breaker.allow(now)
+        breaker.record_failure(now)
+        assert breaker.state == BREAKER_OPEN
+        assert breaker.opened_count == 2
+        assert not breaker.allow(now + 1)
+
+    def test_recovery_time_measured_open_to_closed(self):
+        breaker = self._tripped()  # opened at t=2
+        now = 2 + 100 * MS
+        breaker.allow(now)
+        breaker.record_success(now)
+        breaker.record_success(now + 5)
+        assert breaker.recovery_times_ns() == [100 * MS + 5]
+
+    def test_transitions_are_timestamped(self):
+        breaker = self._tripped()
+        assert breaker.transitions == [(2, BREAKER_CLOSED, BREAKER_OPEN)]
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker("x", failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker("x", recovery_timeout_ns=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker("x", half_open_successes=0)
+
+    def test_state_name(self):
+        assert _breaker().state_name == "closed"

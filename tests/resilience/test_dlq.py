@@ -1,0 +1,70 @@
+"""Dead-letter queue tests: bounded memory, full provenance."""
+
+import pytest
+
+from repro.resilience import DeadLetterQueue
+
+
+class TestDeadLetterQueue:
+    def test_push_records_provenance(self):
+        dlq = DeadLetterQueue(capacity=4)
+        letter = dlq.push(
+            stage="mq.decode", reason="CodecError: boom", payload=b"\x01\x02",
+            timestamp_ns=123,
+        )
+        assert letter.seq == 0
+        assert letter.stage == "mq.decode"
+        assert letter.payload == b"\x01\x02"
+        assert len(dlq) == 1
+        assert dlq.total == 1
+
+    def test_drop_oldest_beyond_capacity(self):
+        dlq = DeadLetterQueue(capacity=2)
+        for i in range(5):
+            dlq.push("s", "r", bytes([i]), timestamp_ns=i)
+        assert len(dlq) == 2
+        assert dlq.total == 5
+        assert dlq.overflowed == 3
+        # The survivors are the newest two, oldest first.
+        assert [letter.payload for letter in dlq.entries()] == [b"\x03", b"\x04"]
+
+    def test_summary_counts_by_stage_and_reason(self):
+        dlq = DeadLetterQueue(capacity=8)
+        dlq.push("mq.decode", "CodecError: short", b"x", 0)
+        dlq.push("mq.decode", "CodecError: short", b"y", 1)
+        dlq.push("mq.decode", "CodecError: version", b"z", 2)
+        assert dlq.summary() == {
+            ("mq.decode", "CodecError: short"): 2,
+            ("mq.decode", "CodecError: version"): 1,
+        }
+
+    def test_summary_survives_overflow(self):
+        dlq = DeadLetterQueue(capacity=1)
+        dlq.push("s", "r", b"a", 0)
+        dlq.push("s", "r", b"b", 1)
+        assert dlq.summary() == {("s", "r"): 2}
+
+    def test_entries_limit_returns_newest(self):
+        dlq = DeadLetterQueue(capacity=8)
+        for i in range(5):
+            dlq.push("s", "r", bytes([i]), i)
+        newest = dlq.entries(limit=2)
+        assert [letter.seq for letter in newest] == [3, 4]
+
+    def test_preview_truncates_hex(self):
+        dlq = DeadLetterQueue()
+        letter = dlq.push("s", "r", bytes(range(64)), 0)
+        assert letter.preview(width=4) == "00010203.."
+
+    def test_format_table_mentions_depth_and_reasons(self):
+        dlq = DeadLetterQueue(capacity=4)
+        dlq.push("mq.decode", "CodecError: short", b"\xff", 1_000_000)
+        table = dlq.format_table()
+        assert "depth=1" in table
+        assert "mq.decode" in table
+        assert "CodecError: short" in table
+        assert "ff" in table
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            DeadLetterQueue(capacity=0)

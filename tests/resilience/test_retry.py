@@ -1,0 +1,91 @@
+"""Retry policy and retry queue tests."""
+
+import pytest
+
+from repro.resilience import RetryPolicy, RetryQueue
+
+NS_PER_MS = 1_000_000
+
+
+class TestRetryPolicy:
+    def test_delays_grow_exponentially(self):
+        policy = RetryPolicy(base_delay_ns=10 * NS_PER_MS, jitter=0.0)
+        assert policy.delay_ns(1) == 10 * NS_PER_MS
+        assert policy.delay_ns(2) == 20 * NS_PER_MS
+        assert policy.delay_ns(3) == 40 * NS_PER_MS
+
+    def test_delay_capped_at_max(self):
+        policy = RetryPolicy(
+            base_delay_ns=10 * NS_PER_MS, max_delay_ns=25 * NS_PER_MS, jitter=0.0
+        )
+        assert policy.delay_ns(10) == 25 * NS_PER_MS
+
+    def test_jitter_stays_within_spread(self):
+        policy = RetryPolicy(base_delay_ns=100 * NS_PER_MS, jitter=0.1, seed=1)
+        for attempt in range(1, 5):
+            delay = policy.delay_ns(attempt)
+            nominal = min(100 * NS_PER_MS * 2 ** (attempt - 1), policy.max_delay_ns)
+            assert 0.9 * nominal <= delay <= 1.1 * nominal
+
+    def test_same_seed_same_schedule(self):
+        a = RetryPolicy(seed=42)
+        b = RetryPolicy(seed=42)
+        assert [a.delay_ns(i) for i in (1, 2, 3, 1)] == [
+            b.delay_ns(i) for i in (1, 2, 3, 1)
+        ]
+
+    def test_attempts_are_one_based(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay_ns(0)
+
+    def test_exhausted_at_budget(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert not policy.exhausted(2)
+        assert policy.exhausted(3)
+        assert policy.exhausted(4)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_ns=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+
+
+class TestRetryQueue:
+    def _queue(self, max_pending=4):
+        return RetryQueue(
+            RetryPolicy(base_delay_ns=10 * NS_PER_MS, jitter=0.0),
+            max_pending=max_pending,
+        )
+
+    def test_not_due_before_deadline(self):
+        queue = self._queue()
+        queue.schedule("a", now_ns=0, attempt=1)
+        assert queue.due(now_ns=5 * NS_PER_MS) == []
+        assert len(queue) == 1
+
+    def test_due_after_deadline_with_attempt(self):
+        queue = self._queue()
+        queue.schedule("a", now_ns=0, attempt=2)
+        # attempt 2 → 20ms backoff
+        assert queue.due(now_ns=30 * NS_PER_MS) == [("a", 2)]
+        assert len(queue) == 0
+
+    def test_eviction_returns_oldest_when_full(self):
+        queue = self._queue(max_pending=2)
+        assert queue.schedule("a", 0, 1) is None
+        assert queue.schedule("b", 0, 1) is None
+        assert queue.schedule("c", 0, 1) == "a"
+        assert queue.evicted == 1
+        assert queue.scheduled == 3
+
+    def test_drain_returns_everything(self):
+        queue = self._queue()
+        queue.schedule("a", 0, 1)
+        queue.schedule("b", 0, 3)
+        assert sorted(queue.drain()) == [("a", 1), ("b", 3)]
+        assert len(queue) == 0

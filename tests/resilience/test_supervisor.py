@@ -1,0 +1,79 @@
+"""Supervisor tests: crashes are caught, counted, and state survives."""
+
+import pytest
+
+from repro.obs import Telemetry
+from repro.resilience import Supervisor
+
+
+class TestSupervisor:
+    def test_crash_is_caught_and_counted(self):
+        supervisor = Supervisor()
+
+        def poll():
+            raise RuntimeError("boom")
+
+        wrapped = supervisor.supervise(poll, role="worker-0")
+        assert wrapped() == 0
+        assert supervisor.restarts_by_role["worker-0"] == 1
+        assert supervisor.total_restarts == 1
+        assert supervisor.crash_log == [("worker-0", "RuntimeError('boom')")]
+
+    def test_worker_state_survives_crashes(self):
+        supervisor = Supervisor()
+        state = {"count": 0, "crash_next": False}
+
+        def poll():
+            if state["crash_next"]:
+                state["crash_next"] = False
+                raise RuntimeError("injected")
+            state["count"] += 1
+            return 1
+
+        wrapped = supervisor.supervise(poll, role="w")
+        assert wrapped() == 1
+        state["crash_next"] = True
+        assert wrapped() == 0  # crash swallowed
+        assert wrapped() == 1  # same closure state, work continues
+        assert state["count"] == 2
+        assert supervisor.total_restarts == 1
+
+    def test_roles_counted_independently(self):
+        supervisor = Supervisor()
+
+        def crash():
+            raise ValueError("x")
+
+        a = supervisor.supervise(crash, role="a")
+        b = supervisor.supervise(crash, role="b")
+        a(), a(), b()
+        assert supervisor.restarts_by_role == {"a": 2, "b": 1}
+
+    def test_restart_budget_exhaustion_reraises(self):
+        supervisor = Supervisor(max_restarts_per_role=2)
+
+        def crash():
+            raise RuntimeError("always")
+
+        wrapped = supervisor.supervise(crash, role="w")
+        wrapped()
+        wrapped()
+        with pytest.raises(RuntimeError, match="exceeded 2 restarts"):
+            wrapped()
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            Supervisor(max_restarts_per_role=0)
+
+    def test_registry_exposes_restarts_by_role(self):
+        telemetry = Telemetry()
+        supervisor = Supervisor()
+        supervisor.bind_registry(telemetry.registry)
+
+        def crash():
+            raise RuntimeError("x")
+
+        wrapped = supervisor.supervise(crash, role="rx-worker-q0")
+        wrapped()
+        text = telemetry.registry.exposition()
+        assert 'ruru_supervisor_restarts_total{role="rx-worker-q0"} 1' in text

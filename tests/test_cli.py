@@ -166,3 +166,43 @@ class TestTelemetry:
         # Self-monitoring series ride along in the line-protocol export.
         lp_text = (tmp_path / "m.lp").read_text()
         assert "ruru_packets_offered_total" in lp_text
+
+
+class TestChaosCommands:
+    CHAOS = ["--duration", "3", "--rate", "25", "--seed", "42"]
+
+    def test_chaos_run_ok(self, capsys):
+        assert main(["chaos", "--profile", "lossy-mq", *self.CHAOS]) == 0
+        output = capsys.readouterr().out
+        assert "verdict: OK" in output
+        assert "conservation:" in output
+        assert "[OK]" in output
+
+    def test_chaos_metrics_flag_exposes_families(self, capsys):
+        assert main(
+            ["chaos", "--profile", "lossy-mq", "--metrics", *self.CHAOS]
+        ) == 0
+        output = capsys.readouterr().out
+        for family in (
+            "ruru_retry_total",
+            "ruru_breaker_state",
+            "ruru_dlq_depth",
+            "ruru_supervisor_restarts_total",
+        ):
+            assert family in output, family
+
+    def test_chaos_list_profiles(self, capsys):
+        assert main(["chaos", "--list"]) == 0
+        output = capsys.readouterr().out
+        assert "lossy-mq" in output
+        assert "tsdb-brownout" in output
+
+    def test_chaos_unknown_profile_errors(self):
+        with pytest.raises(ValueError, match="unknown fault profile"):
+            main(["chaos", "--profile", "nope", *self.CHAOS])
+
+    def test_dlq_inspection(self, capsys):
+        assert main(["dlq", "--profile", "lossy-mq", *self.CHAOS]) == 0
+        output = capsys.readouterr().out
+        assert "dead-letter queue:" in output
+        assert "mq.decode" in output
