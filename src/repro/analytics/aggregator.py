@@ -56,6 +56,39 @@ class PairStats:
             return 0.0
         return math.sqrt(self._m2 / self.count)
 
+    def state_dict(self) -> dict:
+        """Snapshot the running moments (and the P² sketch if present).
+
+        Infinities (the empty-cell min/max sentinels) are not JSON, so
+        they serialize as None and restore to the same sentinels.
+        """
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "m2": self._m2,
+            "min": None if math.isinf(self.min_value) else self.min_value,
+            "max": None if math.isinf(self.max_value) else self.max_value,
+            "p99": self.p99.state_dict() if self.p99 is not None else None,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "PairStats":
+        """Rebuild a cell from a :meth:`state_dict` snapshot."""
+        from repro.analytics.quantile import P2Quantile
+
+        return cls(
+            count=int(state["count"]),
+            mean=float(state["mean"]),
+            _m2=float(state["m2"]),
+            min_value=math.inf if state["min"] is None else float(state["min"]),
+            max_value=-math.inf if state["max"] is None else float(state["max"]),
+            p99=(
+                P2Quantile.from_state(state["p99"])
+                if state["p99"] is not None
+                else None
+            ),
+        )
+
 
 @dataclass
 class _Window:
@@ -152,6 +185,52 @@ class PairAggregator:
                 )
             )
         return points
+
+    # -- durability --------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot the open window so a restored run flushes it with
+        the pre-crash samples included, instead of losing the partial
+        window at every restart."""
+        window = self._window
+        return {
+            "window_ns": self.window_ns,
+            "track_p99": self.track_p99,
+            "measurements_seen": self.measurements_seen,
+            "window": None
+            if window is None
+            else {
+                "start_ns": window.start_ns,
+                "by_location": [
+                    [list(pair), stats.state_dict()]
+                    for pair, stats in window.by_location.items()
+                ],
+                "by_asn": [
+                    [list(pair), stats.state_dict()]
+                    for pair, stats in window.by_asn.items()
+                ],
+            },
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (replaces any open window)."""
+        self.window_ns = int(state["window_ns"])
+        self.track_p99 = bool(state["track_p99"])
+        self.measurements_seen = int(state["measurements_seen"])
+        window_state = state["window"]
+        if window_state is None:
+            self._window = None
+            return
+        window = _Window(start_ns=int(window_state["start_ns"]))
+        for pair, cell in window_state["by_location"]:
+            window.by_location[(str(pair[0]), str(pair[1]))] = (
+                PairStats.from_state(cell)
+            )
+        for pair, cell in window_state["by_asn"]:
+            window.by_asn[(int(pair[0]), int(pair[1]))] = (
+                PairStats.from_state(cell)
+            )
+        self._window = window
 
     @staticmethod
     def _fields(stats: PairStats) -> Dict[str, float]:

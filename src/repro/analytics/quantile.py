@@ -99,6 +99,32 @@ class P2Quantile:
             n[i + direction] - n[i]
         )
 
+    # -- durability --------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot the five markers (and the warm-up buffer)."""
+        return {
+            "q": self.q,
+            "count": self.count,
+            "initial": list(self._initial),
+            "heights": list(self._heights),
+            "positions": list(self._positions),
+            "desired": list(self._desired),
+            "increments": list(self._increments),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "P2Quantile":
+        """Rebuild an estimator from a :meth:`state_dict` snapshot."""
+        sketch = cls(float(state["q"]))
+        sketch.count = int(state["count"])
+        sketch._initial = [float(v) for v in state["initial"]]
+        sketch._heights = [float(v) for v in state["heights"]]
+        sketch._positions = [float(v) for v in state["positions"]]
+        sketch._desired = [float(v) for v in state["desired"]]
+        sketch._increments = [float(v) for v in state["increments"]]
+        return sketch
+
     @property
     def value(self) -> Optional[float]:
         """The current estimate; None before any samples.

@@ -144,6 +144,10 @@ class AnalyticsService:
         self.deadlettered = 0
         self.resilience = resilience
         self._now_ns = 0
+        # Recovery-harness hook: called once per ingested record,
+        # playing the role of the tap's hardware counters — an observer
+        # that survives the process (see repro.durability.harness).
+        self.ingest_observer: Optional[Callable[[], None]] = None
         self.telemetry = telemetry
         self._tracer = telemetry.tracer if telemetry is not None else None
         self._push_sockets: List[PushSocket] = []
@@ -186,6 +190,8 @@ class AnalyticsService:
 
     def _process_message(self, message: Message) -> None:
         self.records_in += 1
+        if self.ingest_observer is not None:
+            self.ingest_observer()
         payload = message.payload[0] if message.payload else b""
         try:
             record = decode_latency_record(payload)
@@ -404,6 +410,57 @@ class AnalyticsService:
             dropped=self.dropped_records,
             deadlettered=self.deadlettered,
         )
+
+    # -- durability --------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot the analytics tier: conservation counters, the open
+        aggregation window, the virtual clock, and the resilience
+        bundle (retry-queue point batches ride along as line protocol).
+        """
+        from repro.tsdb.line_protocol import format_point
+
+        return {
+            "records_in": self.records_in,
+            "filtered_out": self.filtered_out,
+            "decode_errors": self.decode_errors,
+            "processed": self.processed,
+            "dropped_records": self.dropped_records,
+            "deadlettered": self.deadlettered,
+            "now_ns": self._now_ns,
+            "next_worker": self._next_worker,
+            "aggregator": self.aggregator.state_dict(),
+            "resilience": (
+                self.resilience.state_dict(
+                    encode_retry_item=lambda points: [
+                        format_point(p) for p in points
+                    ]
+                )
+                if self.resilience is not None
+                else None
+            ),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        from repro.tsdb.line_protocol import parse_line
+
+        self.records_in = int(state["records_in"])
+        self.filtered_out = int(state["filtered_out"])
+        self.decode_errors = int(state["decode_errors"])
+        self.processed = int(state["processed"])
+        self.dropped_records = int(state["dropped_records"])
+        self.deadlettered = int(state["deadlettered"])
+        self._now_ns = int(state["now_ns"])
+        self._next_worker = int(state["next_worker"]) % len(self.enrichers)
+        self.aggregator.load_state(state["aggregator"])
+        if self.resilience is not None and state["resilience"] is not None:
+            self.resilience.load_state(
+                state["resilience"],
+                decode_retry_item=lambda lines: [
+                    parse_line(line) for line in lines
+                ],
+            )
 
     def _bind_registry(self, registry) -> None:
         """Bridge analytics and message-bus counters into *registry*.

@@ -76,6 +76,29 @@ class EwmaBaseline(Generic[K]):
     def keys(self):
         return self._cells.keys()
 
+    # -- durability --------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot every per-key cell (keys tagged if tuples)."""
+        return {
+            "alpha": self.alpha,
+            "warmup": self.warmup,
+            "cells": [
+                [_pack_key(key), cell.mean, cell.variance, cell.samples]
+                for key, cell in self._cells.items()
+            ],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        self.alpha = float(state["alpha"])
+        self.warmup = int(state["warmup"])
+        self._cells = {}
+        for packed, mean, variance, samples in state["cells"]:
+            self._cells[_unpack_key(packed)] = _EwmaCell(
+                mean=float(mean), variance=float(variance), samples=int(samples)
+            )
+
 
 class WindowedRate(Generic[K]):
     """Tumbling-window counters per key.
@@ -113,3 +136,38 @@ class WindowedRate(Generic[K]):
         self._counts = {}
         self._current_start = None
         return closed
+
+    # -- durability --------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot the open window's counters (keys tagged if tuples)."""
+        return {
+            "window_ns": self.window_ns,
+            "current_start": self._current_start,
+            "counts": [
+                [_pack_key(key), count] for key, count in self._counts.items()
+            ],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        self.window_ns = int(state["window_ns"])
+        start = state["current_start"]
+        self._current_start = None if start is None else int(start)
+        self._counts = {
+            _unpack_key(packed): int(count) for packed, count in state["counts"]
+        }
+
+
+def _pack_key(key):
+    """JSON-safe form of a baseline key (tuples become tagged lists)."""
+    if isinstance(key, tuple):
+        return {"tuple": list(key)}
+    return key
+
+
+def _unpack_key(packed):
+    """Inverse of :func:`_pack_key`."""
+    if isinstance(packed, dict):
+        return tuple(packed["tuple"])
+    return packed

@@ -112,3 +112,18 @@ class ConnectionCountDetector:
                 event.close(now_ns)
         self._open.clear()
         return list(self.events)
+
+    # -- durability --------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot the learned baseline and the open counting window."""
+        return {
+            "baseline": self.baseline.state_dict(),
+            "rate": self._rate.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        self.baseline.load_state(state["baseline"])
+        self._rate.load_state(state["rate"])
+        self._open.clear()

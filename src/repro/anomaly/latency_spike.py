@@ -146,3 +146,26 @@ class LatencySpikeDetector:
                 spike.event.close(spike.last_flag_ns)
         self._open.clear()
         return list(self.events)
+
+    # -- durability --------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot the learned baseline and sample counters.
+
+        Open, not-yet-confirmed spike groups are deliberately excluded:
+        a sustained anomaly re-confirms from the live stream within
+        ``min_flagged`` samples after restart, whereas resurrecting a
+        half-open group against a moved clock would fabricate events.
+        """
+        return {
+            "baseline": self.baseline.state_dict(),
+            "samples_seen": self.samples_seen,
+            "samples_flagged": self.samples_flagged,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        self.baseline.load_state(state["baseline"])
+        self.samples_seen = int(state["samples_seen"])
+        self.samples_flagged = int(state["samples_flagged"])
+        self._open.clear()

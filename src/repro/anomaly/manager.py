@@ -83,6 +83,34 @@ class AnomalyManager:
         events.sort(key=lambda e: (-int(e.severity), e.start_ns))
         return events
 
+    # -- durability --------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot every detector's learned state (baselines, windows,
+        reservoirs) for a checkpoint. Confirmed events were already
+        delivered through the alert sink; unconfirmed groups restart
+        clean — see the per-detector docstrings."""
+        return {
+            "alerts_raised": self.alerts_raised,
+            "latency": self.latency.state_dict(),
+            "syn_flood": self.syn_flood.state_dict(),
+            "conn_count": self.conn_count.state_dict(),
+            "path_drift": (
+                self.path_drift.state_dict()
+                if self.path_drift is not None
+                else None
+            ),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        self.alerts_raised = int(state["alerts_raised"])
+        self.latency.load_state(state["latency"])
+        self.syn_flood.load_state(state["syn_flood"])
+        self.conn_count.load_state(state["conn_count"])
+        if self.path_drift is not None and state["path_drift"] is not None:
+            self.path_drift.load_state(state["path_drift"])
+
     def events_of_kind(self, kind: str) -> List[AnomalyEvent]:
         """All events a given detector produced so far."""
         pools = {

@@ -11,7 +11,8 @@ KS-compares each completed window against the previous one.
 
 from __future__ import annotations
 
-import random
+import base64
+import struct
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -24,6 +25,46 @@ NS_PER_S = 1_000_000_000
 PairKey = Tuple[str, str]
 
 
+_U64 = (1 << 64) - 1
+
+
+def _pack_floats(values: List[float]) -> str:
+    """Latency samples as base64 little-endian float64 — bit-exact,
+    and far cheaper to JSON-encode than hundreds of float reprs (the
+    reservoirs dominate the anomaly tier's checkpoint cost)."""
+    return base64.b64encode(
+        struct.pack(f"<{len(values)}d", *values)
+    ).decode("ascii")
+
+
+def _unpack_floats(packed: str) -> List[float]:
+    raw = base64.b64decode(packed.encode("ascii"))
+    return list(struct.unpack(f"<{len(raw) // 8}d", raw))
+
+
+class _SplitMix64:
+    """Seedable PRNG whose entire state is one 64-bit integer.
+
+    The detector keeps one RNG per (path, window) reservoir, and every
+    reservoir's RNG lands in every checkpoint. ``random.Random`` there
+    means a 625-word Mersenne state vector per reservoir — hundreds of
+    kilobytes of snapshot for a few dozen paths. Reservoir eviction
+    needs only uniform indices, so a single-word generator is the
+    right trade.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.state = seed & _U64
+
+    def randrange(self, bound: int) -> int:
+        """Uniform int in [0, bound); bias is ~bound/2^64, negligible."""
+        self.state = (self.state + 0x9E3779B97F4A7C15) & _U64
+        mixed = self.state
+        mixed = ((mixed ^ (mixed >> 30)) * 0xBF58476D1CE4E5B9) & _U64
+        mixed = ((mixed ^ (mixed >> 27)) * 0x94D049BB133111EB) & _U64
+        return (mixed ^ (mixed >> 31)) % bound
+
+
 class Reservoir:
     """Classic reservoir sampling: a bounded uniform sample of a stream."""
 
@@ -31,7 +72,7 @@ class Reservoir:
         if capacity < 1:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
-        self._rng = random.Random(seed)
+        self._rng = _SplitMix64(seed)
         self._items: List[float] = []
         self.seen = 0
 
@@ -50,6 +91,24 @@ class Reservoir:
 
     def __len__(self) -> int:
         return len(self._items)
+
+    def state_dict(self) -> dict:
+        """Snapshot the sample, the stream position, and the RNG."""
+        return {
+            "capacity": self.capacity,
+            "seen": self.seen,
+            "items": _pack_floats(self._items),
+            "rng": self._rng.state,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Reservoir":
+        """Rebuild a reservoir that continues its pre-crash sequence."""
+        reservoir = cls(capacity=int(state["capacity"]))
+        reservoir.seen = int(state["seen"])
+        reservoir._items = _unpack_floats(state["items"])
+        reservoir._rng.state = int(state["rng"]) & _U64
+        return reservoir
 
 
 @dataclass
@@ -153,6 +212,41 @@ class PathDriftDetector:
         event.close(window_start + self.window_ns)
         self.events.append(event)
         return event
+
+    # -- durability --------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot every pair's reservoir windows and the counter."""
+        return {
+            "windows_compared": self.windows_compared,
+            "states": [
+                [
+                    list(key),
+                    {
+                        "window_start": state.window_start,
+                        "current": state.current.state_dict(),
+                        "previous": None
+                        if state.previous is None
+                        else _pack_floats(state.previous),
+                    },
+                ]
+                for key, state in self._states.items()
+            ],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        self.windows_compared = int(state["windows_compared"])
+        self._states = {}
+        for key, cell in state["states"]:
+            previous = cell["previous"]
+            self._states[(str(key[0]), str(key[1]))] = _PairState(
+                window_start=int(cell["window_start"]),
+                current=Reservoir.from_state(cell["current"]),
+                previous=None
+                if previous is None
+                else _unpack_floats(previous),
+            )
 
     def finish(self, now_ns: Optional[int] = None) -> List[AnomalyEvent]:
         """End of stream: compare every pair's final window."""

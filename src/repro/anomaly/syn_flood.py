@@ -141,3 +141,25 @@ class SynFloodDetector:
                 event.close(now_ns)
         self._open.clear()
         return list(self.events)
+
+    # -- durability --------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot the open SYN/ACK windows and the packet counter.
+
+        Open flood events are excluded (same reasoning as the spike
+        detector: an ongoing flood re-opens within one window).
+        """
+        return {
+            "syns": self._syns.state_dict(),
+            "acks": self._acks.state_dict(),
+            "packets_seen": self.packets_seen,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        self._syns.load_state(state["syns"])
+        self._acks.load_state(state["acks"])
+        self.packets_seen = int(state["packets_seen"])
+        self._closed_ack_window = None
+        self._open.clear()

@@ -20,6 +20,13 @@ Subcommands mirror how the deployed system is operated:
   conservation check, breaker episodes and recovery times.
 * ``ruru dlq`` — run a chaos scenario and inspect the dead-letter
   queue it produced.
+* ``ruru live`` — run the durable monitor: periodic checkpoints, a
+  TSDB write-ahead log, and a graceful drain on SIGINT/SIGTERM that
+  leaves a clean checkpoint behind.
+* ``ruru recover`` — hot-restart from a state directory: load the
+  latest valid checkpoint, replay the WAL, report the reconciled
+  ledger. ``--trial`` instead runs a kill-anywhere recovery trial at
+  a named crash point.
 
 Any workload command also accepts ``--telemetry`` to enable the
 :mod:`repro.obs` subsystem (metrics registry, stage tracing, periodic
@@ -330,6 +337,8 @@ def cmd_chaos(args) -> int:
             if active:
                 print(f"{'':15} [{active}]")
         return 0
+    from repro.durability.signals import GracefulShutdown
+
     harness = ChaosHarness(
         args.profile,
         seed=args.seed,
@@ -337,7 +346,10 @@ def cmd_chaos(args) -> int:
         rate=args.rate,
         queues=args.queues,
     )
-    report = harness.run()
+    with GracefulShutdown() as stop:
+        report = harness.run(shutdown_flag=stop.requested)
+    if stop.requested():
+        print(f"[{stop.signal_name}] interrupted — drained gracefully")
     print(report.render())
     if args.metrics:
         print("--- resilience metrics ---")
@@ -369,6 +381,107 @@ def cmd_dlq(args) -> int:
     )
     report = harness.run()
     print(harness.resilience.dlq.format_table(limit=args.limit))
+    return 0 if report.ok else 1
+
+
+def _add_durability_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--state-dir", default="ruru-state",
+        help="directory for checkpoints and the TSDB write-ahead log",
+    )
+    parser.add_argument(
+        "--checkpoint-interval", type=float, default=1.0,
+        help="checkpoint cadence in (virtual) seconds",
+    )
+    parser.add_argument(
+        "--keep-checkpoints", type=int, default=2,
+        help="checkpoints retained (older ones are pruned)",
+    )
+    parser.add_argument(
+        "--retention", type=float, default=None,
+        help="TSDB retention window in seconds (default: unlimited)",
+    )
+    parser.add_argument(
+        "--fsync-wal", action="store_true",
+        help="fsync WAL appends and checkpoint writes "
+             "(slower, strictest durability)",
+    )
+
+
+def _make_durable_runtime(args):
+    from repro.durability.runtime import DurableRuntime
+
+    return DurableRuntime(
+        state_dir=args.state_dir,
+        profile=args.profile,
+        seed=args.seed,
+        duration_s=args.duration,
+        rate=args.rate,
+        queues=args.queues,
+        checkpoint_interval_ns=max(1, int(args.checkpoint_interval * NS_PER_S)),
+        keep_checkpoints=args.keep_checkpoints,
+        retention_ns=(
+            None if args.retention is None else max(1, int(args.retention * NS_PER_S))
+        ),
+        fsync_wal=args.fsync_wal,
+    )
+
+
+def cmd_live(args) -> int:
+    """Run the durable monitor; SIGINT/SIGTERM drain gracefully."""
+    from repro.durability.signals import GracefulShutdown
+
+    runtime = _make_durable_runtime(args)
+    with GracefulShutdown() as stop:
+        report = runtime.run(shutdown_flag=stop.requested)
+    if stop.requested():
+        print(f"[{stop.signal_name}] shutdown requested — drained gracefully")
+    print(report.render())
+    ckpt = runtime.checkpointer
+    print(
+        f"checkpoints: {ckpt.checkpoints_written} written "
+        f"({ckpt.bytes_written} bytes) to {args.state_dir}; "
+        f"wal: {runtime.wal.appends} appends "
+        f"({runtime.tsdb.wal_bytes} bytes)"
+    )
+    return 0 if report.ok else 1
+
+
+def cmd_recover(args) -> int:
+    """Hot restart from a state directory, or run a recovery trial."""
+    if args.trial:
+        from repro.durability.harness import run_recovery_trial
+
+        trial = run_recovery_trial(
+            args.state_dir,
+            args.trial,
+            profile=args.profile,
+            seed=args.seed,
+            hit=args.hit,
+            duration_s=args.duration,
+            rate=args.rate,
+            queues=args.queues,
+            checkpoint_interval_ns=max(
+                1, int(args.checkpoint_interval * NS_PER_S)
+            ),
+            retention_ns=(
+                None
+                if args.retention is None
+                else max(1, int(args.retention * NS_PER_S))
+            ),
+        )
+        print(trial.render())
+        return 0 if trial.ok else 1
+
+    from repro.durability.recovery import recover_runtime
+
+    runtime = _make_durable_runtime(args)
+    report = recover_runtime(runtime)
+    print(report.render())
+    if args.drain:
+        drain = runtime.shutdown()
+        print(drain.render())
+        return 0 if (report.ok and drain.ok) else 1
     return 0 if report.ok else 1
 
 
@@ -557,6 +670,34 @@ def build_parser() -> argparse.ArgumentParser:
     _add_chaos_args(p_dlq)
     p_dlq.add_argument("--limit", type=int, default=20, help="letters to show")
     p_dlq.set_defaults(func=cmd_dlq)
+
+    p_live = subparsers.add_parser(
+        "live",
+        help="run the durable monitor with checkpoints, WAL and graceful drain",
+    )
+    _add_chaos_args(p_live)
+    _add_durability_args(p_live)
+    p_live.set_defaults(func=cmd_live, profile="clean")
+
+    p_recover = subparsers.add_parser(
+        "recover",
+        help="hot-restart from a state directory (or run a recovery trial)",
+    )
+    _add_chaos_args(p_recover)
+    _add_durability_args(p_recover)
+    p_recover.add_argument(
+        "--drain", action="store_true",
+        help="after recovering, drain gracefully to a clean checkpoint",
+    )
+    p_recover.add_argument(
+        "--trial", metavar="CRASH_POINT",
+        help="instead: run a kill-anywhere trial crashing at this point",
+    )
+    p_recover.add_argument(
+        "--hit", type=int, default=3,
+        help="which pass over the crash point fires the trial's crash",
+    )
+    p_recover.set_defaults(func=cmd_recover, profile="clean")
 
     p_query = subparsers.add_parser(
         "query", help="run an InfluxQL-style query against an export"

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import enum
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Iterator, Optional, Tuple
 
 FlowKey = Tuple[int, int, int, int, bool]
@@ -153,3 +153,65 @@ class HandshakeTable:
     def occupancy(self) -> float:
         """Fill fraction of the table."""
         return len(self._entries) / self.max_entries
+
+    # -- durability ---------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot every in-flight handshake plus the counters.
+
+        Keys serialize positionally (a JSON list per entry) and entries
+        keep insertion order, so a restored table evicts and sweeps in
+        exactly the order the original would have.
+        """
+        return {
+            "max_entries": self.max_entries,
+            "queue_id": self.queue_id,
+            "counters": {
+                "inserted": self.inserted,
+                "completed": self.completed,
+                "evicted": self.evicted,
+                "expired": self.expired,
+                "aborted": self.aborted,
+            },
+            "entries": [
+                {
+                    "key": list(key),
+                    "state": entry.state.value,
+                    **{
+                        name: value
+                        for name, value in asdict(entry).items()
+                        if name != "state"
+                    },
+                }
+                for key, entry in self._entries.items()
+            ],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot, replacing all entries."""
+        self.max_entries = int(state["max_entries"])
+        self.queue_id = int(state["queue_id"])
+        counters = state["counters"]
+        self.inserted = int(counters["inserted"])
+        self.completed = int(counters["completed"])
+        self.evicted = int(counters["evicted"])
+        self.expired = int(counters["expired"])
+        self.aborted = int(counters["aborted"])
+        self._entries = OrderedDict()
+        for row in state["entries"]:
+            key_parts = row["key"]
+            key: FlowKey = (
+                int(key_parts[0]),
+                int(key_parts[1]),
+                int(key_parts[2]),
+                int(key_parts[3]),
+                bool(key_parts[4]),
+            )
+            fields = {
+                name: row[name]
+                for name in row
+                if name not in ("key", "state")
+            }
+            self._entries[key] = FlowEntry(
+                state=FlowState(row["state"]), **fields
+            )

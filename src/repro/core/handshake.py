@@ -101,6 +101,28 @@ class HandshakeTracker:
         records, self.pending = self.pending, []
         return records
 
+    # -- durability --------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot the in-flight table, counters, pending records and
+        sweep schedule — everything a restored tracker needs to complete
+        handshakes whose SYN predates the crash."""
+        from dataclasses import asdict
+
+        return {
+            "table": self.table.state_dict(),
+            "stats": self.stats.state_dict(),
+            "pending": [asdict(record) for record in self.pending],
+            "last_sweep_ns": self._last_sweep_ns,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        self.table.load_state(state["table"])
+        self.stats.load_state(state["stats"])
+        self.pending = [LatencyRecord(**row) for row in state["pending"]]
+        self._last_sweep_ns = int(state["last_sweep_ns"])
+
     # -- state machine -----------------------------------------------------
 
     def _on_syn(self, packet: ParsedPacket, rss_hash: int) -> None:

@@ -73,6 +73,7 @@ class RuruPipeline:
         self.measurements: List[LatencyRecord] = []
         self._sink: MeasurementSink = sink or self.measurements.append
         self.stats = PipelineStats()
+        self.quiesced = False
         self.telemetry = telemetry
         tracer = None
         if telemetry is not None:
@@ -114,6 +115,9 @@ class RuruPipeline:
 
     def offer(self, packet: Packet) -> bool:
         """Offer one frame to the NIC; False if the NIC dropped it."""
+        if self.quiesced:
+            self.stats.packets_rejected_quiesced += 1
+            return False
         self.stats.packets_offered += 1
         self.clock.advance_to(packet.timestamp_ns)
         if self.nic.receive(packet):
@@ -121,6 +125,14 @@ class RuruPipeline:
             return True
         self.stats.nic_drops += 1
         return False
+
+    def quiesce(self) -> None:
+        """Stop accepting frames at the NIC (step one of graceful drain).
+
+        Frames already in the rx rings stay there for :meth:`drain`;
+        new offers are rejected and counted, never silently dropped.
+        """
+        self.quiesced = True
 
     def drain(self) -> None:
         """Poll all workers until every rx ring is empty."""
@@ -140,14 +152,26 @@ class RuruPipeline:
                 # not a condition to spin on.
                 raise RuntimeError("pipeline stalled with packets pending")
 
-    def run_packets(self, packets: Iterable[Packet]) -> PipelineStats:
-        """Run a packet stream through the full pipeline to completion."""
+    def run_packets(
+        self, packets: Iterable[Packet], shutdown_flag=None
+    ) -> PipelineStats:
+        """Run a packet stream through the full pipeline to completion.
+
+        Args:
+            packets: the frame stream to feed.
+            shutdown_flag: optional zero-arg callable polled between
+                feed batches; when it turns truthy, the stream is
+                abandoned and the rings drain to empty — the
+                SIGINT/SIGTERM path of the long-running CLI commands.
+        """
         batch: List[Packet] = []
         for packet in packets:
             batch.append(packet)
             if len(batch) >= self.feed_batch:
                 self._feed_and_drain(batch)
                 batch.clear()
+                if shutdown_flag is not None and shutdown_flag():
+                    break
         self._feed_and_drain(batch)
         self._merge_worker_stats()
         return self.stats
@@ -330,6 +354,61 @@ class RuruPipeline:
     def flow_table_occupancy(self) -> List[int]:
         """In-flight handshake count per queue (flood diagnostics)."""
         return [len(worker.tracker.table) for worker in self.workers]
+
+    # -- durability ----------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot the fast path: virtual clock, whole-pipeline stats,
+        NIC port counters, and every worker's flow table.
+
+        Taken between feed batches the rx rings are empty, so this is a
+        consistent cut of the measurement state; frames in flight at a
+        ``kill -9`` are the bounded loss recovery reports explicitly.
+        """
+        self._merge_worker_stats()
+        nic = self.nic.stats
+        return {
+            "clock_ns": self.clock.now_ns,
+            "quiesced": self.quiesced,
+            "stats": self.stats.state_dict(),
+            "nic_stats": {
+                "ipackets": nic.ipackets,
+                "ibytes": nic.ibytes,
+                "imissed": nic.imissed,
+                "ierrors": nic.ierrors,
+                "q_ipackets": {str(q): n for q, n in nic.q_ipackets.items()},
+            },
+            "workers": [worker.state_dict() for worker in self.workers],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot into this pipeline.
+
+        The pipeline must be built with the same queue count; handshakes
+        that were in flight at checkpoint time resume exactly where they
+        were, so a SYN seen before the crash still yields a measurement
+        when its ACK arrives after recovery.
+        """
+        workers_state = state["workers"]
+        if len(workers_state) != len(self.workers):
+            raise ValueError(
+                f"checkpoint has {len(workers_state)} workers, "
+                f"pipeline has {len(self.workers)}"
+            )
+        self.clock.advance_to(int(state["clock_ns"]))
+        self.quiesced = bool(state["quiesced"])
+        self.stats.load_state(state["stats"])
+        nic_state = state["nic_stats"]
+        nic = self.nic.stats
+        nic.ipackets = int(nic_state["ipackets"])
+        nic.ibytes = int(nic_state["ibytes"])
+        nic.imissed = int(nic_state["imissed"])
+        nic.ierrors = int(nic_state["ierrors"])
+        nic.q_ipackets = {
+            int(q): int(n) for q, n in nic_state["q_ipackets"].items()
+        }
+        for worker, worker_state in zip(self.workers, workers_state):
+            worker.load_state(worker_state)
 
     def queue_balance(self) -> List[float]:
         """Fraction of frames RSS sent to each queue."""

@@ -44,6 +44,15 @@ class TrackerStats:
         for name in self.__dataclass_fields__:
             setattr(self, name, getattr(self, name) + getattr(other, name))
 
+    def state_dict(self) -> Dict[str, int]:
+        """Snapshot every counter (all fields are plain ints)."""
+        return {name: getattr(self, name) for name in self.__dataclass_fields__}
+
+    def load_state(self, state: Dict[str, int]) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, int(state[name]))
+
 
 @dataclass
 class PipelineStats:
@@ -61,6 +70,7 @@ class PipelineStats:
     packets_queued: int = 0
     packets_processed: int = 0
     packets_sampled_out: int = 0
+    packets_rejected_quiesced: int = 0
     nic_drops: int = 0
     parse_errors: int = 0
     parse_error_reasons: Dict[str, int] = field(default_factory=dict)
@@ -90,6 +100,7 @@ class PipelineStats:
             "packets_queued": self.packets_queued,
             "packets_processed": self.packets_processed,
             "packets_sampled_out": self.packets_sampled_out,
+            "packets_rejected_quiesced": self.packets_rejected_quiesced,
             "nic_drops": self.nic_drops,
             "parse_errors": self.parse_errors,
             "measurements": self.tracker.measurements,
@@ -104,3 +115,33 @@ class PipelineStats:
         for queue_id, share in enumerate(self.queue_share):
             summary[f"queue_share.q{queue_id}"] = round(share, 4)
         return summary
+
+    def state_dict(self) -> Dict:
+        """Snapshot the whole-pipeline counters for a checkpoint."""
+        return {
+            "packets_offered": self.packets_offered,
+            "packets_queued": self.packets_queued,
+            "packets_processed": self.packets_processed,
+            "packets_sampled_out": self.packets_sampled_out,
+            "packets_rejected_quiesced": self.packets_rejected_quiesced,
+            "nic_drops": self.nic_drops,
+            "parse_errors": self.parse_errors,
+            "parse_error_reasons": dict(self.parse_error_reasons),
+            "tracker": self.tracker.state_dict(),
+            "scheduling_rounds": self.scheduling_rounds,
+            "queue_share": list(self.queue_share),
+        }
+
+    def load_state(self, state: Dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        self.packets_offered = int(state["packets_offered"])
+        self.packets_queued = int(state["packets_queued"])
+        self.packets_processed = int(state["packets_processed"])
+        self.packets_sampled_out = int(state["packets_sampled_out"])
+        self.packets_rejected_quiesced = int(state["packets_rejected_quiesced"])
+        self.nic_drops = int(state["nic_drops"])
+        self.parse_errors = int(state["parse_errors"])
+        self.parse_error_reasons = dict(state["parse_error_reasons"])
+        self.tracker.load_state(state["tracker"])
+        self.scheduling_rounds = int(state["scheduling_rounds"])
+        self.queue_share = list(state["queue_share"])

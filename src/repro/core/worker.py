@@ -124,3 +124,29 @@ class QueueWorker:
     def stats(self):
         """This worker's tracker counters."""
         return self.tracker.stats
+
+    # -- durability --------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot this worker's counters and its handshake tracker."""
+        return {
+            "queue_id": self.queue_id,
+            "packets_processed": self.packets_processed,
+            "packets_sampled_out": self.packets_sampled_out,
+            "latest_ns": self._latest_ns,
+            "polls": self._polls,
+            "tracker": self.tracker.state_dict(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        if int(state["queue_id"]) != self.queue_id:
+            raise ValueError(
+                f"worker state for queue {state['queue_id']} loaded "
+                f"into queue {self.queue_id}"
+            )
+        self.packets_processed = int(state["packets_processed"])
+        self.packets_sampled_out = int(state["packets_sampled_out"])
+        self._latest_ns = int(state["latest_ns"])
+        self._polls = int(state["polls"])
+        self.tracker.load_state(state["tracker"])

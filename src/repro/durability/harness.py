@@ -1,0 +1,281 @@
+"""Kill-anywhere recovery trials: crash at a named point, recover,
+prove the invariants.
+
+One :class:`RecoveryTrial` is the full story of one crash:
+
+1. Materialize the (profile, seed) workload once — the harness plays
+   the *network*, which outlives any process.
+2. Run a :class:`~repro.durability.runtime.DurableRuntime` with a
+   :class:`~repro.faults.crashpoints.CrashSchedule` armed at one
+   registered point. The :class:`SimulatedCrash` (a BaseException,
+   like the real signal) escapes every handler and "kills" the
+   process; the dead runtime object is abandoned, exactly as dead
+   memory would be.
+3. Build a fresh stack on the same state directory and
+   :func:`~repro.durability.recovery.recover_runtime` it, handing over
+   the observer's external ingest count.
+4. Feed the packets the dead process never received — packets already
+   handed over are gone, that loss is the point — then drain
+   gracefully.
+
+Invariants asserted per (profile, seed, crash_point):
+
+* the armed crash actually fired at its point;
+* the reconciled ledger balances with an explicit, non-negative
+  ``lost_at_crash``;
+* an immediate second WAL replay applies **zero** batches — the
+  batch-id dedup makes replay idempotent, so nothing double-writes;
+* after resuming and draining, the extended equation still balances
+  over the *whole* trial (observer total vs final counters);
+* the resumed run ends in a clean checkpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from repro.durability.recovery import RecoveryReport, recover_runtime
+from repro.durability.runtime import DrainReport, DurableRuntime
+from repro.faults.crashpoints import CRASH_POINTS, CrashSchedule, SimulatedCrash
+from repro.faults.profiles import FaultProfile
+from repro.resilience.invariants import DurabilityLedger
+
+NS_PER_S = 1_000_000_000
+
+
+@dataclass
+class RecoveryTrial:
+    """The verdict of one crash → recover → resume → drain cycle."""
+
+    profile: str
+    seed: int
+    crash_point: str
+    hit: int
+    crashed: bool
+    crash_passes: int
+    observed_at_crash: int
+    recovery: Optional[RecoveryReport]
+    double_replay_applied: int
+    final_ledger: Optional[DurabilityLedger]
+    final_drain: Optional[DrainReport]
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.crashed
+            and self.recovery is not None
+            and self.recovery.ok
+            and self.double_replay_applied == 0
+            and self.final_ledger is not None
+            and self.final_ledger.ok
+            and self.final_drain is not None
+            and self.final_drain.ok
+        )
+
+    @property
+    def lost_at_crash(self) -> int:
+        return self.recovery.lost_at_crash if self.recovery else 0
+
+    def counts(self) -> Dict[str, int]:
+        """Deterministic signature: two same-triple trials must match."""
+        assert self.recovery is not None and self.final_ledger is not None
+        return {
+            "crash_passes": self.crash_passes,
+            "observed_at_crash": self.observed_at_crash,
+            "lost_at_crash": self.recovery.lost_at_crash,
+            "replayed_batches": self.recovery.replayed_batches,
+            "replayed_points": self.recovery.replayed_points,
+            "duplicates_skipped": self.recovery.duplicates_skipped,
+            "expired_dropped": self.recovery.expired_dropped,
+            "final_observed": self.final_ledger.observed_ingested,
+            "final_processed": self.final_ledger.processed,
+            "final_dropped": self.final_ledger.dropped,
+            "final_deadlettered": self.final_ledger.deadlettered,
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"recovery trial: profile={self.profile!r} seed={self.seed} "
+            f"crash_point={self.crash_point!r} (hit {self.hit})",
+            f"  crashed: {self.crashed} "
+            f"(boundary crossed {self.crash_passes}x)",
+        ]
+        if self.recovery is not None:
+            lines.extend("  " + line for line in self.recovery.render().splitlines())
+        lines.append(
+            f"  double-replay applied: {self.double_replay_applied} "
+            f"(must be 0 — idempotence)"
+        )
+        if self.final_ledger is not None:
+            lines.append(f"  whole-trial ledger: {self.final_ledger}")
+        lines.append("verdict: " + ("OK" if self.ok else "FAILED"))
+        return "\n".join(lines)
+
+
+class RecoveryHarness:
+    """Runs kill-anywhere trials against one state directory.
+
+    Args:
+        state_dir: scratch directory; each trial wipes and reuses it.
+        profile / seed: workload + fault identity (the trial triple's
+            first two coordinates).
+        duration_s / rate / queues: scenario shape — kept small enough
+            that a full sweep over every crash point stays fast.
+        checkpoint_interval_ns: periodic checkpoint cadence.
+        retention_ns: optional TSDB retention, for the
+            points-past-retention-at-recovery tests.
+    """
+
+    def __init__(
+        self,
+        state_dir: str,
+        profile: Union[str, FaultProfile] = "clean",
+        seed: int = 42,
+        duration_s: float = 6.0,
+        rate: float = 30.0,
+        queues: int = 2,
+        checkpoint_interval_ns: int = NS_PER_S,
+        retention_ns: Optional[int] = None,
+    ):
+        self.state_dir = str(state_dir)
+        self.profile = profile
+        self.seed = seed
+        self.duration_s = duration_s
+        self.rate = rate
+        self.queues = queues
+        self.checkpoint_interval_ns = checkpoint_interval_ns
+        self.retention_ns = retention_ns
+
+    def _make_runtime(self, crash_schedule=None) -> DurableRuntime:
+        return DurableRuntime(
+            state_dir=self.state_dir,
+            profile=self.profile,
+            seed=self.seed,
+            duration_s=self.duration_s,
+            rate=self.rate,
+            queues=self.queues,
+            checkpoint_interval_ns=self.checkpoint_interval_ns,
+            retention_ns=self.retention_ns,
+            crash_schedule=crash_schedule,
+        )
+
+    def _wipe_state_dir(self) -> None:
+        import os
+        import shutil
+
+        if os.path.isdir(self.state_dir):
+            shutil.rmtree(self.state_dir)
+        os.makedirs(self.state_dir, exist_ok=True)
+
+    def run_trial(self, crash_point: str, hit: int = 1) -> RecoveryTrial:
+        """One full crash/recover/resume/drain cycle at *crash_point*."""
+        if crash_point not in CRASH_POINTS:
+            raise ValueError(f"unknown crash point {crash_point!r}")
+        self._wipe_state_dir()
+
+        # The observer outlives the process — the software analogue of
+        # the optical tap's hardware counters.
+        observed = {"count": 0}
+
+        def observe() -> None:
+            observed["count"] += 1
+
+        schedule = CrashSchedule().arm(crash_point, hit=hit)
+        victim = self._make_runtime(crash_schedule=schedule)
+        victim.service.ingest_observer = observe
+
+        # The network: materialized once, consumed exactly once.
+        packets = list(
+            victim.injector.packet_stream(victim.generator.packets())
+        )
+        feed_batch = victim.pipeline.feed_batch
+        batches = [
+            packets[i : i + feed_batch]
+            for i in range(0, len(packets), feed_batch)
+        ]
+
+        crashed = False
+        fed = 0
+        try:
+            for batch in batches:
+                fed += 1  # handed to the process — gone if it dies now
+                victim.process_batch(batch)
+            victim.shutdown()
+        except SimulatedCrash:
+            crashed = True
+        crash_passes = schedule.passes.get(crash_point, 0)
+        observed_at_crash = observed["count"]
+        del victim  # dead memory
+
+        if not crashed:
+            return RecoveryTrial(
+                profile=str(getattr(self.profile, "name", self.profile)),
+                seed=self.seed,
+                crash_point=crash_point,
+                hit=hit,
+                crashed=False,
+                crash_passes=crash_passes,
+                observed_at_crash=observed_at_crash,
+                recovery=None,
+                double_replay_applied=0,
+                final_ledger=None,
+                final_drain=None,
+            )
+
+        # The restarted process: same directory, fresh everything else.
+        survivor = self._make_runtime()
+        survivor.service.ingest_observer = observe
+        recovery = recover_runtime(survivor, observed_ingested=observed_at_crash)
+
+        # Idempotence probe: replaying the same WAL again must apply
+        # nothing — every batch is now at or below the high-water mark.
+        applied_before = survivor.tsdb.replayed_batches
+        survivor.tsdb.replay_wal(now_ns=survivor.now_ns)
+        double_replay_applied = survivor.tsdb.replayed_batches - applied_before
+
+        for batch in batches[fed:]:
+            survivor.process_batch(batch)
+        final_drain = survivor.shutdown()
+
+        final_ledger = DurabilityLedger(
+            observed_ingested=observed["count"],
+            processed=final_drain.ledger.processed,
+            dropped=final_drain.ledger.dropped,
+            deadlettered=final_drain.ledger.deadlettered,
+            lost_at_crash=recovery.lost_at_crash,
+        )
+        return RecoveryTrial(
+            profile=str(getattr(self.profile, "name", self.profile)),
+            seed=self.seed,
+            crash_point=crash_point,
+            hit=hit,
+            crashed=True,
+            crash_passes=crash_passes,
+            observed_at_crash=observed_at_crash,
+            recovery=recovery,
+            double_replay_applied=double_replay_applied,
+            final_ledger=final_ledger,
+            final_drain=final_drain,
+        )
+
+    def sweep(self, hit: int = 1) -> Dict[str, RecoveryTrial]:
+        """One trial per registered crash point."""
+        return {
+            point: self.run_trial(point, hit=hit) for point in CRASH_POINTS
+        }
+
+
+def run_recovery_trial(
+    state_dir: str,
+    crash_point: str,
+    profile: Union[str, FaultProfile] = "clean",
+    seed: int = 42,
+    hit: int = 1,
+    **kwargs,
+) -> RecoveryTrial:
+    """One-call trial (what the CLI smoke and CI use)."""
+    harness = RecoveryHarness(
+        state_dir=state_dir, profile=profile, seed=seed, **kwargs
+    )
+    return harness.run_trial(crash_point, hit=hit)

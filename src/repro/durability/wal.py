@@ -1,0 +1,319 @@
+"""Write-ahead log in front of the TSDB, with idempotent replay.
+
+The measurement store is in-memory; a kill -9 takes every point with
+it. Durability therefore comes from two artifacts on disk: the
+periodic checkpoint (a full dump plus the WAL high-water mark it
+covers) and this log, which records every write batch *before* the
+store applies it. Recovery = load checkpoint, then re-apply exactly
+the WAL batches the checkpoint has not seen.
+
+Exactly-once is an accounting argument, not a hope:
+
+* every batch carries a **monotonic batch id** assigned by
+  :class:`DurableTsdb`;
+* the checkpoint records ``last_applied_batch_id``;
+* replay applies only ids *above* that mark and counts the rest as
+  ``duplicates_skipped`` — a batch can never land twice;
+* a write the store *rejected* (fault-injected outage) appends an
+  **abort record** for its id, so replay does not resurrect batches
+  the retry machinery re-submitted under a later id.
+
+Torn tails are expected, not fatal: a crash mid-append leaves a
+partial frame at the end of the file. Replay verifies each frame's
+CRC and stops cleanly at the first damaged one — the torn frame's
+batch never reached the store either, so stopping is correct.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from typing import Iterable, List, Optional, Tuple
+
+from repro.tsdb.line_protocol import format_point, parse_line
+from repro.tsdb.point import Point
+
+WAL_MAGIC = b"RWAL"
+_RECORD_DATA = 0
+_RECORD_ABORT = 1
+# magic | type(1) | batch_id(8) | payload_len(4) | crc32(4)
+_FRAME = struct.Struct("!4sBQII")
+
+
+class WalError(ValueError):
+    """The log is unusable (not a torn tail — structural damage)."""
+
+
+class WriteAheadLog:
+    """Framed, CRC-guarded append log of point batches.
+
+    Args:
+        path: backing file; created on first append.
+        fsync: call ``os.fsync`` after every append. The recovery
+            tests simulate crashes in-process, where a flush suffices;
+            real deployments pay the fsync.
+    """
+
+    def __init__(self, path: str, fsync: bool = False):
+        self.path = str(path)
+        self.fsync = fsync
+        self._file = None
+        self.appends = 0
+        self.aborts = 0
+
+    # -- writing ------------------------------------------------------------
+
+    def _handle(self):
+        if self._file is None:
+            self._file = open(self.path, "ab")
+        return self._file
+
+    def _append_frame(self, record_type: int, batch_id: int, payload: bytes) -> None:
+        frame = _FRAME.pack(
+            WAL_MAGIC, record_type, batch_id, len(payload), zlib.crc32(payload)
+        )
+        handle = self._handle()
+        handle.write(frame + payload)
+        handle.flush()
+        if self.fsync:
+            os.fsync(handle.fileno())
+
+    def append(self, batch_id: int, points: Iterable[Point]) -> int:
+        """Log one batch before the store sees it; returns bytes written."""
+        return self.append_lines(batch_id, [format_point(p) for p in points])
+
+    def append_lines(self, batch_id: int, lines: List[str]) -> int:
+        """Like :meth:`append`, for points already in line protocol —
+        lets the caller format each point exactly once and reuse the
+        lines for its checkpoint cache."""
+        payload = "\n".join(lines).encode("utf-8")
+        self._append_frame(_RECORD_DATA, batch_id, payload)
+        self.appends += 1
+        return _FRAME.size + len(payload)
+
+    def append_abort(self, batch_id: int) -> None:
+        """Compensation record: the store rejected this batch, so a
+        later replay must not apply it (the retry queue owns it now)."""
+        self._append_frame(_RECORD_ABORT, batch_id, b"")
+        self.aborts += 1
+
+    def sync(self) -> None:
+        """Flush (and fsync) any buffered frames — the drain path."""
+        if self._file is not None:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def truncate(self) -> None:
+        """Drop every frame — called once a checkpoint covers them."""
+        self.close()
+        with open(self.path, "wb"):
+            pass
+
+    # -- replay -------------------------------------------------------------
+
+    def replay(self) -> "WalReplay":
+        """Read the log back; tolerant of exactly one torn tail frame."""
+        batches: List[Tuple[int, List[Point]]] = []
+        aborted = set()
+        torn_tail = False
+        if not os.path.exists(self.path):
+            return WalReplay(batches=[], aborted_ids=set(), torn_tail=False)
+        with open(self.path, "rb") as handle:
+            data = handle.read()
+        offset = 0
+        while offset < len(data):
+            header = data[offset : offset + _FRAME.size]
+            if len(header) < _FRAME.size:
+                torn_tail = True
+                break
+            magic, record_type, batch_id, length, crc = _FRAME.unpack(header)
+            if magic != WAL_MAGIC:
+                raise WalError(
+                    f"bad frame magic at offset {offset}: {magic!r}"
+                )
+            payload = data[offset + _FRAME.size : offset + _FRAME.size + length]
+            if len(payload) < length or zlib.crc32(payload) != crc:
+                torn_tail = True
+                break
+            if record_type == _RECORD_ABORT:
+                aborted.add(batch_id)
+            elif record_type == _RECORD_DATA:
+                points = [
+                    parse_line(line)
+                    for line in payload.decode("utf-8").splitlines()
+                    if line
+                ]
+                batches.append((batch_id, points))
+            else:
+                raise WalError(f"unknown record type {record_type}")
+            offset += _FRAME.size + length
+        return WalReplay(batches=batches, aborted_ids=aborted, torn_tail=torn_tail)
+
+
+class WalReplay:
+    """The decoded contents of one log, ready to re-apply."""
+
+    def __init__(
+        self,
+        batches: List[Tuple[int, List[Point]]],
+        aborted_ids: set,
+        torn_tail: bool,
+    ):
+        self.batches = batches
+        self.aborted_ids = aborted_ids
+        self.torn_tail = torn_tail
+
+    @property
+    def max_batch_id(self) -> int:
+        ids = [batch_id for batch_id, _ in self.batches]
+        ids.extend(self.aborted_ids)
+        return max(ids, default=0)
+
+    def live_batches(self, after_batch_id: int) -> List[Tuple[int, List[Point]]]:
+        """Batches that must re-apply: above the checkpoint's high-water
+        mark and never aborted."""
+        return [
+            (batch_id, points)
+            for batch_id, points in self.batches
+            if batch_id > after_batch_id and batch_id not in self.aborted_ids
+        ]
+
+
+class DurableTsdb:
+    """TSDB wrapper: every batch goes through the WAL first.
+
+    Drop-in where a ``TimeSeriesDatabase`` (or a flaky wrapper around
+    one) is expected — reads and queries delegate untouched; only
+    ``write``/``write_batch`` gain the log-then-apply discipline and
+    the monotonic batch ids that make replay idempotent.
+    """
+
+    def __init__(self, inner, wal: WriteAheadLog, crash_schedule=None):
+        self.inner = inner
+        self.wal = wal
+        self.crash_schedule = crash_schedule
+        self.next_batch_id = 1
+        self.last_applied_batch_id = 0
+        self.duplicates_skipped = 0
+        self.wal_bytes = 0
+        self.replayed_batches = 0
+        self.replayed_points = 0
+        self.expired_dropped = 0
+        # Line-protocol mirror of every applied point, maintained
+        # incrementally so checkpoints serialize it without re-walking
+        # (and re-formatting) the whole store each second. Each point
+        # is formatted exactly once, shared with its WAL frame.
+        self.applied_lines: List[str] = []
+
+    def _reached(self, point: str) -> None:
+        if self.crash_schedule is not None:
+            self.crash_schedule.reached(point)
+
+    def write(self, point: Point) -> None:
+        self.write_batch([point])
+
+    def write_batch(self, points) -> int:
+        points = list(points)
+        if not points:
+            return 0
+        batch_id = self.next_batch_id
+        lines = [format_point(p) for p in points]
+        self._reached("tsdb.wal.pre")
+        self.wal_bytes += self.wal.append_lines(batch_id, lines)
+        self.next_batch_id = batch_id + 1
+        self._reached("tsdb.wal.post")
+        try:
+            count = self.inner.write_batch(points)
+        except BaseException:
+            # The store rejected the batch (fault injection) or the
+            # process is crashing. Either way the logged intent must
+            # not replay: on rejection the retry queue re-submits the
+            # points under a fresh id; on a crash the abort never hits
+            # the disk and replay correctly applies the batch.
+            self.wal.append_abort(batch_id)
+            raise
+        self.last_applied_batch_id = batch_id
+        self.applied_lines.extend(lines)
+        self._reached("tsdb.applied")
+        return count
+
+    # -- recovery -----------------------------------------------------------
+
+    def replay_wal(self, now_ns: Optional[int] = None) -> "WalReplay":
+        """Re-apply logged batches the checkpoint has not covered.
+
+        Batches at or below ``last_applied_batch_id`` (restored from
+        the checkpoint) are counted as duplicates and skipped — the
+        no-double-write guarantee. With *now_ns* given, retention
+        policies run afterwards so points already past retention are
+        dropped instead of resurrected, and the drop is counted.
+        """
+        replay = self.wal.replay()
+        for batch_id, points in replay.batches:
+            if batch_id <= self.last_applied_batch_id:
+                self.duplicates_skipped += 1
+        for batch_id, points in replay.live_batches(self.last_applied_batch_id):
+            self.inner.write_batch(points)
+            self.applied_lines.extend(format_point(p) for p in points)
+            self.replayed_batches += 1
+            self.replayed_points += len(points)
+            self.last_applied_batch_id = batch_id
+        self.next_batch_id = max(self.next_batch_id, replay.max_batch_id + 1)
+        if now_ns is not None:
+            self.expired_dropped += self.enforce_retention(now_ns)
+        return replay
+
+    def load_lines(self, lines) -> int:
+        """Restore the store from checkpointed line protocol, bypassing
+        the WAL (these points are already durable in the checkpoint)."""
+        lines = list(lines)
+        count = self.inner.load_lines(lines)
+        self.applied_lines = lines
+        return count
+
+    def enforce_retention(self, now_ns: int) -> int:
+        """Run the inner store's retention, keeping the line cache in
+        step. When every policy is store-wide the cache is pruned by
+        each line's trailing timestamp (same ``ts >= cutoff`` rule as
+        ``Series.truncate_before``); measurement-scoped policies fall
+        back to a full re-dump."""
+        dropped = self.inner.enforce_retention(now_ns)
+        if dropped:
+            policies = getattr(self.inner, "retention_policies", [])
+            if policies and all(p.measurement is None for p in policies):
+                cutoff = now_ns - min(p.duration_ns for p in policies)
+                self.applied_lines = [
+                    line
+                    for line in self.applied_lines
+                    if int(line.rsplit(" ", 1)[1]) >= cutoff
+                ]
+            else:
+                self.applied_lines = list(self.inner.dump_lines())
+        return dropped
+
+    # -- durability ---------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The wrapper's own counters for the checkpoint (the inner
+        store's contents are dumped separately, as line protocol)."""
+        return {
+            "next_batch_id": self.next_batch_id,
+            "last_applied_batch_id": self.last_applied_batch_id,
+            "duplicates_skipped": self.duplicates_skipped,
+            "wal_bytes": self.wal_bytes,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.next_batch_id = int(state["next_batch_id"])
+        self.last_applied_batch_id = int(state["last_applied_batch_id"])
+        self.duplicates_skipped = int(state["duplicates_skipped"])
+        self.wal_bytes = int(state["wal_bytes"])
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)

@@ -20,12 +20,15 @@ from repro.faults.adapters import (
     TsdbWriteError,
 )
 from repro.faults.chaos import ChaosHarness, ChaosReport, run_chaos
+from repro.faults.crashpoints import CRASH_POINTS, CrashSchedule, SimulatedCrash
 from repro.faults.injector import FaultInjector, WorkerCrash
 from repro.faults.profiles import PROFILES, FaultProfile, get_profile
 
 __all__ = [
+    "CRASH_POINTS",
     "ChaosHarness",
     "ChaosReport",
+    "CrashSchedule",
     "FaultInjector",
     "FaultProfile",
     "FaultyPushSocket",
@@ -34,6 +37,7 @@ __all__ = [
     "FlakyTimeSeriesDatabase",
     "LookupFailure",
     "PROFILES",
+    "SimulatedCrash",
     "TsdbWriteError",
     "WorkerCrash",
     "get_profile",

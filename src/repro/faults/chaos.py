@@ -212,12 +212,20 @@ class ChaosHarness:
             poll_wrapper=self.injector.crashy_poll,
         )
 
-    def run(self) -> ChaosReport:
-        """Replay the scenario under faults; never raises."""
+    def run(self, shutdown_flag=None) -> ChaosReport:
+        """Replay the scenario under faults; never raises.
+
+        Args:
+            shutdown_flag: optional zero-arg callable polled between
+                feed batches; truthy → stop feeding and drain what is
+                already in flight (``ruru chaos`` wires SIGINT/SIGTERM
+                here, so an interrupted chaos run still reconciles).
+        """
         unhandled: List[str] = []
         try:
             self.pipeline.run_packets(
-                self.injector.packet_stream(self.generator.packets())
+                self.injector.packet_stream(self.generator.packets()),
+                shutdown_flag=shutdown_flag,
             )
             self.service.finish()
         except Exception as exc:  # noqa: BLE001 — the report carries it

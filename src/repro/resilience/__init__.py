@@ -35,7 +35,11 @@ from repro.resilience.breaker import (
     CircuitBreaker,
 )
 from repro.resilience.dlq import DeadLetter, DeadLetterQueue
-from repro.resilience.invariants import ConservationLedger, InvariantViolation
+from repro.resilience.invariants import (
+    ConservationLedger,
+    DurabilityLedger,
+    InvariantViolation,
+)
 from repro.resilience.layer import ResilienceLayer
 from repro.resilience.retry import RetryPolicy, RetryQueue
 from repro.resilience.supervisor import Supervisor
@@ -47,6 +51,7 @@ __all__ = [
     "CircuitBreaker",
     "ConservationLedger",
     "DeadLetter",
+    "DurabilityLedger",
     "DeadLetterQueue",
     "InvariantViolation",
     "ResilienceLayer",

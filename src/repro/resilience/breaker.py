@@ -111,6 +111,34 @@ class CircuitBreaker:
         self.transitions.append((now_ns, self.state, to_state))
         self.state = to_state
 
+    # -- durability ---------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot the state machine and its transition log.
+
+        The transition log rides along so post-restart chaos reports
+        still see pre-crash open/close episodes.
+        """
+        return {
+            "state": self.state,
+            "consecutive_failures": self._consecutive_failures,
+            "probe_successes": self._probe_successes,
+            "opened_at_ns": self._opened_at_ns,
+            "opened_count": self.opened_count,
+            "transitions": [list(t) for t in self.transitions],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        self.state = int(state["state"])
+        self._consecutive_failures = int(state["consecutive_failures"])
+        self._probe_successes = int(state["probe_successes"])
+        self._opened_at_ns = int(state["opened_at_ns"])
+        self.opened_count = int(state["opened_count"])
+        self.transitions = [
+            (int(t[0]), int(t[1]), int(t[2])) for t in state["transitions"]
+        ]
+
     # -- reporting ----------------------------------------------------------
 
     @property

@@ -11,6 +11,7 @@ storm costs memory proportional to the cap, never the outage length.
 
 from __future__ import annotations
 
+import base64
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple
@@ -83,6 +84,51 @@ class DeadLetterQueue:
     def summary(self) -> Dict[Tuple[str, str], int]:
         """Lifetime letter counts keyed by (stage, reason)."""
         return dict(self._counts)
+
+    # -- durability --------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot every parked letter (payload bytes as base64) so the
+        evidence survives a crash along with the counters."""
+        return {
+            "capacity": self.capacity,
+            "total": self.total,
+            "overflowed": self.overflowed,
+            "counts": [
+                [stage, reason, count]
+                for (stage, reason), count in self._counts.items()
+            ],
+            "entries": [
+                {
+                    "seq": letter.seq,
+                    "stage": letter.stage,
+                    "reason": letter.reason,
+                    "payload": base64.b64encode(letter.payload).decode("ascii"),
+                    "timestamp_ns": letter.timestamp_ns,
+                }
+                for letter in self._entries
+            ],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        self.capacity = int(state["capacity"])
+        self.total = int(state["total"])
+        self.overflowed = int(state["overflowed"])
+        self._counts = {
+            (str(stage), str(reason)): int(count)
+            for stage, reason, count in state["counts"]
+        }
+        self._entries = deque(
+            DeadLetter(
+                seq=int(row["seq"]),
+                stage=str(row["stage"]),
+                reason=str(row["reason"]),
+                payload=base64.b64decode(row["payload"]),
+                timestamp_ns=int(row["timestamp_ns"]),
+            )
+            for row in state["entries"]
+        )
 
     def format_table(self, limit: int = 20) -> str:
         """Render the queue for ``ruru dlq``."""

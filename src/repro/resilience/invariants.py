@@ -66,3 +66,87 @@ class ConservationLedger:
             f"+ dropped={self.dropped} + deadlettered={self.deadlettered} "
             f"[{status}]"
         )
+
+
+@dataclass(frozen=True)
+class DurabilityLedger:
+    """Conservation across a crash: the recovery-time extension.
+
+    After a kill, the crashed process's in-flight records are gone —
+    but an *outside observer* (the recovery harness, standing in for
+    the tap's hardware counters) still knows how many records entered
+    the analytics tier. The extended equation::
+
+        observed_ingested == processed + dropped + deadlettered + lost_at_crash
+
+    where the right-hand counters come from the recovered checkpoint
+    and ``lost_at_crash = observed_ingested - checkpoint.ingested`` is
+    the explicit, bounded loss between the last checkpoint and the
+    kill. The crash-recovery acceptance criterion is that this ledger
+    balances for every crash point — loss is allowed, unaccounted loss
+    is not.
+    """
+
+    observed_ingested: int
+    processed: int
+    dropped: int
+    deadlettered: int
+    lost_at_crash: int
+
+    @classmethod
+    def from_checkpoint(
+        cls, observed_ingested: int, ledger: ConservationLedger
+    ) -> "DurabilityLedger":
+        """Extend a recovered checkpoint's ledger with the observer's
+        external ingest count."""
+        return cls(
+            observed_ingested=observed_ingested,
+            processed=ledger.processed,
+            dropped=ledger.dropped,
+            deadlettered=ledger.deadlettered,
+            lost_at_crash=observed_ingested - ledger.ingested,
+        )
+
+    @property
+    def balance(self) -> int:
+        """0 when every observed record is accounted for."""
+        return self.observed_ingested - (
+            self.processed + self.dropped + self.deadlettered + self.lost_at_crash
+        )
+
+    @property
+    def ok(self) -> bool:
+        return self.balance == 0 and self.lost_at_crash >= 0
+
+    def check(self) -> None:
+        """Raise :class:`InvariantViolation` unless balanced with a
+        non-negative crash loss (a negative one means the checkpoint
+        claims records the observer never saw)."""
+        if not self.ok:
+            raise InvariantViolation(
+                f"durability conservation violated: "
+                f"observed_ingested={self.observed_ingested} != "
+                f"processed={self.processed} + dropped={self.dropped} + "
+                f"deadlettered={self.deadlettered} + "
+                f"lost_at_crash={self.lost_at_crash} "
+                f"(balance={self.balance})"
+            )
+
+    def as_dict(self) -> dict:
+        return {
+            "observed_ingested": self.observed_ingested,
+            "processed": self.processed,
+            "dropped": self.dropped,
+            "deadlettered": self.deadlettered,
+            "lost_at_crash": self.lost_at_crash,
+            "balance": self.balance,
+        }
+
+    def __str__(self) -> str:
+        status = "OK" if self.ok else f"VIOLATED (balance={self.balance})"
+        return (
+            f"observed_ingested={self.observed_ingested} = "
+            f"processed={self.processed} + dropped={self.dropped} "
+            f"+ deadlettered={self.deadlettered} "
+            f"+ lost_at_crash={self.lost_at_crash} [{status}]"
+        )

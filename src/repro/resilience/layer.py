@@ -71,6 +71,48 @@ class ResilienceLayer:
     def breakers(self):
         return (self.enrich_breaker, self.tsdb_breaker)
 
+    # -- durability --------------------------------------------------------
+
+    def state_dict(self, encode_retry_item=None) -> dict:
+        """Snapshot the whole bundle: DLQ contents, breaker machines,
+        retry queue (pending write batches included), and counters.
+
+        Args:
+            encode_retry_item: JSON-safe encoder for retry-queue items
+                (the analytics service passes a line-protocol encoder
+                for its point batches).
+        """
+        return {
+            "dlq": self.dlq.state_dict(),
+            "enrich_breaker": self.enrich_breaker.state_dict(),
+            "tsdb_breaker": self.tsdb_breaker.state_dict(),
+            "retry_policy": self.retry_policy.state_dict(),
+            "retry_queue": self.retry_queue.state_dict(encode_retry_item),
+            "counters": {
+                "retries": self.retries,
+                "enrich_failures": self.enrich_failures,
+                "degraded_published": self.degraded_published,
+                "tsdb_write_failures": self.tsdb_write_failures,
+                "points_written": self.points_written,
+                "points_lost": self.points_lost,
+            },
+        }
+
+    def load_state(self, state: dict, decode_retry_item=None) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        self.dlq.load_state(state["dlq"])
+        self.enrich_breaker.load_state(state["enrich_breaker"])
+        self.tsdb_breaker.load_state(state["tsdb_breaker"])
+        self.retry_policy.load_state(state["retry_policy"])
+        self.retry_queue.load_state(state["retry_queue"], decode_retry_item)
+        counters = state["counters"]
+        self.retries = int(counters["retries"])
+        self.enrich_failures = int(counters["enrich_failures"])
+        self.degraded_published = int(counters["degraded_published"])
+        self.tsdb_write_failures = int(counters["tsdb_write_failures"])
+        self.points_written = int(counters["points_written"])
+        self.points_lost = int(counters["points_lost"])
+
     def bind_registry(self, registry) -> None:
         """Bridge every resilience counter/state into *registry*."""
         retry_total = registry.counter(

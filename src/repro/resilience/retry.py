@@ -70,6 +70,19 @@ class RetryPolicy:
         """True once *attempt* exceeds the retry budget."""
         return attempt >= self.max_attempts
 
+    # -- durability --------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot the jitter RNG so a restored run continues the
+        exact backoff schedule the seed promised."""
+        rng_state = self._rng.getstate()
+        return {"rng": [rng_state[0], list(rng_state[1]), rng_state[2]]}
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        rng = state["rng"]
+        self._rng.setstate((rng[0], tuple(rng[1]), rng[2]))
+
 
 class RetryQueue:
     """Bounded queue of work waiting out its backoff.
@@ -125,3 +138,34 @@ class RetryQueue:
         ready = [(item, attempt) for _, attempt, item in self._pending]
         self._pending.clear()
         return ready
+
+    # -- durability --------------------------------------------------------
+
+    def state_dict(self, encode_item=None) -> dict:
+        """Snapshot the pending entries and counters.
+
+        Args:
+            encode_item: maps each opaque item to a JSON-safe value
+                (identity when None — items must already be JSON-safe).
+        """
+        encode = encode_item or (lambda item: item)
+        return {
+            "max_pending": self.max_pending,
+            "scheduled": self.scheduled,
+            "evicted": self.evicted,
+            "pending": [
+                [due_ns, attempt, encode(item)]
+                for due_ns, attempt, item in self._pending
+            ],
+        }
+
+    def load_state(self, state: dict, decode_item=None) -> None:
+        """Restore a :meth:`state_dict` snapshot (inverse encoder)."""
+        decode = decode_item or (lambda item: item)
+        self.max_pending = int(state["max_pending"])
+        self.scheduled = int(state["scheduled"])
+        self.evicted = int(state["evicted"])
+        self._pending = deque(
+            (int(due_ns), int(attempt), decode(item))
+            for due_ns, attempt, item in state["pending"]
+        )

@@ -1,0 +1,116 @@
+"""Fuzz the snapshot envelope: damage must fail as SnapshotError.
+
+The recovery path trusts :func:`decode_snapshot` completely: whatever
+it returns is loaded into flow tables, aggregators and the resilience
+ledger. The contract under test mirrors the wire-codec fuzz suite —
+for *any* truncation, bit flip or arbitrary junk, decoding either
+returns the exact original dictionary or raises
+:class:`SnapshotError`. Never partial state, never a leaked
+``struct.error`` / ``UnicodeDecodeError`` / ``json.JSONDecodeError``.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.durability.codec import SnapshotError, decode_snapshot, encode_snapshot
+
+VALID_STATE = {
+    "format": 1,
+    "meta": {"profile": "lossy-mq", "seed": 42, "queues": 2},
+    "pipeline": {"workers": [{"flows": [[1, 2], [3, 4]]}, {"flows": []}]},
+    "service": {"records_in": 120, "now_ns": 4_811_568_885},
+    "tsdb_lines": ["latency,pair=NZ-US total_ms=148.2 123456789"],
+    "frontend": {"received": 99, "degraded": 3},
+}
+
+VALID_BLOB = encode_snapshot(VALID_STATE)
+
+
+def _decode_must_be_clean(data):
+    """Decode; success must be exact, failure must be SnapshotError."""
+    try:
+        state = decode_snapshot(data)
+    except SnapshotError:
+        return
+    # Anything that decodes must be the genuine article — a mangled
+    # blob that "succeeds" into different state would corrupt recovery.
+    assert state == VALID_STATE
+
+
+class TestTruncation:
+    @given(cut=st.integers(min_value=0, max_value=len(VALID_BLOB) - 1))
+    @settings(max_examples=100)
+    def test_every_truncation_point(self, cut):
+        _decode_must_be_clean(VALID_BLOB[:cut])
+
+
+class TestBitFlips:
+    @given(
+        position=st.integers(min_value=0, max_value=len(VALID_BLOB) - 1),
+        mask=st.integers(min_value=1, max_value=255),
+    )
+    @settings(max_examples=200)
+    def test_single_bit_flips(self, position, mask):
+        mangled = bytearray(VALID_BLOB)
+        mangled[position] ^= mask
+        _decode_must_be_clean(bytes(mangled))
+
+    @given(
+        positions=st.lists(
+            st.integers(min_value=0, max_value=len(VALID_BLOB) - 1),
+            min_size=2,
+            max_size=8,
+        ),
+        mask=st.integers(min_value=1, max_value=255),
+    )
+    @settings(max_examples=100)
+    def test_multi_byte_corruption(self, positions, mask):
+        mangled = bytearray(VALID_BLOB)
+        for position in positions:
+            mangled[position] ^= mask
+        _decode_must_be_clean(bytes(mangled))
+
+
+class TestJunk:
+    @given(junk=st.binary(max_size=256))
+    @settings(max_examples=200)
+    def test_arbitrary_junk(self, junk):
+        _decode_must_be_clean(junk)
+
+    @given(tail=st.binary(min_size=1, max_size=64))
+    @settings(max_examples=100)
+    def test_trailing_garbage(self, tail):
+        _decode_must_be_clean(VALID_BLOB + tail)
+
+    @given(junk=st.binary(max_size=64))
+    @settings(max_examples=100)
+    def test_junk_behind_valid_header(self, junk):
+        _decode_must_be_clean(VALID_BLOB[:17] + junk)
+
+
+class TestRoundTripProperty:
+    @given(
+        state=st.dictionaries(
+            keys=st.text(min_size=1, max_size=12),
+            values=st.recursive(
+                st.one_of(
+                    st.none(),
+                    st.booleans(),
+                    st.integers(min_value=-(2**53), max_value=2**53),
+                    st.floats(allow_nan=False, allow_infinity=False, width=32),
+                    st.text(max_size=24),
+                ),
+                lambda children: st.one_of(
+                    st.lists(children, max_size=4),
+                    st.dictionaries(
+                        st.text(min_size=1, max_size=8), children, max_size=4
+                    ),
+                ),
+                max_leaves=12,
+            ),
+            max_size=6,
+        )
+    )
+    @settings(max_examples=150)
+    def test_any_json_state_round_trips(self, state):
+        assert decode_snapshot(encode_snapshot(state)) == state

@@ -206,3 +206,56 @@ class TestChaosCommands:
         output = capsys.readouterr().out
         assert "dead-letter queue:" in output
         assert "mq.decode" in output
+
+
+class TestDurabilityCommands:
+    ARGS = ["--duration", "3", "--rate", "25", "--seed", "42"]
+
+    def test_live_then_recover(self, tmp_path, capsys):
+        state = str(tmp_path / "state")
+        assert main(["live", "--state-dir", state, *self.ARGS]) == 0
+        output = capsys.readouterr().out
+        assert "graceful drain:" in output
+        assert "clean checkpoint:" in output
+        assert "checkpoints:" in output
+
+        assert main(["recover", "--state-dir", state, *self.ARGS]) == 0
+        output = capsys.readouterr().out
+        assert "recovery report:" in output
+        assert "clean shutdown" in output
+        assert "verdict: OK" in output
+
+    def test_recover_empty_dir_cold_starts(self, tmp_path, capsys):
+        assert main(
+            ["recover", "--state-dir", str(tmp_path / "none"), *self.ARGS]
+        ) == 0
+        assert "cold start" in capsys.readouterr().out
+
+    def test_recover_drain_leaves_clean_checkpoint(self, tmp_path, capsys):
+        state = str(tmp_path / "state")
+        assert main(["live", "--state-dir", state, *self.ARGS]) == 0
+        capsys.readouterr()
+        assert main(
+            ["recover", "--state-dir", state, "--drain", *self.ARGS]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "graceful drain:" in output
+        assert output.count("verdict: OK") == 2
+
+    def test_recovery_trial(self, tmp_path, capsys):
+        assert main([
+            "recover", "--state-dir", str(tmp_path / "trial"),
+            "--trial", "mq.publish", *self.ARGS,
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "recovery trial:" in output
+        assert "crashed: True" in output
+        assert "verdict: OK" in output
+
+    def test_trial_faulty_profile(self, tmp_path, capsys):
+        assert main([
+            "recover", "--state-dir", str(tmp_path / "trial"),
+            "--trial", "analytics.ingest", "--profile", "lossy-mq",
+            *self.ARGS,
+        ]) == 0
+        assert "lost_at_crash" in capsys.readouterr().out
