@@ -32,6 +32,15 @@ from repro.frontend import LiveMapView, build_ruru_dashboard
 from repro.anomaly import AnomalyManager
 from repro.mq import Context
 from repro.runtime import RuruRuntime, RuntimeReport
+from repro.stack import (
+    PRESETS,
+    RuruStack,
+    StackBuilder,
+    build_chaos_stack,
+    build_durable_stack,
+    build_live_stack,
+    build_measure_stack,
+)
 
 __version__ = "1.0.0"
 
@@ -54,7 +63,14 @@ __all__ = [
     "build_ruru_dashboard",
     "AnomalyManager",
     "Context",
+    "PRESETS",
     "RuruRuntime",
     "RuntimeReport",
+    "RuruStack",
+    "StackBuilder",
+    "build_chaos_stack",
+    "build_durable_stack",
+    "build_live_stack",
+    "build_measure_stack",
     "__version__",
 ]

@@ -465,76 +465,10 @@ class AnalyticsService:
     def _bind_registry(self, registry) -> None:
         """Bridge analytics and message-bus counters into *registry*.
 
-        Sockets keep their plain-int counters; this scrape-time
-        collector publishes the authoritative totals so the analytics
-        tier shares the pipeline's single telemetry read-out.
+        The binder body lives in :mod:`repro.stack.metrics` with the
+        other tiers' binders; imported lazily because the stack package
+        imports this module.
         """
-        simple = {
-            "ruru_analytics_records_in_total": (
-                "Encoded latency records received from the pipeline.",
-                lambda: self.records_in,
-            ),
-            "ruru_analytics_decode_errors_total": (
-                "Records that failed frame decoding.",
-                lambda: self.decode_errors,
-            ),
-            "ruru_analytics_filtered_out_total": (
-                "Enriched measurements rejected by filter modules.",
-                lambda: self.filtered_out,
-            ),
-            "ruru_analytics_processed_total": (
-                "Measurements published downstream (enriched or degraded).",
-                lambda: self.processed,
-            ),
-            "ruru_analytics_dropped_total": (
-                "Records dropped with accounting (filtered/unresolved/undecodable).",
-                lambda: self.dropped_records,
-            ),
-            "ruru_analytics_deadlettered_total": (
-                "Records routed to the dead-letter queue.",
-                lambda: self.deadlettered,
-            ),
-            "ruru_analytics_enriched_total": (
-                "Measurements enriched (and thereby anonymized).",
-                lambda: self.enriched_count,
-            ),
-            "ruru_mq_push_sent_total": (
-                "Messages sent by pipeline PUSH sockets.",
-                lambda: sum(push.sent for push in self._push_sockets),
-            ),
-            "ruru_mq_push_dropped_total": (
-                "Messages dropped with every PULL peer at its HWM.",
-                lambda: sum(push.dropped for push in self._push_sockets),
-            ),
-            "ruru_mq_pull_received_total": (
-                "Messages accepted by the analytics PULL socket.",
-                lambda: self.pull.received,
-            ),
-            "ruru_mq_pull_dropped_total": (
-                "Messages dropped at the analytics PULL high-water mark.",
-                lambda: self.pull.dropped,
-            ),
-            "ruru_mq_pub_sent_total": (
-                "Enriched messages published toward the frontend.",
-                lambda: self.pub.sent,
-            ),
-        }
-        counters = {
-            name: (registry.counter(name, help), read)
-            for name, (help, read) in simple.items()
-        }
-        tsdb_points = registry.gauge(
-            "ruru_tsdb_points", help="Points resident in the measurement TSDB."
-        )
-        pull_depth = registry.gauge(
-            "ruru_mq_pull_queue_depth",
-            help="Messages waiting in the analytics PULL queue.",
-        )
+        from repro.stack.metrics import bind_analytics_metrics
 
-        def collect() -> None:
-            for counter, read in counters.values():
-                counter.value = read()
-            tsdb_points.set(self.tsdb.total_points())
-            pull_depth.set(len(self.pull))
-
-        registry.register_collector(collect)
+        bind_analytics_metrics(self, registry)

@@ -40,18 +40,13 @@ import os
 import sys
 from typing import List, Optional
 
-from repro.analytics.service import AnalyticsService
-from repro.anomaly.manager import AnomalyManager
-from repro.core.config import PipelineConfig
-from repro.core.pipeline import RuruPipeline
 from repro.frontend.dashboard import build_ruru_dashboard
 from repro.frontend.map_view import LiveMapView
 from repro.frontend.websocket import WebSocketChannel
-from repro.geo.builder import GeoDbBuilder
 from repro.mq.codec import decode_enriched
-from repro.mq.socket import Context
 from repro.net.pcap import PcapWriter
 from repro.obs import Telemetry
+from repro.stack import build_live_stack, build_measure_stack
 from repro.tsdb.database import TimeSeriesDatabase
 from repro.net.pcapng import PcapngWriter, open_capture
 from repro.traffic.scenarios import (
@@ -134,9 +129,8 @@ def cmd_generate(args) -> int:
 def cmd_measure(args) -> int:
     telemetry = _make_telemetry(args)
     _attach_exporter(telemetry, args, TimeSeriesDatabase(name="ruru-selfmon"))
-    pipeline = RuruPipeline(
-        config=PipelineConfig(num_queues=args.queues), telemetry=telemetry
-    )
+    stack = build_measure_stack(queues=args.queues, telemetry=telemetry)
+    pipeline = stack.pipeline
     if args.pcap:
         with open_capture(args.pcap) as reader:
             stats = pipeline.run_packets(reader)
@@ -160,21 +154,21 @@ def cmd_measure(args) -> int:
 
 def cmd_demo(args) -> int:
     generator = _build_generator(args)
-    context = Context()
-    geo, asn = GeoDbBuilder(plan=generator.plan).build()
     telemetry = _make_telemetry(args)
-    service = AnalyticsService(context, geo, asn, telemetry=telemetry)
+    stack = build_live_stack(
+        generator=generator,
+        queues=args.queues,
+        telemetry=telemetry,
+        frontend_hwm=10_000,
+    )
+    service = stack.service
     _attach_exporter(telemetry, args, service.tsdb)
     channel = WebSocketChannel()
     map_view = LiveMapView(channel=channel)
-    frontend_sub = service.subscribe_frontend()
+    frontend_sub = stack.frontend
 
-    pipeline = RuruPipeline(
-        config=PipelineConfig(num_queues=args.queues),
-        sink=service.make_sink(),
-        telemetry=telemetry,
-    )
-    stats = pipeline.run_packets(generator.packets())
+    pipeline = stack.pipeline
+    stats = pipeline.run_packets(stack.packet_stream())
     service.finish()
     _print_telemetry_summary(telemetry, pipeline.clock)
 
@@ -218,21 +212,19 @@ def cmd_detect(args) -> int:
             )
         )
     generator = _build_generator(args, injectors=injectors)
-    context = Context()
-    geo, asn = GeoDbBuilder(plan=generator.plan).build()
     telemetry = _make_telemetry(args)
-    service = AnalyticsService(context, geo, asn, telemetry=telemetry)
-    _attach_exporter(telemetry, args, service.tsdb)
-    manager = AnomalyManager()
-    service.filters.append(lambda m: (manager.observe_measurement(m), True)[1])
-
-    pipeline = RuruPipeline(
-        config=PipelineConfig(num_queues=args.queues),
-        sink=service.make_sink(),
-        observers=[manager.observe_packet],
+    stack = build_live_stack(
+        generator=generator,
+        queues=args.queues,
         telemetry=telemetry,
+        anomaly=True,
     )
-    pipeline.run_packets(generator.packets())
+    service = stack.service
+    _attach_exporter(telemetry, args, service.tsdb)
+    manager = stack.anomaly
+
+    pipeline = stack.pipeline
+    pipeline.run_packets(stack.packet_stream())
     service.finish()
     _print_telemetry_summary(telemetry, pipeline.clock)
     events = manager.finish(now_ns=int(args.duration * NS_PER_S))
@@ -246,19 +238,16 @@ def cmd_detect(args) -> int:
 
 def cmd_export(args) -> int:
     generator = _build_generator(args)
-    context = Context()
-    geo, asn = GeoDbBuilder(plan=generator.plan).build()
     telemetry = _make_telemetry(args)
-    service = AnalyticsService(context, geo, asn, telemetry=telemetry)
+    stack = build_live_stack(
+        generator=generator, queues=args.queues, telemetry=telemetry
+    )
+    service = stack.service
     # Self-monitoring series land in the same TSDB, so the line-protocol
     # export carries the pipeline's own health alongside the latencies.
     _attach_exporter(telemetry, args, service.tsdb)
-    pipeline = RuruPipeline(
-        config=PipelineConfig(num_queues=args.queues),
-        sink=service.make_sink(),
-        telemetry=telemetry,
-    )
-    pipeline.run_packets(generator.packets())
+    pipeline = stack.pipeline
+    pipeline.run_packets(stack.packet_stream())
     service.finish()
     if telemetry is not None:
         telemetry.flush(pipeline.clock.now_ns)
@@ -296,18 +285,15 @@ def cmd_export(args) -> int:
 def cmd_metrics(args) -> int:
     """Run the workload fully instrumented; print the exposition text."""
     generator = _build_generator(args)
-    context = Context()
-    geo, asn = GeoDbBuilder(plan=generator.plan).build()
     telemetry = Telemetry()
-    service = AnalyticsService(context, geo, asn, telemetry=telemetry)
+    stack = build_live_stack(
+        generator=generator, queues=args.queues, telemetry=telemetry
+    )
+    service = stack.service
     interval_ns = max(1, int(args.telemetry_interval * NS_PER_S))
     telemetry.export_to(service.tsdb, interval_ns=interval_ns)
-    pipeline = RuruPipeline(
-        config=PipelineConfig(num_queues=args.queues),
-        sink=service.make_sink(),
-        telemetry=telemetry,
-    )
-    pipeline.run_packets(generator.packets())
+    pipeline = stack.pipeline
+    pipeline.run_packets(stack.packet_stream())
     service.finish()
     telemetry.flush(pipeline.clock.now_ns)
     print(telemetry.registry.exposition(), end="")
@@ -534,14 +520,13 @@ def cmd_analyze(args) -> int:
             window_ns=max(NS_PER_S, int(args.duration * NS_PER_S) // 8),
         ))
     generator = _build_generator(args, injectors=injectors)
-    context = Context()
-    geo, asn = GeoDbBuilder(plan=generator.plan).build()
-    service = AnalyticsService(context, geo, asn)
-    capture = service.subscribe_frontend(hwm=1 << 20)
-    pipeline = RuruPipeline(
-        config=PipelineConfig(num_queues=args.queues), sink=service.make_sink()
+    stack = build_live_stack(
+        generator=generator, queues=args.queues, frontend_hwm=1 << 20
     )
-    pipeline.run_packets(generator.packets())
+    service = stack.service
+    capture = stack.frontend
+    pipeline = stack.pipeline
+    pipeline.run_packets(stack.packet_stream())
     service.finish()
     measurements = [
         decode_enriched(message.payload[0]) for message in capture.recv_all()

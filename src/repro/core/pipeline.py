@@ -172,7 +172,11 @@ class RuruPipeline:
                 batch.clear()
                 if shutdown_flag is not None and shutdown_flag():
                     break
-        self._feed_and_drain(batch)
+        # The trailing partial batch honours the flag too: a shutdown
+        # raised mid-stream must not feed one more burst. An empty
+        # batch still drains (rings may hold frames from `offer`).
+        if not batch or shutdown_flag is None or not shutdown_flag():
+            self._feed_and_drain(batch)
         self._merge_worker_stats()
         return self.stats
 
@@ -199,157 +203,41 @@ class RuruPipeline:
 
     # -- reporting -----------------------------------------------------------
 
-    def _merge_worker_stats(self) -> None:
-        merged = type(self.stats.tracker)()
+    def _fold_worker_counters(self, stats: PipelineStats) -> None:
+        merged = type(stats.tracker)()
         for worker in self.workers:
             merged.merge(worker.stats)
-        self.stats.tracker = merged
+        stats.tracker = merged
         # Worker-local counters are recomputed (not accumulated) so
         # repeated run_packets calls on one pipeline never double-count.
-        self.stats.packets_processed = sum(
+        stats.packets_processed = sum(
             worker.packets_processed for worker in self.workers
         )
-        self.stats.packets_sampled_out = sum(
+        stats.packets_sampled_out = sum(
             worker.packets_sampled_out for worker in self.workers
         )
-        self.stats.queue_share = self.nic.stats.queue_balance()
+        stats.queue_share = self.nic.stats.queue_balance()
+
+    def _merge_worker_stats(self) -> None:
+        self._fold_worker_counters(self.stats)
+
+    def _stats_snapshot(self) -> PipelineStats:
+        """Folded stats copy; the observable :attr:`stats` untouched."""
+        snapshot = PipelineStats()
+        snapshot.load_state(self.stats.state_dict())
+        self._fold_worker_counters(snapshot)
+        return snapshot
 
     def _bind_registry(self, registry) -> None:
         """Publish every pipeline/NIC/worker counter through *registry*.
 
-        Hot-path structs keep their plain-int counters; a scrape-time
-        collector assigns the live totals into the registry, making it
-        the single read-out for ``ruru metrics``, JSON snapshots and
-        the self-monitoring exporter at zero per-packet cost.
+        The binder body lives in :mod:`repro.stack.metrics` with the
+        other tiers' binders; imported lazily because the stack package
+        imports this module.
         """
-        simple = {
-            "ruru_packets_offered_total": (
-                "Frames offered to the NIC.",
-                lambda: self.stats.packets_offered,
-            ),
-            "ruru_packets_queued_total": (
-                "Frames accepted into rx rings.",
-                lambda: self.stats.packets_queued,
-            ),
-            "ruru_nic_drops_total": (
-                "Frames dropped at the NIC (imissed analogue).",
-                lambda: self.stats.nic_drops,
-            ),
-            "ruru_parse_errors_total": (
-                "Frames rejected by the fast parser.",
-                lambda: self.stats.parse_errors,
-            ),
-            "ruru_scheduling_rounds_total": (
-                "Worker scheduling rounds run by the drain loop.",
-                lambda: self.stats.scheduling_rounds,
-            ),
-            "ruru_measurements_total": (
-                "Latency records emitted by all trackers.",
-                lambda: sum(w.stats.measurements for w in self.workers),
-            ),
-            "ruru_nic_rx_packets_total": (
-                "Frames received into mbufs (ipackets).",
-                lambda: self.nic.stats.ipackets,
-            ),
-            "ruru_nic_rx_bytes_total": (
-                "Bytes received into mbufs (ibytes).",
-                lambda: self.nic.stats.ibytes,
-            ),
-            "ruru_nic_imissed_total": (
-                "Frames the NIC could not queue (imissed).",
-                lambda: self.nic.stats.imissed,
-            ),
-            "ruru_nic_ierrors_total": (
-                "Malformed frames rejected at classification (ierrors).",
-                lambda: self.nic.stats.ierrors,
-            ),
-        }
-        simple_counters = {
-            name: (registry.counter(name, help), read)
-            for name, (help, read) in simple.items()
-        }
-        tracker_events = registry.counter(
-            "ruru_tracker_events_total",
-            help="Handshake tracker events, merged across queues.",
-            labels=("event",),
-        )
-        parse_reasons = registry.counter(
-            "ruru_parse_errors_by_reason_total",
-            help="Parse-stage drops bucketed by reason.",
-            labels=("reason",),
-        )
-        worker_processed = registry.counter(
-            "ruru_worker_packets_processed_total",
-            help="Frames drained off each rx ring.",
-            labels=("queue",),
-        )
-        worker_sampled = registry.counter(
-            "ruru_worker_packets_sampled_out_total",
-            help="Frames skipped by flow sampling, per queue.",
-            labels=("queue",),
-        )
-        nic_queue_rx = registry.counter(
-            "ruru_nic_queue_rx_packets_total",
-            help="Frames RSS steered into each rx queue.",
-            labels=("queue",),
-        )
-        flow_entries = registry.gauge(
-            "ruru_flow_table_entries",
-            help="In-flight handshakes resident per queue.",
-            labels=("queue",),
-        )
-        ring_pending = registry.gauge(
-            "ruru_rx_ring_pending",
-            help="Mbufs waiting in each rx ring.",
-            labels=("queue",),
-        )
-        tracker_fields = tuple(type(self.stats.tracker)().__dataclass_fields__)
-        # Workers and rx queues are fixed for the pipeline's lifetime,
-        # so their labelled children resolve once here; collect() then
-        # assigns straight into child.value without labels() lookups.
-        tracker_children = [
-            (field_name, tracker_events.labels(field_name))
-            for field_name in tracker_fields
-        ]
-        per_worker = [
-            (
-                worker,
-                worker_processed.labels(worker.queue_id),
-                worker_sampled.labels(worker.queue_id),
-                flow_entries.labels(worker.queue_id),
-            )
-            for worker in self.workers
-        ]
-        per_queue = [
-            (
-                rx_queue,
-                nic_queue_rx.labels(rx_queue.queue_id),
-                ring_pending.labels(rx_queue.queue_id),
-            )
-            for rx_queue in self.nic.queues
-        ]
+        from repro.stack.metrics import bind_pipeline_metrics
 
-        def collect() -> None:
-            workers = self.workers
-            for counter, read in simple_counters.values():
-                counter.value = read()
-            for field_name, child in tracker_children:
-                total = 0
-                for worker in workers:
-                    total += getattr(worker.stats, field_name)
-                child.value = total
-            for reason, count in self.stats.parse_error_reasons.items():
-                parse_reasons.labels(reason).value = count
-            for worker, processed, sampled, entries in per_worker:
-                processed.value = worker.packets_processed
-                sampled.value = worker.packets_sampled_out
-                entries.set(len(worker.tracker.table))
-            q_ipackets = self.nic.stats.q_ipackets
-            for rx_queue, rx_packets, pending in per_queue:
-                rx_packets.value = q_ipackets.get(rx_queue.queue_id, 0)
-                pending.set(len(rx_queue))
-
-        registry.register_collector(collect)
+        bind_pipeline_metrics(self, registry)
 
     def flow_table_occupancy(self) -> List[int]:
         """In-flight handshake count per queue (flood diagnostics)."""
@@ -364,13 +252,16 @@ class RuruPipeline:
         Taken between feed batches the rx rings are empty, so this is a
         consistent cut of the measurement state; frames in flight at a
         ``kill -9`` are the bounded loss recovery reports explicitly.
+
+        Snapshotting is side-effect free: worker counters are folded
+        into a stats *copy*, so taking a checkpoint never mutates the
+        observable :attr:`stats`.
         """
-        self._merge_worker_stats()
         nic = self.nic.stats
         return {
             "clock_ns": self.clock.now_ns,
             "quiesced": self.quiesced,
-            "stats": self.stats.state_dict(),
+            "stats": self._stats_snapshot().state_dict(),
             "nic_stats": {
                 "ipackets": nic.ipackets,
                 "ibytes": nic.ibytes,

@@ -1,9 +1,10 @@
 """The durable Ruru stack: chaos wiring plus checkpoint/WAL/drain.
 
-:class:`DurableRuntime` assembles the same full pipeline + analytics
-stack as :class:`~repro.faults.chaos.ChaosHarness` — optionally under
-the same named fault profiles — and adds the machinery that makes
-``kill -9`` recoverable with bounded, accounted-for loss:
+:class:`DurableRuntime` is a thin configuration of the ``durable``
+stack preset (:func:`repro.stack.build_durable_stack`): the same full
+pipeline + analytics stack as :class:`~repro.faults.chaos.ChaosHarness`
+— optionally under the same named fault profiles — plus the machinery
+that makes ``kill -9`` recoverable with bounded, accounted-for loss:
 
 * the TSDB sits behind a :class:`~repro.durability.wal.DurableTsdb`
   (write-ahead log, monotonic batch ids);
@@ -11,10 +12,10 @@ the same named fault profiles — and adds the machinery that makes
   stateful tier between feed batches on the virtual clock — between
   batches the rx rings and the PULL queue are empty, so each
   checkpoint is a consistent cut;
-* :meth:`DurableRuntime.shutdown` is the graceful drain protocol:
-  quiesce the NIC, drain workers, flush MQ → analytics → TSDB in
-  dependency order, sync the WAL, and write a final *clean*
-  checkpoint;
+* :meth:`DurableRuntime.shutdown` is the graceful drain protocol,
+  derived from the stage graph's dependency order: quiesce the NIC,
+  drain workers, flush MQ → analytics → TSDB, sync the WAL, and write
+  a final *clean* checkpoint;
 * anomaly detectors and a top-k heavy-hitter sketch ride the enriched
   stream, so their baselines are part of every checkpoint.
 
@@ -28,35 +29,20 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import List, Optional, Union
 
-from repro.analytics.service import AnalyticsService, make_pipeline_sink
-from repro.analytics.topk import SpaceSaving
-from repro.anomaly.manager import AnomalyManager
-from repro.core.config import PipelineConfig
-from repro.core.pipeline import RuruPipeline
-from repro.durability.checkpoint import CheckpointInfo, Checkpointer
-from repro.durability.wal import DurableTsdb, WriteAheadLog
-from repro.faults.adapters import (
-    FaultyPushSocket,
-    FlakyAsnDatabase,
-    FlakyGeoDatabase,
-    FlakyTimeSeriesDatabase,
-)
-from repro.faults.injector import FaultInjector
-from repro.faults.profiles import FaultProfile, get_profile
-from repro.geo.builder import GeoDbBuilder
-from repro.mq.codec import decode_enriched
-from repro.mq.socket import Context
+from repro.durability.checkpoint import CheckpointInfo
+from repro.faults.profiles import FaultProfile
 from repro.obs import Telemetry
-from repro.resilience import ConservationLedger, ResilienceLayer, Supervisor
-from repro.traffic.scenarios import AucklandLaScenario
-from repro.tsdb.database import TimeSeriesDatabase
-from repro.tsdb.retention import RetentionPolicy
+from repro.resilience import ConservationLedger
+from repro.stack.builder import NS_PER_S, STATE_FORMAT, build_durable_stack
 
-NS_PER_S = 1_000_000_000
-
-STATE_FORMAT = 1
+__all__ = [
+    "NS_PER_S",
+    "STATE_FORMAT",
+    "DrainReport",
+    "DurableRuntime",
+]
 
 
 @dataclass
@@ -131,132 +117,93 @@ class DurableRuntime:
         crash_schedule=None,
         fsync_wal: bool = False,
     ):
-        self.state_dir = str(state_dir)
-        os.makedirs(self.state_dir, exist_ok=True)
-        self.profile = (
-            get_profile(profile) if isinstance(profile, str) else profile
-        )
-        self.seed = seed
-        self.queues = queues
-        self.retention_ns = retention_ns
-        self.crash_schedule = crash_schedule
-        self.injector = FaultInjector(self.profile, seed=seed)
-        self.telemetry = telemetry or Telemetry()
-        self.generator = AucklandLaScenario(
-            duration_ns=int(duration_s * NS_PER_S),
-            mean_flows_per_s=rate,
+        self.stack = build_durable_stack(
+            state_dir,
+            profile=profile,
             seed=seed,
-            diurnal=False,
-        ).build()
-
-        geo, asn = GeoDbBuilder(plan=self.generator.plan).build()
-        if self.profile.geo_failure_rate > 0:
-            geo = FlakyGeoDatabase(geo, self.injector)
-        if self.profile.asn_failure_rate > 0:
-            asn = FlakyAsnDatabase(asn, self.injector)
-
-        store = TimeSeriesDatabase()
-        if retention_ns is not None:
-            store.add_retention_policy(RetentionPolicy(duration_ns=retention_ns))
-        flaky = FlakyTimeSeriesDatabase(store, self.injector)
-        self.wal = WriteAheadLog(
-            os.path.join(self.state_dir, "tsdb.wal"), fsync=fsync_wal
-        )
-        self.tsdb = DurableTsdb(flaky, self.wal, crash_schedule=crash_schedule)
-
-        self.resilience = ResilienceLayer(seed=seed)
-        self.supervisor = Supervisor()
-        context = Context()
-        self.service = AnalyticsService(
-            context,
-            geo,
-            asn,
-            tsdb=self.tsdb,
-            telemetry=self.telemetry,
-            resilience=self.resilience,
-        )
-        flaky.now_fn = lambda: self.service.now_ns
-        self.supervisor.bind_registry(self.telemetry.registry)
-        self.injector.bind_registry(self.telemetry.registry)
-
-        self.anomaly = AnomalyManager()
-        self.topk: SpaceSaving = SpaceSaving(capacity=100)
-        self.frontend = self.service.subscribe_frontend(hwm=1 << 20)
-        self.frontend_received = 0
-        self.frontend_degraded = 0
-
-        push = self.service.connect_pipeline()
-        sink = make_pipeline_sink(
-            FaultyPushSocket(push, self.injector),
-            tracer=self.telemetry.tracer,
-        )
-        self.pipeline = RuruPipeline(
-            config=PipelineConfig(num_queues=queues),
-            sink=sink,
-            observers=[self.anomaly.observe_packet],
-            telemetry=self.telemetry,
-            supervisor=self.supervisor,
-            poll_wrapper=self.injector.crashy_poll,
-        )
-        self.checkpointer = Checkpointer(
-            state_dir=self.state_dir,
-            capture=self.capture_state,
-            interval_ns=checkpoint_interval_ns,
-            keep=keep_checkpoints,
+            duration_s=duration_s,
+            rate=rate,
+            queues=queues,
+            checkpoint_interval_ns=checkpoint_interval_ns,
+            keep_checkpoints=keep_checkpoints,
+            retention_ns=retention_ns,
+            telemetry=telemetry,
             crash_schedule=crash_schedule,
-            on_written=self._after_checkpoint,
-            fsync=fsync_wal,
+            fsync_wal=fsync_wal,
         )
-        self.recovered_from: Optional[CheckpointInfo] = None
-        self.recovery_count = 0
-        self.last_lost_at_crash = 0
-        self._bind_registry(self.telemetry.registry)
+        stack = self.stack
+        self.state_dir = stack.state_dir
+        self.profile = stack.profile
+        self.seed = stack.seed
+        self.queues = stack.queues
+        self.retention_ns = stack.retention_ns
+        self.crash_schedule = stack.crash_schedule
+        self.injector = stack.injector
+        self.telemetry = stack.telemetry
+        self.generator = stack.generator
+        self.wal = stack.wal
+        self.tsdb = stack.tsdb
+        self.resilience = stack.resilience
+        self.supervisor = stack.supervisor
+        self.service = stack.service
+        self.anomaly = stack.anomaly
+        self.topk = stack.topk
+        self.frontend = stack.frontend
+        self.pipeline = stack.pipeline
+        self.checkpointer = stack.checkpointer
+
+    # -- recovery bookkeeping (lives on the stack so the durability
+    # -- metric collectors see updates made through either handle) ----------
+
+    @property
+    def recovered_from(self) -> Optional[CheckpointInfo]:
+        return self.stack.recovered_from
+
+    @recovered_from.setter
+    def recovered_from(self, info: Optional[CheckpointInfo]) -> None:
+        self.stack.recovered_from = info
+
+    @property
+    def recovery_count(self) -> int:
+        return self.stack.recovery_count
+
+    @recovery_count.setter
+    def recovery_count(self, count: int) -> None:
+        self.stack.recovery_count = count
+
+    @property
+    def last_lost_at_crash(self) -> int:
+        return self.stack.last_lost_at_crash
+
+    @last_lost_at_crash.setter
+    def last_lost_at_crash(self, lost: int) -> None:
+        self.stack.last_lost_at_crash = lost
+
+    @property
+    def frontend_received(self) -> int:
+        return self.stack.frontend_received
+
+    @property
+    def frontend_degraded(self) -> int:
+        return self.stack.frontend_degraded
 
     # -- feeding ------------------------------------------------------------
-
-    def _reached(self, point: str) -> None:
-        if self.crash_schedule is not None:
-            self.crash_schedule.reached(point)
 
     @property
     def now_ns(self) -> int:
         """The stack's virtual now (whichever tier has seen furthest)."""
-        return max(self.pipeline.clock.now_ns, self.service.now_ns)
+        return self.stack.now_ns
 
     def process_batch(self, batch) -> None:
-        """Run one feed batch end to end: NIC → workers → MQ →
-        analytics → frontend, then checkpoint if due.
+        """Run one feed batch end to end along the stage graph: NIC →
+        workers → MQ → analytics → frontend, then checkpoint if due.
 
-        Every registered stage-boundary crash point is instrumented
-        here; after the batch the rings and queues are empty, which is
-        what makes the trailing checkpoint a consistent cut.
+        Every registered stage-boundary crash point is instrumented by
+        the stage wrappers; after the batch the rings and queues are
+        empty, which is what makes the trailing checkpoint a
+        consistent cut.
         """
-        self._reached("nic.rx")
-        for packet in batch:
-            self.pipeline.offer(packet)
-        self._reached("worker.poll")
-        self.pipeline.drain()
-        self._reached("mq.publish")
-        # Partial drain first, so analytics.ingest really is mid-queue.
-        self.service.poll(max_messages=64)
-        self._reached("analytics.ingest")
-        self.service.poll(max_messages=1 << 30)
-        self._drain_frontend()
-        self.telemetry.tick(self.now_ns)
-        if self.retention_ns is not None and self.checkpointer.due(self.now_ns):
-            # Age the live store on the checkpoint cadence, so neither
-            # the store nor the checkpoints grow past the window.
-            self.tsdb.enforce_retention(self.now_ns)
-        self.checkpointer.maybe_checkpoint(self.now_ns)
-
-    def _drain_frontend(self) -> None:
-        for message in self.frontend.recv_all():
-            measurement = decode_enriched(message.payload[0])
-            self.frontend_received += 1
-            if measurement.degraded:
-                self.frontend_degraded += 1
-            self.anomaly.observe_measurement(measurement)
-            self.topk.add(measurement.location_pair)
+        self.stack.process_batch(batch)
 
     def run(self, shutdown_flag=None) -> DrainReport:
         """Feed the whole scenario, then drain gracefully.
@@ -267,56 +214,41 @@ class DurableRuntime:
                 path of ``ruru live``).
         """
         batch = []
-        for packet in self.injector.packet_stream(self.generator.packets()):
+        for packet in self.stack.packet_stream():
             batch.append(packet)
             if len(batch) >= self.pipeline.feed_batch:
                 self.process_batch(batch)
                 batch = []
                 if shutdown_flag is not None and shutdown_flag():
                     return self.shutdown()
-        if batch:
+        # The trailing partial batch honours the flag too: a shutdown
+        # raised mid-stream must not feed one more burst.
+        if batch and (shutdown_flag is None or not shutdown_flag()):
             self.process_batch(batch)
         return self.shutdown()
 
     # -- graceful drain ------------------------------------------------------
 
     def shutdown(self) -> DrainReport:
-        """The graceful drain protocol, in dependency order.
+        """The graceful drain protocol, in stage-graph dependency order.
 
         quiesce NIC → drain rx rings → flush MQ into analytics →
         flush aggregation windows and retry queue into the TSDB →
         flush telemetry → sync the WAL → final clean checkpoint.
-        A kill mid-drain (``drain.mid``) is recoverable like any other
-        crash point: the periodic checkpoints still stand.
+        The report's stage list is what the graph traversal actually
+        performed, not a hand-maintained copy. A kill mid-drain
+        (``drain.mid``) is recoverable like any other crash point: the
+        periodic checkpoints still stand.
         """
         started = time.perf_counter()
-        stages: List[str] = []
         retries_before = self.resilience.retries
-
-        self.pipeline.quiesce()
-        stages.append("quiesce")
-        self.pipeline.drain()
-        stages.append("drain-rings")
-        self.service.poll(max_messages=1 << 30)
-        stages.append("flush-mq")
-        self._reached("drain.mid")
-        self.service.finish()
-        stages.append("flush-analytics")
-        self._drain_frontend()
-        stages.append("flush-frontend")
-        self.telemetry.flush(self.now_ns)
-        stages.append("flush-telemetry")
-        self.wal.sync()
-        stages.append("sync-wal")
-        info = self.checkpointer.checkpoint(self.now_ns, clean=True)
-        stages.append("clean-checkpoint")
-
+        stages, final_checkpoint = self.stack.drain()
         return DrainReport(
             ledger=self.service.conservation_ledger(),
             rejected_while_quiesced=self.pipeline.stats.packets_rejected_quiesced,
             retries_drained=self.resilience.retries - retries_before,
             points_written=self.resilience.points_written,
-            final_checkpoint=info,
+            final_checkpoint=final_checkpoint,
             wal_appends=self.wal.appends,
             duration_s=time.perf_counter() - started,
             stages=stages,
@@ -326,135 +258,8 @@ class DurableRuntime:
 
     def capture_state(self) -> dict:
         """One JSON-safe snapshot of every stateful tier."""
-        return {
-            "format": STATE_FORMAT,
-            "meta": {
-                "profile": self.profile.name,
-                "seed": self.seed,
-                "queues": self.queues,
-            },
-            "pipeline": self.pipeline.state_dict(),
-            "service": self.service.state_dict(),
-            "anomaly": self.anomaly.state_dict(),
-            "topk": self.topk.state_dict(),
-            "tsdb_meta": self.tsdb.state_dict(),
-            # The wrapper's incremental line cache — re-dumping (and
-            # re-formatting) the whole store every checkpoint would make
-            # checkpoint cost grow with run length.
-            "tsdb_lines": list(self.tsdb.applied_lines),
-            "frontend": {
-                "received": self.frontend_received,
-                "degraded": self.frontend_degraded,
-            },
-        }
+        return self.stack.capture_state()
 
     def load_state(self, state: dict) -> None:
         """Restore a :meth:`capture_state` snapshot into this stack."""
-        if int(state.get("format", 0)) != STATE_FORMAT:
-            raise ValueError(
-                f"unsupported state format {state.get('format')!r}"
-            )
-        meta = state["meta"]
-        if int(meta["queues"]) != self.queues:
-            raise ValueError(
-                f"checkpoint built with {meta['queues']} queues, "
-                f"runtime has {self.queues}"
-            )
-        self.pipeline.load_state(state["pipeline"])
-        self.service.load_state(state["service"])
-        self.anomaly.load_state(state["anomaly"])
-        self.topk.load_state(state["topk"])
-        self.tsdb.load_state(state["tsdb_meta"])
-        # The store restores bypassing both the fault wrapper's dice
-        # and the WAL — these points are already durable in the
-        # checkpoint being loaded.
-        self.tsdb.load_lines(state["tsdb_lines"])
-        frontend = state["frontend"]
-        self.frontend_received = int(frontend["received"])
-        self.frontend_degraded = int(frontend["degraded"])
-
-    def _after_checkpoint(self, info: CheckpointInfo) -> None:
-        # The checkpoint's TSDB dump covers every applied batch, so the
-        # log restarts empty; batch ids stay monotonic across the
-        # truncation, which is what keeps replay dedup sound if we die
-        # before this line runs.
-        self.wal.truncate()
-
-    # -- telemetry -----------------------------------------------------------
-
-    def _bind_registry(self, registry) -> None:
-        """Publish ``ruru_checkpoint_*`` / ``ruru_wal_*`` /
-        ``ruru_recovery_*`` through the shared metrics registry."""
-        ckpt = self.checkpointer
-        simple = {
-            "ruru_checkpoint_total": (
-                "Checkpoints written.",
-                lambda: ckpt.checkpoints_written,
-            ),
-            "ruru_checkpoint_bytes_total": (
-                "Bytes of checkpoint envelopes written.",
-                lambda: ckpt.bytes_written,
-            ),
-            "ruru_checkpoint_corrupt_skipped_total": (
-                "Damaged checkpoints skipped during recovery.",
-                lambda: ckpt.corrupt_skipped,
-            ),
-            "ruru_wal_appends_total": (
-                "Write batches appended to the WAL.",
-                lambda: self.wal.appends,
-            ),
-            "ruru_wal_aborts_total": (
-                "Abort (compensation) records appended to the WAL.",
-                lambda: self.wal.aborts,
-            ),
-            "ruru_wal_bytes_total": (
-                "Bytes appended to the WAL.",
-                lambda: self.tsdb.wal_bytes,
-            ),
-            "ruru_wal_replayed_batches_total": (
-                "Batches re-applied from the WAL at recovery.",
-                lambda: self.tsdb.replayed_batches,
-            ),
-            "ruru_wal_replayed_points_total": (
-                "Points re-applied from the WAL at recovery.",
-                lambda: self.tsdb.replayed_points,
-            ),
-            "ruru_wal_duplicates_skipped_total": (
-                "Replay batches skipped by batch-id dedup (double-write guard).",
-                lambda: self.tsdb.duplicates_skipped,
-            ),
-            "ruru_wal_expired_dropped_total": (
-                "Replayed points dropped because retention had passed.",
-                lambda: self.tsdb.expired_dropped,
-            ),
-            "ruru_recovery_total": (
-                "Times this state directory was recovered from.",
-                lambda: self.recovery_count,
-            ),
-            "ruru_recovery_lost_at_crash_total": (
-                "Records lost between the last checkpoint and the kill.",
-                lambda: self.last_lost_at_crash,
-            ),
-        }
-        counters = {
-            name: (registry.counter(name, help), read)
-            for name, (help, read) in simple.items()
-        }
-        last_size = registry.gauge(
-            "ruru_checkpoint_last_size_bytes",
-            help="Size of the most recent checkpoint envelope.",
-        )
-        last_at = registry.gauge(
-            "ruru_checkpoint_last_ns",
-            help="Virtual timestamp of the most recent checkpoint.",
-        )
-
-        def collect() -> None:
-            for counter, read in counters.values():
-                counter.value = read()
-            info = ckpt.last_info
-            if info is not None:
-                last_size.set(info.size_bytes)
-                last_at.set(info.now_ns)
-
-        registry.register_collector(collect)
+        self.stack.load_state(state)

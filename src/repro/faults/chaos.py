@@ -22,24 +22,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
-from repro.analytics.service import AnalyticsService, make_pipeline_sink
-from repro.core.config import PipelineConfig
-from repro.core.pipeline import RuruPipeline
-from repro.faults.adapters import (
-    FaultyPushSocket,
-    FlakyAsnDatabase,
-    FlakyGeoDatabase,
-    FlakyTimeSeriesDatabase,
-)
-from repro.faults.injector import FaultInjector
-from repro.faults.profiles import FaultProfile, get_profile
-from repro.geo.builder import GeoDbBuilder
-from repro.mq.codec import decode_enriched
-from repro.mq.socket import Context
+from repro.faults.profiles import FaultProfile
 from repro.obs import Telemetry
-from repro.resilience import ConservationLedger, ResilienceLayer, Supervisor
-from repro.traffic.scenarios import AucklandLaScenario
-from repro.tsdb.database import TimeSeriesDatabase
+from repro.resilience import ConservationLedger
 
 NS_PER_S = 1_000_000_000
 
@@ -141,6 +126,11 @@ class ChaosReport:
 class ChaosHarness:
     """Build and run one chaos scenario end to end.
 
+    A thin configuration of the ``chaos`` stack preset
+    (:func:`repro.stack.build_chaos_stack`): all wiring lives in the
+    composition root; this class only replays the scenario and folds
+    the resilience counters into a :class:`ChaosReport`.
+
     Args:
         profile: a registered profile name or a :class:`FaultProfile`.
         seed: drives the workload, every fault decision stream, and
@@ -159,58 +149,28 @@ class ChaosHarness:
         queues: int = 2,
         telemetry: Optional[Telemetry] = None,
     ):
-        self.profile = (
-            get_profile(profile) if isinstance(profile, str) else profile
-        )
-        self.seed = seed
-        self.injector = FaultInjector(self.profile, seed=seed)
-        self.telemetry = telemetry or Telemetry()
-        self.generator = AucklandLaScenario(
-            duration_ns=int(duration_s * NS_PER_S),
-            mean_flows_per_s=rate,
+        # Lazy: repro.stack.builder imports the fault adapters, which
+        # land back in this package's __init__.
+        from repro.stack.builder import build_chaos_stack
+
+        self.stack = build_chaos_stack(
+            profile,
             seed=seed,
-            diurnal=False,
-        ).build()
-
-        geo, asn = GeoDbBuilder(plan=self.generator.plan).build()
-        if self.profile.geo_failure_rate > 0:
-            geo = FlakyGeoDatabase(geo, self.injector)
-        if self.profile.asn_failure_rate > 0:
-            asn = FlakyAsnDatabase(asn, self.injector)
-
-        tsdb = TimeSeriesDatabase()
-        flaky_tsdb = FlakyTimeSeriesDatabase(tsdb, self.injector)
-
-        self.resilience = ResilienceLayer(seed=seed)
-        self.supervisor = Supervisor()
-        context = Context()
-        self.service = AnalyticsService(
-            context,
-            geo,
-            asn,
-            tsdb=flaky_tsdb,
-            telemetry=self.telemetry,
-            resilience=self.resilience,
+            duration_s=duration_s,
+            rate=rate,
+            queues=queues,
+            telemetry=telemetry,
         )
-        # Brown-outs are keyed on write time, not data time: retried
-        # writes land once the window clears.
-        flaky_tsdb.now_fn = lambda: self.service.now_ns
-        self.supervisor.bind_registry(self.telemetry.registry)
-        self.injector.bind_registry(self.telemetry.registry)
-
-        self.frontend = self.service.subscribe_frontend(hwm=1 << 20)
-        push = self.service.connect_pipeline()
-        sink = make_pipeline_sink(
-            FaultyPushSocket(push, self.injector),
-            tracer=self.telemetry.tracer,
-        )
-        self.pipeline = RuruPipeline(
-            config=PipelineConfig(num_queues=queues),
-            sink=sink,
-            telemetry=self.telemetry,
-            supervisor=self.supervisor,
-            poll_wrapper=self.injector.crashy_poll,
-        )
+        self.profile = self.stack.profile
+        self.seed = seed
+        self.injector = self.stack.injector
+        self.telemetry = self.stack.telemetry
+        self.generator = self.stack.generator
+        self.resilience = self.stack.resilience
+        self.supervisor = self.stack.supervisor
+        self.service = self.stack.service
+        self.frontend = self.stack.frontend
+        self.pipeline = self.stack.pipeline
 
     def run(self, shutdown_flag=None) -> ChaosReport:
         """Replay the scenario under faults; never raises.
@@ -224,21 +184,15 @@ class ChaosHarness:
         unhandled: List[str] = []
         try:
             self.pipeline.run_packets(
-                self.injector.packet_stream(self.generator.packets()),
-                shutdown_flag=shutdown_flag,
+                self.stack.packet_stream(), shutdown_flag=shutdown_flag
             )
             self.service.finish()
         except Exception as exc:  # noqa: BLE001 — the report carries it
             unhandled.append(repr(exc))
 
-        frontend_received = 0
-        frontend_degraded = 0
+        frontend_stage = self.stack.graph.get("frontend")
         try:
-            for message in self.frontend.recv_all():
-                measurement = decode_enriched(message.payload[0])
-                frontend_received += 1
-                if measurement.degraded:
-                    frontend_degraded += 1
+            frontend_stage.pump()
         except Exception as exc:  # noqa: BLE001
             unhandled.append(repr(exc))
 
@@ -265,8 +219,8 @@ class ChaosHarness:
                 breaker.name: breaker.recovery_times_ns()
                 for breaker in res.breakers
             },
-            frontend_received=frontend_received,
-            frontend_degraded=frontend_degraded,
+            frontend_received=frontend_stage.received,
+            frontend_degraded=frontend_stage.degraded,
         )
 
 

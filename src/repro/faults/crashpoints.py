@@ -20,22 +20,14 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-# Registered crash points, in pipeline order. The durability runtime,
-# the durable TSDB wrapper, and the checkpointer each instrument the
-# boundaries they own by calling ``schedule.reached(point)``.
-CRASH_POINTS: Dict[str, str] = {
-    "nic.rx": "before a packet batch is offered to the NIC",
-    "worker.poll": "between worker poll rounds, rings partially drained",
-    "mq.publish": "after workers drained, records in flight on the bus",
-    "analytics.ingest": "mid-drain of the analytics PULL queue",
-    "tsdb.wal.pre": "write accepted, before the WAL append",
-    "tsdb.wal.post": "WAL appended, before the store applied the batch",
-    "tsdb.applied": "store applied the batch, WAL and store agree",
-    "checkpoint.pre": "checkpoint due, nothing written yet",
-    "checkpoint.mid": "mid-checkpoint-write: a torn file at the final path",
-    "checkpoint.post": "checkpoint written, before the WAL truncates",
-    "drain.mid": "graceful drain interrupted between stages",
-}
+from repro.stack.topology import crash_points
+
+# Registered crash points, in pipeline order — derived from the stage
+# topology, so a stage cannot declare a kill site the fault registry
+# does not know about (and vice versa). Each stage wrapper, the
+# durable TSDB and the checkpointer instrument the boundaries they own
+# by calling ``schedule.reached(point)``.
+CRASH_POINTS: Dict[str, str] = crash_points()
 
 
 class SimulatedCrash(BaseException):

@@ -20,19 +20,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional
 
-from repro.analytics.service import AnalyticsService
-from repro.anomaly.manager import AnomalyManager
 from repro.core.config import PipelineConfig
-from repro.core.pipeline import RuruPipeline
 from repro.dpdk.eal import Eal
 from repro.frontend.map_view import LiveMapView
 from repro.frontend.websocket import WebSocketChannel
 from repro.geo.asn import AsnDatabase
-from repro.geo.builder import GeoDbBuilder, SyntheticGeoPlan
+from repro.geo.builder import SyntheticGeoPlan
 from repro.geo.database import GeoDatabase
 from repro.mq.codec import decode_enriched
-from repro.mq.socket import Context, SubSocket
+from repro.mq.socket import SubSocket
 from repro.net.packet import Packet
+from repro.stack import build_enrichment_dbs, build_live_stack
 from repro.tsdb.database import TimeSeriesDatabase
 
 
@@ -92,25 +90,19 @@ class RuruRuntime:
         map_fps: int = 30,
     ):
         self.config = config or PipelineConfig()
-        self.context = Context()
-        self.service = AnalyticsService(
-            self.context, geo, asn, num_workers=analytics_workers
-        )
-        self.manager = AnomalyManager() if with_anomaly_detection else None
-        if self.manager is not None:
-            manager = self.manager
-            self.service.filters.append(
-                lambda m: (manager.observe_measurement(m), True)[1]
-            )
-        observers = [self.manager.observe_packet] if self.manager else []
-        self.pipeline = RuruPipeline(
+        self.stack = build_live_stack(
+            geo_asn=(geo, asn),
             config=self.config,
-            sink=self.service.make_sink(),
-            observers=observers,
+            anomaly=with_anomaly_detection,
+            analytics_workers=analytics_workers,
+            frontend_hwm=10_000,
         )
+        self.service = self.stack.service
+        self.manager = self.stack.anomaly
+        self.pipeline = self.stack.pipeline
         self.channel = WebSocketChannel(name="live-map")
         self.map_view = LiveMapView(channel=self.channel, fps=map_fps)
-        self._frontend_sub = self.service.subscribe_frontend()
+        self._frontend_sub = self.stack.frontend
         self._pump = _FrontendPump(self._frontend_sub, self.map_view)
 
         # One EAL for every stage: rx workers + analytics + frontend.
@@ -128,9 +120,9 @@ class RuruRuntime:
         **kwargs,
     ) -> "RuruRuntime":
         """Construct with synthetic databases over *plan*."""
-        geo, asn = GeoDbBuilder(
+        geo, asn = build_enrichment_dbs(
             plan=plan, country_accuracy=country_accuracy
-        ).build()
+        )
         return cls(geo, asn, **kwargs)
 
     def run(self, packets: Iterable[Packet], feed_batch: int = 128) -> RuntimeReport:

@@ -1,0 +1,64 @@
+"""repro.stack — the stage-graph runtime.
+
+The whole Ruru reproduction is one dataflow (the paper's Fig. 2):
+DPDK NIC → per-queue latency workers → message bus → enrichment
+analytics → TSDB / frontend, with anomaly, top-k and telemetry riding
+the enriched stream and the durability tail (WAL + checkpoints)
+closing the graph. This package declares that shape **once**
+(:mod:`repro.stack.topology`) and derives everything cross-cutting
+from it:
+
+* per-batch processing order — :meth:`RuruStack.process_batch`;
+* the graceful-drain protocol — :meth:`RuruStack.drain`;
+* the checkpoint payload — :meth:`RuruStack.capture_state`;
+* the registered crash-point table —
+  :func:`repro.stack.topology.crash_points`;
+* metrics-collector registration — :mod:`repro.stack.metrics`.
+
+Every assembly in the repo (all six CLI commands, the chaos harness,
+the durable runtime, the co-scheduled runtime) is a preset of
+:class:`StackBuilder`; nothing outside this package wires
+pipeline-to-analytics plumbing by hand.
+"""
+
+from repro.stack.builder import (
+    PRESETS,
+    STATE_FORMAT,
+    RuruStack,
+    StackBuilder,
+    build_chaos_stack,
+    build_durable_stack,
+    build_enrichment_dbs,
+    build_live_stack,
+    build_measure_stack,
+)
+from repro.stack.stage import Stage, StageContext, StageGraph
+from repro.stack.topology import (
+    PROTOCOL_POINTS,
+    TOPOLOGY,
+    StageSpec,
+    crash_points,
+    get_spec,
+    stage_names,
+)
+
+__all__ = [
+    "PRESETS",
+    "PROTOCOL_POINTS",
+    "STATE_FORMAT",
+    "RuruStack",
+    "Stage",
+    "StageContext",
+    "StageGraph",
+    "StageSpec",
+    "StackBuilder",
+    "TOPOLOGY",
+    "build_chaos_stack",
+    "build_durable_stack",
+    "build_enrichment_dbs",
+    "build_live_stack",
+    "build_measure_stack",
+    "crash_points",
+    "get_spec",
+    "stage_names",
+]

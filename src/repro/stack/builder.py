@@ -1,0 +1,635 @@
+"""The composition root: one builder, four presets, zero duplicated
+wiring.
+
+Every assembly of the Ruru dataflow — the CLI commands, the chaos
+harness, the durable runtime and the co-scheduled
+:class:`repro.runtime.RuruRuntime` — is a configuration of
+:class:`StackBuilder`. The builder constructs components in one fixed,
+determinism-preserving order, wraps them in the stage wrappers of
+:mod:`repro.stack.stages`, and returns a :class:`RuruStack` whose
+cross-cutting behaviour (batch processing, graceful-drain order,
+checkpoint payload, crash-point surface, durability metrics) is
+derived from the :class:`~repro.stack.stage.StageGraph` traversals.
+
+Presets:
+
+========  ==============================================================
+measure   fast path only (``ruru measure``): NIC + workers, records
+          collected in ``pipeline.measurements``.
+live      full dataflow without fault machinery (``ruru demo`` /
+          ``detect`` / ``export`` / ``metrics`` / ``analyze`` and
+          :class:`repro.runtime.RuruRuntime`).
+chaos     live + fault injector, resilience layer and supervisor
+          (:class:`repro.faults.chaos.ChaosHarness`).
+durable   chaos + WAL-backed TSDB, checkpoints, anomaly/top-k riders
+          (:class:`repro.durability.runtime.DurableRuntime`).
+========  ==============================================================
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, List, Optional, Tuple, Union
+
+from repro.analytics.service import AnalyticsService, make_pipeline_sink
+from repro.analytics.topk import SpaceSaving
+from repro.anomaly.manager import AnomalyManager
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import RuruPipeline
+from repro.faults.adapters import (
+    FaultyPushSocket,
+    FlakyAsnDatabase,
+    FlakyGeoDatabase,
+    FlakyTimeSeriesDatabase,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.profiles import FaultProfile, get_profile
+from repro.geo.builder import GeoDbBuilder
+from repro.mq.socket import Context
+from repro.obs import Telemetry
+from repro.resilience import ResilienceLayer, Supervisor
+from repro.stack.stage import StageContext, StageGraph
+from repro.stack.stages import (
+    AnalyticsStage,
+    AnomalyStage,
+    CheckpointStage,
+    FrontendStage,
+    MqStage,
+    NicStage,
+    TelemetryStage,
+    TopkStage,
+    TsdbStage,
+    WorkerStage,
+)
+from repro.traffic.scenarios import AucklandLaScenario
+from repro.tsdb.database import TimeSeriesDatabase
+from repro.tsdb.retention import RetentionPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.durability.checkpoint import CheckpointInfo
+
+NS_PER_S = 1_000_000_000
+
+#: Checkpoint envelope format version (the stack's ``capture_state``).
+STATE_FORMAT = 1
+
+
+def build_enrichment_dbs(plan=None, country_accuracy: float = 0.98):
+    """Synthetic geo/ASN databases over *plan* (the one sanctioned
+    :class:`GeoDbBuilder` call site outside this builder's ``build``)."""
+    return GeoDbBuilder(plan=plan, country_accuracy=country_accuracy).build()
+
+
+class RuruStack:
+    """One assembled Ruru dataflow plus its stage graph.
+
+    Component handles (``pipeline``, ``service``, ``tsdb``, …) stay
+    public — the stack is a composition root, not an opaque box — but
+    every cross-cutting traversal goes through :attr:`graph`.
+    """
+
+    def __init__(self, graph: StageGraph, components: dict):
+        self.graph = graph
+        for name, value in components.items():
+            setattr(self, name, value)
+        self.recovered_from: Optional[CheckpointInfo] = None
+        self.recovery_count = 0
+        self.last_lost_at_crash = 0
+
+    # -- clocks and boundaries ----------------------------------------------
+
+    @property
+    def now_ns(self) -> int:
+        """The stack's virtual now (whichever tier has seen furthest)."""
+        now = self.pipeline.clock.now_ns
+        if self.service is not None:
+            now = max(now, self.service.now_ns)
+        return now
+
+    def _reached(self, point: str) -> None:
+        if self.crash_schedule is not None:
+            self.crash_schedule.reached(point)
+
+    def _context(self, batch=None) -> StageContext:
+        return StageContext(
+            batch=batch, now_fn=lambda: self.now_ns, reached=self._reached
+        )
+
+    # -- feeding ------------------------------------------------------------
+
+    def packet_stream(self):
+        """The scenario's packets, through the fault injector if any."""
+        packets = self.generator.packets()
+        if self.injector is not None:
+            return self.injector.packet_stream(packets)
+        return packets
+
+    def process_batch(self, batch) -> None:
+        """Run one feed batch end to end along the stage graph.
+
+        Every registered stage-boundary crash point is instrumented by
+        the stage wrappers; after the batch the rings and queues are
+        empty, which is what makes a trailing checkpoint a consistent
+        cut.
+        """
+        self.graph.process(self._context(batch=batch))
+
+    # -- graceful drain ------------------------------------------------------
+
+    def drain(self) -> Tuple[List[str], Optional[CheckpointInfo]]:
+        """The graceful drain protocol, derived from the graph order.
+
+        Returns the performed stage labels (in traversal order) and
+        the final clean checkpoint, if a checkpoint stage is present.
+        """
+        labels = self.graph.drain(self._context())
+        checkpoint_stage = self.graph.get("checkpoint")
+        final = checkpoint_stage.last_clean if checkpoint_stage else None
+        return labels, final
+
+    # -- checkpoint capture/restore -----------------------------------------
+
+    def capture_state(self) -> dict:
+        """One JSON-safe snapshot: stack meta plus every stage fragment."""
+        state = {
+            "format": STATE_FORMAT,
+            "meta": {
+                "profile": self.profile.name if self.profile else "clean",
+                "seed": self.seed,
+                "queues": self.queues,
+            },
+        }
+        state.update(self.graph.capture_state())
+        return state
+
+    def load_state(self, state: dict) -> None:
+        """Restore a :meth:`capture_state` snapshot into this stack."""
+        if int(state.get("format", 0)) != STATE_FORMAT:
+            raise ValueError(
+                f"unsupported state format {state.get('format')!r}"
+            )
+        meta = state["meta"]
+        if int(meta["queues"]) != self.queues:
+            raise ValueError(
+                f"checkpoint built with {meta['queues']} queues, "
+                f"runtime has {self.queues}"
+            )
+        self.graph.load_state(state)
+
+    def _after_checkpoint(self, info: CheckpointInfo) -> None:
+        # The checkpoint's TSDB dump covers every applied batch, so the
+        # log restarts empty; batch ids stay monotonic across the
+        # truncation, which is what keeps replay dedup sound if we die
+        # before this line runs.
+        self.wal.truncate()
+
+    # -- introspection -------------------------------------------------------
+
+    def fault_points(self) -> dict:
+        """Crash points owned by the assembled stages, in graph order."""
+        return self.graph.fault_points()
+
+    @property
+    def frontend_received(self) -> int:
+        stage = self.graph.get("frontend")
+        return stage.received if stage is not None else 0
+
+    @property
+    def frontend_degraded(self) -> int:
+        stage = self.graph.get("frontend")
+        return stage.degraded if stage is not None else 0
+
+
+class StackBuilder:
+    """Fluent configuration of one :class:`RuruStack`.
+
+    Construction order inside :meth:`build` mirrors the historical
+    harness wiring exactly — injector, scenario, enrichment, TSDB
+    chain, resilience, service, riders, frontend, sink, pipeline,
+    checkpointer — and every random source is independently seeded, so
+    two builds with the same configuration replay byte-identically.
+    """
+
+    def __init__(self):
+        self._config: Optional[PipelineConfig] = None
+        self._queues = 2
+        self._telemetry: Optional[Telemetry] = None
+        self._generator = None
+        self._scenario = None  # (duration_s, rate, seed)
+        self._geo_asn = None
+        self._analytics = False
+        self._analytics_workers = 4
+        self._frontend_hwm: Optional[int] = None
+        self._anomaly: Optional[str] = None  # "inline" | "stream"
+        self._topk_capacity: Optional[int] = None
+        self._profile: Optional[FaultProfile] = None
+        self._seed = 42
+        self._durability: Optional[dict] = None
+
+    # -- configuration -------------------------------------------------------
+
+    def pipeline_config(self, config: PipelineConfig) -> "StackBuilder":
+        self._config = config
+        self._queues = config.num_queues
+        return self
+
+    def queues(self, num_queues: int) -> "StackBuilder":
+        self._queues = num_queues
+        return self
+
+    def telemetry(self, telemetry: Optional[Telemetry]) -> "StackBuilder":
+        self._telemetry = telemetry
+        return self
+
+    def generator(self, generator) -> "StackBuilder":
+        """Use a prebuilt traffic generator (CLI commands pass theirs,
+        possibly carrying anomaly injectors)."""
+        self._generator = generator
+        return self
+
+    def scenario(
+        self, duration_s: float, rate: float, seed: int
+    ) -> "StackBuilder":
+        """Build the standard Auckland→LA scenario at ``build`` time."""
+        self._scenario = (duration_s, rate, seed)
+        self._seed = seed
+        return self
+
+    def enrichment(self, geo, asn) -> "StackBuilder":
+        """Use explicit enrichment databases (default: synthesized from
+        the generator's plan)."""
+        self._geo_asn = (geo, asn)
+        return self
+
+    def analytics(self, num_workers: int = 4) -> "StackBuilder":
+        self._analytics = True
+        self._analytics_workers = num_workers
+        return self
+
+    def frontend(self, hwm: int = 10_000) -> "StackBuilder":
+        self._frontend_hwm = hwm
+        return self
+
+    def anomaly(self, mode: str = "stream") -> "StackBuilder":
+        """Attach the anomaly detectors.
+
+        ``inline`` observes measurements synchronously via a service
+        filter (the ``ruru detect`` shape); ``stream`` observes the
+        enriched frontend feed (the durable-runtime shape). Both also
+        observe raw packets via a pipeline observer.
+        """
+        if mode not in ("inline", "stream"):
+            raise ValueError(f"unknown anomaly mode {mode!r}")
+        self._anomaly = mode
+        return self
+
+    def topk(self, capacity: int = 100) -> "StackBuilder":
+        self._topk_capacity = capacity
+        return self
+
+    def faults(
+        self, profile: Union[str, FaultProfile], seed: Optional[int] = None
+    ) -> "StackBuilder":
+        """Run under a named fault profile with the resilience layer,
+        supervisor and fault adapters active."""
+        self._profile = (
+            get_profile(profile) if isinstance(profile, str) else profile
+        )
+        if seed is not None:
+            self._seed = seed
+        return self
+
+    def durable(
+        self,
+        state_dir: str,
+        checkpoint_interval_ns: int = NS_PER_S,
+        keep_checkpoints: int = 2,
+        retention_ns: Optional[int] = None,
+        crash_schedule=None,
+        fsync_wal: bool = False,
+    ) -> "StackBuilder":
+        """Add the durability tail: WAL-backed TSDB + checkpointer."""
+        self._durability = {
+            "state_dir": str(state_dir),
+            "checkpoint_interval_ns": checkpoint_interval_ns,
+            "keep_checkpoints": keep_checkpoints,
+            "retention_ns": retention_ns,
+            "crash_schedule": crash_schedule,
+            "fsync_wal": fsync_wal,
+        }
+        return self
+
+    # -- assembly ------------------------------------------------------------
+
+    def build(self) -> RuruStack:
+        durability = self._durability
+        if durability is not None and not self._analytics:
+            raise ValueError("the durable preset requires analytics")
+
+        profile = self._profile
+        injector = (
+            FaultInjector(profile, seed=self._seed)
+            if profile is not None
+            else None
+        )
+        telemetry = self._telemetry
+        generator = self._generator
+        if generator is None and self._scenario is not None:
+            duration_s, rate, seed = self._scenario
+            generator = AucklandLaScenario(
+                duration_ns=int(duration_s * NS_PER_S),
+                mean_flows_per_s=rate,
+                seed=seed,
+                diurnal=False,
+            ).build()
+
+        service = None
+        resilience = None
+        supervisor = None
+        tsdb = None
+        wal = None
+        anomaly = None
+        topk = None
+        frontend_sub = None
+        sink = None
+        observers = []
+        crash_schedule = durability["crash_schedule"] if durability else None
+        retention_ns = durability["retention_ns"] if durability else None
+        state_dir = durability["state_dir"] if durability else None
+
+        if self._analytics:
+            if self._geo_asn is not None:
+                geo, asn = self._geo_asn
+            else:
+                plan = generator.plan if generator is not None else None
+                geo, asn = GeoDbBuilder(plan=plan).build()
+            flaky_store = None
+            if profile is not None:
+                if profile.geo_failure_rate > 0:
+                    geo = FlakyGeoDatabase(geo, injector)
+                if profile.asn_failure_rate > 0:
+                    asn = FlakyAsnDatabase(asn, injector)
+                store = TimeSeriesDatabase()
+                if retention_ns is not None:
+                    store.add_retention_policy(
+                        RetentionPolicy(duration_ns=retention_ns)
+                    )
+                flaky_store = FlakyTimeSeriesDatabase(store, injector)
+                tsdb = flaky_store
+                if durability is not None:
+                    # Lazy: repro.durability imports this module back.
+                    from repro.durability.wal import (
+                        DurableTsdb,
+                        WriteAheadLog,
+                    )
+
+                    os.makedirs(state_dir, exist_ok=True)
+                    wal = WriteAheadLog(
+                        os.path.join(state_dir, "tsdb.wal"),
+                        fsync=durability["fsync_wal"],
+                    )
+                    tsdb = DurableTsdb(
+                        flaky_store, wal, crash_schedule=crash_schedule
+                    )
+                resilience = ResilienceLayer(seed=self._seed)
+                supervisor = Supervisor()
+            context = Context()
+            service = AnalyticsService(
+                context,
+                geo,
+                asn,
+                tsdb=tsdb,
+                num_workers=self._analytics_workers,
+                telemetry=telemetry,
+                resilience=resilience,
+            )
+            if flaky_store is not None:
+                # Brown-outs are keyed on write time, not data time:
+                # retried writes land once the window clears.
+                flaky_store.now_fn = lambda: service.now_ns
+            if tsdb is None:
+                tsdb = service.tsdb
+            if telemetry is not None and supervisor is not None:
+                supervisor.bind_registry(telemetry.registry)
+            if telemetry is not None and injector is not None:
+                injector.bind_registry(telemetry.registry)
+
+            if self._anomaly is not None:
+                anomaly = AnomalyManager()
+                observers.append(anomaly.observe_packet)
+                if self._anomaly == "inline":
+                    manager = anomaly
+                    service.filters.append(
+                        lambda m: (manager.observe_measurement(m), True)[1]
+                    )
+            if self._topk_capacity is not None:
+                topk = SpaceSaving(capacity=self._topk_capacity)
+            if self._frontend_hwm is not None:
+                frontend_sub = service.subscribe_frontend(
+                    hwm=self._frontend_hwm
+                )
+
+            if injector is not None:
+                push = service.connect_pipeline()
+                sink = make_pipeline_sink(
+                    FaultyPushSocket(push, injector),
+                    tracer=telemetry.tracer if telemetry is not None else None,
+                )
+            else:
+                sink = service.make_sink()
+
+        pipeline = RuruPipeline(
+            config=self._config or PipelineConfig(num_queues=self._queues),
+            sink=sink,
+            observers=observers,
+            telemetry=telemetry,
+            supervisor=supervisor,
+            poll_wrapper=injector.crashy_poll if injector is not None else None,
+        )
+
+        # -- the graph, in topology order ------------------------------------
+        stages = [NicStage(pipeline), WorkerStage(pipeline)]
+        if service is not None:
+            stages.append(MqStage(service))
+            stages.append(AnalyticsStage(service))
+            if anomaly is not None and self._anomaly == "stream":
+                stages.append(AnomalyStage(anomaly))
+            if topk is not None:
+                stages.append(TopkStage(topk))
+            if frontend_sub is not None:
+                frontend_observers = []
+                if anomaly is not None and self._anomaly == "stream":
+                    frontend_observers.append(anomaly.observe_measurement)
+                if topk is not None:
+                    frontend_observers.append(
+                        lambda m: topk.add(m.location_pair)
+                    )
+                stages.append(
+                    FrontendStage(frontend_sub, observers=frontend_observers)
+                )
+        if telemetry is not None:
+            stages.append(TelemetryStage(telemetry))
+        checkpoint_stage = None
+        if durability is not None:
+            stages.append(TsdbStage(tsdb, wal))
+            checkpoint_stage = CheckpointStage(tsdb, retention_ns)
+            stages.append(checkpoint_stage)
+
+        stack = RuruStack(
+            StageGraph(stages),
+            components={
+                "profile": profile,
+                "seed": self._seed,
+                "queues": (
+                    self._config.num_queues if self._config else self._queues
+                ),
+                "telemetry": telemetry,
+                "generator": generator,
+                "injector": injector,
+                "resilience": resilience,
+                "supervisor": supervisor,
+                "service": service,
+                "pipeline": pipeline,
+                "tsdb": tsdb,
+                "wal": wal,
+                "anomaly": anomaly,
+                "topk": topk,
+                "frontend": frontend_sub,
+                "crash_schedule": crash_schedule,
+                "state_dir": state_dir,
+                "retention_ns": retention_ns,
+                "checkpointer": None,
+            },
+        )
+        if durability is not None:
+            from repro.durability.checkpoint import Checkpointer
+
+            stack.checkpointer = Checkpointer(
+                state_dir=state_dir,
+                capture=stack.capture_state,
+                interval_ns=durability["checkpoint_interval_ns"],
+                keep=durability["keep_checkpoints"],
+                crash_schedule=crash_schedule,
+                on_written=stack._after_checkpoint,
+                fsync=durability["fsync_wal"],
+            )
+            checkpoint_stage.checkpointer = stack.checkpointer
+            checkpoint_stage.stack = stack
+        if telemetry is not None:
+            stack.graph.bind_telemetry(telemetry.registry, telemetry.tracer)
+        return stack
+
+
+# -- presets -----------------------------------------------------------------
+
+
+def build_measure_stack(
+    queues: int = 4,
+    telemetry: Optional[Telemetry] = None,
+    config: Optional[PipelineConfig] = None,
+) -> RuruStack:
+    """``measure``: the fast path only, records kept in memory."""
+    builder = StackBuilder().telemetry(telemetry)
+    if config is not None:
+        builder.pipeline_config(config)
+    else:
+        builder.queues(queues)
+    return builder.build()
+
+
+def build_live_stack(
+    generator=None,
+    queues: int = 4,
+    telemetry: Optional[Telemetry] = None,
+    frontend_hwm: Optional[int] = None,
+    anomaly: bool = False,
+    analytics_workers: int = 4,
+    geo_asn=None,
+    config: Optional[PipelineConfig] = None,
+) -> RuruStack:
+    """``live``: full dataflow, no fault machinery."""
+    builder = (
+        StackBuilder()
+        .telemetry(telemetry)
+        .analytics(num_workers=analytics_workers)
+    )
+    if generator is not None:
+        builder.generator(generator)
+    if geo_asn is not None:
+        builder.enrichment(*geo_asn)
+    if config is not None:
+        builder.pipeline_config(config)
+    else:
+        builder.queues(queues)
+    if frontend_hwm is not None:
+        builder.frontend(hwm=frontend_hwm)
+    if anomaly:
+        builder.anomaly("inline")
+    return builder.build()
+
+
+def build_chaos_stack(
+    profile: Union[str, FaultProfile],
+    seed: int = 42,
+    duration_s: float = 8.0,
+    rate: float = 40.0,
+    queues: int = 2,
+    telemetry: Optional[Telemetry] = None,
+) -> RuruStack:
+    """``chaos``: live + injector, resilience layer and supervisor."""
+    return (
+        StackBuilder()
+        .scenario(duration_s=duration_s, rate=rate, seed=seed)
+        .queues(queues)
+        .telemetry(telemetry or Telemetry())
+        .analytics()
+        .faults(profile, seed=seed)
+        .frontend(hwm=1 << 20)
+        .build()
+    )
+
+
+def build_durable_stack(
+    state_dir: str,
+    profile: Union[str, FaultProfile] = "clean",
+    seed: int = 42,
+    duration_s: float = 8.0,
+    rate: float = 40.0,
+    queues: int = 2,
+    checkpoint_interval_ns: int = NS_PER_S,
+    keep_checkpoints: int = 2,
+    retention_ns: Optional[int] = None,
+    telemetry: Optional[Telemetry] = None,
+    crash_schedule=None,
+    fsync_wal: bool = False,
+) -> RuruStack:
+    """``durable``: chaos + WAL, checkpoints, anomaly/top-k riders."""
+    return (
+        StackBuilder()
+        .scenario(duration_s=duration_s, rate=rate, seed=seed)
+        .queues(queues)
+        .telemetry(telemetry or Telemetry())
+        .analytics()
+        .faults(profile, seed=seed)
+        .anomaly("stream")
+        .topk(capacity=100)
+        .frontend(hwm=1 << 20)
+        .durable(
+            state_dir,
+            checkpoint_interval_ns=checkpoint_interval_ns,
+            keep_checkpoints=keep_checkpoints,
+            retention_ns=retention_ns,
+            crash_schedule=crash_schedule,
+            fsync_wal=fsync_wal,
+        )
+        .build()
+    )
+
+
+#: Preset name → builder function (the CLI command table maps here).
+PRESETS = {
+    "measure": build_measure_stack,
+    "live": build_live_stack,
+    "chaos": build_chaos_stack,
+    "durable": build_durable_stack,
+}

@@ -1,0 +1,271 @@
+"""Concrete stage wrappers binding running components to the Stage
+protocol.
+
+Each wrapper owns the *lifecycle* of one tier — its slice of batch
+processing, its drain steps, and its checkpoint fragment — while the
+component itself (pipeline, analytics service, WAL-backed TSDB, …)
+keeps owning the behaviour. The builder assembles these into a
+:class:`~repro.stack.stage.StageGraph`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.mq.codec import decode_enriched
+from repro.stack.stage import Stage, StageContext
+from repro.stack.topology import get_spec
+
+
+class NicStage(Stage):
+    """Frame admission: offer each packet of the batch to the NIC."""
+
+    def __init__(self, pipeline):
+        super().__init__(get_spec("nic"))
+        self.pipeline = pipeline
+
+    def process(self, ctx: StageContext) -> None:
+        ctx.reached("nic.rx")
+        for packet in ctx.batch:
+            self.pipeline.offer(packet)
+
+    def quiesce(self) -> None:
+        self.pipeline.quiesce()
+
+    def drain(self, ctx: StageContext) -> List[str]:
+        self.quiesce()
+        return ["quiesce"]
+
+
+class WorkerStage(Stage):
+    """The rx worker pool; owns the pipeline's checkpoint fragment."""
+
+    def __init__(self, pipeline):
+        super().__init__(get_spec("workers"))
+        self.pipeline = pipeline
+
+    def process(self, ctx: StageContext) -> None:
+        ctx.reached("worker.poll")
+        self.pipeline.drain()
+
+    def flush(self, ctx: StageContext) -> None:
+        self.pipeline.drain()
+
+    def drain(self, ctx: StageContext) -> List[str]:
+        self.flush(ctx)
+        return ["drain-rings"]
+
+    def state_dict(self) -> Dict:
+        return {"pipeline": self.pipeline.state_dict()}
+
+    def load_state(self, state: Dict) -> None:
+        if "pipeline" in state:
+            self.pipeline.load_state(state["pipeline"])
+
+
+class MqStage(Stage):
+    """The PUSH/PULL bus boundary between workers and analytics."""
+
+    def __init__(self, service):
+        super().__init__(get_spec("mq"))
+        self.service = service
+
+    def process(self, ctx: StageContext) -> None:
+        ctx.reached("mq.publish")
+
+    def flush(self, ctx: StageContext) -> None:
+        self.service.poll(max_messages=1 << 30)
+
+    def drain(self, ctx: StageContext) -> List[str]:
+        self.flush(ctx)
+        return ["flush-mq"]
+
+
+class AnalyticsStage(Stage):
+    """Enrichment + fan-out; owns the service's checkpoint fragment."""
+
+    def __init__(self, service, mid_batch_poll: int = 64):
+        super().__init__(get_spec("analytics"))
+        self.service = service
+        self.mid_batch_poll = mid_batch_poll
+
+    def process(self, ctx: StageContext) -> None:
+        # Partial drain first, so analytics.ingest really is mid-queue.
+        self.service.poll(max_messages=self.mid_batch_poll)
+        ctx.reached("analytics.ingest")
+        self.service.poll(max_messages=1 << 30)
+
+    def flush(self, ctx: StageContext) -> None:
+        self.service.finish()
+
+    def drain(self, ctx: StageContext) -> List[str]:
+        ctx.reached("drain.mid")
+        self.flush(ctx)
+        return ["flush-analytics"]
+
+    def state_dict(self) -> Dict:
+        return {"service": self.service.state_dict()}
+
+    def load_state(self, state: Dict) -> None:
+        if "service" in state:
+            self.service.load_state(state["service"])
+
+
+class AnomalyStage(Stage):
+    """Detector baselines; fed by observers, stateful for checkpoints."""
+
+    def __init__(self, manager):
+        super().__init__(get_spec("anomaly"))
+        self.manager = manager
+
+    def state_dict(self) -> Dict:
+        return {"anomaly": self.manager.state_dict()}
+
+    def load_state(self, state: Dict) -> None:
+        if "anomaly" in state:
+            self.manager.load_state(state["anomaly"])
+
+
+class TopkStage(Stage):
+    """Heavy-hitter sketch riding the enriched stream."""
+
+    def __init__(self, sketch):
+        super().__init__(get_spec("topk"))
+        self.sketch = sketch
+
+    def state_dict(self) -> Dict:
+        return {"topk": self.sketch.state_dict()}
+
+    def load_state(self, state: Dict) -> None:
+        if "topk" in state:
+            self.sketch.load_state(state["topk"])
+
+
+class FrontendStage(Stage):
+    """The enriched SUB feed: decode, count, fan out to observers."""
+
+    def __init__(self, sub, observers=()):
+        super().__init__(get_spec("frontend"))
+        self.sub = sub
+        self.observers = list(observers)
+        self.received = 0
+        self.degraded = 0
+
+    def pump(self) -> int:
+        """Drain every queued enriched message through the observers."""
+        handled = 0
+        for message in self.sub.recv_all():
+            measurement = decode_enriched(message.payload[0])
+            self.received += 1
+            if measurement.degraded:
+                self.degraded += 1
+            for observe in self.observers:
+                observe(measurement)
+            handled += 1
+        return handled
+
+    def process(self, ctx: StageContext) -> None:
+        self.pump()
+
+    def flush(self, ctx: StageContext) -> None:
+        self.pump()
+
+    def drain(self, ctx: StageContext) -> List[str]:
+        self.pump()
+        return ["flush-frontend"]
+
+    def state_dict(self) -> Dict:
+        return {
+            "frontend": {"received": self.received, "degraded": self.degraded}
+        }
+
+    def load_state(self, state: Dict) -> None:
+        frontend = state.get("frontend")
+        if frontend is not None:
+            self.received = int(frontend["received"])
+            self.degraded = int(frontend["degraded"])
+
+
+class TelemetryStage(Stage):
+    """Self-monitoring: tick per batch, flush on drain."""
+
+    def __init__(self, telemetry):
+        super().__init__(get_spec("telemetry"))
+        self.telemetry = telemetry
+
+    def process(self, ctx: StageContext) -> None:
+        self.telemetry.tick(ctx.now_ns)
+
+    def flush(self, ctx: StageContext) -> None:
+        self.telemetry.flush(ctx.now_ns)
+
+    def drain(self, ctx: StageContext) -> List[str]:
+        self.flush(ctx)
+        return ["flush-telemetry"]
+
+
+class TsdbStage(Stage):
+    """The WAL-backed store; owns the TSDB checkpoint fragments."""
+
+    def __init__(self, tsdb, wal):
+        super().__init__(get_spec("tsdb"))
+        self.tsdb = tsdb
+        self.wal = wal
+
+    def flush(self, ctx: StageContext) -> None:
+        self.wal.sync()
+
+    def drain(self, ctx: StageContext) -> List[str]:
+        self.flush(ctx)
+        return ["sync-wal"]
+
+    def state_dict(self) -> Dict:
+        return {
+            "tsdb_meta": self.tsdb.state_dict(),
+            # The wrapper's incremental line cache — re-dumping (and
+            # re-formatting) the whole store every checkpoint would make
+            # checkpoint cost grow with run length.
+            "tsdb_lines": list(self.tsdb.applied_lines),
+        }
+
+    def load_state(self, state: Dict) -> None:
+        if "tsdb_meta" in state:
+            self.tsdb.load_state(state["tsdb_meta"])
+        if "tsdb_lines" in state:
+            # The store restores bypassing both the fault wrapper's dice
+            # and the WAL — these points are already durable in the
+            # checkpoint being loaded.
+            self.tsdb.load_lines(state["tsdb_lines"])
+
+
+class CheckpointStage(Stage):
+    """Periodic checkpoints plus checkpoint-cadence retention.
+
+    The checkpointer is bound by the builder *after* the stack exists
+    (its capture callable is the stack's own ``capture_state``).
+    """
+
+    def __init__(self, tsdb, retention_ns: Optional[int]):
+        super().__init__(get_spec("checkpoint"))
+        self.tsdb = tsdb
+        self.retention_ns = retention_ns
+        self.checkpointer = None
+        self.stack = None
+        self.last_clean = None
+
+    def process(self, ctx: StageContext) -> None:
+        now_ns = ctx.now_ns
+        if self.retention_ns is not None and self.checkpointer.due(now_ns):
+            # Age the live store on the checkpoint cadence, so neither
+            # the store nor the checkpoints grow past the window.
+            self.tsdb.enforce_retention(now_ns)
+        self.checkpointer.maybe_checkpoint(now_ns)
+
+    def drain(self, ctx: StageContext) -> List[str]:
+        self.last_clean = self.checkpointer.checkpoint(ctx.now_ns, clean=True)
+        return ["clean-checkpoint"]
+
+    def bind_telemetry(self, registry, tracer) -> None:
+        from repro.stack.metrics import bind_durability_metrics
+
+        bind_durability_metrics(self.stack, registry)

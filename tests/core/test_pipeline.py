@@ -225,3 +225,74 @@ class TestSupervisedWorkers:
         )
         with pytest.raises(RuntimeError):
             pipeline.run_packets(packets)
+
+
+class TestSnapshotSideEffects:
+    """state_dict() must be a pure read — no folding into live stats."""
+
+    def test_state_dict_does_not_mutate_observable_stats(self, small_workload):
+        _, packets = small_workload
+        pipeline = RuruPipeline(config=PipelineConfig(num_queues=4))
+        # Feed without run_packets so worker counters are not yet folded.
+        for packet in packets:
+            pipeline.offer(packet)
+        pipeline.drain()
+        before = pipeline.stats.state_dict()
+        snapshot = pipeline.state_dict()
+        assert pipeline.stats.state_dict() == before
+        # The snapshot itself still carries the folded worker counters.
+        assert snapshot["stats"]["packets_processed"] == sum(
+            worker.packets_processed for worker in pipeline.workers
+        )
+        assert snapshot["stats"]["tracker"]["packets"] == sum(
+            worker.stats.packets for worker in pipeline.workers
+        )
+
+    def test_state_dict_is_idempotent(self, small_workload):
+        _, packets = small_workload
+        pipeline = RuruPipeline(config=PipelineConfig(num_queues=2))
+        pipeline.run_packets(packets)
+        assert pipeline.state_dict() == pipeline.state_dict()
+
+    def test_snapshot_between_runs_does_not_change_totals(self, small_workload):
+        """Checkpointing mid-stream must not perturb later accounting."""
+        _, packets = small_workload
+        plain = RuruPipeline(config=PipelineConfig(num_queues=4))
+        plain.run_packets(packets)
+        plain.run_packets(packets)
+
+        snapshotted = RuruPipeline(config=PipelineConfig(num_queues=4))
+        snapshotted.run_packets(packets)
+        snapshotted.state_dict()
+        snapshotted.run_packets(packets)
+        assert snapshotted.stats.summary() == plain.stats.summary()
+        assert snapshotted.state_dict()["stats"] == plain.state_dict()["stats"]
+
+
+class TestShutdownFlagTrailingBatch:
+    def test_trailing_partial_batch_honours_shutdown_flag(self, small_workload):
+        """A flag raised mid-stream must not feed one more burst."""
+        _, packets = small_workload
+        feed_batch = 60
+        full_batches = len(packets) // feed_batch
+        assert len(packets) % feed_batch != 0, "fixture must leave a tail"
+        calls = {"n": 0}
+
+        def flag_on_trailing_poll():
+            calls["n"] += 1
+            return calls["n"] > full_batches
+
+        pipeline = RuruPipeline(
+            config=PipelineConfig(num_queues=2), feed_batch=feed_batch
+        )
+        stats = pipeline.run_packets(packets, shutdown_flag=flag_on_trailing_poll)
+        assert stats.packets_offered == full_batches * feed_batch
+        assert stats.packets_processed == stats.packets_queued
+
+    def test_trailing_partial_batch_fed_when_flag_stays_low(self, small_workload):
+        _, packets = small_workload
+        pipeline = RuruPipeline(
+            config=PipelineConfig(num_queues=2), feed_batch=64
+        )
+        stats = pipeline.run_packets(packets, shutdown_flag=lambda: False)
+        assert stats.packets_offered == len(packets)

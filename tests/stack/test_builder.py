@@ -1,0 +1,117 @@
+"""The composition root: presets, derived traversals, validation."""
+
+import pytest
+
+from repro.faults.crashpoints import CRASH_POINTS
+from repro.obs import Telemetry
+from repro.stack import (
+    PRESETS,
+    StackBuilder,
+    build_chaos_stack,
+    build_durable_stack,
+    build_live_stack,
+    build_measure_stack,
+)
+from tests.durability.test_drain import EXPECTED_STAGES
+
+
+class TestPresets:
+    def test_preset_table_is_complete(self):
+        assert set(PRESETS) == {"measure", "live", "chaos", "durable"}
+
+    def test_measure_is_the_fast_path_only(self):
+        stack = build_measure_stack(queues=2)
+        assert stack.graph.names() == ["nic", "workers"]
+        assert stack.service is None
+        assert stack.injector is None
+
+    def test_live_has_the_full_dataflow_and_no_fault_machinery(self):
+        stack = build_live_stack(queues=2, frontend_hwm=100)
+        assert stack.graph.names() == ["nic", "workers", "mq", "analytics", "frontend"]
+        assert stack.injector is None
+        assert stack.resilience is None
+        assert stack.supervisor is None
+
+    def test_chaos_adds_injector_resilience_supervisor(self):
+        stack = build_chaos_stack("lossy-mq", seed=3, duration_s=0.5, rate=20)
+        assert stack.graph.names() == [
+            "nic", "workers", "mq", "analytics", "frontend", "telemetry",
+        ]
+        assert stack.injector is not None
+        assert stack.resilience is not None
+        assert stack.supervisor is not None
+        assert stack.profile.name == "lossy-mq"
+
+    def test_durable_closes_the_graph(self, tmp_path):
+        stack = build_durable_stack(str(tmp_path), duration_s=0.5, rate=20)
+        assert stack.graph.names() == [
+            "nic", "workers", "mq", "analytics", "anomaly", "topk",
+            "frontend", "telemetry", "tsdb", "checkpoint",
+        ]
+        assert stack.checkpointer is not None
+        assert stack.wal is not None
+
+
+class TestDerivedBehaviours:
+    def test_drain_order_is_derived_from_the_graph(self, tmp_path):
+        stack = build_durable_stack(str(tmp_path), duration_s=0.5, rate=20)
+        labels, final = stack.drain()
+        assert labels == EXPECTED_STAGES
+        assert final is not None
+
+    def test_checkpoint_payload_enumerates_every_stateful_stage(self, tmp_path):
+        stack = build_durable_stack(str(tmp_path), duration_s=0.5, rate=20)
+        state = stack.capture_state()
+        assert set(state) == {
+            "format", "meta", "pipeline", "service", "anomaly", "topk",
+            "frontend", "tsdb_meta", "tsdb_lines",
+        }
+
+    def test_fault_points_cover_every_stage_owned_crash_point(self, tmp_path):
+        stack = build_durable_stack(str(tmp_path), duration_s=0.5, rate=20)
+        protocol_only = {"drain.mid"}
+        assert set(stack.fault_points()) == set(CRASH_POINTS) - protocol_only
+
+    def test_load_state_rejects_unknown_format(self, tmp_path):
+        stack = build_durable_stack(str(tmp_path), duration_s=0.5, rate=20)
+        with pytest.raises(ValueError, match="unsupported state format"):
+            stack.load_state({"format": 99, "meta": {"queues": 2}})
+
+    def test_load_state_rejects_queue_mismatch(self, tmp_path):
+        stack = build_durable_stack(
+            str(tmp_path), duration_s=0.5, rate=20, queues=2
+        )
+        state = stack.capture_state()
+        state["meta"]["queues"] = 4
+        with pytest.raises(ValueError, match="built with 4 queues"):
+            stack.load_state(state)
+
+    def test_telemetry_stage_rides_the_graph(self):
+        telemetry = Telemetry()
+        stack = build_chaos_stack(
+            "clean", duration_s=0.5, rate=20, telemetry=telemetry
+        )
+        assert stack.graph.get("telemetry").telemetry is telemetry
+
+    def test_process_batch_runs_the_whole_graph(self, tmp_path):
+        stack = build_durable_stack(str(tmp_path), duration_s=1.0, rate=30)
+        batch = list(stack.packet_stream())
+        stack.process_batch(batch)
+        assert stack.pipeline.stats.packets_offered == len(batch)
+        assert stack.service.processed > 0
+        assert stack.frontend_received == stack.service.processed
+
+
+class TestBuilderValidation:
+    def test_unknown_anomaly_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown anomaly mode"):
+            StackBuilder().anomaly("sideways")
+
+    def test_durable_requires_analytics(self, tmp_path):
+        builder = StackBuilder().durable(str(tmp_path))
+        with pytest.raises(ValueError, match="requires analytics"):
+            builder.build()
+
+    def test_unknown_fault_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault profile"):
+            StackBuilder().faults("does-not-exist")

@@ -1,0 +1,68 @@
+"""Drift guard: all stack assembly must go through repro.stack.
+
+Any new code that constructs the core components directly — instead of
+going through the builder — silently forks the wiring and escapes the
+derived drain/checkpoint/fault orders. This test walks the source tree
+with the AST module so string mentions in docstrings or comments do not
+trip it; only real call sites count.
+"""
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+# Components whose construction implies stack assembly.
+GUARDED = {
+    "AnalyticsService",
+    "RuruPipeline",
+    "GeoDbBuilder",
+    "FaultyPushSocket",
+}
+
+# The composition root is the one place allowed to build them.
+ALLOWED = {SRC / "stack" / "builder.py"}
+
+
+def _called_name(call: ast.Call) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def guarded_call_sites():
+    sites = []
+    for path in sorted(SRC.rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                name = _called_name(node)
+                if name in GUARDED:
+                    sites.append((path, node.lineno, name))
+    return sites
+
+
+class TestNoDirectAssemblyOutsideStack:
+    def test_guarded_constructors_only_called_from_the_builder(self):
+        offenders = [
+            f"{path.relative_to(SRC)}:{lineno} calls {name}("
+            for path, lineno, name in guarded_call_sites()
+            if path not in ALLOWED
+        ]
+        assert not offenders, (
+            "direct stack assembly outside repro.stack.builder:\n  "
+            + "\n  ".join(offenders)
+        )
+
+    def test_the_builder_itself_still_assembles_the_stack(self):
+        """Keep the guard honest: if the components get renamed, the
+        allow-list and GUARDED set must be updated, not left stale."""
+        builder_calls = {
+            name
+            for path, _, name in guarded_call_sites()
+            if path in ALLOWED
+        }
+        assert builder_calls == GUARDED

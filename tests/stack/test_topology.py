@@ -1,0 +1,90 @@
+"""The declared topology is the single source of the dataflow shape."""
+
+import pytest
+
+from repro.faults.crashpoints import CRASH_POINTS
+from repro.stack.stage import Stage, StageGraph
+from repro.stack.topology import (
+    PROTOCOL_POINTS,
+    TOPOLOGY,
+    crash_points,
+    get_spec,
+    stage_names,
+)
+
+
+class TestTopology:
+    def test_stage_order_is_the_dataflow_order(self):
+        assert stage_names() == (
+            "nic",
+            "workers",
+            "mq",
+            "analytics",
+            "anomaly",
+            "topk",
+            "frontend",
+            "telemetry",
+            "tsdb",
+            "checkpoint",
+        )
+
+    def test_upstream_edges_point_backwards(self):
+        seen = set()
+        for spec in TOPOLOGY:
+            assert all(upstream in seen for upstream in spec.upstream)
+            seen.add(spec.name)
+
+    def test_get_spec_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown stage"):
+            get_spec("gpu")
+
+    def test_crash_point_table_is_derived_from_stages(self):
+        """The fault registry and the topology must agree exactly —
+        same points, same order, same descriptions."""
+        derived = crash_points()
+        assert derived == dict(CRASH_POINTS)
+        assert list(derived) == list(CRASH_POINTS)
+
+    def test_protocol_points_come_last(self):
+        names = list(crash_points())
+        assert names[-len(PROTOCOL_POINTS):] == [
+            point for point, _ in PROTOCOL_POINTS
+        ]
+
+    def test_every_crash_point_has_an_owner_or_is_protocol(self):
+        stage_owned = {
+            point for spec in TOPOLOGY for point, _ in spec.crash_points
+        }
+        protocol = {point for point, _ in PROTOCOL_POINTS}
+        assert stage_owned | protocol == set(CRASH_POINTS)
+        assert not stage_owned & protocol
+
+
+class TestStageGraphValidation:
+    def test_rejects_unknown_stage(self):
+        class Bogus(Stage):
+            def __init__(self):
+                pass
+
+            @property
+            def name(self):
+                return "gpu"
+
+        with pytest.raises(ValueError, match="not in the topology"):
+            StageGraph([Bogus()])
+
+    def test_rejects_out_of_topology_order(self):
+        workers = Stage(get_spec("workers"))
+        nic = Stage(get_spec("nic"))
+        with pytest.raises(ValueError, match="out of topology order"):
+            StageGraph([workers, nic])
+
+    def test_rejects_duplicate_stage(self):
+        with pytest.raises(ValueError, match="out of topology order"):
+            StageGraph([Stage(get_spec("nic")), Stage(get_spec("nic"))])
+
+    def test_accepts_any_ordered_subset(self):
+        graph = StageGraph(
+            [Stage(get_spec("nic")), Stage(get_spec("analytics"))]
+        )
+        assert graph.names() == ["nic", "analytics"]
