@@ -1,20 +1,91 @@
-"""Shared benchmark fixtures: canned workloads, reused across benches."""
+"""Shared benchmark fixtures: canned workloads + the resultset archive.
+
+Every bench session emits one schema-versioned resultset JSON (see
+:mod:`repro.obs.bench`), stamped with the git revision, platform and
+workload seed that produced it — so a bench number is never just a
+line in a scrollback buffer. Benches opt metrics in through the
+``bench_record`` fixture; the session hook writes the document either
+to ``$RURU_BENCH_OUT`` or to ``benchmarks/results/bench-<rev>.json``.
+
+``ruru perf compare benchmarks/baselines/seed.json <that file>`` then
+diffs the run against the committed baseline; CI does exactly that.
+"""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from repro.net.parser import PacketParser
+from repro.obs.bench import Resultset, collect_meta
 from repro.traffic.scenarios import AucklandLaScenario
 
 NS_PER_S = 1_000_000_000
+
+#: The canned workload's seed — stamped into every resultset so two
+#: archives are only compared when they measured the same traffic.
+WORKLOAD_SEED = 17
+
+_resultset: Resultset = None
+
+
+def pytest_configure(config):
+    global _resultset
+    _resultset = Resultset(
+        "bench",
+        meta=collect_meta(
+            seed=WORKLOAD_SEED,
+            config={
+                "workload": "auckland-la",
+                "duration_s": 10,
+                "mean_flows_per_s": 60,
+                "queues": 4,
+            },
+        ),
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _resultset is None:
+        return
+    out = os.environ.get("RURU_BENCH_OUT")
+    if not out:
+        rev = str(_resultset.meta.get("git_rev", "unknown"))[:12]
+        out = os.path.join(os.path.dirname(__file__), "results", f"bench-{rev}.json")
+    path = _resultset.write(out)
+    lines = [f"bench resultset archived: {path}"]
+    if not _resultset.metrics:
+        lines.append("  (no bench recorded a metric this session)")
+    reporter = session.config.pluginmanager.get_plugin("terminalreporter")
+    for line in lines:
+        if reporter is not None:
+            reporter.write_line(line)
+        else:  # pragma: no cover - no terminal plugin (e.g. xdist worker)
+            print(line)
+
+
+@pytest.fixture(scope="session")
+def bench_resultset() -> Resultset:
+    """The session's archive document (for stage-profile attachment)."""
+    return _resultset
+
+
+@pytest.fixture
+def bench_record(bench_resultset):
+    """``record(name, value, unit=..., higher_is_better=..., noise=...)``
+    into the session resultset."""
+    return bench_resultset.record
 
 
 @pytest.fixture(scope="session")
 def workload_10s():
     """~10 s of flat-rate Auckland–LA traffic (generator, packets)."""
     generator = AucklandLaScenario(
-        duration_ns=10 * NS_PER_S, mean_flows_per_s=60, seed=17, diurnal=False
+        duration_ns=10 * NS_PER_S,
+        mean_flows_per_s=60,
+        seed=WORKLOAD_SEED,
+        diurnal=False,
     ).build(keep_specs=True)
     return generator, generator.packet_list()
 

@@ -17,7 +17,7 @@ from repro.tsdb.query import Query
 
 
 class TestFullPipeline:
-    def test_bench_measurement_fast_path(self, benchmark, workload_10s):
+    def test_bench_measurement_fast_path(self, benchmark, workload_10s, bench_record):
         """DPDK stage only: NIC -> RSS -> workers -> records."""
         _, packets = workload_10s
 
@@ -28,10 +28,19 @@ class TestFullPipeline:
         stats = benchmark(run)
         assert stats.nic_drops == 0
         rate = stats.packets_offered / benchmark.stats["mean"]
+        bench_record(
+            "pipeline.fast_path.packets_per_s", rate,
+            unit="packets/s", higher_is_better=True, noise=0.25,
+        )
+        bench_record(
+            "pipeline.fast_path.measurements_per_s",
+            stats.measurements / benchmark.stats["mean"],
+            unit="measurements/s", higher_is_better=True, noise=0.25,
+        )
         print(f"\nE2: fast path {rate:,.0f} packets/s, "
               f"{stats.measurements / benchmark.stats['mean']:,.0f} measurements/s")
 
-    def test_bench_whole_deployment(self, benchmark, workload_10s):
+    def test_bench_whole_deployment(self, benchmark, workload_10s, bench_record):
         """Everything in Fig 2, including analytics and fan-out."""
         generator, packets = workload_10s
 
@@ -56,5 +65,9 @@ class TestFullPipeline:
         assert tsdb_count == stats.measurements
         assert len(frontend) == stats.measurements
         rate = stats.packets_offered / benchmark.stats["mean"]
+        bench_record(
+            "pipeline.whole_deployment.packets_per_s", rate,
+            unit="packets/s", higher_is_better=True, noise=0.25,
+        )
         print(f"\nE2: whole deployment {rate:,.0f} packets/s end-to-end "
               f"({stats.measurements} measurements to TSDB + frontend)")

@@ -14,7 +14,16 @@ Subcommands mirror how the deployed system is operated:
 * ``ruru query`` — execute an InfluxQL-style query against an exported
   line-protocol file.
 * ``ruru metrics`` — run a workload with full telemetry and print the
-  Prometheus text exposition of every pipeline/mq/analytics metric.
+  Prometheus text exposition of every pipeline/mq/analytics metric,
+  plus the SLO verdicts (``--slo-gate`` turns violations into a
+  non-zero exit).
+* ``ruru prof`` — per-stage profile of the live stack derived from the
+  stage graph: wall/cpu/virtual accounting, packets/s and ns/packet
+  per stage, sampled call attribution, collapsed-stack export for
+  flamegraphs.
+* ``ruru perf`` — benchmark resultset archive tools: ``compare`` two
+  schema-versioned resultset JSONs with noise-aware thresholds (the CI
+  perf-regression gate), ``show`` one.
 * ``ruru chaos`` — replay a workload under a named fault profile with
   the resilience layer active, and report fault counts, the count
   conservation check, breaker episodes and recovery times.
@@ -141,8 +150,13 @@ def cmd_measure(args) -> int:
         print(record)
     if len(pipeline.measurements) > args.show:
         print(f"... and {len(pipeline.measurements) - args.show} more")
+    slo_results = None
+    if telemetry is not None:
+        from repro.obs.slo import evaluate_slos
+
+        slo_results = evaluate_slos(telemetry.registry)
     print("--- pipeline stats ---")
-    for key, value in stats.summary().items():
+    for key, value in stats.summary(slo_results=slo_results).items():
         print(f"{key:>20}: {value}")
     print(f"{'queue balance':>20}: "
           + ", ".join(f"{share:.2%}" for share in pipeline.queue_balance()))
@@ -284,6 +298,8 @@ def cmd_export(args) -> int:
 
 def cmd_metrics(args) -> int:
     """Run the workload fully instrumented; print the exposition text."""
+    from repro.obs.slo import DEFAULT_SLOS, evaluate_slos, slos_from_dict
+
     generator = _build_generator(args)
     telemetry = Telemetry()
     stack = build_live_stack(
@@ -297,7 +313,100 @@ def cmd_metrics(args) -> int:
     service.finish()
     telemetry.flush(pipeline.clock.now_ns)
     print(telemetry.registry.exposition(), end="")
+    slos = DEFAULT_SLOS
+    if args.slo_config:
+        import json
+
+        with open(args.slo_config, "r", encoding="utf-8") as handle:
+            slos = slos_from_dict(json.load(handle))
+    results = evaluate_slos(telemetry.registry, slos)
+    print("--- slo ---")
+    for result in results:
+        print(result.render())
+    if args.slo_gate and any(not result.ok for result in results):
+        return 1
     return 0
+
+
+def cmd_prof(args) -> int:
+    """Profile every stage of the live stack over a workload.
+
+    The profiler hangs off the stage graph, so the table below covers
+    exactly the stages the live preset assembles — adding a stage to
+    the topology adds a row here, with no extra wiring.
+    """
+    from repro.obs.slo import evaluate_slos
+
+    generator = _build_generator(args)
+    telemetry = Telemetry()
+    profiler = telemetry.enable_profiler(sample_every=args.sample)
+    stack = build_live_stack(
+        generator=generator,
+        queues=args.queues,
+        telemetry=telemetry,
+        frontend_hwm=10_000,
+    )
+    pipeline = stack.pipeline
+    batch = []
+    for packet in stack.packet_stream():
+        batch.append(packet)
+        if len(batch) >= pipeline.feed_batch:
+            stack.process_batch(batch)
+            batch.clear()
+    stack.process_batch(batch)
+    stack.drain()
+    print(profiler.render(top_calls=args.top))
+    if stack.slo_results:
+        print("--- slo ---")
+        for result in stack.slo_results:
+            print(result.render())
+    if args.collapsed:
+        with open(args.collapsed, "w", encoding="utf-8") as handle:
+            handle.write(profiler.collapsed())
+        print(f"wrote collapsed stacks to {args.collapsed} "
+              f"(pipe into flamegraph.pl)")
+    if args.json:
+        import json
+
+        from repro.obs.bench import collect_meta
+
+        document = {
+            "meta": collect_meta(
+                seed=args.seed,
+                config={"queues": args.queues, "rate": args.rate,
+                        "duration_s": args.duration},
+            ),
+            "stage_profile": profiler.summary(),
+            "batches": profiler.batches,
+            "batches_sampled": profiler.batches_sampled,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote profile JSON to {args.json}")
+    return 0
+
+
+def cmd_perf(args) -> int:
+    """Benchmark resultset archive tools (``ruru perf <compare|show>``)."""
+    from repro.obs.bench import compare, load_resultset
+
+    if args.perf_cmd == "show":
+        resultset = load_resultset(args.file)
+        meta = resultset.meta
+        print(f"{resultset.name} @ {str(meta.get('git_rev', '?'))[:12]}")
+        print(f"platform: {meta.get('platform', '?')}  "
+              f"python {meta.get('python', '?')}  seed {meta.get('seed')}")
+        for name in sorted(resultset.metrics):
+            entry = resultset.metrics[name]
+            unit = f" {entry['unit']}" if entry.get("unit") else ""
+            print(f"  {name:<42} {entry['value']:,.3f}{unit}")
+        return 0
+    baseline = load_resultset(args.baseline)
+    current = load_resultset(args.current)
+    report = compare(baseline, current, threshold=args.threshold)
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def _add_chaos_args(parser: argparse.ArgumentParser) -> None:
@@ -615,7 +724,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a workload with telemetry and print the Prometheus exposition",
     )
     _add_workload_args(p_metrics)
+    p_metrics.add_argument(
+        "--slo-gate", action="store_true",
+        help="exit non-zero when any SLO is violated",
+    )
+    p_metrics.add_argument(
+        "--slo-config",
+        help="JSON file of declarative SLOs (replaces the default set)",
+    )
     p_metrics.set_defaults(func=cmd_metrics)
+
+    p_prof = subparsers.add_parser(
+        "prof",
+        help="per-stage profile of the live stack (wall/cpu/virtual, "
+             "sampled call attribution, collapsed-stack export)",
+    )
+    _add_workload_args(p_prof)
+    p_prof.add_argument(
+        "--sample", type=int, default=16,
+        help="attribute calls on every Nth feed batch (0 disables)",
+    )
+    p_prof.add_argument("--top", type=int, default=10,
+                        help="hot call sites to print")
+    p_prof.add_argument(
+        "--collapsed",
+        help="write flamegraph-compatible collapsed stacks to this file",
+    )
+    p_prof.add_argument("--json", help="write the profile summary JSON here")
+    p_prof.set_defaults(func=cmd_prof)
+
+    p_perf = subparsers.add_parser(
+        "perf", help="benchmark resultset archive: compare or show runs"
+    )
+    perf_sub = p_perf.add_subparsers(dest="perf_cmd", required=True)
+    p_compare = perf_sub.add_parser(
+        "compare", help="diff two resultsets with noise-aware thresholds"
+    )
+    p_compare.add_argument("baseline", help="baseline resultset JSON")
+    p_compare.add_argument("current", help="current resultset JSON")
+    p_compare.add_argument(
+        "--threshold", type=float, default=0.15,
+        help="tolerated fractional change before a delta is real",
+    )
+    p_compare.set_defaults(func=cmd_perf)
+    p_show = perf_sub.add_parser("show", help="print one resultset")
+    p_show.add_argument("file", help="resultset JSON")
+    p_show.set_defaults(func=cmd_perf)
 
     p_dump = subparsers.add_parser(
         "dump", help="print packets tcpdump-style"

@@ -88,12 +88,14 @@ class PipelineStats:
         """Latency records emitted across all workers."""
         return self.tracker.measurements
 
-    def summary(self) -> Dict[str, float]:
+    def summary(self, slo_results=None) -> Dict[str, float]:
         """Flat dict for printing in benches and the CLI.
 
         Parse-error reasons appear as ``parse_error.<reason>`` keys and
         RSS balance as ``queue_share.q<n>`` keys, so a drop at any
-        stage is attributable straight from the printout.
+        stage is attributable straight from the printout. When a list
+        of evaluated :class:`~repro.obs.slo.SloResult` is passed, each
+        objective lands as a ``slo.<name>`` verdict row.
         """
         summary: Dict[str, float] = {
             "packets_offered": self.packets_offered,
@@ -114,6 +116,12 @@ class PipelineStats:
             summary[f"parse_error.{reason}"] = self.parse_error_reasons[reason]
         for queue_id, share in enumerate(self.queue_share):
             summary[f"queue_share.q{queue_id}"] = round(share, 4)
+        if slo_results:
+            # Imported lazily: repro.obs.slo is optional surface, the
+            # core stats module stays dependency-light.
+            from repro.obs.slo import summarize_slos
+
+            summary.update(summarize_slos(slo_results))
         return summary
 
     def state_dict(self) -> Dict:

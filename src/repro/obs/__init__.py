@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.obs.exporter import DEFAULT_EXPORT_INTERVAL_NS, TelemetryExporter
+from repro.obs.prof import DEFAULT_CALL_SAMPLE, StageProfile, StageProfiler
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -40,9 +41,12 @@ __all__ = [
     "MetricFamily",
     "MetricsRegistry",
     "Span",
+    "StageProfile",
+    "StageProfiler",
     "Tracer",
     "Telemetry",
     "TelemetryExporter",
+    "DEFAULT_CALL_SAMPLE",
     "DEFAULT_EXPORT_INTERVAL_NS",
 ]
 
@@ -69,7 +73,18 @@ class Telemetry:
             detail_sample=detail_sample,
         )
         self.exporter: Optional[TelemetryExporter] = None
+        self.profiler: Optional[StageProfiler] = None
         self.clock = clock
+
+    def enable_profiler(
+        self, sample_every: int = DEFAULT_CALL_SAMPLE
+    ) -> StageProfiler:
+        """Attach a stage profiler (idempotent); the stack builder
+        binds it to the assembled stage graph and the registry."""
+        if self.profiler is None:
+            self.profiler = StageProfiler(sample_every=sample_every)
+            self.profiler.bind_registry(self.registry)
+        return self.profiler
 
     def bind_clock(self, clock) -> None:
         """Adopt *clock*; a no-op if one is already bound."""

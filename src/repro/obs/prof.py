@@ -1,0 +1,389 @@
+"""Per-stage performance profiling, derived from the stage graph.
+
+The paper's claim is *continuous* line-rate visibility, and the
+roadmap's next two items (vectorized hot path, sharded runtime) are
+both performance claims — so the stack needs a profiler that can prove
+them. :class:`StageProfiler` hangs off the
+:class:`~repro.stack.stage.StageGraph` traversal: the graph times every
+stage's ``process`` hook itself, which means **every assembled stage is
+profiled automatically** — adding a stage to the topology adds it to
+the profile, with no per-stage wiring anywhere.
+
+Three accounting planes per stage:
+
+* **wall** — ``time.perf_counter_ns`` around the stage's slice of each
+  feed batch (what operators pay);
+* **cpu** — ``time.process_time_ns``, so wall-clock waits do not count
+  (the plane the CI perf gates compare);
+* **virtual** — the stage's advance of the pipeline's virtual clock,
+  which is fully deterministic and replays byte-identically.
+
+On top of the per-stage totals, a *sampled call attributor* runs a
+``sys.setprofile`` hook on every Nth feed batch and folds self-time
+per Python call stack, prefixed with the owning stage name. A Python
+hook pays dispatch on every call *and every C call*, so a fully
+hooked batch runs ~10× slower — the attributor therefore hooks only
+**one stage per sampled batch**, rotating through the stage order, so
+the cost amortizes to ~(1/N) × one stage's share while every stage
+still gets attributed over time. The result exports in
+collapsed-stack (Brendan Gregg flamegraph) format via
+:meth:`StageProfiler.collapsed`, so ``ruru prof --collapsed out.txt``
+pipes straight into ``flamegraph.pl``. Sampling and rotation are by
+deterministic batch count, never by timer, so two identical runs
+attribute the same batches and the same stages.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["StageProfile", "StageProfiler", "DEFAULT_CALL_SAMPLE"]
+
+#: Attribute calls on every Nth feed batch by default; 0 disables the
+#: call sampler (stage-level accounting still runs).
+DEFAULT_CALL_SAMPLE = 16
+
+#: Frames deeper than this fold into their ancestor (bounds hook cost
+#: and keeps collapsed stacks readable).
+MAX_STACK_DEPTH = 24
+
+#: Pseudo-stage for call events seen outside any stage timer — almost
+#: entirely the profiler's own bookkeeping, so exports filter it.
+_BETWEEN = "(between stages)"
+
+
+class StageProfile:
+    """Accumulated cost of one stage across every profiled batch."""
+
+    __slots__ = ("name", "calls", "wall_ns", "cpu_ns", "virtual_ns", "items")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.calls = 0
+        self.wall_ns = 0
+        self.cpu_ns = 0
+        self.virtual_ns = 0
+        self.items = 0
+
+    @property
+    def packets_per_s(self) -> float:
+        """Batch items over wall time (0 when nothing ran)."""
+        if self.wall_ns <= 0:
+            return 0.0
+        return self.items / (self.wall_ns / 1e9)
+
+    @property
+    def ns_per_packet(self) -> float:
+        """Wall cost per batch item (0 when no items flowed)."""
+        if self.items <= 0:
+            return 0.0
+        return self.wall_ns / self.items
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "calls": self.calls,
+            "wall_ns": self.wall_ns,
+            "cpu_ns": self.cpu_ns,
+            "virtual_ns": self.virtual_ns,
+            "items": self.items,
+            "packets_per_s": round(self.packets_per_s, 3),
+            "ns_per_packet": round(self.ns_per_packet, 3),
+        }
+
+
+class _StageTimer:
+    """Context manager accounting one stage's slice of one batch."""
+
+    __slots__ = (
+        "profiler", "profile", "items", "now_fn",
+        "_wall0", "_cpu0", "_virt0", "_hooked",
+    )
+
+    def __init__(
+        self,
+        profiler: "StageProfiler",
+        profile: StageProfile,
+        items: int,
+        now_fn: Optional[Callable[[], int]] = None,
+    ):
+        self.profiler = profiler
+        self.profile = profile
+        self.items = items
+        self.now_fn = now_fn
+
+    def __enter__(self) -> "_StageTimer":
+        profiler = self.profiler
+        profiler._current_stage = self.profile.name
+        index = profiler._stage_index
+        profiler._stage_index = index + 1
+        self._hooked = profiler._batch_sampled and index == profiler._target_index
+        if self._hooked:
+            profiler._hook_stack.clear()
+            sys.setprofile(profiler._hook)
+        self._virt0 = self.now_fn() if self.now_fn is not None else 0
+        self._wall0 = profiler._wall()
+        self._cpu0 = profiler._cpu()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        profiler = self.profiler
+        profile = self.profile
+        if self._hooked:
+            sys.setprofile(None)
+            profiler._drain_hook_stack()
+        profile.wall_ns += profiler._wall() - self._wall0
+        profile.cpu_ns += profiler._cpu() - self._cpu0
+        if self.now_fn is not None:
+            profile.virtual_ns += self.now_fn() - self._virt0
+        profile.calls += 1
+        profile.items += self.items
+        profiler._current_stage = None
+
+
+class StageProfiler:
+    """Stage-graph-derived cycle/wall profiler with sampled attribution.
+
+    Args:
+        sample_every: run the call attributor on every Nth batch
+            (deterministic batch count; 0 disables attribution).
+        wall: injectable wall-clock source in ns (tests pass a fake so
+            accounting itself is checked deterministically).
+        cpu: injectable CPU-clock source in ns.
+    """
+
+    def __init__(
+        self,
+        sample_every: int = DEFAULT_CALL_SAMPLE,
+        wall: Callable[[], int] = time.perf_counter_ns,
+        cpu: Callable[[], int] = time.process_time_ns,
+    ):
+        if sample_every < 0:
+            raise ValueError("sample_every cannot be negative")
+        self.sample_every = sample_every
+        self._wall = wall
+        self._cpu = cpu
+        self.stages: Dict[str, StageProfile] = {}
+        self.batches = 0
+        self.batches_sampled = 0
+        self._current_stage: Optional[str] = None
+        # (stage, frame, frame, ...) -> accumulated self-time ns from
+        # sampled batches only.
+        self.call_self_ns: Dict[Tuple[str, ...], int] = {}
+        # Inclusive sampled ns per stage, to subtract from the stage
+        # root line of the collapsed export (avoids double counting).
+        self._sampled_inclusive_ns: Dict[str, int] = {}
+        self._hook_stack: List[list] = []
+        # code object -> rendered frame name; formatting the name on
+        # every call event would dominate the hook's cost.
+        self._code_names: Dict[object, str] = {}
+        # Rotation state: a sampled batch hooks exactly one stage (by
+        # position in the traversal), cycling so attribution covers
+        # the whole graph over successive sampled batches.
+        self._batch_sampled = False
+        self._stage_index = 0
+        self._target_index = 0
+        self._last_batch_stages = 0
+
+    # -- accounting hooks (driven by StageGraph) -----------------------------
+
+    def stage(self, name: str, items: int = 0, now_fn=None) -> _StageTimer:
+        """Time one stage's slice of the current batch.
+
+        ``now_fn`` (when given) reads the pipeline's virtual clock, so
+        the stage's deterministic virtual-time advance is accounted
+        alongside the wall/cpu planes.
+        """
+        profile = self.stages.get(name)
+        if profile is None:
+            profile = self.stages[name] = StageProfile(name)
+        return _StageTimer(self, profile, items, now_fn)
+
+    def batch_begin(self) -> bool:
+        """Count one feed batch; True when this batch is call-sampled.
+
+        On a sampled batch the attributor picks its target stage by
+        rotating ``batches_sampled`` through the stage count observed
+        on the previous batch; the stage timers install the hook when
+        the target's turn comes.
+        """
+        self.batches += 1
+        self._stage_index = 0
+        if self.sample_every and self.batches % self.sample_every == 0:
+            self.batches_sampled += 1
+            self._batch_sampled = True
+            stages = self._last_batch_stages
+            self._target_index = (
+                (self.batches_sampled - 1) % stages if stages > 0 else 0
+            )
+            return True
+        self._batch_sampled = False
+        return False
+
+    def batch_end(self, sampled: bool) -> None:
+        """Close the batch opened by :meth:`batch_begin`."""
+        self._last_batch_stages = self._stage_index
+        self._batch_sampled = False
+        if sampled and sys.getprofile() is self._hook:  # pragma: no cover
+            sys.setprofile(None)  # timer misuse safety net
+
+    # -- sampled call attribution --------------------------------------------
+
+    def _hook(self, frame, event, arg) -> None:
+        # The interpreter calls this for *every* call/return — including
+        # c_call/c_return, which the hot path fires constantly — so the
+        # non-Python events must bail on the first comparison.
+        if event == "call":
+            stack = self._hook_stack
+            if len(stack) >= MAX_STACK_DEPTH:
+                return
+            code = frame.f_code
+            name = self._code_names.get(code)
+            if name is None:
+                name = f"{code.co_name} ({code.co_filename.rsplit('/', 1)[-1]})"
+                self._code_names[code] = name
+            # [name, start_ns, child_inclusive_ns]
+            stack.append([name, self._wall(), 0])
+        elif event == "return" and self._hook_stack:
+            now = self._wall()
+            name, start, child_ns = self._hook_stack.pop()
+            inclusive = now - start
+            stage = self._current_stage or _BETWEEN
+            key = (stage,) + tuple(entry[0] for entry in self._hook_stack) + (name,)
+            self.call_self_ns[key] = (
+                self.call_self_ns.get(key, 0) + max(0, inclusive - child_ns)
+            )
+            if self._hook_stack:
+                self._hook_stack[-1][2] += inclusive
+            else:
+                self._sampled_inclusive_ns[stage] = (
+                    self._sampled_inclusive_ns.get(stage, 0) + inclusive
+                )
+
+    def _drain_hook_stack(self) -> None:
+        # Frames still open when sampling stops (the hook installer's
+        # own callers) close at the stop time.
+        while self._hook_stack:
+            name, start, child_ns = self._hook_stack.pop()
+            inclusive = self._wall() - start
+            stage = self._current_stage or _BETWEEN
+            key = (stage,) + tuple(e[0] for e in self._hook_stack) + (name,)
+            self.call_self_ns[key] = (
+                self.call_self_ns.get(key, 0) + max(0, inclusive - child_ns)
+            )
+            if self._hook_stack:
+                self._hook_stack[-1][2] += inclusive
+
+    # -- read-out ------------------------------------------------------------
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-stage accounting, in stage-first-seen order."""
+        return {name: profile.as_dict() for name, profile in self.stages.items()}
+
+    def total_wall_ns(self) -> int:
+        return sum(profile.wall_ns for profile in self.stages.values())
+
+    def collapsed(self) -> str:
+        """Collapsed-stack export (``a;b;c <microseconds>`` per line).
+
+        Stage totals form the first level under the ``ruru`` root;
+        sampled call stacks nest under their stage. The sampled
+        inclusive time is subtracted from the stage's own line so the
+        flamegraph column widths still sum to the measured wall total.
+        """
+        lines = []
+        for name, profile in self.stages.items():
+            sampled = self._sampled_inclusive_ns.get(name, 0)
+            self_us = max(0, profile.wall_ns - sampled) // 1000
+            lines.append(f"ruru;{_frame(name)} {max(1, self_us)}")
+        for key in sorted(self.call_self_ns):
+            if key[0] == _BETWEEN:
+                continue
+            self_ns = self.call_self_ns[key]
+            us = self_ns // 1000
+            if us <= 0:
+                continue
+            lines.append("ruru;" + ";".join(_frame(part) for part in key) + f" {us}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def render(self, top_calls: int = 10) -> str:
+        """Human-readable profile table plus the hottest call sites."""
+        header = (
+            f"{'stage':<12} {'calls':>8} {'wall ms':>10} {'cpu ms':>10} "
+            f"{'virt ms':>10} {'packets':>10} {'pkt/s':>12} {'ns/pkt':>10}"
+        )
+        rows = [header, "-" * len(header)]
+        for profile in sorted(
+            self.stages.values(), key=lambda p: p.wall_ns, reverse=True
+        ):
+            rows.append(
+                f"{profile.name:<12} {profile.calls:>8} "
+                f"{profile.wall_ns / 1e6:>10.2f} {profile.cpu_ns / 1e6:>10.2f} "
+                f"{profile.virtual_ns / 1e6:>10.2f} {profile.items:>10} "
+                f"{profile.packets_per_s:>12,.0f} {profile.ns_per_packet:>10.0f}"
+            )
+        hot = sorted(
+            (item for item in self.call_self_ns.items() if item[0][0] != _BETWEEN),
+            key=lambda kv: kv[1],
+            reverse=True,
+        )
+        if hot:
+            rows.append("")
+            rows.append(
+                f"hot call sites (sampled, every {self.sample_every} batches, "
+                f"{self.batches_sampled}/{self.batches} batches attributed):"
+            )
+            for key, self_ns in hot[:top_calls]:
+                rows.append(f"  {self_ns / 1e6:>9.2f} ms  {' > '.join(key)}")
+        return "\n".join(rows)
+
+    # -- registry binding ----------------------------------------------------
+
+    def bind_registry(self, registry) -> None:
+        """Publish per-stage gauges through a shared metrics registry."""
+        wall = registry.counter(
+            "ruru_stage_wall_ns_total",
+            help="Wall time spent inside each stage's process hook.",
+            labels=("stage",),
+        )
+        cpu = registry.counter(
+            "ruru_stage_cpu_ns_total",
+            help="CPU time spent inside each stage's process hook.",
+            labels=("stage",),
+        )
+        calls = registry.counter(
+            "ruru_stage_calls_total",
+            help="Feed batches each stage processed.",
+            labels=("stage",),
+        )
+        rate = registry.gauge(
+            "ruru_stage_packets_per_s",
+            help="Batch items over wall time, per stage.",
+            labels=("stage",),
+        )
+        cost = registry.gauge(
+            "ruru_stage_cost_ns_per_packet",
+            help="Wall cost per batch item, per stage.",
+            labels=("stage",),
+        )
+        sampled = registry.counter(
+            "ruru_prof_batches_sampled_total",
+            help="Feed batches run under the call attributor.",
+        )
+
+        def collect() -> None:
+            for name, profile in self.stages.items():
+                wall.labels(name).value = profile.wall_ns
+                cpu.labels(name).value = profile.cpu_ns
+                calls.labels(name).value = profile.calls
+                rate.labels(name).set(round(profile.packets_per_s, 3))
+                cost.labels(name).set(round(profile.ns_per_packet, 3))
+            sampled.value = self.batches_sampled
+
+        registry.register_collector(collect)
+
+
+def _frame(text: str) -> str:
+    """Sanitize one collapsed-stack frame (separators would split it)."""
+    return text.replace(";", ":").replace(" ", "_")

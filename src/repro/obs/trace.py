@@ -133,6 +133,23 @@ class Tracer:
             buckets=DEFAULT_DURATION_BUCKETS_NS,
         )
         self._duration_children.clear()
+        # Ring-buffer eviction is sampling loss: spans that fell out
+        # of the flight recorder before anyone read them. Publishing
+        # the count makes that loss visible instead of silent.
+        started = registry.counter(
+            "ruru_trace_spans_started_total",
+            help="Spans opened by the tracer.",
+        )
+        dropped = registry.counter(
+            "ruru_trace_spans_dropped_total",
+            help="Root spans evicted from the trace ring before read-out.",
+        )
+
+        def collect() -> None:
+            started.value = self.spans_started
+            dropped.value = self.spans_dropped
+
+        registry.register_collector(collect)
 
     def bind_clock(self, clock) -> None:
         """Adopt *clock* as the time source (pipeline construction)."""

@@ -47,6 +47,7 @@ from repro.faults.profiles import FaultProfile, get_profile
 from repro.geo.builder import GeoDbBuilder
 from repro.mq.socket import Context
 from repro.obs import Telemetry
+from repro.obs.slo import DEFAULT_SLOS, evaluate_slos
 from repro.resilience import ResilienceLayer, Supervisor
 from repro.stack.stage import StageContext, StageGraph
 from repro.stack.stages import (
@@ -95,6 +96,10 @@ class RuruStack:
         self.recovered_from: Optional[CheckpointInfo] = None
         self.recovery_count = 0
         self.last_lost_at_crash = 0
+        # Objectives checked at drain time (see drain()); assemblies
+        # can replace the default set before draining.
+        self.slos = DEFAULT_SLOS
+        self.slo_results: List = []
 
     # -- clocks and boundaries ----------------------------------------------
 
@@ -141,10 +146,15 @@ class RuruStack:
 
         Returns the performed stage labels (in traversal order) and
         the final clean checkpoint, if a checkpoint stage is present.
+        With telemetry attached, the stack's SLOs are evaluated against
+        the registry once the drain completes (every bridged counter is
+        final by then) and kept on :attr:`slo_results`.
         """
         labels = self.graph.drain(self._context())
         checkpoint_stage = self.graph.get("checkpoint")
         final = checkpoint_stage.last_clean if checkpoint_stage else None
+        if self.telemetry is not None:
+            self.slo_results = evaluate_slos(self.telemetry.registry, self.slos)
         return labels, final
 
     # -- checkpoint capture/restore -----------------------------------------
@@ -517,6 +527,11 @@ class StackBuilder:
             checkpoint_stage.stack = stack
         if telemetry is not None:
             stack.graph.bind_telemetry(telemetry.registry, telemetry.tracer)
+            if telemetry.profiler is not None:
+                # Profiling is a graph concern: the graph times every
+                # assembled stage itself, so the profile surface stays
+                # derived from the topology.
+                stack.graph.bind_profiler(telemetry.profiler)
         return stack
 
 

@@ -126,6 +126,7 @@ class StageGraph:
                 )
             last = index
         self.stages: List[Stage] = list(stages)
+        self._profiler = None
 
     def __iter__(self) -> Iterator[Stage]:
         return iter(self.stages)
@@ -144,10 +145,31 @@ class StageGraph:
 
     # -- derived traversals --------------------------------------------------
 
+    def bind_profiler(self, profiler) -> None:
+        """Attach a :class:`~repro.obs.prof.StageProfiler`.
+
+        The graph itself times every stage's ``process`` slice, so the
+        profile surface is *derived from the topology*: any stage an
+        assembly includes is profiled, with no per-stage hook code.
+        """
+        self._profiler = profiler
+
     def process(self, ctx: StageContext) -> None:
         """One feed batch end to end, in dataflow order."""
-        for stage in self.stages:
-            stage.process(ctx)
+        profiler = self._profiler
+        if profiler is None:
+            for stage in self.stages:
+                stage.process(ctx)
+            return
+        items = len(ctx.batch)
+        now_fn = ctx._now_fn
+        sampled = profiler.batch_begin()
+        try:
+            for stage in self.stages:
+                with profiler.stage(stage.name, items=items, now_fn=now_fn):
+                    stage.process(ctx)
+        finally:
+            profiler.batch_end(sampled)
 
     def drain(self, ctx: StageContext) -> List[str]:
         """The graceful drain protocol: traverse in dependency order,

@@ -91,3 +91,59 @@ class TestTelemetryBundle:
     def test_tick_without_exporter_is_noop(self):
         assert Telemetry().tick(0) == 0
         assert Telemetry().flush(0) == 0
+
+
+class TestEdgeCases:
+    def test_empty_registry_scrape_writes_nothing(self):
+        tsdb = TimeSeriesDatabase()
+        exporter = TelemetryExporter(MetricsRegistry(), tsdb)
+        assert exporter.export(now_ns=0) == 0
+        assert tsdb.measurements() == []
+        assert exporter.exports == 1  # the (empty) export still counted
+
+    def test_zero_observation_histogram_exports_zero_counts(self):
+        registry = MetricsRegistry()
+        registry.histogram("ruru_empty_ns", buckets=(10, 100))
+        tsdb = TimeSeriesDatabase()
+        TelemetryExporter(registry, tsdb).export(now_ns=0)
+        assert tsdb.query(Query("ruru_empty_ns", "count", "last")).scalar() == 0
+        assert tsdb.query(Query("ruru_empty_ns", "sum", "last")).scalar() == 0
+
+    def test_concurrent_scrape_during_mutation(self):
+        """Scrapes racing metric updates (the checkpoint path snapshots
+        state while stages keep counting) must never crash or observe
+        torn families."""
+        import threading
+
+        registry = MetricsRegistry()
+        tsdb = TimeSeriesDatabase()
+        exporter = TelemetryExporter(registry, tsdb)
+        events = registry.counter("ruru_events_total", labels=("kind",))
+        errors = []
+        stop = threading.Event()
+
+        def scrape():
+            while not stop.is_set():
+                try:
+                    exporter.export(now_ns=0)
+                    registry.exposition()
+                    registry.snapshot()
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+                    return
+
+        thread = threading.Thread(target=scrape)
+        thread.start()
+        try:
+            for index in range(2000):
+                events.labels(f"kind{index % 50}").inc()
+        finally:
+            stop.set()
+            thread.join(timeout=30)
+        assert not errors
+        registry.collect()
+        total = sum(
+            child.value
+            for _, child in registry.family("ruru_events_total").samples()
+        )
+        assert total == 2000

@@ -73,3 +73,67 @@ class TestExposition:
         registry = MetricsRegistry()
         registry.gauge("share").set(0.25)
         assert "share 0.25" in registry.exposition()
+
+
+def _parse_labels(line):
+    """Parse one exposition line's label block back into a dict,
+    honouring the text-format escapes (\\\\, \\", \\n)."""
+    import re
+
+    body = line[line.index("{") + 1 : line.rindex("}")]
+    labels = {}
+    for match in re.finditer(r'(\w+)="((?:\\.|[^"\\])*)"', body):
+        raw = match.group(2)
+        value = (
+            raw.replace("\\\\", "\x00")
+            .replace('\\"', '"')
+            .replace("\\n", "\n")
+            .replace("\x00", "\\")
+        )
+        labels[match.group(1)] = value
+    return labels
+
+
+class TestEscapingRoundTrip:
+    """Regression net for the label escaping rules: every value a
+    scraper could parse back must equal what was recorded."""
+
+    HOSTILE = [
+        'plain',
+        'with "quotes"',
+        "back\\slash",
+        "new\nline",
+        'all \\ of " them \n at once',
+        "trailing backslash \\",
+        '{"json": "value"}',
+    ]
+
+    def test_hostile_values_round_trip(self):
+        registry = MetricsRegistry()
+        family = registry.counter("x_total", labels=("reason",))
+        for value in self.HOSTILE:
+            family.labels(value).inc()
+        lines = [
+            line
+            for line in registry.exposition().splitlines()
+            if line.startswith("x_total{")
+        ]
+        assert len(lines) == len(self.HOSTILE)
+        parsed = [_parse_labels(line)["reason"] for line in lines]
+        assert parsed == self.HOSTILE
+
+    def test_escaped_lines_stay_single_line(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", labels=("r",)).labels("a\nb\nc").inc()
+        exposition = registry.exposition()
+        for line in exposition.splitlines():
+            if line.startswith("x_total{"):
+                assert '\\n' in line
+
+    def test_histogram_label_values_escaped_too(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h_ns", labels=("stage",), buckets=(10,))
+        hist.labels('s"1"').observe(5)
+        for line in registry.exposition().splitlines():
+            if "h_ns" in line and "{" in line:
+                assert '\\"' in line

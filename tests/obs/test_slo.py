@@ -1,0 +1,169 @@
+"""Declarative SLO evaluation against the metrics registry."""
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    Slo,
+    evaluate_slos,
+    slos_from_dict,
+    summarize_slos,
+)
+
+
+def ratio_slo(bound=0.01, kind="max"):
+    return Slo(
+        name="drop-rate",
+        description="drops per offered frame",
+        source=("ratio", "drops_total", "offered_total"),
+        bound=bound,
+        kind=kind,
+    )
+
+
+class TestEvaluation:
+    def test_ratio_within_bound_is_ok(self):
+        registry = MetricsRegistry()
+        registry.counter("offered_total").inc(1000)
+        registry.counter("drops_total").inc(5)
+        (result,) = evaluate_slos(registry, [ratio_slo()])
+        assert result.status == "ok"
+        assert result.observed == pytest.approx(0.005)
+        assert result.ok
+
+    def test_ratio_over_bound_is_violated(self):
+        registry = MetricsRegistry()
+        registry.counter("offered_total").inc(100)
+        registry.counter("drops_total").inc(50)
+        (result,) = evaluate_slos(registry, [ratio_slo()])
+        assert result.status == "violated"
+        assert not result.ok
+
+    def test_missing_series_is_skipped_not_violated(self):
+        (result,) = evaluate_slos(MetricsRegistry(), [ratio_slo()])
+        assert result.status == "skipped"
+        assert result.observed is None
+        assert result.ok  # skipped never fails a gate
+
+    def test_zero_denominator_reads_as_zero(self):
+        registry = MetricsRegistry()
+        registry.counter("offered_total")
+        registry.counter("drops_total")
+        (result,) = evaluate_slos(registry, [ratio_slo()])
+        assert result.observed == 0.0
+        assert result.status == "ok"
+
+    def test_min_kind_enforces_floor(self):
+        registry = MetricsRegistry()
+        registry.gauge("rate").set(5)
+        slo = Slo("floor", "", ("sum", "rate"), bound=10, kind="min")
+        (result,) = evaluate_slos(registry, [slo])
+        assert result.status == "violated"
+
+    def test_sum_with_label_filter(self):
+        registry = MetricsRegistry()
+        family = registry.gauge("rate", labels=("stage",))
+        family.labels("workers").set(100)
+        family.labels("nic").set(900)
+        slo = Slo("w", "", ("sum", "rate", {"stage": "workers"}), bound=50, kind="min")
+        (result,) = evaluate_slos(registry, [slo])
+        assert result.observed == 100.0
+
+    def test_label_filter_without_match_is_skipped(self):
+        registry = MetricsRegistry()
+        registry.gauge("rate", labels=("stage",)).labels("nic").set(900)
+        slo = Slo("w", "", ("sum", "rate", {"stage": "workers"}), bound=50, kind="min")
+        (result,) = evaluate_slos(registry, [slo])
+        assert result.status == "skipped"
+
+    def test_quantile_interpolates_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(100, 200, 400))
+        for value in (50, 150, 150, 390):
+            hist.observe(value)
+        slo = Slo("p50", "", ("quantile", "lat", 0.5), bound=200)
+        (result,) = evaluate_slos(registry, [slo])
+        assert 100 <= result.observed <= 200
+        assert result.status == "ok"
+
+    def test_quantile_on_empty_histogram_is_skipped(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", buckets=(100,))
+        slo = Slo("p99", "", ("quantile", "lat", 0.99), bound=100)
+        (result,) = evaluate_slos(registry, [slo])
+        assert result.status == "skipped"
+
+    def test_collectors_run_before_evaluation(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("rate")
+        registry.register_collector(lambda: gauge.set(42))
+        slo = Slo("r", "", ("sum", "rate"), bound=1, kind="min")
+        (result,) = evaluate_slos(registry, [slo])
+        assert result.observed == 42.0
+
+    def test_default_slos_all_skip_on_empty_registry(self):
+        results = evaluate_slos(MetricsRegistry(), DEFAULT_SLOS)
+        assert len(results) == len(DEFAULT_SLOS)
+        assert all(r.status == "skipped" for r in results)
+
+
+class TestValidation:
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Slo("x", "", ("sum", "m"), bound=1, kind="exactly")
+
+    def test_bad_source_rejected(self):
+        with pytest.raises(ValueError):
+            Slo("x", "", ("median", "m"), bound=1)
+
+
+class TestFromDict:
+    def test_parses_all_source_kinds(self):
+        slos = slos_from_dict(
+            {
+                "a": {"ratio": ["n", "d"], "max": 0.1},
+                "b": {"sum": "m", "min": 5, "unit": "pkt/s"},
+                "c": {"sum": ["m", {"stage": "workers"}], "min": 1},
+                "d": {"quantile": ["h", 0.99], "max": 100},
+            }
+        )
+        by_name = {slo.name: slo for slo in slos}
+        assert by_name["a"].source == ("ratio", "n", "d")
+        assert by_name["b"].kind == "min"
+        assert by_name["b"].unit == "pkt/s"
+        assert by_name["c"].source == ("sum", "m", {"stage": "workers"})
+        assert by_name["d"].source == ("quantile", "h", 0.99)
+
+    def test_missing_source_or_bound_rejected(self):
+        with pytest.raises(ValueError):
+            slos_from_dict({"x": {"max": 1}})
+        with pytest.raises(ValueError):
+            slos_from_dict({"x": {"sum": "m"}})
+        with pytest.raises(ValueError):
+            slos_from_dict({"x": {"sum": "m", "ratio": ["a", "b"], "max": 1}})
+
+
+class TestReporting:
+    def test_summary_keys_and_values(self):
+        registry = MetricsRegistry()
+        registry.counter("offered_total").inc(10)
+        registry.counter("drops_total").inc(5)
+        results = evaluate_slos(
+            registry,
+            [ratio_slo(bound=0.01), Slo("absent", "", ("sum", "nope"), bound=1)],
+        )
+        summary = summarize_slos(results)
+        assert summary["slo.drop-rate"].startswith("violated")
+        assert summary["slo.absent"] == "skipped"
+
+    def test_render_is_operator_readable(self):
+        registry = MetricsRegistry()
+        registry.counter("offered_total").inc(100)
+        registry.counter("drops_total").inc(0)
+        (result,) = evaluate_slos(registry, [ratio_slo()])
+        text = result.render()
+        assert "drop-rate" in text
+        assert "ok" in text
+        (skipped,) = evaluate_slos(MetricsRegistry(), [ratio_slo()])
+        assert "skipped" in skipped.render()

@@ -115,3 +115,36 @@ class TestRegistryMirror:
             with tracer.span("a"):
                 pass
         assert tracer.stage_names() == ["a", "b"]
+
+    def test_span_totals_published_as_counters(self):
+        clock = VirtualClock()
+        registry = MetricsRegistry()
+        tracer = Tracer(clock, max_traces=2, registry=registry)
+        for _ in range(5):
+            with tracer.span("stage"):
+                clock.advance(1)
+        registry.collect()
+        started = registry.family("ruru_trace_spans_started_total").unlabeled
+        dropped = registry.family("ruru_trace_spans_dropped_total").unlabeled
+        assert started.value == 5
+        # Ring holds 2, so 3 root spans were evicted before read-out.
+        assert dropped.value == 3
+        assert tracer.spans_dropped == 3
+
+    def test_drop_counter_zero_while_ring_has_room(self):
+        clock = VirtualClock()
+        registry = MetricsRegistry()
+        tracer = Tracer(clock, max_traces=8, registry=registry)
+        with tracer.span("stage"):
+            clock.advance(1)
+        registry.collect()
+        assert registry.family("ruru_trace_spans_dropped_total").unlabeled.value == 0
+
+    def test_drop_counter_in_exposition(self):
+        clock = VirtualClock()
+        registry = MetricsRegistry()
+        tracer = Tracer(clock, max_traces=1, registry=registry)
+        for _ in range(3):
+            with tracer.span("stage"):
+                clock.advance(1)
+        assert "ruru_trace_spans_dropped_total 2" in registry.exposition()

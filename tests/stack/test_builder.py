@@ -115,3 +115,59 @@ class TestBuilderValidation:
     def test_unknown_fault_profile_rejected(self):
         with pytest.raises(ValueError, match="unknown fault profile"):
             StackBuilder().faults("does-not-exist")
+
+
+class TestObservability:
+    def test_profiler_derives_from_the_graph(self):
+        """Enabling the profiler before build profiles every assembled
+        stage — no per-stage wiring anywhere."""
+        telemetry = Telemetry()
+        telemetry.enable_profiler(sample_every=0)
+        stack = build_chaos_stack(
+            "clean", duration_s=0.5, rate=20, telemetry=telemetry
+        )
+        stack.process_batch(list(stack.packet_stream()))
+        profiled = set(telemetry.profiler.stages)
+        assert profiled == {stage.name for stage in stack.graph.stages}
+        assert all(p.calls > 0 for p in telemetry.profiler.stages.values())
+
+    def test_no_profiler_means_untimed_graph(self):
+        telemetry = Telemetry()
+        stack = build_chaos_stack(
+            "clean", duration_s=0.5, rate=20, telemetry=telemetry
+        )
+        stack.process_batch(list(stack.packet_stream()))
+        assert telemetry.profiler is None
+
+    def test_drain_evaluates_slos(self):
+        telemetry = Telemetry()
+        stack = build_chaos_stack(
+            "clean", duration_s=0.5, rate=20, telemetry=telemetry
+        )
+        stack.process_batch(list(stack.packet_stream()))
+        stack.drain()
+        assert stack.slo_results
+        by_name = {r.slo.name: r for r in stack.slo_results}
+        assert by_name["nic-drop-rate"].status == "ok"
+        assert all(r.ok for r in stack.slo_results)
+
+    def test_drain_without_telemetry_skips_slos(self):
+        stack = build_measure_stack(queues=2)
+        stack.drain()
+        assert stack.slo_results == []
+
+    def test_stack_can_override_slos(self):
+        from repro.obs.slo import Slo
+
+        telemetry = Telemetry()
+        stack = build_chaos_stack(
+            "clean", duration_s=0.5, rate=20, telemetry=telemetry
+        )
+        stack.slos = [
+            Slo("impossible", "", ("sum", "ruru_packets_offered_total"),
+                bound=10**15, kind="min")
+        ]
+        stack.process_batch(list(stack.packet_stream()))
+        stack.drain()
+        (result,) = stack.slo_results
+        assert result.status == "violated"

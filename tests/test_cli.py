@@ -259,3 +259,98 @@ class TestDurabilityCommands:
             *self.ARGS,
         ]) == 0
         assert "lost_at_crash" in capsys.readouterr().out
+
+
+class TestProfCommand:
+    def test_prof_prints_stage_table(self, capsys):
+        assert main(["prof", "--duration", "2", "--rate", "20",
+                     "--sample", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "stage" in output
+        assert "workers" in output
+        assert "ns/pkt" in output
+        assert "--- slo ---" in output
+
+    def test_prof_writes_collapsed_and_json(self, tmp_path, capsys):
+        collapsed = str(tmp_path / "stacks.txt")
+        profile = str(tmp_path / "prof.json")
+        assert main(["prof", "--duration", "2", "--rate", "20",
+                     "--sample", "2", "--collapsed", collapsed,
+                     "--json", profile]) == 0
+        capsys.readouterr()
+        with open(collapsed) as handle:
+            lines = handle.read().splitlines()
+        assert lines
+        for line in lines:
+            stack, _, count = line.rpartition(" ")
+            assert stack.startswith("ruru;")
+            assert int(count) >= 1
+        import json as json_mod
+
+        with open(profile) as handle:
+            document = json_mod.load(handle)
+        assert "workers" in document["stage_profile"]
+        assert document["meta"]["git_rev"]
+        assert document["batches"] >= document["batches_sampled"]
+
+
+class TestPerfCommand:
+    @staticmethod
+    def write_resultset(path, value):
+        from repro.obs.bench import Resultset
+
+        rs = Resultset("bench", meta={"git_rev": "test", "platform": "p"})
+        rs.record("pipeline.packets_per_s", value, unit="packets/s")
+        rs.write(str(path))
+        return str(path)
+
+    def test_compare_ok_exits_zero(self, tmp_path, capsys):
+        base = self.write_resultset(tmp_path / "base.json", 100.0)
+        cur = self.write_resultset(tmp_path / "cur.json", 98.0)
+        assert main(["perf", "compare", base, cur]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_compare_regression_exits_nonzero(self, tmp_path, capsys):
+        base = self.write_resultset(tmp_path / "base.json", 100.0)
+        cur = self.write_resultset(tmp_path / "cur.json", 50.0)
+        assert main(["perf", "compare", base, cur]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_compare_threshold_flag(self, tmp_path, capsys):
+        base = self.write_resultset(tmp_path / "base.json", 100.0)
+        cur = self.write_resultset(tmp_path / "cur.json", 50.0)
+        assert main(["perf", "compare", base, cur,
+                     "--threshold", "0.6"]) == 0
+
+    def test_show_prints_metrics(self, tmp_path, capsys):
+        path = self.write_resultset(tmp_path / "rs.json", 123.0)
+        assert main(["perf", "show", path]) == 0
+        output = capsys.readouterr().out
+        assert "pipeline.packets_per_s" in output
+        assert "123" in output
+
+
+class TestSloGate:
+    def test_metrics_prints_slo_section(self, capsys):
+        assert main(["metrics", "--duration", "2", "--rate", "20"]) == 0
+        output = capsys.readouterr().out
+        assert "--- slo ---" in output
+        assert "nic-drop-rate: ok" in output
+
+    def test_slo_gate_passes_clean_run(self, capsys):
+        assert main(["metrics", "--duration", "2", "--rate", "20",
+                     "--slo-gate"]) == 0
+
+    def test_slo_gate_fails_on_violated_config(self, tmp_path, capsys):
+        import json as json_mod
+
+        config = tmp_path / "slo.json"
+        config.write_text(json_mod.dumps({
+            "impossible-throughput": {
+                "sum": "ruru_packets_offered_total",
+                "min": 10**15,
+            }
+        }))
+        assert main(["metrics", "--duration", "2", "--rate", "20",
+                     "--slo-gate", "--slo-config", str(config)]) == 1
+        assert "impossible-throughput: violated" in capsys.readouterr().out
