@@ -116,7 +116,10 @@ class LatencySpikeDetector:
             return None
 
         spike.flagged += 1
-        spike.last_flag_ns = now_ns
+        # High-water, not last-seen: duplicated/retried mq delivery can
+        # replay a flagged sample with an *earlier* timestamp, and the
+        # group must still close at a time >= its start.
+        spike.last_flag_ns = max(spike.last_flag_ns, now_ns)
         spike.peak_ms = max(spike.peak_ms, total_ms)
         spike.event.evidence["peak_ms"] = spike.peak_ms
         spike.event.evidence["flagged_samples"] = float(spike.flagged)

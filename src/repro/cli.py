@@ -24,6 +24,12 @@ Subcommands mirror how the deployed system is operated:
 * ``ruru perf`` — benchmark resultset archive tools: ``compare`` two
   schema-versioned resultset JSONs with noise-aware thresholds (the CI
   perf-regression gate), ``show`` one.
+* ``ruru scenario`` — the declarative scenario harness: ``list`` /
+  ``show`` the committed scenario library, ``run`` one spec through
+  the stage-graph runtime with correctness checks, ``batch`` a
+  resumable (scenario × seed × override) grid into a resultset
+  archive, ``compare`` runs against the committed baselines with
+  exact invariant gating.
 * ``ruru chaos`` — replay a workload under a named fault profile with
   the resilience layer active, and report fault counts, the count
   conservation check, breaker episodes and recovery times.
@@ -409,6 +415,133 @@ def cmd_perf(args) -> int:
     return 0 if report.ok else 1
 
 
+def _print_catalog(rows) -> None:
+    """Aligned name/description columns, one optional detail line each.
+
+    Shared by ``ruru chaos --list`` and ``ruru scenario list`` so the
+    two catalogs read the same.
+    """
+    width = max((len(name) for name, _, _ in rows), default=0) + 2
+    for name, description, detail in rows:
+        print(f"{name:<{width}}{description}")
+        if detail:
+            print(f"{'':<{width}}[{detail}]")
+
+
+def cmd_scenario(args) -> int:
+    """The scenario harness (``ruru scenario <list|show|run|batch|compare>``)."""
+    import json
+
+    from repro.obs.bench import load_resultset
+    from repro.scenarios import (
+        GridSpec,
+        baseline_path,
+        compare_scenario,
+        get_scenario,
+        load_library,
+        run_grid,
+        run_scenario,
+    )
+    from repro.scenarios.spec import parse_override_args
+
+    if args.scenario_cmd == "list":
+        specs = load_library()
+        rows = []
+        for name in sorted(specs):
+            spec = specs[name]
+            details = [
+                f"seed {spec.seed}",
+                f"{spec.traffic.duration_s:g}s @ {spec.traffic.rate:g} flows/s",
+            ]
+            if spec.faults.active:
+                details.append(f"faults: {spec.faults.profile}")
+            if spec.anomalies:
+                details.append(
+                    "anomalies: " + ", ".join(w.kind for w in spec.anomalies)
+                )
+            rows.append((name, spec.description, "; ".join(details)))
+        _print_catalog(rows)
+        return 0
+
+    if args.scenario_cmd == "show":
+        spec = get_scenario(args.name)
+        print(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
+        path = baseline_path(spec.name)
+        print(f"baseline: {path}"
+              + ("" if os.path.exists(path) else " (missing)"))
+        return 0
+
+    if args.scenario_cmd == "run":
+        spec = get_scenario(args.name)
+        overrides = parse_override_args(args.set or [])
+        result = run_scenario(
+            spec,
+            seed=args.seed,
+            overrides=overrides,
+            profile_stages=args.profile_stages,
+        )
+        print(result.render())
+        if args.out:
+            result.resultset.write(args.out)
+            print(f"wrote resultset to {args.out}")
+        return 0 if result.ok else 1
+
+    if args.scenario_cmd == "batch":
+        names = args.scenarios or sorted(load_library())
+        variants = {"base": {}}
+        for definition in args.variant or []:
+            name, _, assignments = definition.partition(":")
+            if not name or not assignments:
+                raise SystemExit(
+                    f"--variant wants NAME:key=value[,key=value], got {definition!r}"
+                )
+            variants[name] = parse_override_args(assignments.split(","))
+        grid = GridSpec(
+            scenarios=names,
+            seeds=[int(seed) for seed in args.seeds.split(",")],
+            variants=variants,
+        )
+        report = run_grid(
+            grid,
+            args.out,
+            resume=not args.no_resume,
+            max_cells=args.max_cells,
+        )
+        print(report.render())
+        return 0 if report.ok else 1
+
+    # compare: fresh runs against the committed baselines.
+    names = args.names or sorted(load_library())
+    regressed = []
+    for name in names:
+        spec = get_scenario(name)
+        result = run_scenario(spec)
+        path = baseline_path(spec.name, args.baseline_dir)
+        if args.write:
+            result.resultset.write(path)
+            print(f"{name}: baseline written -> {path}")
+            continue
+        if not result.ok:
+            print(f"--- {name}: FAILED correctness checks")
+            for check in result.checks:
+                if not check.ok:
+                    print(f"  {check.render()}")
+            regressed.append(name)
+            continue
+        baseline = load_resultset(path, lenient=True)
+        report = compare_scenario(
+            baseline, result.resultset, threshold=args.threshold
+        )
+        print(f"--- {name}: {'ok' if report.ok else 'REGRESSED'}")
+        print(report.render())
+        if not report.ok:
+            regressed.append(name)
+    if regressed:
+        print("regressed scenarios: " + ", ".join(regressed))
+        return 1
+    return 0
+
+
 def _add_chaos_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--profile", default="lossy-mq",
@@ -424,13 +557,17 @@ def cmd_chaos(args) -> int:
     from repro.faults import PROFILES, ChaosHarness
 
     if args.list:
-        for name, profile in PROFILES.items():
-            active = ", ".join(
-                f"{key}={value}" for key, value in profile.active_faults().items()
+        _print_catalog([
+            (
+                name,
+                profile.description,
+                ", ".join(
+                    f"{key}={value}"
+                    for key, value in profile.active_faults().items()
+                ),
             )
-            print(f"{name:15} {profile.description}")
-            if active:
-                print(f"{'':15} [{active}]")
+            for name, profile in PROFILES.items()
+        ])
         return 0
     from repro.durability.signals import GracefulShutdown
 
@@ -770,6 +907,88 @@ def build_parser() -> argparse.ArgumentParser:
     p_show = perf_sub.add_parser("show", help="print one resultset")
     p_show.add_argument("file", help="resultset JSON")
     p_show.set_defaults(func=cmd_perf)
+
+    p_scenario = subparsers.add_parser(
+        "scenario",
+        help="declarative scenario harness: list/show/run/batch/compare",
+    )
+    scenario_sub = p_scenario.add_subparsers(dest="scenario_cmd", required=True)
+
+    p_sc_list = scenario_sub.add_parser(
+        "list", help="list the scenario library with descriptions"
+    )
+    p_sc_list.set_defaults(func=cmd_scenario)
+
+    p_sc_show = scenario_sub.add_parser(
+        "show", help="print one scenario spec as JSON"
+    )
+    p_sc_show.add_argument("name", help="library name or spec file path")
+    p_sc_show.set_defaults(func=cmd_scenario)
+
+    p_sc_run = scenario_sub.add_parser(
+        "run", help="run one scenario through the stage-graph runtime"
+    )
+    p_sc_run.add_argument("name", help="library name or spec file path")
+    p_sc_run.add_argument("--seed", type=int, help="override the spec's seed")
+    p_sc_run.add_argument(
+        "--set", action="append", metavar="KEY=VALUE",
+        help="dotted-path spec override, e.g. traffic.rate=80 (repeatable)",
+    )
+    p_sc_run.add_argument(
+        "--profile-stages", action="store_true",
+        help="attach the stage profiler and archive its summary",
+    )
+    p_sc_run.add_argument("--out", help="write the resultset JSON here")
+    p_sc_run.set_defaults(func=cmd_scenario)
+
+    p_sc_batch = scenario_sub.add_parser(
+        "batch", help="run a resumable (scenario x seed x override) grid"
+    )
+    p_sc_batch.add_argument(
+        "scenarios", nargs="*",
+        help="scenario names (default: the whole library)",
+    )
+    p_sc_batch.add_argument(
+        "--seeds", default="7", help="comma-separated seed axis"
+    )
+    p_sc_batch.add_argument(
+        "--variant", action="append", metavar="NAME:KEY=VALUE[,KEY=VALUE]",
+        help="named override variant added to the base grid (repeatable)",
+    )
+    p_sc_batch.add_argument(
+        "--out", default="ruru-grid", help="archive root directory"
+    )
+    p_sc_batch.add_argument(
+        "--no-resume", action="store_true",
+        help="re-run every cell even when its archive exists",
+    )
+    p_sc_batch.add_argument(
+        "--max-cells", type=int,
+        help="stop after this many executed cells (interruption testing)",
+    )
+    p_sc_batch.set_defaults(func=cmd_scenario)
+
+    p_sc_compare = scenario_sub.add_parser(
+        "compare",
+        help="run scenarios fresh and gate against the committed baselines",
+    )
+    p_sc_compare.add_argument(
+        "names", nargs="*",
+        help="scenario names (default: the whole library)",
+    )
+    p_sc_compare.add_argument(
+        "--baseline-dir",
+        help="baseline directory (default: benchmarks/baselines/scenarios)",
+    )
+    p_sc_compare.add_argument(
+        "--threshold", type=float, default=0.15,
+        help="tolerated fractional change for non-exact metrics",
+    )
+    p_sc_compare.add_argument(
+        "--write", action="store_true",
+        help="write fresh baselines instead of comparing",
+    )
+    p_sc_compare.set_defaults(func=cmd_scenario)
 
     p_dump = subparsers.add_parser(
         "dump", help="print packets tcpdump-style"

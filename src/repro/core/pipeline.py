@@ -221,6 +221,15 @@ class RuruPipeline:
     def _merge_worker_stats(self) -> None:
         self._fold_worker_counters(self.stats)
 
+    def stats_snapshot(self) -> "PipelineStats":
+        """Folded whole-pipeline stats without mutating :attr:`stats`.
+
+        Callers that drive the stage graph directly (``ruru prof``,
+        the scenario runner) never pass through :meth:`run_packets`'s
+        trailing merge, so this is their read path for worker counters.
+        """
+        return self._stats_snapshot()
+
     def _stats_snapshot(self) -> PipelineStats:
         """Folded stats copy; the observable :attr:`stats` untouched."""
         snapshot = PipelineStats()

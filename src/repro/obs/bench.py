@@ -55,6 +55,7 @@ __all__ = [
     "compare",
     "load_resultset",
     "stage_profile_metrics",
+    "try_load_resultset",
 ]
 
 RESULTSET_SCHEMA = 1
@@ -110,6 +111,9 @@ class Resultset:
         self.meta = meta if meta is not None else collect_meta(seed, config)
         self.metrics: Dict[str, dict] = {}
         self.stage_profile: Dict[str, dict] = {}
+        #: The schema this document was read from (this build's own
+        #: number for fresh instances; kept verbatim by lenient loads).
+        self.schema = RESULTSET_SCHEMA
 
     def record(
         self,
@@ -118,8 +122,17 @@ class Resultset:
         unit: str = "",
         higher_is_better: bool = True,
         noise: Optional[float] = None,
+        exact: bool = False,
+        portable: bool = False,
     ) -> None:
-        """Record one named metric (re-recording overwrites)."""
+        """Record one named metric (re-recording overwrites).
+
+        ``exact`` marks a deterministic invariant — event counts,
+        conservation ledger entries — which :func:`compare` then gates
+        with zero tolerance in *either* direction. ``portable`` keeps
+        the metric gating across platforms (the default downgrades
+        absolute metrics from a different machine to advisory).
+        """
         entry = {
             "value": float(value),
             "unit": unit,
@@ -127,6 +140,10 @@ class Resultset:
         }
         if noise is not None:
             entry["noise"] = float(noise)
+        if exact:
+            entry["exact"] = True
+        if portable:
+            entry["portable"] = True
         self.metrics[name] = entry
 
     def record_stage_profile(self, summary: Dict[str, dict]) -> None:
@@ -155,24 +172,86 @@ class Resultset:
         return path
 
     @classmethod
-    def from_dict(cls, data: Dict[str, object]) -> "Resultset":
-        schema = int(data.get("schema", 0))
-        if schema != RESULTSET_SCHEMA:
+    def from_dict(
+        cls, data: Dict[str, object], lenient: bool = False
+    ) -> "Resultset":
+        """Deserialize one archived document.
+
+        Strict mode (the default) rejects any schema other than this
+        build's :data:`RESULTSET_SCHEMA`. Lenient mode is for readers
+        that scan archives written by *other* revisions — the batch
+        runner resuming a grid, ``ruru perf show`` over an old results
+        directory: an unknown (older or future) schema, a missing
+        ``meta``/``metrics`` key, or a malformed metric entry degrades
+        to "whatever was readable", never a KeyError. Metric entries
+        without a numeric ``value`` are dropped; the original schema
+        number is kept on :attr:`schema` so callers can tell.
+        """
+        if not isinstance(data, dict):
+            if lenient:
+                data = {}
+            else:
+                raise ValueError("resultset document must be a JSON object")
+        try:
+            schema = int(data.get("schema", 0))
+        except (TypeError, ValueError):
+            schema = -1
+        if schema != RESULTSET_SCHEMA and not lenient:
             raise ValueError(
                 f"unsupported resultset schema {schema} "
                 f"(this build reads schema {RESULTSET_SCHEMA})"
             )
-        out = cls(str(data.get("name", "bench")), meta=dict(data.get("meta", {})))
-        out.metrics = {str(k): dict(v) for k, v in dict(data.get("metrics", {})).items()}
-        out.stage_profile = {
-            str(k): dict(v) for k, v in dict(data.get("stage_profile", {})).items()
-        }
+        meta = data.get("meta")
+        out = cls(
+            str(data.get("name", "bench")),
+            meta=dict(meta) if isinstance(meta, dict) else {},
+        )
+        out.schema = schema
+        metrics = data.get("metrics")
+        for key, entry in (metrics.items() if isinstance(metrics, dict) else ()):
+            if not isinstance(entry, dict):
+                if lenient:
+                    continue
+                raise ValueError(f"metric {key!r} is not an object")
+            try:
+                entry = dict(entry)
+                entry["value"] = float(entry["value"])
+            except (KeyError, TypeError, ValueError):
+                if lenient:
+                    continue
+                raise ValueError(f"metric {key!r} has no numeric value")
+            out.metrics[str(key)] = entry
+        profile = data.get("stage_profile")
+        if isinstance(profile, dict):
+            out.stage_profile = {
+                str(k): dict(v)
+                for k, v in profile.items()
+                if isinstance(v, dict)
+            }
         return out
 
 
-def load_resultset(path: str) -> Resultset:
+def load_resultset(path: str, lenient: bool = False) -> Resultset:
     with open(path, "r", encoding="utf-8") as handle:
-        return Resultset.from_dict(json.load(handle))
+        return Resultset.from_dict(json.load(handle), lenient=lenient)
+
+
+def try_load_resultset(path: str) -> Optional[Resultset]:
+    """A resultset if *path* holds a readable one, else None.
+
+    The resumable grid runner's probe: a missing file, torn/non-JSON
+    bytes, or an alien schema all mean "this cell is not archived" —
+    the caller re-runs the cell rather than crashing the whole grid.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    try:
+        return Resultset.from_dict(data, lenient=True)
+    except ValueError:  # pragma: no cover - lenient mode swallows these
+        return None
 
 
 def stage_profile_metrics(summary: Dict[str, dict]) -> Dict[str, dict]:
@@ -283,7 +362,9 @@ def compare(
     than ``max(threshold, metric noise)``. Absolute metrics from a
     different platform never regress the verdict — they surface as
     advisories instead (share metrics, marked ``portable``, still
-    gate).
+    gate). Metrics marked ``exact`` are deterministic invariants: any
+    change at all, in either direction, is a regression ("improved"
+    does not exist for an anomaly-event count).
     """
     report = CompareReport(baseline, current, threshold)
     names = list(baseline.metrics)
@@ -292,10 +373,14 @@ def compare(
         base_entry = baseline.metrics.get(name)
         cur_entry = current.metrics.get(name)
         if base_entry is None:
-            report.rows.append((name, None, cur_entry["value"], None, "added"))
+            report.rows.append(
+                (name, None, cur_entry.get("value"), None, "added")
+            )
             continue
         if cur_entry is None:
-            report.rows.append((name, base_entry["value"], None, None, "removed"))
+            report.rows.append(
+                (name, base_entry.get("value"), None, None, "removed")
+            )
             continue
         base = float(base_entry["value"])
         cur = float(cur_entry["value"])
@@ -307,6 +392,14 @@ def compare(
             delta = (cur - base) / abs(base)
         worse = -delta if higher_is_better else delta
         portable = bool(base_entry.get("portable", False))
+        if bool(base_entry.get("exact", False)):
+            if cur != base:
+                status = "regressed"
+                report.regressions.append(name)
+            else:
+                status = "ok"
+            report.rows.append((name, base, cur, delta, status))
+            continue
         if worse > tolerance:
             if report.same_platform or portable:
                 status = "regressed"

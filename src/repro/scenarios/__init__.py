@@ -1,0 +1,72 @@
+"""Declarative scenarios: the paper's operational episodes as data.
+
+Ruru's deployment story is a list of *named episodes* — the nightly
+firewall glitch, SYN floods, connection surges between two cities —
+that until now only existed as one-off wiring in
+:mod:`repro.traffic.scenarios` and the CLI. This package turns an
+episode into a document:
+
+* :mod:`repro.scenarios.spec` — the scenario spec: traffic mix, fault
+  profile (named or inline rate overrides), a timed anomaly schedule
+  on the virtual clock, stack shape, duration and seed, loadable from
+  TOML or JSON.
+* :mod:`repro.scenarios.library` — the committed scenario library
+  (``auckland-baseline``, ``firewall-glitch-night``, …), shipped as
+  TOML files next to this package.
+* :mod:`repro.scenarios.runner` — executes one spec through the
+  stage-graph runtime and folds the run into a metadata-stamped
+  :class:`repro.obs.bench.Resultset` plus correctness checks (ledger
+  conservation, expected anomaly events per schedule).
+* :mod:`repro.scenarios.grid` — expands (scenario × seed × override)
+  grids and archives one resultset per cell, resumably: a rerun skips
+  cells whose archive already exists.
+* :mod:`repro.scenarios.compare` — regression gating against the
+  committed baselines under ``benchmarks/baselines/scenarios/`` with
+  ``ruru perf compare``'s noise-aware thresholds.
+
+``ruru scenario list|show|run|batch|compare`` is the operator surface.
+"""
+
+from repro.scenarios.compare import (
+    baseline_path,
+    compare_scenario,
+    default_baseline_dir,
+)
+from repro.scenarios.grid import BatchReport, GridCell, GridSpec, run_grid
+from repro.scenarios.library import (
+    get_scenario,
+    load_library,
+    scenario_names,
+)
+from repro.scenarios.runner import ScenarioResult, run_scenario
+from repro.scenarios.spec import (
+    AnomalyWindowSpec,
+    FaultSpec,
+    ScenarioSpec,
+    StackSpec,
+    TrafficSpec,
+    apply_overrides,
+    load_scenario_file,
+)
+
+__all__ = [
+    "AnomalyWindowSpec",
+    "BatchReport",
+    "FaultSpec",
+    "GridCell",
+    "GridSpec",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "StackSpec",
+    "TrafficSpec",
+    "apply_overrides",
+    "baseline_path",
+    "compare_scenario",
+    "default_baseline_dir",
+    "get_scenario",
+    "load_library",
+    "load_scenario_file",
+    "run_grid",
+    "run_scenario",
+    "scenario_names",
+]

@@ -1,0 +1,86 @@
+"""Scenario regression gating against committed baselines.
+
+Every library scenario has a committed baseline resultset under
+``benchmarks/baselines/scenarios/<name>.json``. Comparison reuses
+``ruru perf compare``'s noise-aware machinery
+(:func:`repro.obs.bench.compare`), which the scenario runner's metric
+stamping splits into two regimes:
+
+* **correctness invariants** — ledger entries, anomaly-event counts,
+  flow/measurement totals — are recorded ``exact`` + ``portable``:
+  any drift, in either direction, on any machine, is a regression.
+  Doubling one scenario's fault rate moves its ledger and fault
+  counters, so that scenario fails while the untouched ones pass.
+* **performance observations** — stage wall shares when a run was
+  profiled — go through the usual noise floors, with cross-platform
+  absolute metrics downgraded to advisory.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.obs.bench import (
+    CompareReport,
+    Resultset,
+    compare,
+    stage_profile_metrics,
+)
+
+#: Repo-relative home of the committed scenario baselines.
+BASELINE_SUBDIR = os.path.join("benchmarks", "baselines", "scenarios")
+
+
+def default_baseline_dir() -> str:
+    """Resolve the baseline directory.
+
+    ``$RURU_SCENARIO_BASELINES`` wins; otherwise the repo-relative
+    path from the current directory when it exists, falling back to
+    the checkout this module was imported from (so tests and CI agree
+    regardless of the working directory).
+    """
+    env_dir = os.environ.get("RURU_SCENARIO_BASELINES")
+    if env_dir:
+        return env_dir
+    if os.path.isdir(BASELINE_SUBDIR):
+        return BASELINE_SUBDIR
+    repo_root = os.path.dirname(  # src/repro/scenarios -> repo root
+        os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+    )
+    return os.path.join(repo_root, BASELINE_SUBDIR)
+
+
+def baseline_path(name: str, baseline_dir: Optional[str] = None) -> str:
+    """Where scenario *name*'s committed baseline lives."""
+    return os.path.join(baseline_dir or default_baseline_dir(), f"{name}.json")
+
+
+def compare_scenario(
+    baseline: Resultset,
+    current: Resultset,
+    threshold: float = 0.15,
+) -> CompareReport:
+    """Diff a scenario run against its baseline.
+
+    Thin over :func:`repro.obs.bench.compare`: when *both* resultsets
+    carry a stage profile, the machine-portable per-stage wall-share
+    metrics are derived on the fly and gated alongside — a run that
+    was not profiled (the deterministic default) compares on the exact
+    invariants alone.
+    """
+    if baseline.stage_profile and current.stage_profile:
+        baseline = _with_stage_metrics(baseline)
+        current = _with_stage_metrics(current)
+    return compare(baseline, current, threshold=threshold)
+
+
+def _with_stage_metrics(resultset: Resultset) -> Resultset:
+    out = Resultset(resultset.name, meta=resultset.meta)
+    out.metrics = dict(resultset.metrics)
+    out.stage_profile = resultset.stage_profile
+    for name, entry in stage_profile_metrics(resultset.stage_profile).items():
+        out.metrics.setdefault(name, entry)
+    return out

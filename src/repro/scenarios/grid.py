@@ -1,0 +1,209 @@
+"""The grid batch runner: (scenario × seed × override) sweeps.
+
+Modeled on flent's batch facility (and the repeatable-grid argument of
+arXiv 1609.00653): a performance or behaviour claim is only
+comparable when the workload that produced it is a *coordinate*, not a
+story. A grid names its cells deterministically —
+``<scenario>--s<seed>[--<variant>]`` — and the runner archives one
+metadata-stamped resultset per cell under
+``<out_dir>/<scenario>/<cell_id>.json``.
+
+Resumability is the point: archives are probed with
+:func:`repro.obs.bench.try_load_resultset`, so a rerun of an
+interrupted grid skips every cell whose archive is readable and
+matches the cell coordinates — including archives written by older
+revisions with other schemas (they simply re-run). A torn JSON file
+from a killed run never poisons the sweep.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.obs.bench import try_load_resultset
+from repro.scenarios.library import get_scenario
+from repro.scenarios.runner import ScenarioResult, run_scenario
+from repro.scenarios.spec import ScenarioSpec
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One coordinate of a grid sweep."""
+
+    scenario: str
+    seed: int
+    variant: str = "base"
+    overrides: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def cell_id(self) -> str:
+        suffix = "" if self.variant == "base" else f"--{self.variant}"
+        return f"{self.scenario}--s{self.seed}{suffix}"
+
+    def archive_path(self, out_dir: str) -> str:
+        return os.path.join(out_dir, self.scenario, f"{self.cell_id}.json")
+
+    def coordinates(self) -> Dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "variant": self.variant,
+        }
+
+
+@dataclass
+class GridSpec:
+    """The sweep axes: scenarios × seeds × named override variants."""
+
+    scenarios: List[str]
+    seeds: List[int] = field(default_factory=lambda: [7])
+    #: variant name → dotted-path spec overrides; "base" = the spec
+    #: as committed.
+    variants: Dict[str, Dict[str, object]] = field(
+        default_factory=lambda: {"base": {}}
+    )
+
+    def expand(self) -> List[GridCell]:
+        """Every cell, in deterministic sweep order."""
+        cells = []
+        for scenario in self.scenarios:
+            for seed in self.seeds:
+                for variant, overrides in self.variants.items():
+                    cells.append(
+                        GridCell(
+                            scenario=scenario,
+                            seed=int(seed),
+                            variant=variant,
+                            overrides=dict(overrides),
+                        )
+                    )
+        return cells
+
+
+@dataclass
+class CellOutcome:
+    cell: GridCell
+    status: str  # "ran" | "skipped" | "failed"
+    path: str
+    detail: str = ""
+
+
+@dataclass
+class BatchReport:
+    """What one grid pass did."""
+
+    out_dir: str
+    outcomes: List[CellOutcome] = field(default_factory=list)
+
+    @property
+    def ran(self) -> List[CellOutcome]:
+        return [o for o in self.outcomes if o.status == "ran"]
+
+    @property
+    def skipped(self) -> List[CellOutcome]:
+        return [o for o in self.outcomes if o.status == "skipped"]
+
+    @property
+    def failed(self) -> List[CellOutcome]:
+        return [o for o in self.outcomes if o.status == "failed"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    def render(self) -> str:
+        lines = [f"grid: {len(self.outcomes)} cell(s) -> {self.out_dir}"]
+        for outcome in self.outcomes:
+            lines.append(
+                f"  [{outcome.status:>7}] {outcome.cell.cell_id}"
+                + (f" ({outcome.detail})" if outcome.detail else "")
+            )
+        lines.append(
+            f"{len(self.ran)} ran, {len(self.skipped)} skipped "
+            f"(already archived), {len(self.failed)} failed"
+        )
+        return "\n".join(lines)
+
+
+def _already_archived(cell: GridCell, path: str) -> bool:
+    """Whether a readable archive with this cell's coordinates exists."""
+    archived = try_load_resultset(path)
+    if archived is None:
+        return False
+    recorded = archived.meta.get("cell")
+    if not isinstance(recorded, dict):
+        # An archive from a revision that predates cell stamping still
+        # counts when it sits at this cell's exact path.
+        return True
+    return all(
+        str(recorded.get(key)) == str(value)
+        for key, value in cell.coordinates().items()
+    )
+
+
+def run_grid(
+    grid: GridSpec,
+    out_dir: str,
+    resume: bool = True,
+    extra_dirs: Optional[List[str]] = None,
+    on_cell: Optional[Callable[[GridCell, str], None]] = None,
+    max_cells: Optional[int] = None,
+) -> BatchReport:
+    """Execute (or resume) one grid sweep.
+
+    Args:
+        grid: the sweep axes. Scenario names resolve through the
+            library (plus *extra_dirs* / ``RURU_SCENARIO_PATH``).
+        out_dir: archive root; one JSON per cell.
+        resume: skip cells whose archive already exists (the default —
+            pass False to force a full re-run).
+        on_cell: progress callback ``(cell, status)`` per cell.
+        max_cells: stop after this many *executed* cells (simulates an
+            interrupted sweep; the test harness and ``--max-cells``).
+    """
+    report = BatchReport(out_dir=out_dir)
+    specs: Dict[str, ScenarioSpec] = {}
+    executed = 0
+    for cell in grid.expand():
+        path = cell.archive_path(out_dir)
+        if resume and _already_archived(cell, path):
+            report.outcomes.append(CellOutcome(cell, "skipped", path))
+            if on_cell is not None:
+                on_cell(cell, "skipped")
+            continue
+        if max_cells is not None and executed >= max_cells:
+            break
+        try:
+            if cell.scenario not in specs:
+                specs[cell.scenario] = get_scenario(cell.scenario, extra_dirs)
+            result: ScenarioResult = run_scenario(
+                specs[cell.scenario],
+                seed=cell.seed,
+                overrides=cell.overrides,
+                cell=cell.coordinates(),
+            )
+        except Exception as exc:  # noqa: BLE001 — one cell, not the grid
+            report.outcomes.append(
+                CellOutcome(cell, "failed", path, detail=repr(exc))
+            )
+            if on_cell is not None:
+                on_cell(cell, "failed")
+            continue
+        executed += 1
+        if result.ok:
+            result.resultset.write(path)
+            status, detail = "ran", ""
+        else:
+            # Keep the evidence, but never under the resume-probe path:
+            # a cell that violated its correctness gates must re-run.
+            result.resultset.write(path + ".failed")
+            status = "failed"
+            detail = "; ".join(
+                c.render() for c in result.checks if not c.ok
+            )
+        report.outcomes.append(CellOutcome(cell, status, path, detail=detail))
+        if on_cell is not None:
+            on_cell(cell, status)
+    return report

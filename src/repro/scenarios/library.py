@@ -1,0 +1,71 @@
+"""The committed scenario library.
+
+Scenarios ship as TOML documents under ``library/`` next to this
+module — data, not code: adding an episode is adding a file, and the
+CLI, the grid runner, the committed baselines and CI all pick it up by
+name. ``RURU_SCENARIO_PATH`` (a ``os.pathsep``-separated list of
+directories) layers operator scenario collections on top; a later
+directory shadows an earlier name, and the built-ins load first.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+from repro.scenarios.spec import ScenarioSpec, SpecError, load_scenario_file
+
+#: The built-in scenario documents.
+LIBRARY_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "library")
+
+
+def _scenario_files(directory: str) -> List[str]:
+    try:
+        entries = sorted(os.listdir(directory))
+    except OSError:
+        return []
+    return [
+        os.path.join(directory, entry)
+        for entry in entries
+        if entry.endswith((".toml", ".json"))
+    ]
+
+
+def load_library(
+    extra_dirs: Optional[List[str]] = None,
+) -> Dict[str, ScenarioSpec]:
+    """Name → spec for the built-ins plus any layered directories."""
+    directories = [LIBRARY_DIR]
+    env_path = os.environ.get("RURU_SCENARIO_PATH")
+    if env_path:
+        directories.extend(part for part in env_path.split(os.pathsep) if part)
+    directories.extend(extra_dirs or [])
+    library: Dict[str, ScenarioSpec] = {}
+    for directory in directories:
+        for path in _scenario_files(directory):
+            try:
+                spec = load_scenario_file(path)
+            except SpecError as exc:
+                raise SpecError(f"{path}: {exc}") from None
+            library[spec.name] = spec
+    return library
+
+
+def scenario_names(extra_dirs: Optional[List[str]] = None) -> List[str]:
+    return sorted(load_library(extra_dirs))
+
+
+def get_scenario(
+    name: str, extra_dirs: Optional[List[str]] = None
+) -> ScenarioSpec:
+    """Resolve *name*: a library entry, or a direct spec-file path."""
+    if name.endswith((".toml", ".json")) and os.path.exists(name):
+        return load_scenario_file(name)
+    library = load_library(extra_dirs)
+    try:
+        return library[name]
+    except KeyError:
+        raise SpecError(
+            f"unknown scenario {name!r}; choose from {sorted(library)} "
+            "or pass a spec-file path"
+        ) from None

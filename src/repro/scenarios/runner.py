@@ -1,0 +1,270 @@
+"""Execute one scenario spec through the stage-graph runtime.
+
+The runner is deliberately thin: all wiring comes from
+:class:`repro.stack.builder.StackBuilder` (the composition root), all
+processing goes through :meth:`RuruStack.process_batch` — the same
+graph traversal ``ruru prof`` and the chaos harness exercise — and the
+outcome is folded into one :class:`repro.obs.bench.Resultset` plus a
+list of correctness checks.
+
+Everything the resultset's ``metrics`` section carries is
+*deterministic*: same (spec, seed) → byte-identical metrics and
+anomaly-event sequences. Wall-clock observations (elapsed seconds,
+packets/s) land in the metadata block instead, stamped next to the git
+revision and platform, so two runs of the same cell diff clean.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs import Telemetry
+from repro.obs.bench import Resultset, collect_meta
+from repro.scenarios.spec import EVENT_KINDS, ScenarioSpec, apply_overrides
+from repro.stack.builder import StackBuilder
+from repro.traffic.diurnal import DiurnalProfile
+from repro.traffic.generator import GeneratorConfig, TrafficGenerator
+from repro.traffic.endpoints import EndpointPopulation
+
+NS_PER_S = 1_000_000_000
+
+
+def build_scenario_generator(
+    spec: ScenarioSpec, seed: int
+) -> TrafficGenerator:
+    """The spec's traffic axis as a configured generator."""
+    traffic = spec.traffic
+    profile = DiurnalProfile() if traffic.diurnal else DiurnalProfile.flat()
+    config = GeneratorConfig(
+        duration_ns=traffic.duration_ns,
+        start_ns=traffic.start_ns,
+        mean_flows_per_s=traffic.rate,
+        seed=seed,
+        tap_city=traffic.tap_city,
+        profile=profile,
+        handshake_only_fraction=traffic.handshake_only_fraction,
+        rst_fraction=traffic.rst_fraction,
+        ipv6_fraction=traffic.ipv6_fraction,
+        max_data_exchanges=traffic.max_data_exchanges,
+    )
+    injectors = [
+        window.build_injector(traffic) for window in spec.anomalies
+    ]
+    return TrafficGenerator(
+        config=config,
+        population=EndpointPopulation(),
+        injectors=injectors,
+    )
+
+
+@dataclass
+class Check:
+    """One correctness gate the run either held or violated."""
+
+    name: str
+    ok: bool
+    detail: str = ""
+
+    def render(self) -> str:
+        return f"[{'ok' if self.ok else 'FAIL'}] {self.name}" + (
+            f": {self.detail}" if self.detail else ""
+        )
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one scenario run produced."""
+
+    spec: ScenarioSpec
+    seed: int
+    resultset: Resultset
+    events: List[str] = field(default_factory=list)
+    checks: List[Check] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(check.ok for check in self.checks)
+
+    def metric(self, name: str) -> Optional[float]:
+        entry = self.resultset.metrics.get(name)
+        return None if entry is None else entry["value"]
+
+    def render(self) -> str:
+        lines = [
+            f"scenario: {self.spec.name!r} seed={self.seed}",
+            f"  {self.spec.description}",
+            f"  faults: {self.spec.faults.profile}"
+            + (" (+overrides)" if self.spec.faults.overrides else ""),
+            f"  flows={self.metric('scenario.flows'):,.0f} "
+            f"packets={self.metric('scenario.packets_offered'):,.0f} "
+            f"measurements={self.metric('scenario.measurements'):,.0f}",
+            f"  ledger: ingested={self.metric('ledger.ingested'):,.0f} "
+            f"processed={self.metric('ledger.processed'):,.0f} "
+            f"dropped={self.metric('ledger.dropped'):,.0f} "
+            f"deadlettered={self.metric('ledger.deadlettered'):,.0f} "
+            f"(balance {self.metric('ledger.balance'):+,.0f})",
+        ]
+        wall = self.resultset.meta.get("wall", {})
+        if wall:
+            lines.append(
+                f"  wall: {wall.get('elapsed_s', 0):.2f}s "
+                f"({wall.get('packets_per_s', 0):,.0f} packets/s)"
+            )
+        lines.append("anomaly events:")
+        if self.events:
+            lines.extend(f"  {text}" for text in self.events)
+        else:
+            lines.append("  (none)")
+        lines.append("checks:")
+        lines.extend(f"  {check.render()}" for check in self.checks)
+        lines.append("verdict: " + ("OK" if self.ok else "FAILED"))
+        return "\n".join(lines)
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    seed: Optional[int] = None,
+    overrides: Optional[Dict[str, object]] = None,
+    cell: Optional[Dict[str, object]] = None,
+    profile_stages: bool = False,
+) -> ScenarioResult:
+    """Run *spec* end to end; never raises for in-band failures.
+
+    Args:
+        spec: the scenario document.
+        seed: overrides the spec's seed (the grid's seed axis).
+        overrides: dotted-path spec overrides (the grid's config axis).
+        cell: grid-cell coordinates stamped into the archive metadata.
+        profile_stages: attach the stage profiler and archive its
+            summary (wall timings — off for byte-stable baselines).
+    """
+    spec = apply_overrides(spec, overrides or {})
+    run_seed = spec.seed if seed is None else int(seed)
+    generator = build_scenario_generator(spec, run_seed)
+    fault_profile = spec.faults.resolve()
+
+    telemetry = Telemetry()
+    profiler = (
+        telemetry.enable_profiler(sample_every=0) if profile_stages else None
+    )
+    builder = (
+        StackBuilder()
+        .generator(generator)
+        .queues(spec.stack.queues)
+        .telemetry(telemetry)
+        .analytics(num_workers=spec.stack.analytics_workers)
+        # "stream" mode: detectors observe the enriched frontend feed
+        # (the durable-runtime shape), which stays well-ordered under
+        # mq duplication/corruption profiles where inline observation
+        # would see time move backwards.
+        .anomaly("stream")
+        .frontend(hwm=spec.stack.frontend_hwm)
+        .faults(fault_profile, seed=run_seed)
+    )
+    if spec.stack.topk is not None:
+        builder.topk(capacity=spec.stack.topk)
+    stack = builder.build()
+    pipeline = stack.pipeline
+
+    unhandled: List[str] = []
+    started = time.perf_counter()
+    try:
+        batch = []
+        for packet in stack.packet_stream():
+            batch.append(packet)
+            if len(batch) >= pipeline.feed_batch:
+                stack.process_batch(batch)
+                batch.clear()
+        stack.process_batch(batch)
+        stack.drain()
+    except Exception as exc:  # noqa: BLE001 — the checks carry it
+        unhandled.append(repr(exc))
+    elapsed_s = time.perf_counter() - started
+
+    stats = pipeline.stats_snapshot()
+    ledger = stack.service.conservation_ledger()
+    end_ns = spec.traffic.start_ns + spec.traffic.duration_ns
+    events = stack.anomaly.finish(now_ns=max(end_ns, stack.now_ns))
+    event_counts = {kind: 0 for kind in EVENT_KINDS}
+    for event in events:
+        event_counts[event.kind] = event_counts.get(event.kind, 0) + 1
+
+    meta = collect_meta(seed=run_seed, config={"overrides": overrides or {}})
+    meta["scenario"] = spec.name
+    meta["spec"] = spec.to_dict()
+    meta["cell"] = dict(cell or {"scenario": spec.name, "seed": run_seed})
+    meta["events"] = [str(event) for event in events]
+    meta["wall"] = {
+        "elapsed_s": round(elapsed_s, 3),
+        "packets_per_s": (
+            round(stats.packets_offered / elapsed_s, 1) if elapsed_s > 0 else 0.0
+        ),
+    }
+    resultset = Resultset(f"scenario.{spec.name}", meta=meta)
+
+    def exact(name: str, value: float, unit: str = "") -> None:
+        resultset.record(name, value, unit=unit, exact=True, portable=True)
+
+    exact("scenario.flows", generator.flows_generated, unit="flows")
+    exact("scenario.packets_offered", stats.packets_offered, unit="packets")
+    exact("scenario.measurements", stats.measurements, unit="records")
+    exact("scenario.enriched", stack.service.enriched_count, unit="records")
+    exact("scenario.tsdb_points", stack.tsdb.total_points(), unit="points")
+    exact("ledger.ingested", ledger.ingested)
+    exact("ledger.processed", ledger.processed)
+    exact("ledger.dropped", ledger.dropped)
+    exact("ledger.deadlettered", ledger.deadlettered)
+    exact("ledger.balance", ledger.balance)
+    exact("frontend.received", stack.frontend_received)
+    exact("frontend.degraded", stack.frontend_degraded)
+    exact(
+        "faults.injected_total",
+        sum(stack.injector.injected.values()) if stack.injector else 0,
+    )
+    if stack.resilience is not None:
+        exact("resilience.degraded_published", stack.resilience.degraded_published)
+        exact("resilience.dlq_total", stack.resilience.dlq.total)
+        exact("resilience.retries", stack.resilience.retries)
+    exact("events.total", len(events), unit="events")
+    for kind in sorted(event_counts):
+        exact(f"events.{kind}", event_counts[kind], unit="events")
+    if profiler is not None:
+        resultset.stage_profile = dict(profiler.summary())
+
+    checks = [
+        Check(
+            "survived",
+            not unhandled,
+            "; ".join(unhandled),
+        ),
+        Check(
+            "ledger-conserves",
+            ledger.ok,
+            str(ledger) if not ledger.ok else "",
+        ),
+    ]
+    for kind, band in sorted(spec.expect.items()):
+        count = event_counts.get(kind, 0)
+        low, high = band.get("min"), band.get("max")
+        ok = (low is None or count >= low) and (high is None or count <= high)
+        want = " and ".join(
+            part
+            for part in (
+                f">={low}" if low is not None else "",
+                f"<={high}" if high is not None else "",
+            )
+            if part
+        )
+        checks.append(
+            Check(f"expect.{kind}", ok, f"saw {count}, want {want}")
+        )
+
+    return ScenarioResult(
+        spec=spec,
+        seed=run_seed,
+        resultset=resultset,
+        events=[str(event) for event in events],
+        checks=checks,
+    )

@@ -1,0 +1,347 @@
+"""The scenario spec: one operational episode as a document.
+
+A spec composes four orthogonal axes, mirroring how the paper's
+deployment stories are told ("flash crowd at the diurnal peak, over a
+lossy message bus, with the nightly firewall anomaly"):
+
+* **traffic** — the background workload shape fed to
+  :class:`repro.traffic.generator.TrafficGenerator`: duration, rate,
+  diurnal or flat load, the virtual time of day the tap starts
+  watching, behavioural fractions (scans, RSTs, IPv6, exchange depth).
+* **faults** — adverse conditions: a registered
+  :data:`repro.faults.profiles.PROFILES` name plus optional inline
+  rate overrides (``mq_drop_rate = 0.1``) that derive an anonymous
+  profile from it.
+* **anomalies** — a schedule of timed windows on the virtual clock,
+  each building one of the paper-episode injectors (firewall glitch /
+  SYN flood / connection surge).
+* **stack** — how much of the dataflow to assemble (queues, analytics
+  workers, top-k, frontend buffering).
+
+Plus a default ``seed``, and ``expect``: the anomaly-event counts the
+schedule is supposed to trigger, which the runner gates on. Specs are
+plain data — loadable from TOML or JSON, round-trippable through
+:meth:`ScenarioSpec.to_dict`, and overridable with dotted paths
+(``traffic.rate=100``) for grid sweeps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.faults.profiles import FaultProfile, get_profile
+
+NS_PER_S = 1_000_000_000
+NS_PER_HOUR = 3600 * NS_PER_S
+
+#: Anomaly kinds the schedule can place, and the detector-event kinds
+#: each one is expected to trigger (see ``ScenarioSpec.expect``).
+ANOMALY_KINDS = ("firewall-glitch", "syn-flood", "connection-surge")
+
+#: Detector event kinds (``repro.anomaly``) a spec may expect.
+EVENT_KINDS = (
+    "latency-spike",
+    "syn-flood",
+    "connection-surge",
+    "path-drift",
+)
+
+
+class SpecError(ValueError):
+    """A scenario document failed validation."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise SpecError(message)
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """The background workload axis."""
+
+    duration_s: float = 30.0
+    rate: float = 40.0
+    tap_city: str = "Auckland"
+    diurnal: bool = False
+    #: Virtual time of day the capture starts (hours since midnight) —
+    #: what anchors "nightly" windows without simulating a whole day.
+    start_hour: float = 0.0
+    handshake_only_fraction: float = 0.02
+    rst_fraction: float = 0.01
+    ipv6_fraction: float = 0.0
+    max_data_exchanges: int = 3
+
+    def __post_init__(self):
+        _require(self.duration_s > 0, "traffic.duration_s must be positive")
+        _require(self.rate > 0, "traffic.rate must be positive")
+        _require(
+            0.0 <= self.start_hour < 24.0,
+            "traffic.start_hour must be within [0, 24)",
+        )
+
+    @property
+    def start_ns(self) -> int:
+        return int(self.start_hour * NS_PER_HOUR)
+
+    @property
+    def duration_ns(self) -> int:
+        return int(self.duration_s * NS_PER_S)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """The adverse-conditions axis: named profile + inline overrides."""
+
+    profile: str = "clean"
+    overrides: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self):
+        base = get_profile(self.profile)  # validates the name
+        valid = {spec.name for spec in dataclasses.fields(base)}
+        for key in self.overrides:
+            _require(
+                key in valid and key not in ("name", "description"),
+                f"faults.overrides.{key} is not a FaultProfile rate",
+            )
+
+    def resolve(self) -> FaultProfile:
+        """The effective profile (anonymous derivation if overridden)."""
+        base = get_profile(self.profile)
+        if not self.overrides:
+            return base
+        decorated = ", ".join(
+            f"{key}={value}" for key, value in sorted(self.overrides.items())
+        )
+        return dataclasses.replace(
+            base,
+            name=f"{base.name}+overrides",
+            description=f"{base.description} [{decorated}]",
+            **self.overrides,
+        )
+
+    @property
+    def active(self) -> bool:
+        """Whether the resolved profile injects anything at all."""
+        return bool(self.resolve().active_faults())
+
+
+@dataclass(frozen=True)
+class AnomalyWindowSpec:
+    """One timed episode window on the virtual clock.
+
+    ``at_s`` is relative to the start of the capture (so a spec stays
+    valid when ``traffic.start_hour`` moves), except for the firewall
+    glitch, whose window is anchored to *time of day* via
+    ``window_start_hour`` — that is the episode: the update fires at
+    the same wall hour every night, not N seconds into a capture.
+    """
+
+    kind: str
+    at_s: float = 0.0
+    duration_s: float = 10.0
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self):
+        _require(
+            self.kind in ANOMALY_KINDS,
+            f"unknown anomaly kind {self.kind!r}; choose from {ANOMALY_KINDS}",
+        )
+        _require(self.duration_s > 0, "anomaly duration_s must be positive")
+        _require(self.at_s >= 0, "anomaly at_s cannot be negative")
+
+    def build_injector(self, traffic: TrafficSpec):
+        """The concrete :class:`repro.traffic.generator.FlowInjector`."""
+        # Imported here: repro.traffic.scenarios pulls in the geo
+        # catalog, which spec parsing does not need.
+        from repro.traffic.scenarios import (
+            ConnectionSurgeInjector,
+            FirewallGlitchInjector,
+            SynFloodInjector,
+        )
+
+        params = dict(self.params)
+        start_ns = traffic.start_ns + int(self.at_s * NS_PER_S)
+        duration_ns = int(self.duration_s * NS_PER_S)
+        if self.kind == "firewall-glitch":
+            window_start_hour = float(
+                params.pop("window_start_hour", traffic.start_hour + self.at_s / 3600.0)
+            )
+            return FirewallGlitchInjector(
+                window_start_offset_ns=int(window_start_hour * NS_PER_HOUR),
+                window_ns=duration_ns,
+                extra_delay_ms=float(params.pop("extra_delay_ms", 4000.0)),
+                **params,
+            )
+        if self.kind == "syn-flood":
+            return SynFloodInjector(
+                flood_start_ns=start_ns,
+                flood_duration_ns=duration_ns,
+                rate_per_s=float(params.pop("rate_per_s", 2000.0)),
+                target_city=str(params.pop("target_city", "Auckland")),
+                target_port=int(params.pop("target_port", 443)),
+                **params,
+            )
+        return ConnectionSurgeInjector(
+            surge_start_ns=start_ns,
+            surge_duration_ns=duration_ns,
+            rate_per_s=float(params.pop("rate_per_s", 300.0)),
+            src_city=str(params.pop("src_city", "Wellington")),
+            dst_city=str(params.pop("dst_city", "Los Angeles")),
+            **params,
+        )
+
+
+@dataclass(frozen=True)
+class StackSpec:
+    """How much of the dataflow the run assembles."""
+
+    queues: int = 2
+    analytics_workers: int = 4
+    frontend_hwm: int = 1 << 20
+    topk: Optional[int] = None
+
+    def __post_init__(self):
+        _require(self.queues >= 1, "stack.queues must be at least 1")
+        _require(
+            self.analytics_workers >= 1,
+            "stack.analytics_workers must be at least 1",
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named, runnable, comparable operational episode."""
+
+    name: str
+    description: str = ""
+    seed: int = 7
+    traffic: TrafficSpec = field(default_factory=TrafficSpec)
+    faults: FaultSpec = field(default_factory=FaultSpec)
+    anomalies: Tuple[AnomalyWindowSpec, ...] = ()
+    stack: StackSpec = field(default_factory=StackSpec)
+    #: Expected anomaly-event counts: kind -> {"min": n} and/or
+    #: {"max": n}. The runner fails the correctness gate when the
+    #: detectors land outside the band.
+    expect: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    def __post_init__(self):
+        _require(bool(self.name), "scenario name cannot be empty")
+        _require(
+            all(ch.isalnum() or ch in "-_." for ch in self.name),
+            f"scenario name {self.name!r} must be filesystem-safe "
+            "(alphanumerics, '-', '_', '.')",
+        )
+        for kind, band in self.expect.items():
+            _require(
+                kind in EVENT_KINDS,
+                f"expect.{kind}: unknown event kind; choose from {EVENT_KINDS}",
+            )
+            _require(
+                set(band) <= {"min", "max"},
+                f"expect.{kind} keys must be 'min'/'max'",
+            )
+
+    # -- (de)serialization --------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """The document form (what ``ruru scenario show`` prints)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "seed": self.seed,
+            "traffic": dataclasses.asdict(self.traffic),
+            "faults": dataclasses.asdict(self.faults),
+            "anomalies": [dataclasses.asdict(a) for a in self.anomalies],
+            "stack": dataclasses.asdict(self.stack),
+            "expect": {k: dict(v) for k, v in self.expect.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        _require(isinstance(data, dict), "scenario document must be a table")
+        known = {
+            "name", "description", "seed", "traffic", "faults",
+            "anomalies", "stack", "expect",
+        }
+        unknown = set(data) - known
+        _require(not unknown, f"unknown scenario keys: {sorted(unknown)}")
+        try:
+            traffic = TrafficSpec(**dict(data.get("traffic", {})))
+            faults = FaultSpec(**dict(data.get("faults", {})))
+            stack = StackSpec(**dict(data.get("stack", {})))
+            anomalies = tuple(
+                AnomalyWindowSpec(**dict(entry))
+                for entry in data.get("anomalies", ())
+            )
+        except TypeError as exc:
+            raise SpecError(f"bad scenario field: {exc}") from None
+        return cls(
+            name=str(data.get("name", "")),
+            description=str(data.get("description", "")),
+            seed=int(data.get("seed", 7)),
+            traffic=traffic,
+            faults=faults,
+            anomalies=anomalies,
+            stack=stack,
+            expect={
+                str(kind): {str(k): int(v) for k, v in dict(band).items()}
+                for kind, band in dict(data.get("expect", {})).items()
+            },
+        )
+
+
+def load_scenario_file(path: str) -> ScenarioSpec:
+    """Parse one spec from a ``.toml`` or ``.json`` file."""
+    if str(path).endswith(".json"):
+        with open(path, "r", encoding="utf-8") as handle:
+            return ScenarioSpec.from_dict(json.load(handle))
+    import tomllib
+
+    with open(path, "rb") as handle:
+        return ScenarioSpec.from_dict(tomllib.load(handle))
+
+
+def apply_overrides(spec: ScenarioSpec, overrides: Dict[str, object]) -> ScenarioSpec:
+    """A new spec with dotted-path *overrides* applied.
+
+    ``{"traffic.rate": 100, "faults.overrides.mq_drop_rate": 0.1}``
+    — the grid runner's config axis. Values land in the document form,
+    so every override re-validates through :meth:`ScenarioSpec.from_dict`.
+    """
+    if not overrides:
+        return spec
+    document = spec.to_dict()
+    for path, value in overrides.items():
+        parts = str(path).split(".")
+        node = document
+        for part in parts[:-1]:
+            _require(
+                isinstance(node, dict),
+                f"override path {path!r} walks through a non-table",
+            )
+            node = node.setdefault(part, {})
+        _require(isinstance(node, dict), f"override path {path!r} is invalid")
+        node[parts[-1]] = value
+    return ScenarioSpec.from_dict(document)
+
+
+def parse_override_args(pairs: List[str]) -> Dict[str, object]:
+    """CLI ``key=value`` pairs into a typed overrides dict.
+
+    Values parse as JSON when possible (numbers, booleans), else stay
+    strings — so ``--set traffic.rate=100 --set traffic.diurnal=true``
+    works without quoting ceremony.
+    """
+    overrides: Dict[str, object] = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        _require(bool(sep), f"override {pair!r} must look like key=value")
+        try:
+            overrides[key.strip()] = json.loads(raw)
+        except ValueError:
+            overrides[key.strip()] = raw
+    return overrides

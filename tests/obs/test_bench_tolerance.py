@@ -1,0 +1,130 @@
+"""Lenient resultset loading: future schemas, missing keys, torn files.
+
+The grid runner resumes by probing archive paths that may hold
+documents written by any revision — or by a process that died
+mid-write. None of that may raise; it degrades to "whatever was
+readable" (or ``None`` from :func:`try_load_resultset`).
+"""
+
+import json
+
+import pytest
+
+from repro.obs.bench import (
+    RESULTSET_SCHEMA,
+    Resultset,
+    compare,
+    load_resultset,
+    try_load_resultset,
+)
+
+
+class TestLenientFromDict:
+    def test_strict_still_rejects_future_schema(self):
+        with pytest.raises(ValueError, match="schema"):
+            Resultset.from_dict({"schema": RESULTSET_SCHEMA + 1, "name": "x"})
+
+    def test_lenient_accepts_future_schema_and_keeps_it(self):
+        rs = Resultset.from_dict(
+            {
+                "schema": RESULTSET_SCHEMA + 1,
+                "name": "future",
+                "metrics": {"a": {"value": 1.0}},
+            },
+            lenient=True,
+        )
+        assert rs.schema == RESULTSET_SCHEMA + 1
+        assert rs.metrics["a"]["value"] == 1.0
+
+    def test_lenient_tolerates_missing_meta_and_metrics(self):
+        rs = Resultset.from_dict({"schema": RESULTSET_SCHEMA}, lenient=True)
+        assert rs.meta == {} and rs.metrics == {}
+        assert rs.name == "bench"
+
+    def test_lenient_skips_malformed_metric_entries(self):
+        rs = Resultset.from_dict(
+            {
+                "schema": RESULTSET_SCHEMA,
+                "metrics": {
+                    "good": {"value": 2.0},
+                    "not_a_table": 7,
+                    "no_value": {"unit": "ms"},
+                    "non_numeric": {"value": "fast"},
+                },
+            },
+            lenient=True,
+        )
+        assert sorted(rs.metrics) == ["good"]
+
+    def test_lenient_tolerates_non_dict_document(self):
+        rs = Resultset.from_dict(["not", "a", "table"], lenient=True)
+        assert rs.metrics == {}
+
+    def test_strict_rejects_malformed_metric(self):
+        with pytest.raises(ValueError, match="no numeric value"):
+            Resultset.from_dict(
+                {"schema": RESULTSET_SCHEMA, "metrics": {"m": {"unit": "ms"}}}
+            )
+
+    def test_fresh_instances_carry_this_builds_schema(self):
+        assert Resultset("x", meta={}).schema == RESULTSET_SCHEMA
+
+
+class TestTryLoad:
+    def test_missing_file_is_none(self, tmp_path):
+        assert try_load_resultset(str(tmp_path / "nope.json")) is None
+
+    def test_torn_json_is_none(self, tmp_path):
+        path = tmp_path / "torn.json"
+        path.write_text('{"schema": 1, "name": "tr')
+        assert try_load_resultset(str(path)) is None
+
+    def test_alien_but_valid_json_loads_leniently(self, tmp_path):
+        path = tmp_path / "alien.json"
+        path.write_text(json.dumps({"schema": 99, "metrics": {"m": {"value": 3}}}))
+        rs = try_load_resultset(str(path))
+        assert rs is not None and rs.schema == 99
+        assert rs.metrics["m"]["value"] == 3.0
+
+    def test_load_resultset_lenient_flag(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"schema": 0, "name": "old"}))
+        with pytest.raises(ValueError):
+            load_resultset(str(path))
+        assert load_resultset(str(path), lenient=True).name == "old"
+
+
+class TestExactMetrics:
+    @staticmethod
+    def pair(base_value, cur_value, **record_kw):
+        meta = {"git_rev": "r", "platform": "p"}
+        base, cur = Resultset("b", meta=meta), Resultset("b", meta=meta)
+        base.record("events.total", base_value, **record_kw)
+        cur.record("events.total", cur_value, **record_kw)
+        return base, cur
+
+    def test_exact_metric_fails_on_any_drift(self):
+        base, cur = self.pair(10, 11, exact=True)
+        report = compare(base, cur, threshold=0.5)
+        assert "events.total" in report.regressions
+
+    def test_exact_metric_fails_even_on_improvement(self):
+        # "Improved" invariants are drift too: fewer events than the
+        # baseline means the run changed, not that it got better.
+        base, cur = self.pair(10, 9, exact=True)
+        assert "events.total" in compare(base, cur).regressions
+
+    def test_exact_metric_equal_passes(self):
+        base, cur = self.pair(10, 10, exact=True)
+        assert compare(base, cur).ok
+
+    def test_non_exact_metric_keeps_threshold(self):
+        base, cur = self.pair(10, 11)
+        assert compare(base, cur, threshold=0.5).ok
+
+    def test_exact_portable_gates_across_platforms(self):
+        base, _ = self.pair(10, 10)
+        cur = Resultset("b", meta={"git_rev": "r", "platform": "other"})
+        cur.record("events.total", 11, exact=True, portable=True)
+        base.metrics["events.total"].update(exact=True, portable=True)
+        assert "events.total" in compare(base, cur).regressions

@@ -1,0 +1,76 @@
+"""Baseline regression gating: exact invariants + noise-aware perf."""
+
+import pytest
+
+from repro.scenarios import (
+    baseline_path,
+    compare_scenario,
+    default_baseline_dir,
+    run_scenario,
+)
+from repro.scenarios.spec import FaultSpec, ScenarioSpec, TrafficSpec
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return ScenarioSpec(
+        name="compare-tiny",
+        seed=5,
+        traffic=TrafficSpec(duration_s=3.0, rate=25.0),
+        faults=FaultSpec(profile="lossy-mq"),
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline(spec):
+    return run_scenario(spec).resultset
+
+
+class TestGating:
+    def test_unchanged_rerun_passes(self, spec, baseline):
+        report = compare_scenario(baseline, run_scenario(spec).resultset)
+        assert report.ok and not report.regressions
+
+    def test_doubled_fault_rate_fails(self, spec, baseline):
+        doubled = run_scenario(
+            spec, overrides={"faults.overrides.mq_drop_rate": 0.10}
+        )
+        report = compare_scenario(baseline, doubled.resultset)
+        assert not report.ok
+        # The conservation ledger and fault counters move together.
+        assert any(name.startswith("ledger.") for name in report.regressions)
+        assert "faults.injected_total" in report.regressions
+
+    def test_exact_gating_catches_small_drift_both_directions(self, baseline):
+        import copy
+
+        better = copy.deepcopy(baseline)
+        name = "scenario.tsdb_points"
+        better.metrics[name] = dict(better.metrics[name])
+        better.metrics[name]["value"] += 1  # 1 point is way under 15%
+        report = compare_scenario(baseline, better)
+        assert name in report.regressions
+
+    def test_profiled_runs_gate_wall_shares(self, spec):
+        first = run_scenario(spec, profile_stages=True).resultset
+        second = run_scenario(spec, profile_stages=True).resultset
+        report = compare_scenario(first, second)
+        assert any("wall_share" in name for name, *_ in report.rows)
+
+
+class TestBaselinePaths:
+    def test_committed_baselines_exist_for_the_library(self):
+        import os
+
+        from repro.scenarios import load_library
+
+        for name in load_library():
+            assert os.path.exists(baseline_path(name)), (
+                f"missing committed baseline for {name}; regenerate with "
+                "`ruru scenario compare --write`"
+            )
+
+    def test_env_var_overrides_baseline_dir(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("RURU_SCENARIO_BASELINES", str(tmp_path))
+        assert default_baseline_dir() == str(tmp_path)
+        assert baseline_path("x").startswith(str(tmp_path))

@@ -1,0 +1,121 @@
+"""The grid batch runner: expansion, archiving, resumable sweeps."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.bench import load_resultset
+from repro.scenarios import GridSpec, run_grid
+from repro.scenarios.grid import GridCell
+
+
+@pytest.fixture()
+def scenario_dir(tmp_path):
+    """Two tiny scenarios so grid runs stay fast."""
+    specs = tmp_path / "specs"
+    specs.mkdir()
+    (specs / "tiny-clean.toml").write_text(
+        'name = "tiny-clean"\n[traffic]\nduration_s = 2.0\nrate = 20.0\n'
+    )
+    (specs / "tiny-faulty.toml").write_text(
+        'name = "tiny-faulty"\n[traffic]\nduration_s = 2.0\nrate = 20.0\n'
+        '[faults]\nprofile = "lossy-mq"\n'
+    )
+    return str(specs)
+
+
+class TestExpansion:
+    def test_cells_cover_the_cross_product(self):
+        grid = GridSpec(
+            scenarios=["a", "b"],
+            seeds=[1, 2],
+            variants={"base": {}, "hot": {"traffic.rate": 100}},
+        )
+        cells = grid.expand()
+        assert len(cells) == 8
+        assert [c.cell_id for c in cells[:3]] == [
+            "a--s1", "a--s1--hot", "a--s2",
+        ]
+        assert cells[1].overrides == {"traffic.rate": 100}
+
+    def test_archive_paths_group_by_scenario(self, tmp_path):
+        cell = GridCell(scenario="a", seed=3, variant="hot")
+        path = cell.archive_path(str(tmp_path))
+        assert path.endswith(os.path.join("a", "a--s3--hot.json"))
+
+
+class TestRunAndResume:
+    def test_grid_archives_every_cell(self, scenario_dir, tmp_path):
+        out = str(tmp_path / "grid")
+        grid = GridSpec(scenarios=["tiny-clean", "tiny-faulty"], seeds=[5])
+        report = run_grid(grid, out, extra_dirs=[scenario_dir])
+        assert report.ok and len(report.ran) == 2
+        archived = load_resultset(os.path.join(out, "tiny-clean", "tiny-clean--s5.json"))
+        assert archived.meta["cell"] == {
+            "scenario": "tiny-clean", "seed": 5, "variant": "base",
+        }
+        assert archived.metrics["ledger.balance"]["value"] == 0.0
+
+    def test_interrupted_grid_resumes_where_it_stopped(self, scenario_dir, tmp_path):
+        out = str(tmp_path / "grid")
+        grid = GridSpec(scenarios=["tiny-clean", "tiny-faulty"], seeds=[5, 6])
+        first = run_grid(grid, out, extra_dirs=[scenario_dir], max_cells=2)
+        assert len(first.ran) == 2
+        resumed = run_grid(grid, out, extra_dirs=[scenario_dir])
+        assert len(resumed.skipped) == 2 and len(resumed.ran) == 2
+        done = run_grid(grid, out, extra_dirs=[scenario_dir])
+        assert len(done.skipped) == 4 and not done.ran
+
+    def test_torn_archive_reruns(self, scenario_dir, tmp_path):
+        out = str(tmp_path / "grid")
+        grid = GridSpec(scenarios=["tiny-clean"], seeds=[5])
+        run_grid(grid, out, extra_dirs=[scenario_dir])
+        path = os.path.join(out, "tiny-clean", "tiny-clean--s5.json")
+        with open(path, "w") as handle:
+            handle.write('{"schema": 1, "name": "tr')  # killed mid-write
+        report = run_grid(grid, out, extra_dirs=[scenario_dir])
+        assert len(report.ran) == 1 and not report.skipped
+        assert load_resultset(path).meta["scenario"] == "tiny-clean"
+
+    def test_foreign_cell_archive_reruns(self, scenario_dir, tmp_path):
+        out = str(tmp_path / "grid")
+        grid = GridSpec(scenarios=["tiny-clean"], seeds=[5])
+        run_grid(grid, out, extra_dirs=[scenario_dir])
+        path = os.path.join(out, "tiny-clean", "tiny-clean--s5.json")
+        document = json.load(open(path))
+        document["meta"]["cell"]["seed"] = 999  # some other coordinate
+        json.dump(document, open(path, "w"))
+        report = run_grid(grid, out, extra_dirs=[scenario_dir])
+        assert len(report.ran) == 1
+
+    def test_no_resume_forces_rerun(self, scenario_dir, tmp_path):
+        out = str(tmp_path / "grid")
+        grid = GridSpec(scenarios=["tiny-clean"], seeds=[5])
+        run_grid(grid, out, extra_dirs=[scenario_dir])
+        report = run_grid(grid, out, resume=False, extra_dirs=[scenario_dir])
+        assert len(report.ran) == 1 and not report.skipped
+
+    def test_failing_cell_archives_as_evidence_not_resume(
+        self, scenario_dir, tmp_path
+    ):
+        out = str(tmp_path / "grid")
+        grid = GridSpec(
+            scenarios=["tiny-clean"],
+            seeds=[5],
+            # An impossible expectation: the gate fails, so the cell
+            # must not count as archived for resume purposes.
+            variants={"base": {"expect.latency-spike": {"min": 99}}},
+        )
+        first = run_grid(grid, out, extra_dirs=[scenario_dir])
+        assert not first.ok and len(first.failed) == 1
+        path = first.failed[0].path
+        assert not os.path.exists(path) and os.path.exists(path + ".failed")
+        again = run_grid(grid, out, extra_dirs=[scenario_dir])
+        assert len(again.failed) == 1 and not again.skipped
+
+    def test_unknown_scenario_fails_only_its_cells(self, scenario_dir, tmp_path):
+        grid = GridSpec(scenarios=["tiny-clean", "no-such"], seeds=[5])
+        report = run_grid(grid, str(tmp_path / "grid"), extra_dirs=[scenario_dir])
+        assert len(report.ran) == 1 and len(report.failed) == 1
+        assert "no-such" in report.failed[0].detail

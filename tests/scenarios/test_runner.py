@@ -1,0 +1,102 @@
+"""The scenario runner: determinism, checks, metric stamping."""
+
+import json
+
+import pytest
+
+from repro.scenarios import run_scenario
+from repro.scenarios.spec import AnomalyWindowSpec, ScenarioSpec, TrafficSpec
+
+
+@pytest.fixture(scope="module")
+def small_spec():
+    return ScenarioSpec(
+        name="runner-small",
+        description="tiny clean run",
+        seed=5,
+        traffic=TrafficSpec(duration_s=4.0, rate=25.0),
+    )
+
+
+@pytest.fixture(scope="module")
+def flood_spec():
+    return ScenarioSpec(
+        name="runner-flood",
+        seed=5,
+        traffic=TrafficSpec(duration_s=8.0, rate=25.0),
+        anomalies=(
+            AnomalyWindowSpec(
+                kind="syn-flood",
+                at_s=3.0,
+                duration_s=2.0,
+                params={"rate_per_s": 1500.0},
+            ),
+        ),
+        expect={"syn-flood": {"min": 1}},
+    )
+
+
+class TestDeterminism:
+    def test_same_seed_is_byte_identical(self, small_spec):
+        first = run_scenario(small_spec)
+        second = run_scenario(small_spec)
+        assert json.dumps(first.resultset.metrics, sort_keys=True) == (
+            json.dumps(second.resultset.metrics, sort_keys=True)
+        )
+        assert first.events == second.events
+
+    def test_seed_changes_the_run(self, small_spec):
+        from repro.scenarios.runner import build_scenario_generator
+
+        streams = [
+            [(p.timestamp_ns, p.data)
+             for p in build_scenario_generator(small_spec, seed).packets()]
+            for seed in (5, 6)
+        ]
+        assert streams[0] != streams[1]
+
+    def test_wall_clock_stays_out_of_metrics(self, small_spec):
+        result = run_scenario(small_spec)
+        assert "elapsed_s" in str(result.resultset.meta["wall"])
+        assert not any("wall" in name for name in result.resultset.metrics)
+
+
+class TestChecks:
+    def test_clean_run_passes_all_gates(self, small_spec):
+        result = run_scenario(small_spec)
+        assert result.ok
+        names = {check.name for check in result.checks}
+        assert {"survived", "ledger-conserves"} <= names
+        assert result.metric("ledger.balance") == 0.0
+
+    def test_expectation_band_gates(self, flood_spec):
+        caught = run_scenario(flood_spec)
+        assert caught.ok
+        assert caught.metric("events.syn-flood") >= 1
+        # The same schedule expected NOT to fire fails its band.
+        quiet = ScenarioSpec.from_dict(
+            {**flood_spec.to_dict(), "expect": {"syn-flood": {"max": 0}}}
+        )
+        result = run_scenario(quiet)
+        assert not result.ok
+        failed = [c for c in result.checks if not c.ok]
+        assert failed and failed[0].name == "expect.syn-flood"
+
+    def test_metrics_are_exact_and_portable(self, small_spec):
+        result = run_scenario(small_spec)
+        ledger = result.resultset.metrics["ledger.ingested"]
+        assert ledger.get("exact") is True
+        assert ledger.get("portable") is True
+
+    def test_cell_coordinates_stamp_the_archive(self, small_spec):
+        result = run_scenario(
+            small_spec, cell={"scenario": "runner-small", "seed": 5, "variant": "v"}
+        )
+        assert result.resultset.meta["cell"]["variant"] == "v"
+        assert result.resultset.meta["scenario"] == "runner-small"
+        assert result.resultset.meta["spec"]["name"] == "runner-small"
+
+    def test_stage_profile_only_when_requested(self, small_spec):
+        assert not run_scenario(small_spec).resultset.stage_profile
+        profiled = run_scenario(small_spec, profile_stages=True)
+        assert profiled.resultset.stage_profile

@@ -1,0 +1,206 @@
+"""Scenario spec parsing, validation, overrides, and the library."""
+
+import json
+
+import pytest
+
+from repro.scenarios import (
+    get_scenario,
+    load_library,
+    load_scenario_file,
+    scenario_names,
+)
+from repro.scenarios.spec import (
+    AnomalyWindowSpec,
+    FaultSpec,
+    ScenarioSpec,
+    SpecError,
+    TrafficSpec,
+    apply_overrides,
+    parse_override_args,
+)
+from repro.traffic.scenarios import (
+    ConnectionSurgeInjector,
+    FirewallGlitchInjector,
+    SynFloodInjector,
+)
+
+TOML_DOC = """
+name = "toml-episode"
+description = "parsed from TOML"
+seed = 11
+
+[traffic]
+duration_s = 5.0
+rate = 25.0
+diurnal = true
+start_hour = 18.5
+
+[faults]
+profile = "lossy-mq"
+
+[faults.overrides]
+mq_drop_rate = 0.10
+
+[[anomalies]]
+kind = "syn-flood"
+at_s = 2.0
+duration_s = 1.5
+
+[expect.syn-flood]
+min = 1
+"""
+
+
+class TestParsing:
+    def test_toml_round_trip(self, tmp_path):
+        path = tmp_path / "episode.toml"
+        path.write_text(TOML_DOC)
+        spec = load_scenario_file(str(path))
+        assert spec.name == "toml-episode"
+        assert spec.seed == 11
+        assert spec.traffic.diurnal and spec.traffic.start_hour == 18.5
+        assert spec.faults.overrides == {"mq_drop_rate": 0.10}
+        assert spec.anomalies[0].kind == "syn-flood"
+        assert spec.expect == {"syn-flood": {"min": 1}}
+        # Document form reparses to an identical spec.
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_document(self, tmp_path):
+        path = tmp_path / "episode.json"
+        path.write_text(json.dumps({"name": "json-episode", "seed": 3}))
+        spec = load_scenario_file(str(path))
+        assert spec.name == "json-episode"
+        assert spec.seed == 3
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(SpecError, match="unknown scenario keys"):
+            ScenarioSpec.from_dict({"name": "x", "trafic": {}})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SpecError, match="bad scenario field"):
+            ScenarioSpec.from_dict({"name": "x", "traffic": {"ratee": 10}})
+
+    def test_unknown_anomaly_kind_rejected(self):
+        with pytest.raises(SpecError, match="unknown anomaly kind"):
+            AnomalyWindowSpec(kind="meteor-strike")
+
+    def test_unknown_fault_override_rejected(self):
+        with pytest.raises(SpecError, match="not a FaultProfile rate"):
+            FaultSpec(profile="clean", overrides={"banana_rate": 0.5})
+
+    def test_unknown_expect_kind_rejected(self):
+        with pytest.raises(SpecError, match="unknown event kind"):
+            ScenarioSpec(name="x", expect={"quakes": {"min": 1}})
+
+    def test_filesystem_unsafe_name_rejected(self):
+        with pytest.raises(SpecError, match="filesystem-safe"):
+            ScenarioSpec(name="a/b")
+
+    def test_traffic_bounds(self):
+        with pytest.raises(SpecError):
+            TrafficSpec(duration_s=0)
+        with pytest.raises(SpecError):
+            TrafficSpec(start_hour=24.0)
+
+
+class TestFaultResolution:
+    def test_clean_profile_is_inactive(self):
+        assert not FaultSpec(profile="clean").active
+
+    def test_overrides_derive_anonymous_profile(self):
+        resolved = FaultSpec(
+            profile="clean", overrides={"mq_drop_rate": 0.2}
+        ).resolve()
+        assert resolved.mq_drop_rate == 0.2
+        assert resolved.name == "clean+overrides"
+        # The registered base profile is untouched.
+        assert FaultSpec(profile="clean").resolve().mq_drop_rate == 0.0
+
+
+class TestInjectorBuilding:
+    def test_each_kind_builds_its_injector(self):
+        traffic = TrafficSpec(start_hour=2.0)
+        glitch = AnomalyWindowSpec(kind="firewall-glitch", at_s=30.0).build_injector(traffic)
+        flood = AnomalyWindowSpec(kind="syn-flood", at_s=5.0).build_injector(traffic)
+        surge = AnomalyWindowSpec(kind="connection-surge", at_s=5.0).build_injector(traffic)
+        assert isinstance(glitch, FirewallGlitchInjector)
+        assert isinstance(flood, SynFloodInjector)
+        assert isinstance(surge, ConnectionSurgeInjector)
+        # Relative windows are absolute on the virtual clock.
+        assert flood.flood_start_ns == traffic.start_ns + 5 * 10**9
+
+    def test_firewall_glitch_anchors_to_time_of_day(self):
+        traffic = TrafficSpec(start_hour=2.5)
+        injector = AnomalyWindowSpec(
+            kind="firewall-glitch",
+            params={"window_start_hour": 3.0},
+        ).build_injector(traffic)
+        assert injector.window_start_offset_ns == 3 * 3600 * 10**9
+
+
+class TestOverrides:
+    def test_dotted_paths_reach_nested_fields(self):
+        spec = ScenarioSpec(name="x")
+        out = apply_overrides(
+            spec,
+            {"traffic.rate": 90, "faults.overrides.mq_drop_rate": 0.1},
+        )
+        assert out.traffic.rate == 90
+        assert out.faults.overrides["mq_drop_rate"] == 0.1
+        # The input spec is untouched (frozen + document copy).
+        assert spec.traffic.rate == 40.0
+
+    def test_overrides_revalidate(self):
+        with pytest.raises(SpecError):
+            apply_overrides(ScenarioSpec(name="x"), {"traffic.rate": -1})
+
+    def test_parse_override_args_types_values(self):
+        parsed = parse_override_args(
+            ["traffic.rate=80", "traffic.diurnal=true", "faults.profile=lossy-mq"]
+        )
+        assert parsed == {
+            "traffic.rate": 80,
+            "traffic.diurnal": True,
+            "faults.profile": "lossy-mq",
+        }
+
+    def test_parse_override_args_rejects_bare_words(self):
+        with pytest.raises(SpecError):
+            parse_override_args(["traffic.rate"])
+
+
+class TestLibrary:
+    def test_library_ships_the_paper_episodes(self):
+        names = scenario_names()
+        assert len(names) >= 6
+        for expected in (
+            "auckland-baseline",
+            "firewall-glitch-night",
+            "syn-flood-burst",
+            "flash-crowd-diurnal-peak",
+            "lossy-mq-degraded",
+            "elephant-mice-mix",
+        ):
+            assert expected in names
+
+    def test_every_library_spec_has_a_description(self):
+        for name, spec in load_library().items():
+            assert spec.description, f"{name} is missing a description"
+
+    def test_extra_dir_shadows_builtin(self, tmp_path):
+        shadow = tmp_path / "auckland-baseline.toml"
+        shadow.write_text(
+            'name = "auckland-baseline"\ndescription = "shadowed"\nseed = 99\n'
+        )
+        spec = get_scenario("auckland-baseline", extra_dirs=[str(tmp_path)])
+        assert spec.seed == 99 and spec.description == "shadowed"
+
+    def test_get_scenario_accepts_file_paths(self, tmp_path):
+        path = tmp_path / "direct.toml"
+        path.write_text('name = "direct"\n')
+        assert get_scenario(str(path)).name == "direct"
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(SpecError, match="auckland-baseline"):
+            get_scenario("no-such-episode")

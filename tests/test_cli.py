@@ -197,6 +197,18 @@ class TestChaosCommands:
         assert "lossy-mq" in output
         assert "tsdb-brownout" in output
 
+    def test_chaos_list_prints_description_column(self, capsys):
+        from repro.faults import PROFILES
+
+        assert main(["chaos", "--list"]) == 0
+        output = capsys.readouterr().out
+        for name, profile in PROFILES.items():
+            assert profile.description in output, name
+        # Descriptions align into one column after the longest name.
+        width = max(len(name) for name in PROFILES) + 2
+        line = next(l for l in output.splitlines() if l.startswith("clean"))
+        assert line.index(PROFILES["clean"].description) == width
+
     def test_chaos_unknown_profile_errors(self):
         with pytest.raises(ValueError, match="unknown fault profile"):
             main(["chaos", "--profile", "nope", *self.CHAOS])
@@ -354,3 +366,87 @@ class TestSloGate:
         assert main(["metrics", "--duration", "2", "--rate", "20",
                      "--slo-gate", "--slo-config", str(config)]) == 1
         assert "impossible-throughput: violated" in capsys.readouterr().out
+
+
+class TestScenarioCommand:
+    TINY = ('name = "cli-tiny"\ndescription = "cli probe"\n'
+            '[traffic]\nduration_s = 2.0\nrate = 20.0\n')
+
+    def tiny_path(self, tmp_path):
+        path = tmp_path / "cli-tiny.toml"
+        path.write_text(self.TINY)
+        return str(path)
+
+    def test_list_prints_library_with_descriptions(self, capsys):
+        from repro.scenarios import load_library
+
+        assert main(["scenario", "list"]) == 0
+        output = capsys.readouterr().out
+        specs = load_library()
+        assert len(specs) >= 6
+        width = max(len(name) for name in specs) + 2
+        for name, spec in specs.items():
+            line = next(l for l in output.splitlines() if l.startswith(name))
+            assert line.index(spec.description) == width, name
+
+    def test_show_prints_spec_and_baseline(self, capsys):
+        assert main(["scenario", "show", "syn-flood-burst"]) == 0
+        output = capsys.readouterr().out
+        assert '"syn-flood-burst"' in output
+        assert "baseline:" in output and "missing" not in output
+
+    def test_run_spec_file_with_overrides(self, tmp_path, capsys):
+        out = str(tmp_path / "rs.json")
+        assert main(["scenario", "run", self.tiny_path(tmp_path),
+                     "--set", "traffic.rate=30", "--out", out]) == 0
+        output = capsys.readouterr().out
+        assert "verdict: OK" in output
+        from repro.obs.bench import load_resultset
+
+        archived = load_resultset(out)
+        assert archived.meta["spec"]["traffic"]["rate"] == 30
+
+    def test_run_failing_expectation_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "never.toml"
+        path.write_text(self.TINY.replace('"cli-tiny"', '"never"')
+                        + "[expect.syn-flood]\nmin = 5\n")
+        assert main(["scenario", "run", str(path)]) == 1
+        assert "FAIL] expect.syn-flood" in capsys.readouterr().out
+
+    def test_batch_then_resume(self, tmp_path, capsys, monkeypatch):
+        specs = tmp_path / "specs"
+        specs.mkdir()
+        (specs / "cli-tiny.toml").write_text(self.TINY)
+        monkeypatch.setenv("RURU_SCENARIO_PATH", str(specs))
+        out = str(tmp_path / "grid")
+        assert main(["scenario", "batch", "cli-tiny",
+                     "--seeds", "5,6", "--out", out]) == 0
+        assert "2 ran, 0 skipped" in capsys.readouterr().out
+        assert main(["scenario", "batch", "cli-tiny",
+                     "--seeds", "5,6", "--out", out]) == 0
+        assert "0 ran, 2 skipped" in capsys.readouterr().out
+
+    def test_batch_variant_axis(self, tmp_path, capsys, monkeypatch):
+        specs = tmp_path / "specs"
+        specs.mkdir()
+        (specs / "cli-tiny.toml").write_text(self.TINY)
+        monkeypatch.setenv("RURU_SCENARIO_PATH", str(specs))
+        assert main(["scenario", "batch", "cli-tiny",
+                     "--variant", "hot:traffic.rate=40",
+                     "--out", str(tmp_path / "grid")]) == 0
+        output = capsys.readouterr().out
+        assert "cli-tiny--s7" in output
+        assert "cli-tiny--s7--hot" in output
+
+    def test_compare_write_then_gate(self, tmp_path, capsys, monkeypatch):
+        specs = tmp_path / "specs"
+        specs.mkdir()
+        (specs / "cli-tiny.toml").write_text(self.TINY)
+        monkeypatch.setenv("RURU_SCENARIO_PATH", str(specs))
+        baselines = str(tmp_path / "baselines")
+        assert main(["scenario", "compare", "cli-tiny",
+                     "--baseline-dir", baselines, "--write"]) == 0
+        capsys.readouterr()
+        assert main(["scenario", "compare", "cli-tiny",
+                     "--baseline-dir", baselines]) == 0
+        assert "cli-tiny: ok" in capsys.readouterr().out
