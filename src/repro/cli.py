@@ -551,6 +551,11 @@ def _add_chaos_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--duration", type=float, default=8.0, help="seconds of traffic")
     parser.add_argument("--rate", type=float, default=40.0, help="mean flows per second")
     parser.add_argument("--queues", type=int, default=2, help="RSS receive queues")
+    parser.add_argument(
+        "--overload", action="store_true",
+        help="enable closed-loop overload control (watermark sensing "
+             "plus the priority shed ladder)",
+    )
 
 
 def cmd_chaos(args) -> int:
@@ -577,6 +582,7 @@ def cmd_chaos(args) -> int:
         duration_s=args.duration,
         rate=args.rate,
         queues=args.queues,
+        overload=args.overload,
     )
     with GracefulShutdown() as stop:
         report = harness.run(shutdown_flag=stop.requested)
@@ -610,6 +616,7 @@ def cmd_dlq(args) -> int:
         duration_s=args.duration,
         rate=args.rate,
         queues=args.queues,
+        overload=args.overload,
     )
     report = harness.run()
     print(harness.resilience.dlq.format_table(limit=args.limit))
@@ -656,6 +663,7 @@ def _make_durable_runtime(args):
             None if args.retention is None else max(1, int(args.retention * NS_PER_S))
         ),
         fsync_wal=args.fsync_wal,
+        overload=args.overload,
     )
 
 

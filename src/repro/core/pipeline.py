@@ -52,6 +52,10 @@ class RuruPipeline:
         poll_wrapper: ``(poll, role) -> poll`` applied to each worker
             poll body *inside* the supervision boundary; the chaos
             harness uses it to inject worker crashes.
+        admission: an :class:`repro.overload.OverloadController`. When
+            given, the NIC runs its priority triage on every frame and
+            frames shed by policy are counted as ``packets_shed``
+            instead of ``nic_drops``.
     """
 
     def __init__(
@@ -63,6 +67,7 @@ class RuruPipeline:
         telemetry=None,
         supervisor=None,
         poll_wrapper=None,
+        admission=None,
     ):
         self.config = config or PipelineConfig()
         self.config.validate()
@@ -80,12 +85,14 @@ class RuruPipeline:
             telemetry.bind_clock(self.clock)
             tracer = telemetry.tracer
 
+        self.admission = admission
         pool = MbufPool(size=self.config.mbuf_pool_size, name="rx_pool")
         self.nic = NicPort(
             num_queues=self.config.num_queues,
             rss_key=self.config.rss_key,
             mbuf_pool=pool,
             queue_capacity=self.config.queue_capacity,
+            admission=admission,
         )
         self.eal = Eal()
         self.supervisor = supervisor
@@ -123,7 +130,10 @@ class RuruPipeline:
         if self.nic.receive(packet):
             self.stats.packets_queued += 1
             return True
-        self.stats.nic_drops += 1
+        if self.admission is not None and self.admission.take_nic_shed():
+            self.stats.packets_shed += 1
+        else:
+            self.stats.nic_drops += 1
         return False
 
     def quiesce(self) -> None:
@@ -182,6 +192,11 @@ class RuruPipeline:
 
     def _feed_and_drain(self, batch: List[Packet]) -> None:
         """Offer one feed batch, drain the rings, drive the exporter."""
+        # The run_packets path has no stage graph driving the overload
+        # controller, so the control loop ticks here instead; under the
+        # graph, OverloadStage.process ticks it and this is never hit.
+        if self.admission is not None:
+            self.admission.update(self.clock.now_ns)
         telemetry = self.telemetry
         if telemetry is None:
             for packet in batch:

@@ -71,6 +71,7 @@ class PipelineStats:
     packets_processed: int = 0
     packets_sampled_out: int = 0
     packets_rejected_quiesced: int = 0
+    packets_shed: int = 0
     nic_drops: int = 0
     parse_errors: int = 0
     parse_error_reasons: Dict[str, int] = field(default_factory=dict)
@@ -103,6 +104,7 @@ class PipelineStats:
             "packets_processed": self.packets_processed,
             "packets_sampled_out": self.packets_sampled_out,
             "packets_rejected_quiesced": self.packets_rejected_quiesced,
+            "packets_shed": self.packets_shed,
             "nic_drops": self.nic_drops,
             "parse_errors": self.parse_errors,
             "measurements": self.tracker.measurements,
@@ -132,6 +134,7 @@ class PipelineStats:
             "packets_processed": self.packets_processed,
             "packets_sampled_out": self.packets_sampled_out,
             "packets_rejected_quiesced": self.packets_rejected_quiesced,
+            "packets_shed": self.packets_shed,
             "nic_drops": self.nic_drops,
             "parse_errors": self.parse_errors,
             "parse_error_reasons": dict(self.parse_error_reasons),
@@ -147,6 +150,8 @@ class PipelineStats:
         self.packets_processed = int(state["packets_processed"])
         self.packets_sampled_out = int(state["packets_sampled_out"])
         self.packets_rejected_quiesced = int(state["packets_rejected_quiesced"])
+        # .get: checkpoints from before overload control lack the key.
+        self.packets_shed = int(state.get("packets_shed", 0))
         self.nic_drops = int(state["nic_drops"])
         self.parse_errors = int(state["parse_errors"])
         self.parse_error_reasons = dict(state["parse_error_reasons"])

@@ -50,6 +50,9 @@ class NicPort:
             both flow directions share a queue.
         mbuf_pool: buffer pool; a default pool is created if omitted.
         queue_capacity: ring slots per queue.
+        admission: optional overload controller; when set, frames pass
+            its priority triage before allocation and a full ring may
+            displace its newest payload frame for a handshake frame.
     """
 
     def __init__(
@@ -59,6 +62,7 @@ class NicPort:
         mbuf_pool: Optional[MbufPool] = None,
         queue_capacity: int = 4096,
         port_id: int = 0,
+        admission=None,
     ):
         self.port_id = port_id
         self.hasher = RssHasher(key=rss_key, num_queues=num_queues)
@@ -67,6 +71,7 @@ class NicPort:
         ]
         self.pool = mbuf_pool or MbufPool(size=max(8192, queue_capacity * num_queues))
         self.stats = PortStats()
+        self.admission = admission
 
     @property
     def num_queues(self) -> int:
@@ -118,9 +123,22 @@ class NicPort:
 
         Drops happen when the mbuf pool is exhausted or the chosen rx
         ring is full — both counted in :attr:`stats` as ``imissed``,
-        matching NIC semantics.
+        matching NIC semantics. With an admission controller attached,
+        frames the ladder sheds are rejected before allocation, and a
+        full ring first tries to displace its newest payload frame to
+        make room for an incoming handshake frame; either way the
+        controller attributes the loss per class and stage.
         """
-        extracted = self._extract_tuple(packet.data)
+        data = packet.data
+        admission = self.admission
+        klass = None
+        if admission is not None:
+            admitted, klass, data = admission.admit_frame(data)
+            if not admitted:
+                self.stats.record_miss()
+                return False
+
+        extracted = self._extract_tuple(data)
         if extracted is None:
             rss_hash = 0
             queue_id = 0
@@ -131,7 +149,7 @@ class NicPort:
 
         try:
             mbuf = self.pool.alloc(
-                data=packet.data,
+                data=data,
                 timestamp_ns=packet.timestamp_ns,
                 rss_hash=rss_hash,
                 queue_id=queue_id,
@@ -142,11 +160,21 @@ class NicPort:
 
         ring = self.queues[queue_id].ring
         if ring.is_full:
+            if admission is not None and admission.should_displace(klass):
+                victim = ring.displace_newest(admission.is_displaceable)
+                if victim is not None:
+                    victim.free()
+                    admission.record_ring_displacement()
+                    ring.enqueue(mbuf)
+                    self.stats.record_rx(queue_id, len(data))
+                    return True
             mbuf.free()
             self.stats.record_miss()
+            if admission is not None:
+                admission.record_ring_drop(klass)
             return False
         ring.enqueue(mbuf)
-        self.stats.record_rx(queue_id, len(packet.data))
+        self.stats.record_rx(queue_id, len(data))
         return True
 
     def receive_burst(self, packets) -> int:

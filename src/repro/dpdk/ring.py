@@ -9,7 +9,7 @@ pressure signal the RSS-scaling bench measures.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Generic, Iterable, List, TypeVar
+from typing import Callable, Deque, Generic, Iterable, List, Optional, TypeVar
 
 T = TypeVar("T")
 
@@ -34,7 +34,9 @@ class Ring(Generic[T]):
         self.enqueued = 0
         self.dequeued = 0
         self.drops = 0
+        self.displaced = 0
         self.high_watermark = 0
+        self._peak = 0
 
     def __len__(self) -> int:
         return len(self._items)
@@ -65,6 +67,8 @@ class Ring(Generic[T]):
         self.enqueued += 1
         if len(self._items) > self.high_watermark:
             self.high_watermark = len(self._items)
+        if len(self._items) > self._peak:
+            self._peak = len(self._items)
 
     def enqueue_burst(self, items: Iterable[T]) -> int:
         """Add as many items as fit; returns how many were accepted.
@@ -82,7 +86,37 @@ class Ring(Generic[T]):
             accepted += 1
         if len(self._items) > self.high_watermark:
             self.high_watermark = len(self._items)
+        if len(self._items) > self._peak:
+            self._peak = len(self._items)
         return accepted
+
+    def take_peak(self) -> int:
+        """Peak occupancy since the last call; resets to current depth.
+
+        The pipeline drains rings to empty at batch boundaries, so an
+        instantaneous read is useless as a pressure signal — overload
+        sensors read the within-batch peak instead.
+        """
+        peak = max(self._peak, len(self._items))
+        self._peak = len(self._items)
+        return peak
+
+    def displace_newest(self, predicate: Callable[[T], bool]) -> Optional[T]:
+        """Remove and return the newest queued item matching *predicate*.
+
+        Priority admission under overload: a full ring can evict its
+        newest low-priority item to make room for a high-priority one
+        (newest, because the oldest is closest to being served).
+        Returns None if nothing matches; the caller owns the victim.
+        """
+        items = self._items
+        for index in range(len(items) - 1, -1, -1):
+            if predicate(items[index]):
+                victim = items[index]
+                del items[index]
+                self.displaced += 1
+                return victim
+        return None
 
     def dequeue(self) -> T:
         """Remove and return one item.

@@ -116,6 +116,7 @@ class DurableRuntime:
         telemetry: Optional[Telemetry] = None,
         crash_schedule=None,
         fsync_wal: bool = False,
+        overload: bool = False,
     ):
         self.stack = build_durable_stack(
             state_dir,
@@ -130,6 +131,7 @@ class DurableRuntime:
             telemetry=telemetry,
             crash_schedule=crash_schedule,
             fsync_wal=fsync_wal,
+            overload=overload,
         )
         stack = self.stack
         self.state_dir = stack.state_dir
@@ -151,6 +153,7 @@ class DurableRuntime:
         self.frontend = stack.frontend
         self.pipeline = stack.pipeline
         self.checkpointer = stack.checkpointer
+        self.overload = stack.overload
 
     # -- recovery bookkeeping (lives on the stack so the durability
     # -- metric collectors see updates made through either handle) ----------

@@ -51,6 +51,7 @@ class ChaosReport:
     breaker_recovery_ns: Dict[str, List[int]] = field(default_factory=dict)
     frontend_received: int = 0
     frontend_degraded: int = 0
+    overload_summary: Optional[Dict[str, object]] = None
 
     @property
     def ok(self) -> bool:
@@ -82,6 +83,11 @@ class ChaosReport:
         }
         for (stage, kind), count in sorted(self.faults_injected.items()):
             out[f"fault.{stage}.{kind}"] = count
+        if self.overload_summary is not None:
+            out["overload_level_max"] = self.overload_summary["level_max"]
+            out["overload_transitions"] = self.overload_summary["transitions"]
+            for key, count in sorted(self.overload_summary["shed"].items()):
+                out[f"shed.{key}"] = count
         return out
 
     def render(self) -> str:
@@ -109,6 +115,19 @@ class ChaosReport:
             f"tsdb: {self.points_written} points written, "
             f"{self.points_lost} lost, {self.retries} retries"
         )
+        if self.overload_summary is not None:
+            shed = self.overload_summary["shed"]
+            lines.append(
+                f"overload: peaked at level "
+                f"{self.overload_summary['level_max']} "
+                f"({self.overload_summary['transitions']} transitions), "
+                f"shed {sum(shed.values())}"
+                + (
+                    " (" + ", ".join(f"{k}={v}" for k, v in sorted(shed.items())) + ")"
+                    if shed
+                    else ""
+                )
+            )
         for name, opened in sorted(self.breaker_opened.items()):
             recoveries = self.breaker_recovery_ns.get(name, [])
             recovered = ", ".join(f"{t / NS_PER_S:.2f}s" for t in recoveries)
@@ -148,6 +167,7 @@ class ChaosHarness:
         rate: float = 40.0,
         queues: int = 2,
         telemetry: Optional[Telemetry] = None,
+        overload: bool = False,
     ):
         # Lazy: repro.stack.builder imports the fault adapters, which
         # land back in this package's __init__.
@@ -160,6 +180,7 @@ class ChaosHarness:
             rate=rate,
             queues=queues,
             telemetry=telemetry,
+            overload=overload,
         )
         self.profile = self.stack.profile
         self.seed = seed
@@ -221,6 +242,11 @@ class ChaosHarness:
             },
             frontend_received=frontend_stage.received,
             frontend_degraded=frontend_stage.degraded,
+            overload_summary=(
+                self.stack.overload.summary()
+                if self.stack.overload is not None
+                else None
+            ),
         )
 
 

@@ -76,6 +76,7 @@ class _ReceivingSocket:
         self._endpoint: Optional[str] = None
         self.received = 0
         self.dropped = 0
+        self._peak = 0
 
     def bind(self, endpoint: str) -> None:
         """Claim *endpoint* for this socket."""
@@ -93,7 +94,20 @@ class _ReceivingSocket:
             return False
         self._queue.append(message)
         self.received += 1
+        if len(self._queue) > self._peak:
+            self._peak = len(self._queue)
         return True
+
+    def take_peak(self) -> int:
+        """Peak queue depth since the last call; resets to current depth.
+
+        Receive queues are drained at batch boundaries, so overload
+        sensors read the within-batch peak rather than the (usually
+        zero) instantaneous depth.
+        """
+        peak = max(self._peak, len(self._queue))
+        self._peak = len(self._queue)
+        return peak
 
     def recv(self) -> Optional[Message]:
         """Non-blocking receive; None when the queue is empty."""

@@ -1,0 +1,81 @@
+"""Admission-time frame triage.
+
+Ruru derives its latency signal almost entirely from small control
+segments: SYN / SYN-ACK / ACK carry the 3-way-handshake RTT, and pure
+ACK / FIN / RST segments drive flow-table state transitions. Data
+segments are bulk. When the system must drop, the order of sacrifice
+is therefore fixed:
+
+- ``HANDSHAKE`` — any TCP segment with SYN set, or any TCP segment
+  without payload (pure ACK, FIN, RST). Shed last.
+- ``PAYLOAD`` — TCP segments carrying data. Shed first.
+- ``OTHER`` — non-TCP or unparseable frames. Shed before handshake.
+
+The classifier is a shallow header peek (ethertype walk, l3 proto,
+TCP flags + payload length) deliberately cheaper than the worker's
+full parse; it runs on *every* admitted frame so the per-class
+offered counts are meaningful denominators even when nothing is shed.
+"""
+
+from __future__ import annotations
+
+import struct
+
+HANDSHAKE = "handshake"
+PAYLOAD = "payload"
+OTHER = "other"
+
+#: Classification order is shedding priority, most-sheddable first.
+CLASSES = (PAYLOAD, OTHER, HANDSHAKE)
+
+_U16 = struct.Struct("!H")
+
+_ETH_VLAN = 0x8100
+_ETH_IPV4 = 0x0800
+_ETH_IPV6 = 0x86DD
+_PROTO_TCP = 6
+_TCP_FLAG_SYN = 0x02
+
+
+def classify_frame(data: bytes) -> str:
+    """Triage one wire frame into a shed class.
+
+    Payload length is derived from the captured frame length (not the
+    IP total-length field) so truncated headers-only captures still
+    classify without reparsing risk.
+    """
+    if len(data) < 14:
+        return OTHER
+    ethertype = _U16.unpack_from(data, 12)[0]
+    offset = 14
+    while ethertype == _ETH_VLAN:
+        if len(data) < offset + 4:
+            return OTHER
+        ethertype = _U16.unpack_from(data, offset + 2)[0]
+        offset += 4
+
+    if ethertype == _ETH_IPV4:
+        if len(data) < offset + 20:
+            return OTHER
+        ihl = (data[offset] & 0x0F) * 4
+        if ihl < 20 or data[offset + 9] != _PROTO_TCP:
+            return OTHER
+        l4 = offset + ihl
+    elif ethertype == _ETH_IPV6:
+        if len(data) < offset + 40 or data[offset + 6] != _PROTO_TCP:
+            return OTHER
+        l4 = offset + 40
+    else:
+        return OTHER
+
+    # Need the TCP header through the flags byte (offset 13).
+    if len(data) < l4 + 14:
+        return OTHER
+    flags = data[l4 + 13]
+    if flags & _TCP_FLAG_SYN:
+        return HANDSHAKE
+    data_offset = (data[l4 + 12] >> 4) * 4
+    if data_offset < 20:
+        return OTHER
+    payload_len = len(data) - l4 - data_offset
+    return PAYLOAD if payload_len > 0 else HANDSHAKE

@@ -1,0 +1,50 @@
+"""The record-level admission gate at the pipeline -> MQ boundary.
+
+Wraps the analytics ``PushSocket`` so that records the bus cannot
+deliver (all peers at HWM, peerless buffer exhausted) are accounted as
+*shed at the mq stage* in the overload controller instead of vanishing
+into socket counters alone. The gate itself is stateless — every count
+lives on the controller so one checkpoint fragment covers the episode.
+
+Composition order matters: the fault injector's ``FaultyPushSocket``
+must wrap *around* this gate (gate innermost), so injected drops never
+reach ``offered`` and injected duplicates are offered twice — keeping
+``gate offered == analytics ingested + shed(mq)`` exact under every
+fault profile.
+"""
+
+from __future__ import annotations
+
+from repro.overload.classify import HANDSHAKE
+
+
+class GatedPushSocket:
+    """PushSocket adapter feeding the overload controller's MQ ledger."""
+
+    def __init__(self, inner, controller):
+        self.inner = inner
+        self.controller = controller
+
+    def send(self, message: bytes) -> bool:
+        self.controller.mq_offered += 1
+        if self.inner.send(message):
+            return True
+        # Only latency records cross this boundary; by the time a
+        # record exists its flow completed a handshake.
+        self.controller.record_shed(HANDSHAKE, "mq")
+        return False
+
+    # FaultyPushSocket (and reports) read these through the wrapper.
+    @property
+    def sent(self) -> int:
+        return self.inner.sent
+
+    @property
+    def dropped(self) -> int:
+        return self.inner.dropped
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+__all__ = ["GatedPushSocket"]

@@ -1,0 +1,80 @@
+"""The extended count-conservation invariant with a shed term.
+
+PR 2 established ``ingested == processed + dropped + deadlettered``
+for the analytics tier; under overload control, records shed at the MQ
+boundary are a deliberate fourth destiny::
+
+    ingested == processed + dropped + deadlettered + shed
+
+where ``ingested`` is the gate's offered count (every record the
+pipeline tried to publish) and ``shed`` is the controller's mq-stage
+shed counter. Both sides live in checkpointed state, so the invariant
+is WAL-replayable: recovery mid-overload reconciles exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.resilience.invariants import ConservationLedger
+
+
+@dataclass(frozen=True)
+class OverloadLedger:
+    """``ingested == processed + dropped + deadlettered + shed``."""
+
+    ingested: int
+    processed: int
+    dropped: int
+    deadlettered: int
+    shed: int
+
+    @classmethod
+    def from_parts(
+        cls, gate_offered: int, ledger: ConservationLedger, shed_mq: int
+    ) -> "OverloadLedger":
+        """Combine the gate's offered count, the analytics conservation
+        ledger, and the controller's mq-stage shed counter."""
+        return cls(
+            ingested=gate_offered,
+            processed=ledger.processed,
+            dropped=ledger.dropped,
+            deadlettered=ledger.deadlettered,
+            shed=shed_mq,
+        )
+
+    @property
+    def balance(self) -> int:
+        return self.ingested - (
+            self.processed + self.dropped + self.deadlettered + self.shed
+        )
+
+    @property
+    def ok(self) -> bool:
+        return self.balance == 0
+
+    def check(self) -> None:
+        if not self.ok:
+            raise AssertionError(f"overload conservation violated: {self}")
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "ingested": self.ingested,
+            "processed": self.processed,
+            "dropped": self.dropped,
+            "deadlettered": self.deadlettered,
+            "shed": self.shed,
+            "balance": self.balance,
+        }
+
+    def __str__(self) -> str:
+        status = "OK" if self.ok else f"VIOLATED (balance={self.balance})"
+        return (
+            f"overload ledger: ingested={self.ingested} == "
+            f"processed={self.processed} + dropped={self.dropped} + "
+            f"deadlettered={self.deadlettered} + shed={self.shed} [{status}]"
+        )
+
+
+__all__ = ["OverloadLedger"]

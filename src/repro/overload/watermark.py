@@ -1,0 +1,75 @@
+"""Watermark bands and peak-occupancy pressure sensors.
+
+The simulated pipeline drains its queues to empty at every batch
+boundary (that is what makes checkpoints consistent cuts), so an
+instantaneous occupancy read is always zero and useless as a pressure
+signal. Sensors therefore read *peak occupancy since the last read*
+(``take_peak()`` on rings and MQ sockets): the high-water mark the
+queue hit while the batch flowed through it.
+
+A :class:`WatermarkBand` is a classic low/high hysteresis pair: a
+stage becomes *pressured* when peak occupancy reaches the high
+watermark and only calms once it falls back to the low watermark —
+readings inside the band hold whatever state the sensor was in, which
+is what keeps the controller from flapping on a noisy boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+#: One occupancy probe: () -> (peak_occupancy_since_last_read, capacity).
+OccupancyRead = Callable[[], Tuple[int, int]]
+
+
+@dataclass(frozen=True)
+class WatermarkBand:
+    """Hysteresis band over occupancy fractions, ``0 <= low < high <= 1``."""
+
+    low: float = 0.5
+    high: float = 0.85
+
+    def __post_init__(self):
+        if not (0.0 <= self.low < self.high <= 1.0):
+            raise ValueError(
+                f"watermark band requires 0 <= low < high <= 1, "
+                f"got low={self.low} high={self.high}"
+            )
+
+
+class PressureSensor:
+    """Hysteresis state over one stage's occupancy probes."""
+
+    def __init__(self, stage: str, reads: Sequence[OccupancyRead], band: WatermarkBand):
+        if not reads:
+            raise ValueError(f"sensor for stage {stage!r} needs at least one probe")
+        self.stage = stage
+        self.reads: List[OccupancyRead] = list(reads)
+        self.band = band
+        self.pressured = False
+        self.last_fraction = 0.0
+
+    def update(self) -> bool:
+        """Read all probes, apply hysteresis, return the pressured state."""
+        fraction = 0.0
+        for read in self.reads:
+            peak, capacity = read()
+            if capacity > 0:
+                fraction = max(fraction, peak / capacity)
+        self.last_fraction = fraction
+        if fraction >= self.band.high:
+            self.pressured = True
+        elif fraction <= self.band.low:
+            self.pressured = False
+        return self.pressured
+
+
+def ring_reader(ring) -> OccupancyRead:
+    """Occupancy probe over a :class:`repro.dpdk.ring.Ring`."""
+    return lambda: (ring.take_peak(), ring.capacity)
+
+
+def socket_reader(sock) -> OccupancyRead:
+    """Occupancy probe over a receiving MQ socket (PULL/SUB)."""
+    return lambda: (sock.take_peak(), sock.hwm)

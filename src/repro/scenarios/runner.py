@@ -20,8 +20,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.config import PipelineConfig
 from repro.obs import Telemetry
 from repro.obs.bench import Resultset, collect_meta
+from repro.overload import CLASSES, HANDSHAKE, PAYLOAD, OverloadLedger
 from repro.scenarios.spec import EVENT_KINDS, ScenarioSpec, apply_overrides
 from repro.stack.builder import StackBuilder
 from repro.traffic.diurnal import DiurnalProfile
@@ -106,6 +108,14 @@ class ScenarioResult:
             f"deadlettered={self.metric('ledger.deadlettered'):,.0f} "
             f"(balance {self.metric('ledger.balance'):+,.0f})",
         ]
+        if self.metric("overload.level_max") is not None:
+            lines.append(
+                f"  overload: level_max={self.metric('overload.level_max'):.0f} "
+                f"transitions={self.metric('overload.transitions'):.0f} "
+                f"shed payload={self.metric('overload.shed.payload'):,.0f} "
+                f"handshake={self.metric('overload.shed.handshake'):,.0f} "
+                f"(oledger balance {self.metric('oledger.balance'):+,.0f})"
+            )
         wall = self.resultset.meta.get("wall", {})
         if wall:
             lines.append(
@@ -165,18 +175,55 @@ def run_scenario(
     )
     if spec.stack.topk is not None:
         builder.topk(capacity=spec.stack.topk)
+    if spec.stack.queue_capacity is not None:
+        builder.pipeline_config(
+            PipelineConfig(
+                num_queues=spec.stack.queues,
+                queue_capacity=spec.stack.queue_capacity,
+            )
+        )
+    if spec.overload.enabled:
+        builder.overload(
+            low=spec.overload.low,
+            high=spec.overload.high,
+            up_dwell_ms=spec.overload.up_dwell_ms,
+            down_dwell_ms=spec.overload.down_dwell_ms,
+            sampled_modulus=spec.overload.sampled_modulus,
+            snap_len=spec.overload.snap_len,
+        )
     stack = builder.build()
     pipeline = stack.pipeline
+
+    # Feed batches are cut either by count (the default) or by virtual
+    # time: a window makes the offered *rate* what fills the rings, so
+    # overload scenarios see genuine occupancy pressure during a ramp
+    # instead of every batch being the same fixed size.
+    window_ns = (
+        int(spec.stack.feed_window_ms * 1_000_000)
+        if spec.stack.feed_window_ms is not None
+        else None
+    )
 
     unhandled: List[str] = []
     started = time.perf_counter()
     try:
         batch = []
+        window_end: Optional[int] = None
         for packet in stack.packet_stream():
-            batch.append(packet)
-            if len(batch) >= pipeline.feed_batch:
-                stack.process_batch(batch)
-                batch.clear()
+            if window_ns is not None:
+                if window_end is None:
+                    window_end = packet.timestamp_ns + window_ns
+                elif packet.timestamp_ns >= window_end:
+                    stack.process_batch(batch)
+                    batch = []
+                    while packet.timestamp_ns >= window_end:
+                        window_end += window_ns
+                batch.append(packet)
+            else:
+                batch.append(packet)
+                if len(batch) >= pipeline.feed_batch:
+                    stack.process_batch(batch)
+                    batch = []
         stack.process_batch(batch)
         stack.drain()
     except Exception as exc:  # noqa: BLE001 — the checks carry it
@@ -227,6 +274,31 @@ def run_scenario(
         exact("resilience.degraded_published", stack.resilience.degraded_published)
         exact("resilience.dlq_total", stack.resilience.dlq.total)
         exact("resilience.retries", stack.resilience.retries)
+    controller = stack.overload
+    oledger = None
+    if controller is not None:
+        exact("overload.level", controller.level)
+        exact("overload.level_max", controller.level_max)
+        exact("overload.transitions", len(controller.transitions))
+        for klass in sorted(CLASSES):
+            exact(f"overload.offered.{klass}", controller.offered[klass])
+            exact(f"overload.admitted.{klass}", controller.admitted[klass])
+            exact(f"overload.shed.{klass}", controller.shed_total(klass=klass))
+        exact("overload.truncated", controller.truncated)
+        exact("overload.ring_displacements", controller.ring_displacements)
+        exact("overload.mq_offered", controller.mq_offered)
+        oledger = OverloadLedger.from_parts(
+            controller.mq_offered,
+            ledger,
+            controller.shed_total(stage="mq"),
+        )
+        exact("oledger.ingested", oledger.ingested)
+        exact("oledger.shed", oledger.shed)
+        exact("oledger.balance", oledger.balance)
+        meta["overload"] = controller.summary()
+        meta["overload_transitions"] = [
+            str(transition) for transition in controller.transitions
+        ]
     exact("events.total", len(events), unit="events")
     for kind in sorted(event_counts):
         exact(f"events.{kind}", event_counts[kind], unit="events")
@@ -245,6 +317,56 @@ def run_scenario(
             str(ledger) if not ledger.ok else "",
         ),
     ]
+    if controller is not None:
+        # Frame-level sheds split into rejected-at-offer frames
+        # (packets_shed) and queued-then-evicted victims
+        # (ring_displacements); MQ-stage sheds are records, not frames.
+        frame_shed = controller.shed_total() - controller.shed_total(stage="mq")
+        attributed = stats.packets_shed + controller.ring_displacements
+        packet_balance = stats.packets_offered - (
+            stats.packets_queued + stats.nic_drops + stats.packets_shed
+        )
+        queued_balance = stats.packets_queued - (
+            stats.packets_processed + controller.ring_displacements
+        )
+        checks.append(
+            Check(
+                "packet-ledger-conserves",
+                packet_balance == 0
+                and queued_balance == 0
+                and attributed == frame_shed,
+                f"offer balance {packet_balance:+d}, "
+                f"queue balance {queued_balance:+d}, "
+                f"shed {attributed} vs attributed {frame_shed}",
+            )
+        )
+        checks.append(
+            Check(
+                "overload-ledger-conserves",
+                oledger.ok,
+                str(oledger) if not oledger.ok else "",
+            )
+        )
+        if spec.overload.handshake_shed_max_ratio is not None:
+            ratio = controller.shed_ratio(HANDSHAKE)
+            limit = spec.overload.handshake_shed_max_ratio
+            checks.append(
+                Check(
+                    "handshake-shed-bounded",
+                    ratio <= limit,
+                    f"shed ratio {ratio:.4f}, want <= {limit}",
+                )
+            )
+        if spec.overload.payload_shed_min_ratio is not None:
+            ratio = controller.shed_ratio(PAYLOAD)
+            floor = spec.overload.payload_shed_min_ratio
+            checks.append(
+                Check(
+                    "payload-shed-engaged",
+                    ratio >= floor,
+                    f"shed ratio {ratio:.4f}, want >= {floor}",
+                )
+            )
     for kind, band in sorted(spec.expect.items()):
         count = event_counts.get(kind, 0)
         low, high = band.get("min"), band.get("max")

@@ -39,7 +39,7 @@ NS_PER_HOUR = 3600 * NS_PER_S
 
 #: Anomaly kinds the schedule can place, and the detector-event kinds
 #: each one is expected to trigger (see ``ScenarioSpec.expect``).
-ANOMALY_KINDS = ("firewall-glitch", "syn-flood", "connection-surge")
+ANOMALY_KINDS = ("firewall-glitch", "syn-flood", "connection-surge", "ddos-ramp")
 
 #: Detector event kinds (``repro.anomaly``) a spec may expect.
 EVENT_KINDS = (
@@ -159,6 +159,7 @@ class AnomalyWindowSpec:
         # catalog, which spec parsing does not need.
         from repro.traffic.scenarios import (
             ConnectionSurgeInjector,
+            DdosRampInjector,
             FirewallGlitchInjector,
             SynFloodInjector,
         )
@@ -174,6 +175,17 @@ class AnomalyWindowSpec:
                 window_start_offset_ns=int(window_start_hour * NS_PER_HOUR),
                 window_ns=duration_ns,
                 extra_delay_ms=float(params.pop("extra_delay_ms", 4000.0)),
+                **params,
+            )
+        if self.kind == "ddos-ramp":
+            return DdosRampInjector(
+                ramp_start_ns=start_ns,
+                ramp_duration_ns=duration_ns,
+                peak_rate_per_s=float(params.pop("peak_rate_per_s", 400.0)),
+                target_city=str(params.pop("target_city", "Auckland")),
+                target_port=int(params.pop("target_port", 443)),
+                data_exchanges=int(params.pop("data_exchanges", 8)),
+                response_bytes=int(params.pop("response_bytes", 1400)),
                 **params,
             )
         if self.kind == "syn-flood":
@@ -197,12 +209,21 @@ class AnomalyWindowSpec:
 
 @dataclass(frozen=True)
 class StackSpec:
-    """How much of the dataflow the run assembles."""
+    """How much of the dataflow the run assembles.
+
+    ``queue_capacity`` shrinks the rx rings so an overload scenario
+    can actually pressure them; ``feed_window_ms`` switches feeding
+    from fixed-size batches to virtual-time windows, so a traffic ramp
+    translates into growing per-batch burst sizes — the load signal
+    watermark sensors react to.
+    """
 
     queues: int = 2
     analytics_workers: int = 4
     frontend_hwm: int = 1 << 20
     topk: Optional[int] = None
+    queue_capacity: Optional[int] = None
+    feed_window_ms: Optional[float] = None
 
     def __post_init__(self):
         _require(self.queues >= 1, "stack.queues must be at least 1")
@@ -210,6 +231,55 @@ class StackSpec:
             self.analytics_workers >= 1,
             "stack.analytics_workers must be at least 1",
         )
+        if self.queue_capacity is not None:
+            _require(
+                self.queue_capacity >= 8,
+                "stack.queue_capacity must be at least 8",
+            )
+        if self.feed_window_ms is not None:
+            _require(
+                self.feed_window_ms > 0,
+                "stack.feed_window_ms must be positive",
+            )
+
+
+@dataclass(frozen=True)
+class OverloadSpec:
+    """The backpressure axis: the overload controller's knobs plus the
+    scenario's shed-ratio gates (checked by the runner when set)."""
+
+    enabled: bool = False
+    low: float = 0.5
+    high: float = 0.85
+    up_dwell_ms: float = 50.0
+    down_dwell_ms: float = 250.0
+    sampled_modulus: int = 8
+    snap_len: int = 256
+    #: Gate: handshake-class frames shed anywhere must stay under this
+    #: fraction of handshake frames offered (None = no gate).
+    handshake_shed_max_ratio: Optional[float] = None
+    #: Gate: payload-class frames shed must exceed this fraction of
+    #: payload frames offered (None = no gate).
+    payload_shed_min_ratio: Optional[float] = None
+
+    def __post_init__(self):
+        _require(
+            0.0 <= self.low < self.high <= 1.0,
+            "overload watermarks need 0 <= low < high <= 1",
+        )
+        _require(self.up_dwell_ms >= 0, "overload.up_dwell_ms cannot be negative")
+        _require(
+            self.down_dwell_ms >= 0, "overload.down_dwell_ms cannot be negative"
+        )
+        _require(
+            self.sampled_modulus >= 1, "overload.sampled_modulus must be >= 1"
+        )
+        for name in ("handshake_shed_max_ratio", "payload_shed_min_ratio"):
+            value = getattr(self, name)
+            if value is not None:
+                _require(
+                    0.0 <= value <= 1.0, f"overload.{name} must be in [0, 1]"
+                )
 
 
 @dataclass(frozen=True)
@@ -223,6 +293,7 @@ class ScenarioSpec:
     faults: FaultSpec = field(default_factory=FaultSpec)
     anomalies: Tuple[AnomalyWindowSpec, ...] = ()
     stack: StackSpec = field(default_factory=StackSpec)
+    overload: OverloadSpec = field(default_factory=OverloadSpec)
     #: Expected anomaly-event counts: kind -> {"min": n} and/or
     #: {"max": n}. The runner fails the correctness gate when the
     #: detectors land outside the band.
@@ -257,6 +328,7 @@ class ScenarioSpec:
             "faults": dataclasses.asdict(self.faults),
             "anomalies": [dataclasses.asdict(a) for a in self.anomalies],
             "stack": dataclasses.asdict(self.stack),
+            "overload": dataclasses.asdict(self.overload),
             "expect": {k: dict(v) for k, v in self.expect.items()},
         }
 
@@ -265,7 +337,7 @@ class ScenarioSpec:
         _require(isinstance(data, dict), "scenario document must be a table")
         known = {
             "name", "description", "seed", "traffic", "faults",
-            "anomalies", "stack", "expect",
+            "anomalies", "stack", "overload", "expect",
         }
         unknown = set(data) - known
         _require(not unknown, f"unknown scenario keys: {sorted(unknown)}")
@@ -273,6 +345,7 @@ class ScenarioSpec:
             traffic = TrafficSpec(**dict(data.get("traffic", {})))
             faults = FaultSpec(**dict(data.get("faults", {})))
             stack = StackSpec(**dict(data.get("stack", {})))
+            overload = OverloadSpec(**dict(data.get("overload", {})))
             anomalies = tuple(
                 AnomalyWindowSpec(**dict(entry))
                 for entry in data.get("anomalies", ())
@@ -287,6 +360,7 @@ class ScenarioSpec:
             faults=faults,
             anomalies=anomalies,
             stack=stack,
+            overload=overload,
             expect={
                 str(kind): {str(k): int(v) for k, v in dict(band).items()}
                 for kind, band in dict(data.get("expect", {})).items()

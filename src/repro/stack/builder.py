@@ -48,6 +48,9 @@ from repro.geo.builder import GeoDbBuilder
 from repro.mq.socket import Context
 from repro.obs import Telemetry
 from repro.obs.slo import DEFAULT_SLOS, evaluate_slos
+from repro.overload import GatedPushSocket, OverloadController, WatermarkBand
+from repro.overload import ring_reader, socket_reader
+from repro.overload.controller import NS_PER_MS
 from repro.resilience import ResilienceLayer, Supervisor
 from repro.stack.stage import StageContext, StageGraph
 from repro.stack.stages import (
@@ -57,6 +60,7 @@ from repro.stack.stages import (
     FrontendStage,
     MqStage,
     NicStage,
+    OverloadStage,
     TelemetryStage,
     TopkStage,
     TsdbStage,
@@ -235,6 +239,7 @@ class StackBuilder:
         self._profile: Optional[FaultProfile] = None
         self._seed = 42
         self._durability: Optional[dict] = None
+        self._overload: Optional[dict] = None
 
     # -- configuration -------------------------------------------------------
 
@@ -329,6 +334,27 @@ class StackBuilder:
         }
         return self
 
+    def overload(
+        self,
+        low: float = 0.5,
+        high: float = 0.85,
+        up_dwell_ms: float = 50.0,
+        down_dwell_ms: float = 250.0,
+        sampled_modulus: int = 8,
+        snap_len: int = 256,
+    ) -> "StackBuilder":
+        """Enable closed-loop overload control (backpressure sensing +
+        the priority shed ladder) across the whole stack."""
+        self._overload = {
+            "low": low,
+            "high": high,
+            "up_dwell_ms": up_dwell_ms,
+            "down_dwell_ms": down_dwell_ms,
+            "sampled_modulus": sampled_modulus,
+            "snap_len": snap_len,
+        }
+        return self
+
     # -- assembly ------------------------------------------------------------
 
     def build(self) -> RuruStack:
@@ -342,6 +368,16 @@ class StackBuilder:
             if profile is not None
             else None
         )
+        controller = None
+        if self._overload is not None:
+            knobs = self._overload
+            controller = OverloadController(
+                band=WatermarkBand(low=knobs["low"], high=knobs["high"]),
+                up_dwell_ns=int(knobs["up_dwell_ms"] * NS_PER_MS),
+                down_dwell_ns=int(knobs["down_dwell_ms"] * NS_PER_MS),
+                sampled_modulus=knobs["sampled_modulus"],
+                snap_len=knobs["snap_len"],
+            )
         telemetry = self._telemetry
         generator = self._generator
         if generator is None and self._scenario is not None:
@@ -439,10 +475,20 @@ class StackBuilder:
                     hwm=self._frontend_hwm
                 )
 
-            if injector is not None:
+            if injector is not None or controller is not None:
                 push = service.connect_pipeline()
+                socket = push
+                if controller is not None:
+                    # Gate innermost: injected drops never reach the
+                    # gate's offered count and injected duplicates are
+                    # offered twice, so the extended ledger
+                    # (gate offered == ingested + shed@mq) stays exact
+                    # under every fault profile.
+                    socket = GatedPushSocket(socket, controller)
+                if injector is not None:
+                    socket = FaultyPushSocket(socket, injector)
                 sink = make_pipeline_sink(
-                    FaultyPushSocket(push, injector),
+                    socket,
                     tracer=telemetry.tracer if telemetry is not None else None,
                 )
             else:
@@ -455,10 +501,26 @@ class StackBuilder:
             telemetry=telemetry,
             supervisor=supervisor,
             poll_wrapper=injector.crashy_poll if injector is not None else None,
+            admission=controller,
         )
+        if controller is not None:
+            # Sensors attach once the queues exist; every watched stage
+            # reports peak-within-batch occupancy to the one controller.
+            controller.watch_stage(
+                "nic", [ring_reader(q.ring) for q in pipeline.nic.queues]
+            )
+            if service is not None:
+                controller.watch_stage("mq", [socket_reader(service.pull)])
+            if frontend_sub is not None:
+                controller.watch_stage(
+                    "frontend", [socket_reader(frontend_sub)]
+                )
 
         # -- the graph, in topology order ------------------------------------
-        stages = [NicStage(pipeline), WorkerStage(pipeline)]
+        stages = []
+        if controller is not None:
+            stages.append(OverloadStage(controller))
+        stages += [NicStage(pipeline), WorkerStage(pipeline)]
         if service is not None:
             stages.append(MqStage(service))
             stages.append(AnalyticsStage(service))
@@ -496,6 +558,7 @@ class StackBuilder:
                 "telemetry": telemetry,
                 "generator": generator,
                 "injector": injector,
+                "overload": controller,
                 "resilience": resilience,
                 "supervisor": supervisor,
                 "service": service,
@@ -561,6 +624,7 @@ def build_live_stack(
     analytics_workers: int = 4,
     geo_asn=None,
     config: Optional[PipelineConfig] = None,
+    overload: bool = False,
 ) -> RuruStack:
     """``live``: full dataflow, no fault machinery."""
     builder = (
@@ -568,6 +632,8 @@ def build_live_stack(
         .telemetry(telemetry)
         .analytics(num_workers=analytics_workers)
     )
+    if overload:
+        builder.overload()
     if generator is not None:
         builder.generator(generator)
     if geo_asn is not None:
@@ -590,9 +656,10 @@ def build_chaos_stack(
     rate: float = 40.0,
     queues: int = 2,
     telemetry: Optional[Telemetry] = None,
+    overload: bool = False,
 ) -> RuruStack:
     """``chaos``: live + injector, resilience layer and supervisor."""
-    return (
+    builder = (
         StackBuilder()
         .scenario(duration_s=duration_s, rate=rate, seed=seed)
         .queues(queues)
@@ -600,8 +667,10 @@ def build_chaos_stack(
         .analytics()
         .faults(profile, seed=seed)
         .frontend(hwm=1 << 20)
-        .build()
     )
+    if overload:
+        builder.overload()
+    return builder.build()
 
 
 def build_durable_stack(
@@ -617,9 +686,10 @@ def build_durable_stack(
     telemetry: Optional[Telemetry] = None,
     crash_schedule=None,
     fsync_wal: bool = False,
+    overload: bool = False,
 ) -> RuruStack:
     """``durable``: chaos + WAL, checkpoints, anomaly/top-k riders."""
-    return (
+    builder = (
         StackBuilder()
         .scenario(duration_s=duration_s, rate=rate, seed=seed)
         .queues(queues)
@@ -637,8 +707,10 @@ def build_durable_stack(
             crash_schedule=crash_schedule,
             fsync_wal=fsync_wal,
         )
-        .build()
     )
+    if overload:
+        builder.overload()
+    return builder.build()
 
 
 #: Preset name → builder function (the CLI command table maps here).

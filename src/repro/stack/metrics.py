@@ -36,6 +36,10 @@ def bind_pipeline_metrics(pipeline, registry) -> None:
             "Frames dropped at the NIC (imissed analogue).",
             lambda: stats.nic_drops,
         ),
+        "ruru_packets_shed_total": (
+            "Frames shed by overload-control policy (not capacity).",
+            lambda: stats.packets_shed,
+        ),
         "ruru_parse_errors_total": (
             "Frames rejected by the fast parser.",
             lambda: stats.parse_errors,
@@ -104,6 +108,26 @@ def bind_pipeline_metrics(pipeline, registry) -> None:
         help="Mbufs waiting in each rx ring.",
         labels=("queue",),
     )
+    ring_high_watermark = registry.gauge(
+        "ruru_rx_ring_high_watermark",
+        help="Deepest occupancy each rx ring has reached.",
+        labels=("queue",),
+    )
+    ring_capacity = registry.gauge(
+        "ruru_rx_ring_capacity",
+        help="Slots per rx ring (high_watermark/capacity = pressure).",
+        labels=("queue",),
+    )
+    ring_drops = registry.counter(
+        "ruru_rx_ring_drops_total",
+        help="Enqueues rejected by a full rx ring.",
+        labels=("queue",),
+    )
+    ring_displaced = registry.counter(
+        "ruru_rx_ring_displaced_total",
+        help="Queued frames evicted by priority admission.",
+        labels=("queue",),
+    )
     tracker_fields = tuple(type(stats.tracker)().__dataclass_fields__)
     # Workers and rx queues are fixed for the pipeline's lifetime,
     # so their labelled children resolve once here; collect() then
@@ -126,6 +150,10 @@ def bind_pipeline_metrics(pipeline, registry) -> None:
             rx_queue,
             nic_queue_rx.labels(rx_queue.queue_id),
             ring_pending.labels(rx_queue.queue_id),
+            ring_high_watermark.labels(rx_queue.queue_id),
+            ring_capacity.labels(rx_queue.queue_id),
+            ring_drops.labels(rx_queue.queue_id),
+            ring_displaced.labels(rx_queue.queue_id),
         )
         for rx_queue in pipeline.nic.queues
     ]
@@ -146,9 +174,22 @@ def bind_pipeline_metrics(pipeline, registry) -> None:
             sampled.value = worker.packets_sampled_out
             entries.set(len(worker.tracker.table))
         q_ipackets = pipeline.nic.stats.q_ipackets
-        for rx_queue, rx_packets, pending in per_queue:
+        for (
+            rx_queue,
+            rx_packets,
+            pending,
+            high_watermark,
+            capacity,
+            drops,
+            displaced,
+        ) in per_queue:
             rx_packets.value = q_ipackets.get(rx_queue.queue_id, 0)
             pending.set(len(rx_queue))
+            ring = rx_queue.ring
+            high_watermark.set(ring.high_watermark)
+            capacity.set(ring.capacity)
+            drops.value = ring.drops
+            displaced.value = ring.displaced
 
     registry.register_collector(collect)
 
@@ -192,6 +233,18 @@ def bind_analytics_metrics(service, registry) -> None:
             "Messages dropped with every PULL peer at its HWM.",
             lambda: sum(push.dropped for push in service._push_sockets),
         ),
+        "ruru_mq_peerless_buffered_total": (
+            "Messages buffered by a PUSH socket with no peer connected.",
+            lambda: sum(
+                push.buffered_no_peer for push in service._push_sockets
+            ),
+        ),
+        "ruru_mq_peerless_dropped_total": (
+            "Messages discarded by a peerless PUSH past its own HWM.",
+            lambda: sum(
+                push.dropped_no_peer for push in service._push_sockets
+            ),
+        ),
         "ruru_mq_pull_received_total": (
             "Messages accepted by the analytics PULL socket.",
             lambda: service.pull.received,
@@ -222,6 +275,70 @@ def bind_analytics_metrics(service, registry) -> None:
             counter.value = read()
         tsdb_points.set(service.tsdb.total_points())
         pull_depth.set(len(service.pull))
+
+    registry.register_collector(collect)
+
+
+def bind_overload_metrics(controller, registry) -> None:
+    """Publish the overload controller's ladder, pressure and shed
+    ledger through *registry* (and thereby the SLO evaluator and the
+    self-monitoring TSDB export)."""
+    level = registry.gauge(
+        "ruru_overload_level",
+        help="Degradation-ladder level: 0=full 1=sampled "
+        "2=handshake-only 3=headers-only.",
+    )
+    level_max = registry.gauge(
+        "ruru_overload_level_max",
+        help="Deepest ladder level reached this run.",
+    )
+    transitions = registry.counter(
+        "ruru_overload_transitions_total",
+        help="Ladder transitions (each one a timestamped event).",
+    )
+    pressure = registry.gauge(
+        "ruru_overload_pressure",
+        help="Peak occupancy fraction per watched stage, last tick.",
+        labels=("stage",),
+    )
+    offered = registry.counter(
+        "ruru_overload_offered_total",
+        help="Frames offered to admission, per class.",
+        labels=("class",),
+    )
+    admitted = registry.counter(
+        "ruru_overload_admitted_total",
+        help="Frames admitted past the shed ladder, per class.",
+        labels=("class",),
+    )
+    shed = registry.counter(
+        "ruru_shed_total",
+        help="Load shed by the overload controller, per class and stage.",
+        labels=("class", "stage"),
+    )
+    truncated = registry.counter(
+        "ruru_overload_truncated_total",
+        help="Frames truncated to snap_len at the headers-only level.",
+    )
+    mq_offered = registry.counter(
+        "ruru_overload_mq_offered_total",
+        help="Records offered to the MQ admission gate.",
+    )
+
+    def collect() -> None:
+        level.set(controller.level)
+        level_max.set(controller.level_max)
+        transitions.value = len(controller.transitions)
+        truncated.value = controller.truncated
+        mq_offered.value = controller.mq_offered
+        for stage, fraction in controller.pressure_by_stage().items():
+            pressure.labels(stage).set(fraction)
+        for klass, count in controller.offered.items():
+            offered.labels(klass).value = count
+        for klass, count in controller.admitted.items():
+            admitted.labels(klass).value = count
+        for (klass, stage), count in controller.shed_counts().items():
+            shed.labels(klass, stage).value = count
 
     registry.register_collector(collect)
 

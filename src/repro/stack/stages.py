@@ -17,6 +17,35 @@ from repro.stack.stage import Stage, StageContext
 from repro.stack.topology import get_spec
 
 
+class OverloadStage(Stage):
+    """The backpressure control loop; owns the overload checkpoint
+    fragment.
+
+    Runs first in the graph so admission decisions for the incoming
+    batch reflect the pressure the *previous* batch left behind —
+    exactly the one-poll-loop lag a real controller would have.
+    """
+
+    def __init__(self, controller):
+        super().__init__(get_spec("overload"))
+        self.controller = controller
+
+    def process(self, ctx: StageContext) -> None:
+        self.controller.update(ctx.now_ns)
+
+    def state_dict(self) -> Dict:
+        return {"overload": self.controller.state_dict()}
+
+    def load_state(self, state: Dict) -> None:
+        if "overload" in state:
+            self.controller.load_state(state["overload"])
+
+    def bind_telemetry(self, registry, tracer) -> None:
+        from repro.stack.metrics import bind_overload_metrics
+
+        bind_overload_metrics(self.controller, registry)
+
+
 class NicStage(Stage):
     """Frame admission: offer each packet of the batch to the NIC."""
 

@@ -50,6 +50,15 @@ class StageSpec:
 #: tsdb/checkpoint close the durable tail.
 TOPOLOGY: Tuple[StageSpec, ...] = (
     StageSpec(
+        name="overload",
+        # A control stage, not a dataflow stage: it ticks the
+        # backpressure loop (watermark sensors -> degradation ladder)
+        # before the batch enters the NIC, so admission decisions for
+        # this batch reflect last batch's pressure. It owns no crash
+        # points — its state rides the normal checkpoint payload.
+        description="closed-loop overload controller: pressure sensing + shed ladder",
+    ),
+    StageSpec(
         name="nic",
         description="DPDK NIC: symmetric RSS into per-queue rx rings",
         crash_points=(

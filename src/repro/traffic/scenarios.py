@@ -12,6 +12,10 @@
 * :class:`ConnectionSurgeInjector` — "unusual number of TCP
   connections between two locations": a surge of ordinary flows
   between one city pair.
+* :class:`DdosRampInjector` — a volumetric application-layer DDoS:
+  payload-heavy completed flows from a botnet-wide source space
+  ramping linearly toward a peak rate at one target — the offered
+  load the overload controller's shed ladder is proven against.
 """
 
 from __future__ import annotations
@@ -135,6 +139,62 @@ class SynFloodInjector(FlowInjector):
                     data_exchanges=0,
                     completes=False,
                     fin_close=False,
+                )
+            )
+        self.flows_injected = len(flows)
+        return flows
+
+
+@dataclass
+class DdosRampInjector(FlowInjector):
+    """A volumetric DDoS ramp: payload-heavy flows climbing to a peak.
+
+    Unlike the SYN flood, these connections *complete* and exchange
+    data, so the attack competes with legitimate traffic for every
+    stage of the pipeline — rings, workers, the MQ — rather than just
+    the flow table. Flow-start density grows linearly from zero at
+    ``ramp_start_ns`` to ``peak_rate_per_s`` at the end of the ramp
+    (total flows = peak * duration / 2), which is what walks the
+    overload controller up its ladder rung by rung instead of
+    slamming it.
+
+    Sources are spoofed across the whole IPv4 space (botnet-shaped, so
+    they also show up in the enrichment-miss counters); the target is
+    a real host in the catalog.
+    """
+
+    target_city: str = "Auckland"
+    target_port: int = 443
+    ramp_start_ns: int = 0
+    ramp_duration_ns: int = 10 * NS_PER_S
+    peak_rate_per_s: float = 400.0
+    data_exchanges: int = 8
+    response_bytes: int = 1400
+    population: EndpointPopulation = field(default_factory=EndpointPopulation)
+    flows_injected: int = 0
+
+    def extra_flows(self, rng: random.Random) -> Iterable[FlowSpec]:
+        city = city_by_name(self.target_city)
+        if city is None:
+            raise ValueError(f"unknown ddos target {self.target_city!r}")
+        target_ip = self.population.host_in(city, rng)
+        count = int(self.peak_rate_per_s * self.ramp_duration_ns / NS_PER_S / 2)
+        flows: List[FlowSpec] = []
+        for _ in range(count):
+            # sqrt of a uniform draw gives start-time density ∝ elapsed
+            # ramp time: the linear ramp.
+            offset = int(self.ramp_duration_ns * rng.random() ** 0.5)
+            flows.append(
+                FlowSpec(
+                    start_ns=self.ramp_start_ns + min(offset, self.ramp_duration_ns - 1),
+                    client_ip=rng.randint(1, (1 << 32) - 2),
+                    server_ip=target_ip,
+                    client_port=rng.randint(1024, 65535),
+                    server_port=self.target_port,
+                    internal_rtt_ms=rng.uniform(1.0, 30.0),
+                    external_rtt_ms=rng.uniform(40.0, 200.0),
+                    data_exchanges=self.data_exchanges,
+                    response_bytes=self.response_bytes,
                 )
             )
         self.flows_injected = len(flows)

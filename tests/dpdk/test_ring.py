@@ -66,3 +66,64 @@ class TestRing:
     def test_invalid_capacity(self):
         with pytest.raises(ValueError):
             Ring(capacity=0)
+
+
+class TestBurstAccounting:
+    def test_partial_burst_counts_every_side(self):
+        ring = Ring(capacity=3)
+        ring.enqueue(0)
+        accepted = ring.enqueue_burst(range(1, 6))
+        assert accepted == 2
+        assert ring.enqueued == 3
+        assert ring.drops == 3
+        assert len(ring) == 3
+        # Accepted items preserve FIFO order; dropped ones vanish.
+        assert ring.dequeue_burst(3) == [0, 1, 2]
+
+    def test_overflowing_burst_still_raises_watermark(self):
+        ring = Ring(capacity=4)
+        ring.enqueue_burst(range(100))
+        assert ring.high_watermark == 4
+        assert ring.drops == 96
+
+    def test_interleaved_bursts_accumulate_drops(self):
+        ring = Ring(capacity=2)
+        assert ring.enqueue_burst("ab") == 2
+        assert ring.enqueue_burst("cd") == 0
+        ring.dequeue_burst(1)
+        assert ring.enqueue_burst("ef") == 1
+        assert ring.drops == 3
+        assert ring.enqueued == 3
+        assert ring.dequeued == 1
+
+
+class TestPeakAndDisplacement:
+    def test_take_peak_tracks_within_batch_high(self):
+        ring = Ring(capacity=16)
+        ring.enqueue_burst(range(9))
+        ring.dequeue_burst(9)
+        assert ring.take_peak() == 9
+        assert ring.take_peak() == 0
+
+    def test_displace_newest_matching(self):
+        ring = Ring(capacity=4)
+        ring.enqueue_burst([1, 2, 3, 4])
+        victim = ring.displace_newest(lambda item: item % 2 == 0)
+        assert victim == 4
+        assert ring.displaced == 1
+        assert list(ring.dequeue_burst(4)) == [1, 2, 3]
+
+    def test_displace_none_matching(self):
+        ring = Ring(capacity=2)
+        ring.enqueue_burst([1, 3])
+        assert ring.displace_newest(lambda item: item % 2 == 0) is None
+        assert ring.displaced == 0
+        assert len(ring) == 2
+
+    def test_displacement_keeps_order_of_survivors(self):
+        ring = Ring(capacity=5)
+        ring.enqueue_burst(["h1", "p1", "h2", "p2", "h3"])
+        assert ring.displace_newest(lambda item: item.startswith("p")) == "p2"
+        assert ring.displace_newest(lambda item: item.startswith("p")) == "p1"
+        assert ring.dequeue_burst(5) == ["h1", "h2", "h3"]
+        assert ring.displaced == 2

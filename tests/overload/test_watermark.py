@@ -1,0 +1,111 @@
+"""Watermark hysteresis and peak-occupancy probes."""
+
+import pytest
+
+from repro.dpdk.ring import Ring
+from repro.mq.socket import Context
+from repro.overload import WatermarkBand, ring_reader, socket_reader
+from repro.overload.watermark import PressureSensor
+
+
+def make_sensor(band=None):
+    """A sensor over one mutable probe: set state['peak'] per update."""
+    state = {"peak": 0, "capacity": 100}
+    sensor = PressureSensor(
+        "test",
+        [lambda: (state["peak"], state["capacity"])],
+        band or WatermarkBand(low=0.5, high=0.85),
+    )
+    return sensor, state
+
+
+class TestWatermarkBand:
+    def test_validates_ordering(self):
+        with pytest.raises(ValueError):
+            WatermarkBand(low=0.9, high=0.5)
+        with pytest.raises(ValueError):
+            WatermarkBand(low=0.5, high=0.5)
+        with pytest.raises(ValueError):
+            WatermarkBand(low=-0.1, high=0.5)
+        with pytest.raises(ValueError):
+            WatermarkBand(low=0.5, high=1.2)
+
+
+class TestPressureSensorHysteresis:
+    def test_exactly_at_high_watermark_pressures(self):
+        sensor, state = make_sensor()
+        state["peak"] = 85  # fraction == high exactly
+        assert sensor.update() is True
+
+    def test_just_below_high_does_not_pressure(self):
+        sensor, state = make_sensor()
+        state["peak"] = 84
+        assert sensor.update() is False
+
+    def test_exactly_at_low_watermark_calms(self):
+        sensor, state = make_sensor()
+        state["peak"] = 90
+        assert sensor.update() is True
+        state["peak"] = 50  # fraction == low exactly
+        assert sensor.update() is False
+
+    def test_in_band_holds_state_both_directions(self):
+        sensor, state = make_sensor()
+        state["peak"] = 70  # inside (low, high): starts calm, stays calm
+        assert sensor.update() is False
+        state["peak"] = 90
+        assert sensor.update() is True
+        state["peak"] = 70  # back inside the band: stays pressured
+        assert sensor.update() is True
+        state["peak"] = 51  # one above low: still holding
+        assert sensor.update() is True
+        state["peak"] = 49
+        assert sensor.update() is False
+
+    def test_requires_probes(self):
+        with pytest.raises(ValueError):
+            PressureSensor("empty", [], WatermarkBand())
+
+    def test_max_over_probes(self):
+        sensor = PressureSensor(
+            "multi",
+            [lambda: (10, 100), lambda: (90, 100)],
+            WatermarkBand(low=0.5, high=0.85),
+        )
+        assert sensor.update() is True
+        assert sensor.last_fraction == pytest.approx(0.9)
+
+
+class TestPeakProbes:
+    def test_ring_peak_survives_drain(self):
+        ring = Ring(capacity=8)
+        ring.enqueue_burst(range(6))
+        ring.dequeue_burst(6)  # drained to empty, as every batch does
+        peak, capacity = ring_reader(ring)()
+        assert (peak, capacity) == (6, 8)
+        # The read consumed the peak: next read sees current depth.
+        assert ring.take_peak() == 0
+
+    def test_ring_peak_resets_to_current_depth(self):
+        ring = Ring(capacity=8)
+        ring.enqueue_burst(range(5))
+        assert ring.take_peak() == 5
+        # The reset is to the depth *at read time* (5), so a drain to 2
+        # still reports 5 once more before settling at the new depth.
+        ring.dequeue_burst(3)
+        assert ring.take_peak() == 5
+        assert ring.take_peak() == 2
+
+    def test_socket_peak(self):
+        context = Context()
+        pull = context.pull(hwm=16)
+        pull.bind("inproc://peak")
+        push = context.push()
+        push.connect("inproc://peak")
+        for i in range(4):
+            push.send(b"m%d" % i)
+        while pull.recv() is not None:
+            pass
+        peak, hwm = socket_reader(pull)()
+        assert (peak, hwm) == (4, 16)
+        assert pull.take_peak() == 0

@@ -18,6 +18,8 @@ GUARDED = {
     "RuruPipeline",
     "GeoDbBuilder",
     "FaultyPushSocket",
+    "OverloadController",
+    "GatedPushSocket",
 }
 
 # The composition root is the one place allowed to build them.

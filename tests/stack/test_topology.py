@@ -16,6 +16,7 @@ from repro.stack.topology import (
 class TestTopology:
     def test_stage_order_is_the_dataflow_order(self):
         assert stage_names() == (
+            "overload",
             "nic",
             "workers",
             "mq",
