@@ -558,6 +558,55 @@ def _add_chaos_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _run_sharded(args, kill_shard=None, kill_at_batch=None, state_dir=None) -> int:
+    """Run a workload through the process-sharded runtime (``--shards``)."""
+    from repro.stack import build_sharded_runtime
+    from repro.traffic.endpoints import EndpointPopulation
+    from repro.traffic.generator import GeneratorConfig, TrafficGenerator
+
+    config = GeneratorConfig(
+        duration_ns=max(1, int(args.duration * NS_PER_S)),
+        mean_flows_per_s=args.rate,
+        seed=args.seed,
+    )
+    packets = TrafficGenerator(
+        config=config, population=EndpointPopulation()
+    ).packet_list()
+    runtime = build_sharded_runtime(
+        shards=args.shards,
+        state_dir=state_dir,
+        policy=args.shard_policy,
+    )
+    if kill_shard is not None:
+        runtime.schedule_kill(
+            kill_shard, at_seq=kill_at_batch if kill_at_batch else 6
+        )
+    try:
+        report = runtime.run(packets)
+    finally:
+        runtime.close()
+    print(
+        f"sharded run: {args.shards} worker process(es), "
+        f"{len(packets)} packets"
+        + (f", SIGKILL shard {kill_shard}" if kill_shard is not None else "")
+    )
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def _add_shard_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shards", type=int, default=0,
+        help="run through the process-sharded runtime with this many "
+             "worker processes (0 = in-process, the default)",
+    )
+    parser.add_argument(
+        "--shard-policy", default="protect-handshakes",
+        choices=("protect-handshakes", "reroute-all"),
+        help="down-shard traffic policy",
+    )
+
+
 def cmd_chaos(args) -> int:
     from repro.faults import PROFILES, ChaosHarness
 
@@ -574,6 +623,12 @@ def cmd_chaos(args) -> int:
             for name, profile in PROFILES.items()
         ])
         return 0
+    if args.shards:
+        return _run_sharded(
+            args,
+            kill_shard=args.kill_shard,
+            kill_at_batch=args.kill_at_batch,
+        )
     from repro.durability.signals import GracefulShutdown
 
     harness = ChaosHarness(
@@ -669,6 +724,8 @@ def _make_durable_runtime(args):
 
 def cmd_live(args) -> int:
     """Run the durable monitor; SIGINT/SIGTERM drain gracefully."""
+    if args.shards:
+        return _run_sharded(args, state_dir=args.state_dir)
     from repro.durability.signals import GracefulShutdown
 
     runtime = _make_durable_runtime(args)
@@ -1021,6 +1078,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay a workload under a fault profile and check invariants",
     )
     _add_chaos_args(p_chaos)
+    _add_shard_args(p_chaos)
+    p_chaos.add_argument(
+        "--kill-shard", type=int, default=None, metavar="S",
+        help="with --shards: SIGKILL this worker shard mid-run and "
+             "check recovery + ledger conservation",
+    )
+    p_chaos.add_argument(
+        "--kill-at-batch", type=int, default=None, metavar="N",
+        help="batch sequence number at which the kill fires (default 6)",
+    )
     p_chaos.add_argument(
         "--list", action="store_true", help="list fault profiles and exit"
     )
@@ -1042,6 +1109,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the durable monitor with checkpoints, WAL and graceful drain",
     )
     _add_chaos_args(p_live)
+    _add_shard_args(p_live)
     _add_durability_args(p_live)
     p_live.set_defaults(func=cmd_live, profile="clean")
 

@@ -30,7 +30,17 @@ class MqError(RuntimeError):
 
 
 class Context:
-    """Registry of in-process endpoints, analogous to ``zmq.Context``."""
+    """Registry of in-process endpoints, analogous to ``zmq.Context``.
+
+    Rebind semantics: ``bind`` claims an endpoint name exclusively and
+    raises :class:`MqError` while it is taken; ``close()`` on the bound
+    socket releases the name, after which a *fresh* socket may bind it.
+    The two sockets share nothing — messages queued on the old socket
+    die with it, and senders that connected to the old socket keep
+    their direct peer reference until their next send notices the peer
+    closed and prunes it. A sender must re-``connect`` to reach the
+    endpoint's new occupant; nothing is rewired implicitly.
+    """
 
     def __init__(self):
         self._bindings: Dict[str, object] = {}
@@ -74,21 +84,38 @@ class _ReceivingSocket:
         self.hwm = hwm
         self._queue: Deque[Message] = deque()
         self._endpoint: Optional[str] = None
+        self.closed = False
         self.received = 0
         self.dropped = 0
         self._peak = 0
 
     def bind(self, endpoint: str) -> None:
-        """Claim *endpoint* for this socket."""
+        """Claim *endpoint* for this socket (exactly one per socket)."""
+        if self.closed:
+            raise MqError("cannot bind a closed socket")
+        if self._endpoint is not None:
+            raise MqError(
+                f"socket already bound at {self._endpoint}; "
+                f"close it before binding {endpoint}"
+            )
         self._context._bind(endpoint, self)
         self._endpoint = endpoint
 
     def close(self) -> None:
+        """Release the endpoint and refuse all future traffic.
+
+        Messages still queued are discarded; senders holding this
+        socket as a peer will see delivery refused and prune it.
+        """
         if self._endpoint is not None:
             self._context._unbind(self._endpoint)
             self._endpoint = None
+        self.closed = True
+        self._queue.clear()
 
     def _deliver(self, message: Message) -> bool:
+        if self.closed:
+            return False
         if len(self._queue) >= self.hwm:
             self.dropped += 1
             return False
@@ -111,6 +138,8 @@ class _ReceivingSocket:
 
     def recv(self) -> Optional[Message]:
         """Non-blocking receive; None when the queue is empty."""
+        if self.closed:
+            raise MqError("recv on a closed socket")
         if not self._queue:
             return None
         return self._queue.popleft()
@@ -173,6 +202,7 @@ class PushSocket:
         self._next = 0
         self.hwm = hwm
         self._pending: Deque[Message] = deque()
+        self.closed = False
         self.sent = 0
         self.dropped = 0
         self.buffered_no_peer = 0
@@ -180,16 +210,30 @@ class PushSocket:
 
     def connect(self, endpoint: str) -> None:
         """Attach to a bound PULL socket; flushes any buffered backlog."""
+        if self.closed:
+            raise MqError("cannot connect a closed socket")
         peer = self._context._lookup(endpoint)
         if not isinstance(peer, PullSocket):
             raise MqError(f"{endpoint} is not a PULL socket")
         self._peers.append(peer)
         self._flush_pending()
 
+    def close(self) -> None:
+        """Drop every peer and refuse further sends; buffered messages
+        that never found a peer are discarded."""
+        self.closed = True
+        self._peers.clear()
+        self._pending.clear()
+
     def _flush_pending(self) -> None:
         while self._pending:
             if not self._dispatch(self._pending.popleft()):
                 break
+
+    def _prune_closed_peers(self) -> None:
+        if any(peer.closed for peer in self._peers):
+            self._peers = [p for p in self._peers if not p.closed]
+            self._next = 0
 
     def _dispatch(self, message: Message) -> bool:
         for attempt in range(len(self._peers)):
@@ -210,7 +254,13 @@ class PushSocket:
         benches read this as back-pressure). With *no* peers, the
         message is buffered up to this socket's own HWM and delivered
         when a peer connects; beyond the HWM it is dropped and counted.
+
+        Peers that were closed since the last send are pruned first —
+        a message is never swallowed by a dead queue.
         """
+        if self.closed:
+            raise MqError("send on a closed socket")
+        self._prune_closed_peers()
         if not self._peers:
             if len(self._pending) < self.hwm:
                 self._pending.append(message)
@@ -233,22 +283,34 @@ class PubSocket:
     def __init__(self, context: Context):
         self._context = context
         self._subscribers: List[SubSocket] = []
+        self.closed = False
         self.sent = 0
 
     def connect(self, endpoint: str) -> None:
         """Attach to a bound SUB socket."""
+        if self.closed:
+            raise MqError("cannot connect a closed socket")
         peer = self._context._lookup(endpoint)
         if not isinstance(peer, SubSocket):
             raise MqError(f"{endpoint} is not a SUB socket")
         self._subscribers.append(peer)
+
+    def close(self) -> None:
+        """Drop every subscriber and refuse further sends."""
+        self.closed = True
+        self._subscribers.clear()
 
     def send(self, message: Message) -> int:
         """Deliver to every subscriber whose filter matches.
 
         Returns the number of subscribers that accepted the message.
         With no (matching) subscribers the message vanishes, as in
-        ZeroMQ.
+        ZeroMQ. Subscribers closed since the last send are pruned.
         """
+        if self.closed:
+            raise MqError("send on a closed socket")
+        if any(sub.closed for sub in self._subscribers):
+            self._subscribers = [s for s in self._subscribers if not s.closed]
         delivered = 0
         for subscriber in self._subscribers:
             if subscriber.wants(message) and subscriber._deliver(message):

@@ -42,7 +42,7 @@ from repro.resilience.invariants import (
 )
 from repro.resilience.layer import ResilienceLayer
 from repro.resilience.retry import RetryPolicy, RetryQueue
-from repro.resilience.supervisor import Supervisor
+from repro.resilience.supervisor import RestartBudget, Supervisor
 
 __all__ = [
     "BREAKER_CLOSED",
@@ -55,6 +55,7 @@ __all__ = [
     "DeadLetterQueue",
     "InvariantViolation",
     "ResilienceLayer",
+    "RestartBudget",
     "RetryPolicy",
     "RetryQueue",
     "Supervisor",

@@ -21,6 +21,42 @@ from typing import Callable, Dict, List, Optional, Tuple
 PollFn = Callable[[], int]
 
 
+class RestartBudget:
+    """A bounded number of restarts per key, shared policy object.
+
+    Both the in-process :class:`Supervisor` (lcore poll bodies) and the
+    process-level shard supervisor need the same guard: injected chaos
+    gets restarted, a deterministically-crashing unit must eventually
+    be declared failed instead of flapping forever. ``consume`` spends
+    one restart and reports whether it was granted; once a key is
+    exhausted every further consume is refused.
+    """
+
+    def __init__(self, max_restarts: int = 3):
+        if max_restarts < 0:
+            raise ValueError("max_restarts must be non-negative")
+        self.max_restarts = max_restarts
+        self.spent_by_key: Dict[str, int] = {}
+
+    def consume(self, key: str) -> bool:
+        """Spend one restart for *key*; False when the budget is gone."""
+        spent = self.spent_by_key.get(key, 0)
+        if spent >= self.max_restarts:
+            return False
+        self.spent_by_key[key] = spent + 1
+        return True
+
+    def exhausted(self, key: str) -> bool:
+        return self.spent_by_key.get(key, 0) >= self.max_restarts
+
+    def remaining(self, key: str) -> int:
+        return max(0, self.max_restarts - self.spent_by_key.get(key, 0))
+
+    @property
+    def total_spent(self) -> int:
+        return sum(self.spent_by_key.values())
+
+
 class Supervisor:
     """Wraps poll callables; catches, counts and reports crashes."""
 

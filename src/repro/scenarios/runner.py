@@ -151,6 +151,15 @@ def run_scenario(
             summary (wall timings — off for byte-stable baselines).
     """
     spec = apply_overrides(spec, overrides or {})
+    if spec.shard.enabled:
+        # The process-topology axis takes over: the episode runs
+        # through real worker processes (repro.shard) instead of the
+        # in-process stack. Stage profiling does not apply there.
+        from repro.scenarios.shard_runner import run_shard_scenario
+
+        return run_shard_scenario(
+            spec, seed=seed, overrides=overrides, cell=cell
+        )
     run_seed = spec.seed if seed is None else int(seed)
     generator = build_scenario_generator(spec, run_seed)
     fault_profile = spec.faults.resolve()

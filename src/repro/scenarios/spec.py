@@ -283,6 +283,70 @@ class OverloadSpec:
 
 
 @dataclass(frozen=True)
+class ShardScenarioSpec:
+    """The process-topology axis (``repro.shard``).
+
+    ``shards > 0`` runs the episode through
+    :class:`repro.shard.ShardedRuntime` — real worker processes over
+    pipe transports — instead of the in-process stack, optionally
+    SIGKILLing one shard mid-run to exercise the recovery path. The
+    run is deterministic (lockstep dispatch, virtual-round rejoin), so
+    its ledger and reconciliation metrics gate byte-exact.
+    """
+
+    shards: int = 0
+    policy: str = "protect-handshakes"
+    analytics: str = "none"
+    batch_size: int = 64
+    kill_shard: Optional[int] = None
+    kill_at_batch: Optional[int] = None
+    restart_delay_batches: int = 2
+    checkpoint_every_batches: int = 4
+    max_restarts: int = 3
+    durable: bool = True
+
+    def __post_init__(self):
+        _require(self.shards >= 0, "shard.shards cannot be negative")
+        _require(
+            self.policy in ("protect-handshakes", "reroute-all"),
+            f"shard.policy {self.policy!r} must be "
+            "'protect-handshakes' or 'reroute-all'",
+        )
+        _require(
+            self.analytics in ("none", "parent", "process"),
+            f"shard.analytics {self.analytics!r} must be "
+            "'none', 'parent' or 'process'",
+        )
+        _require(self.batch_size >= 1, "shard.batch_size must be positive")
+        _require(
+            (self.kill_shard is None) == (self.kill_at_batch is None),
+            "shard.kill_shard and shard.kill_at_batch come together",
+        )
+        if self.kill_shard is not None:
+            _require(
+                0 <= self.kill_shard < max(self.shards, 1),
+                "shard.kill_shard must name one of the shards",
+            )
+            _require(
+                self.kill_at_batch >= 1,
+                "shard.kill_at_batch must be at least 1",
+            )
+        _require(
+            self.restart_delay_batches >= 1,
+            "shard.restart_delay_batches must be at least 1",
+        )
+        _require(
+            self.checkpoint_every_batches >= 1,
+            "shard.checkpoint_every_batches must be at least 1",
+        )
+        _require(self.max_restarts >= 0, "shard.max_restarts cannot be negative")
+
+    @property
+    def enabled(self) -> bool:
+        return self.shards > 0
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """One named, runnable, comparable operational episode."""
 
@@ -294,6 +358,7 @@ class ScenarioSpec:
     anomalies: Tuple[AnomalyWindowSpec, ...] = ()
     stack: StackSpec = field(default_factory=StackSpec)
     overload: OverloadSpec = field(default_factory=OverloadSpec)
+    shard: ShardScenarioSpec = field(default_factory=ShardScenarioSpec)
     #: Expected anomaly-event counts: kind -> {"min": n} and/or
     #: {"max": n}. The runner fails the correctness gate when the
     #: detectors land outside the band.
@@ -329,6 +394,7 @@ class ScenarioSpec:
             "anomalies": [dataclasses.asdict(a) for a in self.anomalies],
             "stack": dataclasses.asdict(self.stack),
             "overload": dataclasses.asdict(self.overload),
+            "shard": dataclasses.asdict(self.shard),
             "expect": {k: dict(v) for k, v in self.expect.items()},
         }
 
@@ -337,7 +403,7 @@ class ScenarioSpec:
         _require(isinstance(data, dict), "scenario document must be a table")
         known = {
             "name", "description", "seed", "traffic", "faults",
-            "anomalies", "stack", "overload", "expect",
+            "anomalies", "stack", "overload", "shard", "expect",
         }
         unknown = set(data) - known
         _require(not unknown, f"unknown scenario keys: {sorted(unknown)}")
@@ -346,6 +412,7 @@ class ScenarioSpec:
             faults = FaultSpec(**dict(data.get("faults", {})))
             stack = StackSpec(**dict(data.get("stack", {})))
             overload = OverloadSpec(**dict(data.get("overload", {})))
+            shard = ShardScenarioSpec(**dict(data.get("shard", {})))
             anomalies = tuple(
                 AnomalyWindowSpec(**dict(entry))
                 for entry in data.get("anomalies", ())
@@ -361,6 +428,7 @@ class ScenarioSpec:
             anomalies=anomalies,
             stack=stack,
             overload=overload,
+            shard=shard,
             expect={
                 str(kind): {str(k): int(v) for k, v in dict(band).items()}
                 for kind, band in dict(data.get("expect", {})).items()

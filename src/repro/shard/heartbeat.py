@@ -1,0 +1,110 @@
+"""Shard heartbeats and deadline-based failure detection.
+
+Every shard child emits a small heartbeat message on a wall-clock
+cadence, stamped with ``time.monotonic_ns()``. On Linux that clock is
+``CLOCK_MONOTONIC``, which is system-wide — the parent can subtract
+the child's send stamp from its own receive stamp and get a real
+one-way control-plane latency, no clock sync protocol needed.
+
+The :class:`FailureDetector` is the classic lease: a shard that has
+not been heard from within ``deadline_ns`` is declared down. A
+SIGKILLed process stops heartbeating instantly, so detection latency
+is bounded by the deadline; a *stalled* process (deadlocked, stopped,
+swapping) is caught the same way even though its pipes stay open —
+which is exactly what EOF detection alone would miss.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from typing import Dict, List, Optional
+
+from repro.mq.frames import Message
+
+HEARTBEAT_TOPIC = b"hb"
+_HEARTBEAT = struct.Struct("!IQQ")  # shard_id, seq, sent_mono_ns
+
+
+class HeartbeatError(ValueError):
+    """A heartbeat frame failed to parse."""
+
+
+def encode_heartbeat(shard_id: int, seq: int, now_ns: Optional[int] = None) -> Message:
+    """One heartbeat message, stamped with the monotonic clock."""
+    sent_ns = time.monotonic_ns() if now_ns is None else now_ns
+    return Message.with_topic(
+        HEARTBEAT_TOPIC, _HEARTBEAT.pack(shard_id, seq, sent_ns)
+    )
+
+
+def decode_heartbeat(message: Message):
+    """``(shard_id, seq, sent_mono_ns)`` from a heartbeat message."""
+    if message.topic != HEARTBEAT_TOPIC:
+        raise HeartbeatError(f"not a heartbeat: topic {message.topic!r}")
+    if len(message.frames) != 2 or len(message.frames[1]) != _HEARTBEAT.size:
+        raise HeartbeatError("malformed heartbeat payload")
+    return _HEARTBEAT.unpack(message.frames[1])
+
+
+class FailureDetector:
+    """Deadline-based liveness over observed heartbeats.
+
+    Args:
+        deadline_ns: silence longer than this declares a shard down.
+            ``None`` disables wall-clock detection entirely — the
+            deterministic scenario mode relies on EOF and scheduled
+            faults instead, because a virtual-time run must not depend
+            on how fast the host happens to execute it.
+    """
+
+    def __init__(self, deadline_ns: Optional[int]):
+        if deadline_ns is not None and deadline_ns <= 0:
+            raise ValueError("deadline_ns must be positive (or None)")
+        self.deadline_ns = deadline_ns
+        self._last_seen_ns: Dict[int, int] = {}
+        self._last_latency_ns: Dict[int, int] = {}
+        self.heartbeats_observed = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.deadline_ns is not None
+
+    def watch(self, shard_id: int, now_ns: Optional[int] = None) -> None:
+        """Start (or reset) the lease for a shard — called at spawn, so
+        a shard that never says hello still expires one deadline later."""
+        self._last_seen_ns[shard_id] = (
+            time.monotonic_ns() if now_ns is None else now_ns
+        )
+
+    def observe(
+        self,
+        shard_id: int,
+        sent_ns: int,
+        received_ns: Optional[int] = None,
+    ) -> int:
+        """Record one heartbeat; returns the control-plane latency (ns)."""
+        now_ns = time.monotonic_ns() if received_ns is None else received_ns
+        self._last_seen_ns[shard_id] = now_ns
+        latency = max(0, now_ns - sent_ns)
+        self._last_latency_ns[shard_id] = latency
+        self.heartbeats_observed += 1
+        return latency
+
+    def forget(self, shard_id: int) -> None:
+        """Stop watching (the shard was declared down or drained)."""
+        self._last_seen_ns.pop(shard_id, None)
+
+    def expired(self, now_ns: Optional[int] = None) -> List[int]:
+        """Shards whose lease has lapsed, in shard-id order."""
+        if self.deadline_ns is None:
+            return []
+        now = time.monotonic_ns() if now_ns is None else now_ns
+        return sorted(
+            shard_id
+            for shard_id, seen in self._last_seen_ns.items()
+            if now - seen > self.deadline_ns
+        )
+
+    def last_latency_ns(self, shard_id: int) -> Optional[int]:
+        return self._last_latency_ns.get(shard_id)

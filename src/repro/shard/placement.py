@@ -1,0 +1,183 @@
+"""Process placement derived from the stage-graph topology.
+
+The stage graph (:mod:`repro.stack.topology`) already derives drain
+order, checkpoint payload and crash points from one declared table.
+Placement is the same move for *process boundaries*: walk the
+topology, decide which OS process hosts each stage, and turn every
+edge that crosses a process boundary into a wire transport.
+
+The derivation mirrors the paper's deployment: the NIC (RSS fan-out)
+stays in the parent — it *is* the router — each ``workers`` replica
+gets its own process (the paper's "different DPDK processing threads
+… on separate CPU cores", here made real OS processes so a crash is
+contained), and the ``mq`` stage is not a process at all but the edge
+between them: the MQ frame codec carried over a pipe or socketpair.
+The analytics tier and everything downstream of it either stays in
+the parent, moves to one more process, or is omitted (the fast-path
+bench shape).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.stack.topology import TOPOLOGY, stage_names
+
+#: Where the analytics tail may live.
+ANALYTICS_PLACEMENTS = ("none", "parent", "process")
+
+#: Stages that always stay in the parent: admission control and the
+#: RSS router cannot move — they are what fans traffic *out* to shards.
+PARENT_STAGES = ("overload", "nic")
+
+#: The stage replicated one-per-shard.
+SHARDED_STAGE = "workers"
+
+#: The stage realized as wire transports rather than a process.
+EDGE_STAGE = "mq"
+
+#: The analytics tail, in topology order (computed in `derive_placement`).
+_TAIL_START = "analytics"
+
+
+class PlacementError(ValueError):
+    """The requested placement cannot be derived from the topology."""
+
+
+@dataclass(frozen=True)
+class ProcessSpec:
+    """One OS process and the stages it hosts.
+
+    ``shard_id`` is None for the parent; worker shards carry the RX
+    queue they own (queue id == shard id, preserving the NIC's RSS
+    indirection semantics), the analytics shard carries none.
+    """
+
+    name: str
+    stages: Tuple[str, ...]
+    shard_id: Optional[int] = None
+    queue_id: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class EdgeSpec:
+    """One topology edge that crosses a process boundary."""
+
+    source: str
+    target: str
+    stage: str  # the topology stage this edge realizes (always "mq")
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The derived placement: who runs what, and over which wires."""
+
+    parent: ProcessSpec
+    shards: Tuple[ProcessSpec, ...]
+    edges: Tuple[EdgeSpec, ...]
+    analytics: str
+
+    @property
+    def num_worker_shards(self) -> int:
+        return sum(1 for spec in self.shards if SHARDED_STAGE in spec.stages)
+
+    @property
+    def analytics_shard(self) -> Optional[ProcessSpec]:
+        for spec in self.shards:
+            if _TAIL_START in spec.stages:
+                return spec
+        return None
+
+    def describe(self) -> str:
+        """Human-readable placement table (docs and ``--describe``)."""
+        lines = [
+            f"process {self.parent.name}: {', '.join(self.parent.stages)}"
+        ]
+        for spec in self.shards:
+            queue = (
+                f" (rx queue {spec.queue_id})" if spec.queue_id is not None else ""
+            )
+            lines.append(
+                f"process {spec.name}{queue}: {', '.join(spec.stages)}"
+            )
+        for edge in self.edges:
+            lines.append(
+                f"edge {edge.source} -> {edge.target}: stage "
+                f"{edge.stage!r} over wire framing"
+            )
+        return "\n".join(lines)
+
+
+def derive_placement(
+    num_shards: int, analytics: str = "none"
+) -> ShardPlan:
+    """Place the declared topology across OS processes.
+
+    Args:
+        num_shards: worker shard processes, one per RX queue.
+        analytics: where the analytics tail lives — ``"none"`` (not
+            assembled; the fast-path bench shape), ``"parent"``
+            (in-process with the router), or ``"process"`` (one more
+            shard process, the paper's decoupled analytics tier).
+    """
+    if num_shards < 1:
+        raise PlacementError("num_shards must be at least 1")
+    if analytics not in ANALYTICS_PLACEMENTS:
+        raise PlacementError(
+            f"unknown analytics placement {analytics!r}; "
+            f"choose from {ANALYTICS_PLACEMENTS}"
+        )
+    names = stage_names()
+    for required in (*PARENT_STAGES, SHARDED_STAGE, EDGE_STAGE):
+        if required not in names:
+            raise PlacementError(
+                f"topology has no {required!r} stage to place"
+            )
+    tail = tuple(
+        spec.name
+        for spec in TOPOLOGY[names.index(_TAIL_START) :]
+        if spec.name not in (SHARDED_STAGE, EDGE_STAGE)
+    )
+
+    parent_stages = tuple(
+        name for name in names if name in PARENT_STAGES
+    )
+    if analytics == "parent":
+        parent_stages = parent_stages + tail
+    parent = ProcessSpec(name="parent", stages=parent_stages)
+
+    shards = tuple(
+        ProcessSpec(
+            name=f"shard-{shard_id}",
+            stages=(SHARDED_STAGE,),
+            shard_id=shard_id,
+            queue_id=shard_id,
+        )
+        for shard_id in range(num_shards)
+    )
+    edges = [
+        EdgeSpec(source="parent", target=spec.name, stage=EDGE_STAGE)
+        for spec in shards
+    ]
+    if analytics == "process":
+        analytics_spec = ProcessSpec(
+            name="shard-analytics",
+            stages=tail,
+            shard_id=num_shards,
+        )
+        shards = shards + (analytics_spec,)
+        # Worker records flow back through the parent (the router owns
+        # the ack path) and on to the analytics process over one more
+        # wire edge — the same mq stage, one more hop.
+        edges.append(
+            EdgeSpec(
+                source="parent", target=analytics_spec.name, stage=EDGE_STAGE
+            )
+        )
+    return ShardPlan(
+        parent=parent,
+        shards=shards,
+        edges=tuple(edges),
+        analytics=analytics,
+    )

@@ -1,0 +1,886 @@
+"""The sharded runtime: RSS fan-out across real OS processes.
+
+The parent *is* the NIC: it extracts each frame's 4-tuple, Toeplitz-
+hashes it with the symmetric RSS key and routes the packet to the
+worker shard owning that queue — so both directions of a flow land in
+the same process, exactly as the in-process pipeline's
+:class:`~repro.dpdk.nic.NicPort` guarantees. A flow→shard cache keeps
+parent-side routing cheaper than the shards' per-packet work (the
+hash is computed once per flow direction) and doubles as the reroute
+table during failures: a decision made while a shard was down sticks
+for the life of the flow, so a rerouted handshake's payload follows
+it instead of bouncing back mid-measurement.
+
+Two operating modes, chosen by whether a heartbeat deadline is set:
+
+* **deterministic** (``heartbeat_deadline_ms=None``) — lockstep
+  dispatch (one in-flight batch per shard), EOF declares a death
+  immediately, restarts happen a fixed number of rounds later.
+  Scenario baselines need every count to be exact, so nothing may
+  depend on how fast the host runs.
+* **wall-clock** (deadline set) — windowed dispatch, EOF only marks a
+  shard *suspect*; declaration is the heartbeat deadline's job, and a
+  declared shard is restarted as soon as the budget allows. This is
+  the live/chaos shape: detection latency is bounded by the deadline.
+
+Either way the books must balance. Every offered packet meets exactly
+one of five fates, and :meth:`ShardedRuntime.drain` proves it::
+
+    ingested == processed + dropped + deadlettered + shed + lost_at_crash
+
+with per-shard reconciliation on top: each drained child's
+self-reported ledger must equal the parent's accounting for it — which
+is exactly what checkpoint + WAL-delta restore buys after a crash.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.config import PipelineConfig
+from repro.dpdk.nic import NicPort
+from repro.dpdk.rss import RssHasher
+from repro.durability.shardstate import ShardStateStore
+from repro.mq.frames import Message
+from repro.overload.classify import CLASSES, HANDSHAKE, classify_frame
+from repro.resilience.supervisor import RestartBudget
+from repro.shard import protocol
+from repro.shard.heartbeat import FailureDetector
+from repro.shard.placement import ShardPlan, derive_placement
+from repro.shard.supervisor import (
+    SHARD_DOWN,
+    SHARD_SUSPECT,
+    ShardHandle,
+    ShardSupervisor,
+)
+from repro.shard.transport import Transport, TransportClosed, TransportError
+from repro.shard.worker import (
+    HEARTBEAT_INTERVAL_NS,
+    analytics_child_main,
+    shard_child_main,
+)
+
+#: What to do with a down shard's traffic.
+SHED_POLICIES = ("protect-handshakes", "reroute-all")
+
+#: How long a drain/ack wait may stall before the run errors out.
+_SETTLE_TIMEOUT_S = 30.0
+
+
+@dataclass(frozen=True)
+class GlobalLedger:
+    """``ingested == processed + dropped + deadlettered + shed + lost_at_crash``.
+
+    The PR 8 overload invariant with one more term: packets that were
+    in flight to a shard the instant it died. A crash may lose
+    *measurements* (you cannot replay live wire traffic) but it may
+    never lose *accounting*.
+    """
+
+    ingested: int
+    processed: int
+    dropped: int
+    deadlettered: int
+    shed: int
+    lost_at_crash: int
+
+    @property
+    def balance(self) -> int:
+        return self.ingested - (
+            self.processed
+            + self.dropped
+            + self.deadlettered
+            + self.shed
+            + self.lost_at_crash
+        )
+
+    @property
+    def ok(self) -> bool:
+        return self.balance == 0
+
+    def check(self) -> None:
+        if not self.ok:
+            raise AssertionError(f"shard conservation violated: {self}")
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "ingested": self.ingested,
+            "processed": self.processed,
+            "dropped": self.dropped,
+            "deadlettered": self.deadlettered,
+            "shed": self.shed,
+            "lost_at_crash": self.lost_at_crash,
+            "balance": self.balance,
+        }
+
+    def __str__(self) -> str:
+        status = "OK" if self.ok else f"VIOLATED (balance={self.balance})"
+        return (
+            f"shard ledger: ingested={self.ingested} == "
+            f"processed={self.processed} + dropped={self.dropped} + "
+            f"deadlettered={self.deadlettered} + shed={self.shed} + "
+            f"lost_at_crash={self.lost_at_crash} [{status}]"
+        )
+
+
+@dataclass
+class ShardRunReport:
+    """Everything a drained sharded run proved (or failed to)."""
+
+    ledger: GlobalLedger
+    shards: Dict[str, dict]
+    child_ledgers: Dict[str, dict]
+    reconciliation: List[Tuple[str, bool, str]]
+    shed_by_class: Dict[str, int]
+    rerouted_packets: int
+    restarts: int
+    states: Dict[str, str]
+    heartbeats_seen: int
+    records: Dict[str, int]
+    analytics: Optional[dict] = None
+    rounds: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.ledger.ok and all(ok for _, ok, _ in self.reconciliation)
+
+    def failed_checks(self) -> List[str]:
+        return [
+            f"{name}: {detail}"
+            for name, ok, detail in self.reconciliation
+            if not ok
+        ]
+
+    def as_dict(self) -> dict:
+        return {
+            "ledger": self.ledger.as_dict(),
+            "shards": self.shards,
+            "child_ledgers": self.child_ledgers,
+            "reconciliation": [
+                {"name": name, "ok": ok, "detail": detail}
+                for name, ok, detail in self.reconciliation
+            ],
+            "shed_by_class": self.shed_by_class,
+            "rerouted_packets": self.rerouted_packets,
+            "restarts": self.restarts,
+            "states": self.states,
+            "heartbeats_seen": self.heartbeats_seen,
+            "records": self.records,
+            "analytics": self.analytics,
+            "rounds": self.rounds,
+            "ok": self.ok,
+        }
+
+    def render(self) -> str:
+        lines = [str(self.ledger)]
+        for name in sorted(self.shards):
+            ledger = self.shards[name]
+            lines.append(
+                f"  {name}: state={ledger['state']} "
+                f"dispatched={ledger['dispatched']} acked={ledger['acked']} "
+                f"lost_at_crash={ledger['lost_at_crash']} "
+                f"restarts={ledger['restarts']}"
+            )
+        shed = ", ".join(
+            f"{klass}={count}" for klass, count in sorted(self.shed_by_class.items())
+        )
+        lines.append(
+            f"  policy: rerouted={self.rerouted_packets} shed=[{shed}]"
+        )
+        for name, ok, detail in self.reconciliation:
+            lines.append(f"  check {name}: {'OK' if ok else 'FAIL'} ({detail})")
+        return "\n".join(lines)
+
+
+@dataclass
+class _ScheduledFault:
+    kill_at_seq: int
+    armed: bool = False
+
+
+class ShardedRuntime:
+    """The parent process of a sharded run: router, supervisor, books.
+
+    Args:
+        num_shards: worker shard processes (one RX queue each).
+        config: pipeline config shared with the shard workers (the
+            RSS key and tracker knobs must match a single-process run
+            for the equivalence property to hold).
+        analytics: ``"none"`` / ``"parent"`` / ``"process"`` — see
+            :func:`~repro.shard.placement.derive_placement`.
+        make_analytics: zero-arg factory returning an
+            ``AnalyticsService``; required for ``parent``/``process``
+            placements. Built by the composition root, called post-fork
+            for the ``process`` placement.
+        state_dir: enables per-shard durability (checkpoint + ack WAL)
+            and therefore *exact* post-crash ledger reconciliation.
+        heartbeat_deadline_ms: None selects deterministic mode.
+        restart_delay_batches: rounds a dead shard stays down in
+            deterministic mode before its restart (models detection +
+            respawn latency as virtual rounds).
+        checkpoint_every_batches: checkpoint cadence in rounds; None
+            checkpoints only at drain.
+        max_inflight: dispatch window per shard (forced to 1 in
+            deterministic mode).
+        policy: down-shard traffic policy (``protect-handshakes``
+            reroutes handshakes and sheds the rest by class;
+            ``reroute-all`` reroutes everything).
+        record_sink: optional callable fed every encoded latency
+            record when ``analytics == "none"``.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        config: Optional[PipelineConfig] = None,
+        *,
+        analytics: str = "none",
+        make_analytics: Optional[Callable[[], object]] = None,
+        state_dir: Optional[str] = None,
+        transport: str = "pipe",
+        policy: str = "protect-handshakes",
+        heartbeat_deadline_ms: Optional[float] = None,
+        heartbeat_interval_ms: float = HEARTBEAT_INTERVAL_NS / 1e6,
+        checkpoint_every_batches: Optional[int] = 8,
+        restart_delay_batches: int = 1,
+        max_restarts_per_shard: int = 3,
+        max_inflight: int = 4,
+        batch_size: int = 256,
+        record_sink: Optional[Callable[[bytes], None]] = None,
+        registry=None,
+        fsync: bool = False,
+    ):
+        if policy not in SHED_POLICIES:
+            raise ValueError(
+                f"unknown policy {policy!r}; choose from {SHED_POLICIES}"
+            )
+        if analytics in ("parent", "process") and make_analytics is None:
+            raise ValueError(
+                f"analytics={analytics!r} needs a make_analytics factory"
+            )
+        self.config = config or PipelineConfig()
+        self.plan: ShardPlan = derive_placement(num_shards, analytics=analytics)
+        self.num_shards = num_shards
+        self.analytics = analytics
+        self.policy = policy
+        self.batch_size = batch_size
+        self.deterministic = heartbeat_deadline_ms is None
+        self.max_inflight = 1 if self.deterministic else max(1, max_inflight)
+        self.restart_delay_batches = max(1, restart_delay_batches)
+        self.checkpoint_every_batches = checkpoint_every_batches
+        self._record_sink = record_sink
+        self._make_analytics = make_analytics
+        self._heartbeat_interval_ns = int(heartbeat_interval_ms * 1e6)
+
+        self.hasher = RssHasher(
+            key=self.config.rss_key, num_queues=num_shards
+        )
+        detector = FailureDetector(
+            deadline_ns=(
+                None
+                if heartbeat_deadline_ms is None
+                else int(heartbeat_deadline_ms * 1e6)
+            )
+        )
+        self.supervisor = ShardSupervisor(
+            specs=list(self.plan.shards),
+            entry=self._shard_entry,
+            transport_kind=transport,
+            detector=detector,
+            restart_budget=RestartBudget(max_restarts=max_restarts_per_shard),
+        )
+        self.stores: Dict[int, ShardStateStore] = {}
+        if state_dir is not None:
+            for spec in self.plan.shards:
+                self.stores[spec.shard_id] = ShardStateStore(
+                    state_dir, spec.name, fsync=fsync
+                )
+
+        # Routing state: (4-tuple, family) -> (rss_hash, shard_id).
+        # Direction-sensitive on purpose — the symmetric key hashes both
+        # directions identically, so the two entries agree, and lookups
+        # skip a canonicalization pass on the hot path.
+        self._flow_route: Dict[tuple, Tuple[int, int]] = {}
+        self._faults: Dict[int, _ScheduledFault] = {}
+
+        # Global books.
+        self.ingested = 0
+        self.dropped = 0
+        self.shed_by_class: Dict[str, int] = {klass: 0 for klass in CLASSES}
+        self.rerouted_packets = 0
+        self.records_out = 0
+        self.records_delivered = 0
+        self.records_lost_at_crash = 0
+        self.records_dropped = 0
+        self._round = 0
+        self._started = False
+        self._drained = False
+
+        self._analytics_service = None
+        self._analytics_push = None
+        self._analytics_seq = 0
+        self._records_buffer: List[bytes] = []
+
+        if registry is not None:
+            self.bind_registry(registry)
+
+    # -- composition ---------------------------------------------------------
+
+    def _shard_entry(self, shard_id: int, transport: Transport) -> int:
+        """Post-fork child body selection (worker vs analytics shard)."""
+        analytics_spec = self.plan.analytics_shard
+        if analytics_spec is not None and shard_id == analytics_spec.shard_id:
+            return analytics_child_main(
+                transport,
+                shard_id,
+                self._make_analytics,
+                heartbeat_interval_ns=self._heartbeat_interval_ns,
+            )
+        return shard_child_main(
+            transport,
+            shard_id,
+            config=self.config,
+            heartbeat_interval_ns=self._heartbeat_interval_ns,
+        )
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self.supervisor.start()
+        if self.analytics == "parent":
+            self._analytics_service = self._make_analytics()
+            self._analytics_push = self._analytics_service.connect_pipeline()
+        for shard_id, fault in self._faults.items():
+            self._arm_fault(shard_id, fault)
+
+    # -- fault injection ------------------------------------------------------
+
+    def schedule_kill(self, shard_id: int, at_seq: int) -> None:
+        """Arm a deterministic SIGKILL: the shard dies the moment it
+        receives its batch with seq >= *at_seq*, before acking it."""
+        fault = _ScheduledFault(kill_at_seq=at_seq)
+        self._faults[shard_id] = fault
+        if self._started:
+            self._arm_fault(shard_id, fault)
+
+    def _arm_fault(self, shard_id: int, fault: _ScheduledFault) -> None:
+        handle = self.supervisor.handles[shard_id]
+        if handle.transport is None or fault.armed:
+            return
+        handle.transport.send(
+            protocol.encode_json(
+                protocol.FAULT_TOPIC, {"kill_at_seq": fault.kill_at_seq}
+            )
+        )
+        fault.armed = True
+
+    def kill_shard(self, shard_id: int) -> None:
+        """Wall-clock chaos: SIGKILL the shard process right now. The
+        heartbeat deadline — not this call — declares it down."""
+        self.supervisor.kill(shard_id)
+
+    # -- routing --------------------------------------------------------------
+
+    def _live_fallback(self, home: int) -> Optional[int]:
+        """The next live worker shard after *home*, ring order."""
+        for step in range(1, self.num_shards):
+            candidate = (home + step) % self.num_shards
+            if self.supervisor.handles[candidate].live:
+                return candidate
+        return None
+
+    def _route_round(
+        self, packets: Iterable
+    ) -> Dict[int, List[Tuple[int, int, bytes]]]:
+        """Route one round of packets; applies the down-shard policy."""
+        per_shard: Dict[int, List[Tuple[int, int, bytes]]] = {}
+        for packet in packets:
+            self.ingested += 1
+            data = packet.data
+            key = NicPort._extract_tuple(data)
+            if key is None:
+                rss_hash, target = 0, self.hasher.queue_for_hash(0)
+            else:
+                cached = self._flow_route.get(key)
+                if cached is None:
+                    rss_hash = self.hasher.hash_tuple(*key)
+                    target = self.hasher.queue_for_hash(rss_hash)
+                    self._flow_route[key] = (rss_hash, target)
+                else:
+                    rss_hash, target = cached
+            if not self.supervisor.handles[target].live:
+                target = self._place_down_packet(key, rss_hash, target, data)
+                if target is None:
+                    continue  # shed; already attributed
+            per_shard.setdefault(target, []).append(
+                (packet.timestamp_ns, rss_hash, data)
+            )
+        return per_shard
+
+    def _place_down_packet(
+        self, key, rss_hash: int, home: int, data: bytes
+    ) -> Optional[int]:
+        """Down-shard policy: reroute (returns new target) or shed (None).
+
+        A reroute is recorded in the flow cache so the whole flow
+        sticks to its fallback — measurement continuity beats locality.
+        """
+        if self.policy == "protect-handshakes":
+            klass = classify_frame(data)
+            if klass != HANDSHAKE:
+                self.shed_by_class[klass] += 1
+                return None
+        fallback = self._live_fallback(home)
+        if fallback is None:
+            klass = classify_frame(data)
+            self.shed_by_class[klass] += 1
+            return None
+        if key is not None:
+            self._flow_route[key] = (rss_hash, fallback)
+        self.rerouted_packets += 1
+        return fallback
+
+    # -- dataplane ------------------------------------------------------------
+
+    def offer(self, packets: Iterable) -> None:
+        """Dispatch one round of packets across the live shards."""
+        if not self._started:
+            self.start()
+        if self._drained:
+            raise RuntimeError("runtime already drained")
+        self._round += 1
+        self._restart_due_shards()
+        per_shard = self._route_round(packets)
+
+        requeue: List[Tuple[int, int, bytes]] = []
+        for shard_id in sorted(per_shard):
+            triples = per_shard[shard_id]
+            handle = self.supervisor.handles[shard_id]
+            if not handle.live:
+                requeue.extend(triples)  # died earlier this round
+                continue
+            self._dispatch(handle, triples)
+        if requeue:
+            # Second pass through the policy for packets whose target
+            # died between routing and dispatch; a second failure
+            # deadletters rather than looping.
+            second: Dict[int, List[Tuple[int, int, bytes]]] = {}
+            for timestamp_ns, rss_hash, data in requeue:
+                target = self._place_down_packet(None, rss_hash, 0, data)
+                if target is not None:
+                    second.setdefault(target, []).append(
+                        (timestamp_ns, rss_hash, data)
+                    )
+            for shard_id in sorted(second):
+                handle = self.supervisor.handles[shard_id]
+                if handle.live:
+                    self._dispatch(handle, second[shard_id])
+                else:
+                    handle.deadlettered += len(second[shard_id])
+
+        # Settle the window.
+        for handle in self.supervisor.worker_handles():
+            if handle.live and handle.inflight:
+                self._wait_for_acks(handle, below=self.max_inflight)
+        self._flush_records()
+        # Absorb pending heartbeats *before* judging deadlines — a shard
+        # whose acks we did not need this round still spoke.
+        self._pump_control()
+        self._check_deadlines()
+        if (
+            self.checkpoint_every_batches
+            and self._round % self.checkpoint_every_batches == 0
+        ):
+            self.checkpoint_all()
+
+    def _dispatch(
+        self, handle: ShardHandle, triples: List[Tuple[int, int, bytes]]
+    ) -> None:
+        if handle.inflight and len(handle.inflight) >= self.max_inflight:
+            self._wait_for_acks(handle, below=self.max_inflight)
+            if not handle.live:
+                handle.deadlettered += len(triples)
+                return
+        seq = handle.next_seq
+        handle.next_seq += 1
+        message = protocol.encode_batch(seq, triples)
+        try:
+            handle.transport.send(message)
+        except (TransportClosed, TransportError):
+            # The batch never reached the shard: it is deadlettered,
+            # not lost_at_crash — the distinction the ledger preserves.
+            handle.deadlettered += len(triples)
+            self._on_transport_death(handle)
+            return
+        handle.inflight[seq] = len(triples)
+        handle.dispatched_packets += len(triples)
+
+    def _pump_control(self) -> None:
+        """Non-blocking: drain every live shard's decoded messages."""
+        for handle in list(self.supervisor.handles.values()):
+            if not handle.live or handle.transport is None:
+                continue
+            try:
+                for message in handle.transport.recv_all():
+                    self._handle_message(handle, message)
+            except (TransportClosed, TransportError):
+                self._on_transport_death(handle)
+
+    def _wait_for_acks(self, handle: ShardHandle, below: int) -> None:
+        """Block until *handle* has < *below* in-flight batches (or dies)."""
+        deadline = time.monotonic() + _SETTLE_TIMEOUT_S
+        while handle.live and len(handle.inflight) >= below:
+            try:
+                message = handle.transport.recv(timeout=0.05)
+            except (TransportClosed, TransportError):
+                self._on_transport_death(handle)
+                return
+            if message is None:
+                self._check_deadlines()
+                if time.monotonic() > deadline:
+                    raise TransportError(
+                        f"shard {handle.name} stalled with "
+                        f"{len(handle.inflight)} batches in flight"
+                    )
+                continue
+            self._handle_message(handle, message)
+
+    def _handle_message(self, handle: ShardHandle, message: Message) -> None:
+        topic = message.topic
+        if topic == protocol.ACK_TOPIC:
+            seq, processed, parse_errors, records = protocol.decode_ack(message)
+            if handle.inflight.pop(seq, None) is None:
+                raise TransportError(
+                    f"shard {handle.name} acked unknown batch {seq}"
+                )
+            handle.acked_packets += processed
+            handle.acked_parse_errors += parse_errors
+            handle.records_received += len(records)
+            handle.last_acked_seq = max(handle.last_acked_seq, seq)
+            store = self.stores.get(handle.shard_id)
+            if store is not None:
+                store.append_ack(seq, processed, parse_errors, len(records))
+            self._deliver_records(records)
+        elif topic == protocol.RECORDS_ACK_TOPIC:
+            seq, count = protocol.decode_records_ack(message)
+            if handle.inflight.pop(seq, None) is not None:
+                self.records_delivered += count
+        else:
+            self.supervisor.handle_control_message(handle, message)
+
+    # -- failure handling ------------------------------------------------------
+
+    def _on_transport_death(self, handle: ShardHandle) -> None:
+        """EOF/EPIPE: conclusive in deterministic mode, suspicion in
+        wall-clock mode (where the heartbeat deadline declares)."""
+        if self.deterministic:
+            cause = (
+                "scheduled-kill"
+                if handle.shard_id in self._faults
+                else "transport-eof"
+            )
+            self._declare(handle, cause)
+        else:
+            self.supervisor.suspect(handle.shard_id, "transport-eof")
+
+    def _check_deadlines(self) -> None:
+        for shard_id in self.supervisor.expired_shards():
+            handle = self.supervisor.handles[shard_id]
+            self._declare(handle, "heartbeat-deadline")
+            # Wall-clock mode restarts as soon as the budget allows.
+            self._restart_shard(handle)
+
+    def _declare(self, handle: ShardHandle, cause: str) -> None:
+        # Acks that escaped before the death are real work, not losses:
+        # consume everything already decoded before charging the rest.
+        if handle.transport is not None:
+            for message in handle.transport.recv_all():
+                self._handle_message(handle, message)
+        lost = self.supervisor.declare_down(handle.shard_id, cause)
+        if handle is self._analytics_handle():
+            # Records in flight to a dead analytics shard are record
+            # losses, not packet losses.
+            self.records_lost_at_crash += lost
+            handle.lost_at_crash -= lost
+            handle.lost_at_crash = max(0, handle.lost_at_crash)
+        if self.deterministic and handle.state == SHARD_DOWN:
+            handle.rejoin_at_round = self._round + self.restart_delay_batches
+
+    def _restart_due_shards(self) -> None:
+        if not self.deterministic:
+            return
+        for handle in self.supervisor.handles.values():
+            if (
+                handle.state == SHARD_DOWN
+                and handle.rejoin_at_round is not None
+                and self._round >= handle.rejoin_at_round
+            ):
+                self._restart_shard(handle)
+
+    def _restart_shard(self, handle: ShardHandle) -> bool:
+        """Respawn from the last checkpoint + WAL deltas (or, without a
+        state dir, from parent-synthesized counter deltas so the books
+        still reconcile; only the durable path restores the flow table)."""
+        if handle.state != SHARD_DOWN:
+            return False
+        store = self.stores.get(handle.shard_id)
+        if store is not None:
+            recovery = store.load()
+            restore = {"state": recovery.state, "deltas": recovery.deltas}
+        else:
+            restore = {
+                "state": None,
+                "deltas": (
+                    [
+                        {
+                            "seq": handle.last_acked_seq,
+                            "processed": handle.acked_packets,
+                            "parse_errors": handle.acked_parse_errors,
+                            "records": handle.records_received,
+                        }
+                    ]
+                    if handle.acked_packets
+                    else []
+                ),
+            }
+        return self.supervisor.restart(handle.shard_id, restore_payload=restore)
+
+    # -- records / analytics ---------------------------------------------------
+
+    def _analytics_handle(self) -> Optional[ShardHandle]:
+        spec = self.plan.analytics_shard
+        return None if spec is None else self.supervisor.handles[spec.shard_id]
+
+    def _deliver_records(self, records: List[bytes]) -> None:
+        self.records_out += len(records)
+        if not records:
+            return
+        if self.analytics == "parent":
+            from repro.analytics.service import LATENCY_TOPIC
+
+            for record in records:
+                self._analytics_push.send(
+                    Message.with_topic(LATENCY_TOPIC, record)
+                )
+            while self._analytics_service.poll(max_messages=256):
+                pass
+            self.records_delivered += len(records)
+        elif self.analytics == "process":
+            self._records_buffer.extend(records)
+        else:
+            if self._record_sink is not None:
+                for record in records:
+                    self._record_sink(record)
+            self.records_delivered += len(records)
+
+    def _flush_records(self) -> None:
+        """Forward buffered records to the analytics shard (one hop)."""
+        if self.analytics != "process" or not self._records_buffer:
+            return
+        handle = self._analytics_handle()
+        records, self._records_buffer = self._records_buffer, []
+        if handle is None or not handle.live:
+            self.records_dropped += len(records)
+            return
+        self._analytics_seq += 1
+        seq = self._analytics_seq
+        try:
+            handle.transport.send(protocol.encode_records(seq, records))
+        except (TransportClosed, TransportError):
+            self.records_dropped += len(records)
+            self._on_transport_death(handle)
+            return
+        handle.inflight[seq] = len(records)
+        self._wait_for_acks(handle, below=self.max_inflight)
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def checkpoint_all(self) -> int:
+        """Synchronous checkpoint of every live shard; returns how many."""
+        written = 0
+        for handle in self.supervisor.handles.values():
+            if handle.live and self._checkpoint_shard(handle):
+                written += 1
+        return written
+
+    def _checkpoint_shard(self, handle: ShardHandle) -> bool:
+        store = self.stores.get(handle.shard_id)
+        if store is None or handle.transport is None:
+            return False
+        handle.pending_ckpt = None
+        try:
+            handle.transport.send(
+                protocol.encode_json(
+                    protocol.CKPT_REQ_TOPIC, {"seq": self._round}
+                )
+            )
+        except (TransportClosed, TransportError):
+            self._on_transport_death(handle)
+            return False
+        deadline = time.monotonic() + _SETTLE_TIMEOUT_S
+        while handle.pending_ckpt is None:
+            try:
+                message = handle.transport.recv(timeout=0.05)
+            except (TransportClosed, TransportError):
+                self._on_transport_death(handle)
+                return False
+            if message is None:
+                if time.monotonic() > deadline:
+                    return False
+                continue
+            self._handle_message(handle, message)
+        state = handle.pending_ckpt["state"]
+        # The child's own ack high-water is the WAL dedup mark: FIFO
+        # ordering guarantees every ack it covers was applied above.
+        high_water = int(state.get("last_seq", handle.last_acked_seq))
+        store.checkpoint(state, now_ns=self._round, last_acked_seq=high_water)
+        return True
+
+    # -- drain -----------------------------------------------------------------
+
+    def run(self, packets: Iterable, batch_size: Optional[int] = None):
+        """Feed a whole packet stream in rounds, then drain."""
+        size = batch_size or self.batch_size
+        batch: List = []
+        for packet in packets:
+            batch.append(packet)
+            if len(batch) >= size:
+                self.offer(batch)
+                batch = []
+        if batch:
+            self.offer(batch)
+        return self.drain()
+
+    def drain(self) -> ShardRunReport:
+        """Settle, reconcile, shut down; returns the proven report."""
+        if self._drained:
+            raise RuntimeError("runtime already drained")
+        self._drained = True
+        reconciliation: List[Tuple[str, bool, str]] = []
+        child_ledgers: Dict[str, dict] = {}
+        analytics_summary: Optional[dict] = None
+
+        # A suspect shard's transport already hit EOF/EPIPE — the run
+        # ending before its heartbeat lease lapsed must not leave its
+        # inflight off the books. Declare now; the death is conclusive.
+        for handle in self.supervisor.handles.values():
+            if handle.state == SHARD_SUSPECT:
+                self._declare(
+                    handle, handle.detected_cause or "drain-unresolved"
+                )
+
+        for handle in self.supervisor.worker_handles():
+            if handle.live and handle.inflight:
+                self._wait_for_acks(handle, below=1)
+        self._flush_records()
+        analytics_handle = self._analytics_handle()
+        if (
+            analytics_handle is not None
+            and analytics_handle.live
+            and analytics_handle.inflight
+        ):
+            self._wait_for_acks(analytics_handle, below=1)
+
+        if self.stores:
+            self.checkpoint_all()
+
+        for handle in self.supervisor.worker_handles():
+            payload = self.supervisor.drain_shard(handle)
+            if payload is None:
+                continue
+            ledger = payload["ledger"]
+            child_ledgers[handle.name] = ledger
+            for child_key, parent_value in (
+                ("packets_processed", handle.acked_packets),
+                ("parse_errors", handle.acked_parse_errors),
+                ("records_emitted", handle.records_received),
+            ):
+                child_value = int(ledger[child_key])
+                reconciliation.append(
+                    (
+                        f"{handle.name}.{child_key}",
+                        child_value == parent_value,
+                        f"child={child_value} parent={parent_value}",
+                    )
+                )
+        if analytics_handle is not None:
+            analytics_summary = self.supervisor.drain_shard(analytics_handle)
+            if analytics_summary is not None:
+                child_ledgers[analytics_handle.name] = analytics_summary
+        if self._analytics_service is not None:
+            self._analytics_service.finish()
+            analytics_summary = {
+                "enriched": self._analytics_service.enriched_count,
+            }
+
+        self.supervisor.shutdown()
+        for store in self.stores.values():
+            store.close()
+
+        ledger = self.global_ledger()
+        reconciliation.append(
+            ("global.conservation", ledger.ok, str(ledger))
+        )
+        report = ShardRunReport(
+            ledger=ledger,
+            shards={
+                h.name: h.ledger() for h in self.supervisor.handles.values()
+            },
+            child_ledgers=child_ledgers,
+            reconciliation=reconciliation,
+            shed_by_class=dict(self.shed_by_class),
+            rerouted_packets=self.rerouted_packets,
+            restarts=self.supervisor.total_restarts,
+            states=self.supervisor.states(),
+            heartbeats_seen=self.supervisor.heartbeats_seen,
+            records={
+                "emitted": self.records_out,
+                "delivered": self.records_delivered,
+                "dropped": self.records_dropped,
+                "lost_at_crash": self.records_lost_at_crash,
+            },
+            analytics=analytics_summary,
+            rounds=self._round,
+        )
+        return report
+
+    def global_ledger(self) -> GlobalLedger:
+        workers = self.supervisor.worker_handles()
+        return GlobalLedger(
+            ingested=self.ingested,
+            processed=sum(h.acked_packets for h in workers),
+            dropped=self.dropped,
+            deadlettered=sum(h.deadlettered for h in workers),
+            shed=sum(self.shed_by_class.values()),
+            lost_at_crash=sum(h.lost_at_crash for h in workers),
+        )
+
+    def close(self) -> None:
+        """Abortive cleanup for error paths (drain is the normal exit)."""
+        self.supervisor.shutdown()
+        for store in self.stores.values():
+            store.close()
+
+    # -- observability ---------------------------------------------------------
+
+    def bind_registry(self, registry) -> None:
+        self.supervisor.bind_registry(registry)
+        rerouted = registry.counter(
+            "ruru_shard_rerouted_total",
+            help="Packets rerouted away from a down shard.",
+        )
+        shed = registry.counter(
+            "ruru_shard_shed_total",
+            help="Packets shed because their shard was down.",
+            labels=("klass",),
+        )
+
+        def collect() -> None:
+            rerouted.value = self.rerouted_packets
+            for klass, count in self.shed_by_class.items():
+                shed.labels(klass).value = count
+
+        registry.register_collector(collect)

@@ -31,6 +31,8 @@ from repro.stack.builder import (
     build_enrichment_dbs,
     build_live_stack,
     build_measure_stack,
+    build_shard_analytics,
+    build_sharded_runtime,
 )
 from repro.stack.stage import Stage, StageContext, StageGraph
 from repro.stack.topology import (
@@ -58,6 +60,8 @@ __all__ = [
     "build_enrichment_dbs",
     "build_live_stack",
     "build_measure_stack",
+    "build_shard_analytics",
+    "build_sharded_runtime",
     "crash_points",
     "get_spec",
     "stage_names",

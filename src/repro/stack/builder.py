@@ -713,10 +713,78 @@ def build_durable_stack(
     return builder.build()
 
 
+def build_shard_analytics(
+    num_workers: int = 4,
+    country_accuracy: float = 0.98,
+    plan=None,
+):
+    """A zero-arg ``make_analytics`` factory for the sharded runtime.
+
+    The factory closes over nothing process-bound: for the
+    ``analytics="process"`` placement it runs *post-fork* inside the
+    analytics shard, so sockets, enrichment databases and worker RNGs
+    are built in (and owned by) that process. Defined here because the
+    composition root is the only sanctioned constructor site for
+    :class:`~repro.analytics.service.AnalyticsService`.
+    """
+
+    def make_analytics() -> AnalyticsService:
+        geo, asn = build_enrichment_dbs(
+            plan=plan, country_accuracy=country_accuracy
+        )
+        context = Context()
+        return AnalyticsService(
+            context, geo, asn, num_workers=num_workers
+        )
+
+    return make_analytics
+
+
+def build_sharded_runtime(
+    shards: int = 2,
+    config: Optional[PipelineConfig] = None,
+    analytics: str = "none",
+    state_dir: Optional[str] = None,
+    policy: str = "protect-handshakes",
+    heartbeat_deadline_ms: Optional[float] = None,
+    telemetry: Optional[Telemetry] = None,
+    analytics_workers: int = 4,
+    **kwargs,
+):
+    """``shard``: process placement derived from the stage topology.
+
+    Each RX queue's worker becomes its own OS process behind the MQ
+    frame codec over a real transport; the parent keeps the RSS router
+    and the shard control plane (heartbeats, restarts, the global
+    conservation ledger). See :mod:`repro.shard`.
+    """
+    # Lazy: repro.shard composes pieces from several packages; importing
+    # it at module scope would cycle back through repro.stack.
+    from repro.shard.runtime import ShardedRuntime
+
+    make_analytics = (
+        build_shard_analytics(num_workers=analytics_workers)
+        if analytics in ("parent", "process")
+        else None
+    )
+    return ShardedRuntime(
+        shards,
+        config=config,
+        analytics=analytics,
+        make_analytics=make_analytics,
+        state_dir=state_dir,
+        policy=policy,
+        heartbeat_deadline_ms=heartbeat_deadline_ms,
+        registry=telemetry.registry if telemetry is not None else None,
+        **kwargs,
+    )
+
+
 #: Preset name → builder function (the CLI command table maps here).
 PRESETS = {
     "measure": build_measure_stack,
     "live": build_live_stack,
     "chaos": build_chaos_stack,
     "durable": build_durable_stack,
+    "shard": build_sharded_runtime,
 }

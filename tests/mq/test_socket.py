@@ -197,3 +197,121 @@ class TestPubSub:
         original = msg(b"zero-copy")
         pub.send(original)
         assert sub.recv() is original
+
+
+class TestSocketLifecycle:
+    """Close/rebind semantics: close() releases the endpoint name and
+    refuses all future traffic; senders prune dead peers on their next
+    send rather than swallowing messages into a closed queue."""
+
+    def test_closed_endpoint_is_rebindable_by_a_fresh_socket(self):
+        context = Context()
+        first = context.pull()
+        first.bind("inproc://reuse")
+        first.close()
+        second = context.pull()
+        second.bind("inproc://reuse")  # the name is free again
+        push = context.push()
+        push.connect("inproc://reuse")
+        push.send(msg(b"to-the-new-owner"))
+        assert len(second) == 1
+
+    def test_double_bind_on_one_socket_rejected(self):
+        context = Context()
+        pull = context.pull()
+        pull.bind("inproc://a")
+        with pytest.raises(MqError):
+            pull.bind("inproc://b")
+
+    def test_bind_after_close_rejected(self):
+        context = Context()
+        pull = context.pull()
+        pull.close()
+        with pytest.raises(MqError):
+            pull.bind("inproc://a")
+
+    def test_recv_on_closed_socket_raises(self):
+        context = Context()
+        pull = context.pull()
+        pull.bind("inproc://a")
+        pull.close()
+        with pytest.raises(MqError):
+            pull.recv()
+
+    def test_close_discards_queued_messages(self):
+        context = Context()
+        pull = context.pull()
+        pull.bind("inproc://a")
+        push = context.push()
+        push.connect("inproc://a")
+        push.send(msg(b"doomed"))
+        assert len(pull) == 1
+        pull.close()
+        assert len(pull) == 0
+
+    def test_closed_peer_is_pruned_not_silently_fed(self):
+        """A message sent after a peer closes must reach a live peer —
+        never vanish into the dead one's (cleared) queue."""
+        context = Context()
+        dead = context.pull()
+        dead.bind("inproc://dead")
+        live = context.pull()
+        live.bind("inproc://live")
+        push = context.push()
+        push.connect("inproc://dead")
+        push.connect("inproc://live")
+        dead.close()
+        for i in range(4):
+            assert push.send(msg(str(i).encode())) is True
+        assert len(live) == 4
+        assert push.dropped == 0
+
+    def test_all_peers_closed_falls_back_to_buffering(self):
+        context = Context()
+        pull = context.pull()
+        pull.bind("inproc://only")
+        push = context.push()
+        push.connect("inproc://only")
+        pull.close()
+        assert push.send(msg(b"parked")) is True
+        assert push.pending == 1
+        # A replacement consumer rebinding the endpoint gets the backlog.
+        fresh = context.pull()
+        fresh.bind("inproc://only")
+        push.connect("inproc://only")
+        assert len(fresh) == 1
+
+    def test_push_close_refuses_send_and_connect(self):
+        context = Context()
+        pull = context.pull()
+        pull.bind("inproc://a")
+        push = context.push()
+        push.connect("inproc://a")
+        push.send(msg(b"x"))
+        push.close()
+        with pytest.raises(MqError):
+            push.send(msg(b"y"))
+        with pytest.raises(MqError):
+            push.connect("inproc://a")
+
+    def test_pub_prunes_closed_subscribers(self):
+        context = Context()
+        pub = context.pub()
+        staying = context.sub()
+        staying.subscribe(b"")
+        staying.bind("inproc://stay")
+        leaving = context.sub()
+        leaving.subscribe(b"")
+        leaving.bind("inproc://leave")
+        pub.connect("inproc://stay")
+        pub.connect("inproc://leave")
+        leaving.close()
+        assert pub.send(msg(b"news")) == 1
+        assert len(staying) == 1
+
+    def test_pub_close_refuses_send(self):
+        context = Context()
+        pub = context.pub()
+        pub.close()
+        with pytest.raises(MqError):
+            pub.send(msg(b"x"))

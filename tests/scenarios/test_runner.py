@@ -100,3 +100,27 @@ class TestChecks:
         assert not run_scenario(small_spec).resultset.stage_profile
         profiled = run_scenario(small_spec, profile_stages=True)
         assert profiled.resultset.stage_profile
+
+
+class TestShardDispatch:
+    """Specs with shard.shards > 0 run through ShardedRuntime."""
+
+    def test_failover_scenario_recovers_and_balances(self):
+        from repro.scenarios import get_scenario, run_scenario
+
+        result = run_scenario(get_scenario("shard-failover"))
+        assert result.ok, [c.render() for c in result.checks]
+        assert result.metric("shard.restarts") == 1
+        assert result.metric("shard.ledger.lost_at_crash") > 0
+        assert result.metric("ledger.balance") == 0
+        names = {check.name for check in result.checks}
+        assert "shard-recovered" in names
+        assert "crash-was-charged" in names
+
+    def test_shard_metrics_are_deterministic(self):
+        from repro.scenarios import get_scenario, run_scenario
+
+        spec = get_scenario("shard-failover")
+        first = run_scenario(spec).resultset.metrics
+        second = run_scenario(spec).resultset.metrics
+        assert first == second

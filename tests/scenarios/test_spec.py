@@ -204,3 +204,53 @@ class TestLibrary:
     def test_unknown_name_lists_choices(self):
         with pytest.raises(SpecError, match="auckland-baseline"):
             get_scenario("no-such-episode")
+
+
+class TestShardSpec:
+    def test_defaults_to_disabled(self):
+        from repro.scenarios.spec import ShardScenarioSpec
+
+        spec = ScenarioSpec(name="x")
+        assert spec.shard == ShardScenarioSpec()
+        assert not spec.shard.enabled
+
+    def test_round_trips_through_the_document_form(self):
+        spec = ScenarioSpec.from_dict(
+            {
+                "name": "s",
+                "shard": {"shards": 2, "kill_shard": 1, "kill_at_batch": 6},
+            }
+        )
+        assert spec.shard.enabled
+        again = ScenarioSpec.from_dict(spec.to_dict())
+        assert again.shard == spec.shard
+
+    def test_kill_fields_come_together(self):
+        with pytest.raises(SpecError):
+            ScenarioSpec.from_dict(
+                {"name": "s", "shard": {"shards": 2, "kill_shard": 1}}
+            )
+
+    def test_kill_shard_must_exist(self):
+        with pytest.raises(SpecError):
+            ScenarioSpec.from_dict(
+                {
+                    "name": "s",
+                    "shard": {
+                        "shards": 2,
+                        "kill_shard": 5,
+                        "kill_at_batch": 1,
+                    },
+                }
+            )
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SpecError):
+            ScenarioSpec.from_dict(
+                {"name": "s", "shard": {"shards": 2, "policy": "yolo"}}
+            )
+
+    def test_library_ships_the_failover_episode(self):
+        spec = get_scenario("shard-failover")
+        assert spec.shard.enabled
+        assert spec.shard.kill_shard is not None

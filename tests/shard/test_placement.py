@@ -1,0 +1,75 @@
+"""Placement derivation: the topology decides who runs where."""
+
+import pytest
+
+from repro.shard.placement import (
+    ANALYTICS_PLACEMENTS,
+    PlacementError,
+    derive_placement,
+)
+from repro.stack.topology import stage_names
+
+
+class TestDerivePlacement:
+    def test_parent_keeps_admission_and_router(self):
+        plan = derive_placement(4)
+        assert plan.parent.stages == ("overload", "nic")
+
+    def test_one_worker_process_per_queue(self):
+        plan = derive_placement(4)
+        workers = [s for s in plan.shards if "workers" in s.stages]
+        assert len(workers) == 4
+        assert [w.queue_id for w in workers] == [0, 1, 2, 3]
+        assert [w.shard_id for w in workers] == [0, 1, 2, 3]
+
+    def test_mq_is_an_edge_not_a_process(self):
+        plan = derive_placement(2)
+        for spec in (plan.parent, *plan.shards):
+            assert "mq" not in spec.stages
+        assert all(edge.stage == "mq" for edge in plan.edges)
+        assert len(plan.edges) == 2
+
+    def test_analytics_none_omits_the_tail(self):
+        plan = derive_placement(2, analytics="none")
+        hosted = set(plan.parent.stages)
+        for spec in plan.shards:
+            hosted.update(spec.stages)
+        assert "analytics" not in hosted
+        assert plan.analytics_shard is None
+
+    def test_analytics_parent_moves_tail_into_parent(self):
+        plan = derive_placement(2, analytics="parent")
+        assert "analytics" in plan.parent.stages
+        assert plan.analytics_shard is None
+
+    def test_analytics_process_adds_one_shard_and_edge(self):
+        plan = derive_placement(2, analytics="process")
+        spec = plan.analytics_shard
+        assert spec is not None
+        assert spec.name == "shard-analytics"
+        assert spec.shard_id == 2
+        assert "analytics" in spec.stages
+        assert len(plan.edges) == 3
+        assert plan.num_worker_shards == 2
+
+    def test_every_topology_stage_is_placed_or_an_edge(self):
+        plan = derive_placement(3, analytics="process")
+        placed = set(plan.parent.stages)
+        for spec in plan.shards:
+            placed.update(spec.stages)
+        placed.update(edge.stage for edge in plan.edges)
+        assert placed == set(stage_names())
+
+    def test_describe_mentions_every_process(self):
+        text = derive_placement(2, analytics="process").describe()
+        for name in ("parent", "shard-0", "shard-1", "shard-analytics"):
+            assert name in text
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(PlacementError):
+            derive_placement(0)
+
+    def test_unknown_analytics_placement_rejected(self):
+        with pytest.raises(PlacementError):
+            derive_placement(2, analytics="moon")
+        assert "moon" not in ANALYTICS_PLACEMENTS

@@ -1,0 +1,265 @@
+"""End-to-end sharded runs: conservation, equivalence, chaos, recovery.
+
+Every test here forks real worker processes and ends by checking the
+global ledger ``ingested == processed + dropped + deadlettered + shed
++ lost_at_crash`` — the invariant a crash may bend the *terms* of but
+never the *sum*.
+"""
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import RuruPipeline
+from repro.mq.codec import decode_latency_record, encode_latency_record
+from repro.shard.runtime import ShardedRuntime
+from repro.traffic.generator import GeneratorConfig, TrafficGenerator
+
+NS_PER_S = 1_000_000_000
+
+
+@pytest.fixture(scope="module")
+def packets():
+    config = GeneratorConfig(
+        duration_ns=3 * NS_PER_S, mean_flows_per_s=40, seed=11
+    )
+    return TrafficGenerator(config=config).packet_list()
+
+
+def run_sharded(packets, num_shards=2, batch_size=64, **kwargs):
+    runtime = ShardedRuntime(num_shards, PipelineConfig(), **kwargs)
+    try:
+        return runtime.run(packets, batch_size=batch_size)
+    finally:
+        runtime.close()
+
+
+class TestCleanRun:
+    def test_clean_run_conserves_and_reconciles(self, packets):
+        records = []
+        report = run_sharded(packets, record_sink=records.append)
+        assert report.ok, report.failed_checks()
+        ledger = report.ledger
+        assert ledger.ingested == len(packets)
+        assert ledger.processed == len(packets)
+        assert (
+            ledger.dropped
+            == ledger.deadlettered
+            == ledger.shed
+            == ledger.lost_at_crash
+            == 0
+        )
+        assert report.restarts == 0
+        assert set(report.states.values()) == {"drained"}
+        assert report.records["emitted"] == len(records) > 0
+        assert report.records["delivered"] == report.records["emitted"]
+
+    def test_rss_spreads_work_across_shards(self, packets):
+        report = run_sharded(packets, num_shards=2)
+        dispatched = [
+            report.shards[name]["dispatched"]
+            for name in ("shard-0", "shard-1")
+        ]
+        assert all(d > 0 for d in dispatched)
+
+    def test_record_multiset_matches_single_process_pipeline(self, packets):
+        """The tentpole equivalence: sharding across OS processes is
+        pure mechanism — it must not change a single measurement."""
+        sharded = []
+        report = run_sharded(
+            packets, num_shards=2, record_sink=sharded.append
+        )
+        assert report.ok
+
+        pipeline = RuruPipeline(PipelineConfig(num_queues=2))
+        pipeline.run_packets(packets)
+        single = [
+            encode_latency_record(r) for r in pipeline.measurements
+        ]
+        assert len(sharded) == len(single) > 0
+        assert sorted(sharded) == sorted(single)
+
+    def test_records_carry_their_shard_queue_id(self, packets):
+        records = []
+        report = run_sharded(
+            packets, num_shards=2, record_sink=records.append
+        )
+        assert report.ok
+        queues = {decode_latency_record(r).queue_id for r in records}
+        assert queues == {0, 1}
+
+
+class TestChaos:
+    def test_scheduled_kill_recovers_with_exact_books(
+        self, packets, tmp_path
+    ):
+        """SIGKILL one shard mid-run with durability on: the shard
+        restarts from checkpoint + WAL, rejoins, and every ledger —
+        global, parent per-shard, and the child's own — balances."""
+        runtime = ShardedRuntime(
+            2,
+            PipelineConfig(),
+            state_dir=str(tmp_path),
+            checkpoint_every_batches=4,
+        )
+        runtime.schedule_kill(1, at_seq=6)
+        try:
+            report = runtime.run(packets, batch_size=64)
+        finally:
+            runtime.close()
+        assert report.ok, report.failed_checks()
+        victim = report.shards["shard-1"]
+        assert victim["restarts"] == 1
+        assert victim["lost_at_crash"] > 0
+        assert "scheduled-kill" in victim["causes"]
+        assert report.ledger.lost_at_crash == victim["lost_at_crash"]
+        # Durability made reconciliation exact despite the crash.
+        child = report.child_ledgers["shard-1"]
+        assert child["packets_processed"] == victim["acked"]
+
+    def test_protect_handshakes_sheds_payload_with_attribution(
+        self, packets
+    ):
+        runtime = ShardedRuntime(2, PipelineConfig(), restart_delay_batches=3)
+        runtime.schedule_kill(0, at_seq=3)
+        try:
+            report = runtime.run(packets, batch_size=64)
+        finally:
+            runtime.close()
+        assert report.ok, report.failed_checks()
+        assert report.rerouted_packets > 0  # handshakes kept alive
+        assert sum(report.shed_by_class.values()) == report.ledger.shed
+        assert report.shed_by_class.get("handshake", 0) == 0
+
+    def test_reroute_all_never_sheds_while_a_shard_lives(self, packets):
+        runtime = ShardedRuntime(
+            2,
+            PipelineConfig(),
+            policy="reroute-all",
+            restart_delay_batches=3,
+        )
+        runtime.schedule_kill(0, at_seq=3)
+        try:
+            report = runtime.run(packets, batch_size=64)
+        finally:
+            runtime.close()
+        assert report.ok, report.failed_checks()
+        assert report.ledger.shed == 0
+        assert report.rerouted_packets > 0
+
+    def test_budget_exhaustion_degrades_but_still_balances(self, packets):
+        """Two kills against a budget of one: the shard is failed
+        forever, its traffic reroutes for the rest of the run, and the
+        books still close."""
+        runtime = ShardedRuntime(
+            2,
+            PipelineConfig(),
+            max_restarts_per_shard=1,
+            policy="reroute-all",
+        )
+        runtime.schedule_kill(1, at_seq=3)
+        try:
+            runtime.start()
+            batch, fed = [], 0
+            iterator = iter(packets)
+            for packet in iterator:
+                batch.append(packet)
+                if len(batch) == 64:
+                    runtime.offer(batch)
+                    batch, fed = [], fed + 64
+                    if runtime.supervisor.handles[1].restarts == 1:
+                        break
+            runtime.schedule_kill(1, at_seq=runtime.supervisor.handles[1].next_seq + 1)
+            for packet in iterator:
+                batch.append(packet)
+                if len(batch) == 64:
+                    runtime.offer(batch)
+                    batch = []
+            if batch:
+                runtime.offer(batch)
+            report = runtime.drain()
+        finally:
+            runtime.close()
+        assert report.ledger.ok, str(report.ledger)
+        assert report.states["shard-1"] == "failed"
+        assert report.restarts == 1
+
+    def test_wallclock_mode_declares_by_heartbeat_deadline(self, packets):
+        """Kill a shard under wall-clock supervision: only the victim
+        is declared, with the heartbeat-deadline cause."""
+        runtime = ShardedRuntime(
+            2,
+            PipelineConfig(),
+            heartbeat_deadline_ms=150.0,
+            heartbeat_interval_ms=10.0,
+        )
+        killed = False
+        try:
+            runtime.start()
+            batch = []
+            for packet in packets:
+                batch.append(packet)
+                if len(batch) == 64:
+                    runtime.offer(batch)
+                    batch = []
+                    if not killed and runtime._round >= 3:
+                        runtime.kill_shard(1)
+                        killed = True
+            if batch:
+                runtime.offer(batch)
+            report = runtime.drain()
+        finally:
+            runtime.close()
+        assert report.ledger.ok, str(report.ledger)
+        victim = report.shards["shard-1"]
+        assert victim["causes"], "the kill was never declared"
+        assert all(
+            c in ("heartbeat-deadline", "transport-eof")
+            for c in victim["causes"]
+        )
+        assert report.shards["shard-0"]["causes"] == []
+
+
+class TestAnalyticsPlacement:
+    def _make_analytics(self):
+        from repro.stack import build_shard_analytics
+
+        return build_shard_analytics(num_workers=2)
+
+    def test_analytics_process_shard_enriches_records(self, packets):
+        report = run_sharded(
+            packets[:600],
+            analytics="process",
+            make_analytics=self._make_analytics(),
+        )
+        assert report.ok, report.failed_checks()
+        summary = report.child_ledgers["shard-analytics"]
+        assert summary["records_ingested"] == report.records["emitted"] > 0
+        assert summary["enriched"] == summary["records_ingested"]
+
+    def test_analytics_parent_placement_enriches_in_process(self, packets):
+        report = run_sharded(
+            packets[:600],
+            analytics="parent",
+            make_analytics=self._make_analytics(),
+        )
+        assert report.ok, report.failed_checks()
+        assert report.analytics["enriched"] == report.records["emitted"] > 0
+
+
+class TestGuards:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedRuntime(2, policy="coin-flip")
+
+    def test_process_analytics_requires_a_factory(self):
+        with pytest.raises(ValueError):
+            ShardedRuntime(2, analytics="process")
+
+    def test_double_drain_rejected(self, packets):
+        runtime = ShardedRuntime(1, PipelineConfig())
+        try:
+            runtime.run(packets[:64])
+            with pytest.raises(RuntimeError):
+                runtime.drain()
+        finally:
+            runtime.close()

@@ -1,0 +1,240 @@
+"""Shard supervision: spawn, crash containment, restart, drain.
+
+These tests fork real processes; the entry functions below are tiny
+state machines standing in for the full worker body so each property
+(heartbeats, restore delivery, crashes) can be exercised in isolation.
+"""
+
+import os
+import signal
+
+import pytest
+
+from repro.resilience import RestartBudget
+from repro.shard import protocol
+from repro.shard.heartbeat import FailureDetector, encode_heartbeat
+from repro.shard.placement import derive_placement
+from repro.shard.supervisor import (
+    SHARD_DOWN,
+    SHARD_DRAINED,
+    SHARD_FAILED,
+    SHARD_UP,
+    ShardSupervisor,
+)
+from repro.shard.transport import TransportClosed
+
+
+def _obedient_entry(shard_id, transport):
+    """Replies to drain; echoes a heartbeat or its restore on request."""
+    restored = None
+    while True:
+        try:
+            message = transport.recv(timeout=10.0)
+        except TransportClosed:
+            return 0
+        if message is None:
+            return 1  # silence from the parent is a test bug
+        topic = message.topic
+        if topic == protocol.RESTORE_TOPIC:
+            restored = protocol.decode_json(message)
+        elif topic == b"hb-now":
+            transport.send(encode_heartbeat(shard_id, 1))
+        elif topic == protocol.DRAIN_TOPIC:
+            transport.send(
+                protocol.encode_json(
+                    protocol.DRAINED_TOPIC,
+                    {"shard_id": shard_id, "restored": restored},
+                )
+            )
+            return 0
+
+
+def _make_supervisor(num_shards=2, **kwargs):
+    plan = derive_placement(num_shards)
+    return ShardSupervisor(plan.shards, _obedient_entry, **kwargs)
+
+
+def _drain_all(supervisor):
+    for handle in supervisor.handles.values():
+        supervisor.drain_shard(handle, timeout_s=10.0)
+
+
+class TestSpawnAndDrain:
+    def test_start_spawns_one_live_process_per_spec(self):
+        supervisor = _make_supervisor(3)
+        try:
+            supervisor.start()
+            assert supervisor.states() == {
+                "shard-0": SHARD_UP,
+                "shard-1": SHARD_UP,
+                "shard-2": SHARD_UP,
+            }
+            pids = {h.pid for h in supervisor.handles.values()}
+            assert len(pids) == 3 and None not in pids
+            assert os.getpid() not in pids
+        finally:
+            _drain_all(supervisor)
+            supervisor.shutdown()
+
+    def test_drain_handshake_returns_the_child_payload(self):
+        supervisor = _make_supervisor(2)
+        supervisor.start()
+        try:
+            handle = supervisor.handles[1]
+            payload = supervisor.drain_shard(handle, timeout_s=10.0)
+            assert payload is not None and payload["shard_id"] == 1
+            assert handle.state == SHARD_DRAINED
+            assert handle.transport is None and handle.pid is None
+        finally:
+            _drain_all(supervisor)
+            supervisor.shutdown()
+
+    def test_heartbeats_feed_the_detector(self):
+        detector = FailureDetector(deadline_ns=60_000_000_000)
+        supervisor = _make_supervisor(1, detector=detector)
+        supervisor.start()
+        try:
+            from repro.mq.frames import Message
+
+            handle = supervisor.handles[0]
+            handle.transport.send(Message([b"hb-now"]))
+            message = handle.transport.recv(timeout=10.0)
+            assert supervisor.handle_control_message(handle, message)
+            assert supervisor.heartbeats_seen == 1
+            assert detector.last_latency_ns(0) is not None
+        finally:
+            _drain_all(supervisor)
+            supervisor.shutdown()
+
+
+class TestCrashContainment:
+    def test_sigkill_is_contained_and_charged_to_the_crash(self):
+        """A SIGKILLed shard never takes the parent down: the death is
+        observed as EOF, declared, and its inflight charged as lost."""
+        supervisor = _make_supervisor(2)
+        supervisor.start()
+        try:
+            victim = supervisor.handles[0]
+            victim.inflight = {7: 42}  # pretend a batch was in flight
+            supervisor.kill(0, signal.SIGKILL)
+            lost = supervisor.declare_down(0, cause="chaos")
+            assert lost == 42
+            assert victim.lost_at_crash == 42
+            assert victim.inflight == {}
+            assert victim.state == SHARD_DOWN
+            assert victim.causes == ["chaos"]
+            # The sibling is untouched.
+            assert supervisor.handles[1].state == SHARD_UP
+        finally:
+            _drain_all(supervisor)
+            supervisor.shutdown()
+
+    def test_declare_down_drains_predeath_control_messages(self):
+        """A heartbeat already in the pipe when the shard dies still
+        counts — work that escaped the crash is not lost."""
+        supervisor = _make_supervisor(1)
+        supervisor.start()
+        try:
+            from repro.mq.frames import Message
+
+            handle = supervisor.handles[0]
+            handle.transport.send(Message([b"hb-now"]))
+            # Give the child time to reply, then kill it.
+            import time
+
+            deadline = time.monotonic() + 5.0
+            while not handle.transport.pump():
+                if time.monotonic() > deadline:
+                    pytest.fail("child never replied")
+                time.sleep(0.01)
+            supervisor.kill(0)
+            supervisor.declare_down(0, cause="chaos")
+            assert supervisor.heartbeats_seen == 1
+        finally:
+            supervisor.shutdown()
+
+    def test_declare_down_is_idempotent(self):
+        supervisor = _make_supervisor(1)
+        supervisor.start()
+        try:
+            supervisor.kill(0)
+            supervisor.declare_down(0, cause="first")
+            assert supervisor.declare_down(0, cause="second") == 0
+            assert supervisor.handles[0].causes == ["first"]
+        finally:
+            supervisor.shutdown()
+
+
+class TestRestart:
+    def test_restart_respawns_and_delivers_the_restore_payload(self):
+        supervisor = _make_supervisor(1)
+        supervisor.start()
+        try:
+            old_pid = supervisor.handles[0].pid
+            supervisor.kill(0)
+            supervisor.declare_down(0, cause="chaos")
+            assert supervisor.restart(0, {"state": {"last_seq": 9}})
+            handle = supervisor.handles[0]
+            assert handle.state == SHARD_UP
+            assert handle.pid != old_pid
+            assert handle.restarts == 1
+            assert supervisor.total_restarts == 1
+            payload = supervisor.drain_shard(handle, timeout_s=10.0)
+            assert payload["restored"] == {"state": {"last_seq": 9}}
+        finally:
+            _drain_all(supervisor)
+            supervisor.shutdown()
+
+    def test_restart_in_wrong_state_raises(self):
+        supervisor = _make_supervisor(1)
+        supervisor.start()
+        try:
+            with pytest.raises(RuntimeError):
+                supervisor.restart(0)
+        finally:
+            _drain_all(supervisor)
+            supervisor.shutdown()
+
+    def test_budget_exhaustion_marks_the_shard_failed_forever(self):
+        supervisor = _make_supervisor(
+            1, restart_budget=RestartBudget(max_restarts=1)
+        )
+        supervisor.start()
+        try:
+            supervisor.kill(0)
+            supervisor.declare_down(0, cause="chaos-1")
+            assert supervisor.restart(0) is True
+            supervisor.kill(0)
+            supervisor.declare_down(0, cause="chaos-2")
+            assert supervisor.restart(0) is False
+            assert supervisor.handles[0].state == SHARD_FAILED
+            assert supervisor.budget.exhausted("shard-0")
+        finally:
+            supervisor.shutdown()
+
+
+class TestObservability:
+    def test_bind_registry_exports_liveness_and_crash_counters(self):
+        from repro.obs.registry import MetricsRegistry
+
+        supervisor = _make_supervisor(2)
+        supervisor.start()
+        try:
+            registry = MetricsRegistry()
+            supervisor.bind_registry(registry)
+            supervisor.kill(0)
+            supervisor.declare_down(0, cause="chaos")
+            snap = registry.snapshot()
+            up = {
+                s["labels"]["shard"]: s["value"]
+                for s in snap["ruru_shard_up"]["samples"]
+            }
+            assert up == {"shard-0": 0, "shard-1": 1}
+            lost = {
+                s["labels"]["shard"]: s["value"]
+                for s in snap["ruru_shard_lost_at_crash_total"]["samples"]
+            }
+            assert lost["shard-0"] == 0  # nothing was in flight
+        finally:
+            _drain_all(supervisor)
+            supervisor.shutdown()

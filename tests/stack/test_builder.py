@@ -17,7 +17,7 @@ from tests.durability.test_drain import EXPECTED_STAGES
 
 class TestPresets:
     def test_preset_table_is_complete(self):
-        assert set(PRESETS) == {"measure", "live", "chaos", "durable"}
+        assert set(PRESETS) == {"measure", "live", "chaos", "durable", "shard"}
 
     def test_measure_is_the_fast_path_only(self):
         stack = build_measure_stack(queues=2)
